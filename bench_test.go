@@ -1,0 +1,462 @@
+package dsmtherm_test
+
+// The benchmark harness: one benchmark per paper table/figure (running the
+// same registered experiment as cmd/repro and reporting its key result as
+// a custom metric), plus ablation benchmarks for the design choices called
+// out in DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The custom metrics (reported per op) are the headline quantities of each
+// experiment, so a bench run doubles as a numeric regression record.
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/em"
+	"dsmtherm/internal/esd"
+	"dsmtherm/internal/exp"
+	"dsmtherm/internal/fdm"
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/repeater"
+	"dsmtherm/internal/rules"
+	"dsmtherm/internal/thermal"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) *exp.Table {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var t *exp.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(t.Rows) == 0 {
+		b.Fatal("empty experiment result")
+	}
+	return t
+}
+
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+func BenchmarkFig2(b *testing.B) {
+	benchExperiment(b, "fig2")
+	sol, err := core.Solve(exp.Fig2Problem(0.01))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(phys.ToMAPerCm2(sol.Jpeak), "jpeak@r=0.01_MA/cm2")
+	b.ReportMetric(phys.KToC(sol.Tm), "Tm@r=0.01_degC")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	benchExperiment(b, "fig3")
+	lo := exp.Fig2Problem(1e-4)
+	hi := exp.Fig2Problem(1e-4)
+	hi.J0 = phys.MAPerCm2(1.8)
+	sl, err := core.Solve(lo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := core.Solve(hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(sh.Jpeak/sl.Jpeak, "jpeak_gain_3x_j0@r=1e-4")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	benchExperiment(b, "fig5")
+	thOx, err := exp.Fig5Impedance(0.35, &material.Oxide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	thHSQ, err := exp.Fig5Impedance(0.35, &material.HSQ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(thHSQ/thOx, "HSQ/oxide_theta@0.35um")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	if testing.Short() {
+		b.Skip("transient sims in -short mode")
+	}
+	benchExperiment(b, "fig7")
+	m, err := repeater.Simulate(ntrs.N250(), 6, repeater.SimOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(m.Reff, "reff_0.25um_M6")
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "tab2")
+	sol, err := exp.SolveRule(ntrs.N250(), 5, 0.1, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(phys.ToMAPerCm2(sol.Jpeak), "jpeak_M5_oxide_MA/cm2")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	benchExperiment(b, "tab3")
+	sol, err := exp.SolveRule(ntrs.N250(), 5, 0.1, 1.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(phys.ToMAPerCm2(sol.Jpeak), "jpeak_M5_oxide_MA/cm2")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	benchExperiment(b, "tab4")
+	sol, err := exp.SolveRule(ntrs.N250().WithMetal(&material.AlCu), 5, 0.1, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(phys.ToMAPerCm2(sol.Jpeak), "jpeak_M5_oxide_MA/cm2")
+}
+
+func BenchmarkTable5(b *testing.B) {
+	if testing.Short() {
+		b.Skip("transient sims in -short mode")
+	}
+	benchExperiment(b, "tab5")
+	m, err := repeater.Simulate(ntrs.N250(), 5, repeater.SimOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := exp.SolveRule(ntrs.N250(), 5, 0.1, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(sc.Jpeak/m.Jpeak, "thermal_margin_M5")
+}
+
+func BenchmarkTable6(b *testing.B) {
+	if testing.Short() {
+		b.Skip("transient sims in -short mode")
+	}
+	benchExperiment(b, "tab6")
+}
+
+func BenchmarkTable7(b *testing.B) {
+	var r exp.Tab7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.RunTab7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.Drop, "jpeak_drop_pct")
+	b.ReportMetric(r.Factor, "theta_coupling_factor")
+}
+
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "tab8") }
+
+func BenchmarkESD(b *testing.B) {
+	benchExperiment(b, "esd")
+	j, err := esd.CriticalDensity(exp.ESDConfig(&material.AlCu), 200e-9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(phys.ToMAPerCm2(j), "jcrit_AlCu_200ns_MA/cm2")
+}
+
+func BenchmarkRulesFDM(b *testing.B) { benchExperiment(b, "rulesfdm") }
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationHeatSpreading compares quasi-1-D (phi = 0.88) vs
+// quasi-2-D (phi = 2.45) design rules: the measured spreading relaxes the
+// rule ("to allow more aggressive design rules", §7).
+func BenchmarkAblationHeatSpreading(b *testing.B) {
+	line, err := ntrs.N250().Line(5, phys.Microns(2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(m thermal.Model) core.Problem {
+		return core.Problem{Line: line, Model: m, R: 0.01, J0: phys.MAPerCm2(1.8)}
+	}
+	var s1, s2 core.Solution
+	for i := 0; i < b.N; i++ {
+		if s1, err = core.Solve(mk(thermal.Quasi1D())); err != nil {
+			b.Fatal(err)
+		}
+		if s2, err = core.Solve(mk(thermal.Quasi2D())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s2.Jpeak/s1.Jpeak, "jpeak_gain_quasi2D_vs_1D")
+}
+
+// BenchmarkAblationStack compares the Eq. 15 series two-layer stack with a
+// single-layer oxide stack of the same total thickness.
+func BenchmarkAblationStack(b *testing.B) {
+	mkLine := func(stack geometry.Stack) *geometry.Line {
+		return &geometry.Line{
+			Metal: &material.Cu, Width: phys.Microns(0.5), Thick: phys.Microns(0.9),
+			Length: phys.Microns(2000), Below: stack,
+		}
+	}
+	uniform := geometry.Stack{{Material: &material.Oxide, Thickness: phys.Microns(4)}}
+	series := geometry.Stack{
+		{Material: &material.Oxide, Thickness: phys.Microns(2.4)},
+		{Material: &material.Polyimide, Thickness: phys.Microns(1.6)},
+	}
+	var sU, sS core.Solution
+	var err error
+	for i := 0; i < b.N; i++ {
+		pU := core.Problem{Line: mkLine(uniform), Model: thermal.Quasi2D(), R: 0.01, J0: phys.MAPerCm2(1.8)}
+		pS := core.Problem{Line: mkLine(series), Model: thermal.Quasi2D(), R: 0.01, J0: phys.MAPerCm2(1.8)}
+		if sU, err = core.Solve(pU); err != nil {
+			b.Fatal(err)
+		}
+		if sS, err = core.Solve(pS); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sS.Jpeak/sU.Jpeak, "jpeak_series_vs_uniform")
+}
+
+// BenchmarkAblationActivationEnergy sweeps Black's Q for Cu (the one
+// parameter the paper leaves unprinted; DESIGN.md note 5).
+func BenchmarkAblationActivationEnergy(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		var sols []core.Solution
+		for _, q := range []float64{0.7, 0.8, 0.9} {
+			cu := material.Cu
+			cu.EMActivation = q
+			line := exp.Fig2Line()
+			line.Metal = &cu
+			sol, err := core.Solve(core.Problem{
+				Line: line, Model: thermal.Quasi1D(), R: 0.01, J0: phys.MAPerCm2(0.6),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sols = append(sols, sol)
+		}
+		ratio = sols[2].Jpeak / sols[0].Jpeak
+	}
+	b.ReportMetric(ratio, "jpeak_Q0.9_vs_Q0.7")
+}
+
+// BenchmarkAblationNaiveRule quantifies the lifetime cost of the naive
+// EM-only rule at r = 0.01 on the Fig. 2 line — both the paper's j⁻²
+// estimate and the full thermal-feedback penalty.
+func BenchmarkAblationNaiveRule(b *testing.B) {
+	var paperPen, fullPen float64
+	for i := 0; i < b.N; i++ {
+		sol, err := core.Solve(exp.Fig2Problem(0.01))
+		if err != nil {
+			b.Fatal(err)
+		}
+		paperPen = sol.PaperLifetimePenalty()
+		fullPen, _, err = core.NaiveRulePenalty(exp.Fig2Problem(0.01))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(paperPen, "lifetime_penalty_paper_est")
+	b.ReportMetric(fullPen, "lifetime_penalty_full")
+}
+
+// BenchmarkAblationDriverModel varies the input edge rate of the Fig. 7
+// simulation: the extracted effective duty cycle should be robust to it
+// (supporting the paper's fixed r = 0.1 choice).
+func BenchmarkAblationDriverModel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("transient sims in -short mode")
+	}
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, edge := range []float64{0.02, 0.05, 0.1} {
+			m, err := repeater.Simulate(ntrs.N250(), 6, repeater.SimOpts{InputEdgeFraction: edge})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo = math.Min(lo, m.Reff)
+			hi = math.Max(hi, m.Reff)
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "reff_spread_vs_input_edge")
+}
+
+// BenchmarkAblationGrid measures how the FDM-extracted phi moves with mesh
+// resolution (discretization sensitivity of the Fig. 5 surrogate).
+func BenchmarkAblationGrid(b *testing.B) {
+	ar, err := fdm.SingleLineArray(&material.AlCu,
+		phys.Microns(0.35), phys.Microns(0.6), phys.Microns(1.2),
+		&material.Oxide, &material.Oxide, phys.Microns(12), phys.Microns(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		coarse, err := fdm.LineImpedance(ar, phys.Microns(0.25))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fine, err := fdm.LineImpedance(ar, phys.Microns(0.08))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = coarse / fine
+	}
+	b.ReportMetric(ratio, "theta_coarse_over_fine")
+}
+
+// BenchmarkSolverCore measures the raw Eq. 13 solve rate (the inner loop
+// of every table).
+func BenchmarkSolverCore(b *testing.B) {
+	p := exp.Fig2Problem(0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThermalDelay closes the §4 loop in the other direction:
+// running a route at its self-consistent limit temperature slows it down
+// (hot Cu is more resistive), so thermal design rules protect performance
+// as well as reliability.
+func BenchmarkAblationThermalDelay(b *testing.B) {
+	tech := ntrs.N250()
+	sol, err := exp.SolveRule(tech, 5, 0.01, 1.8) // aggressive duty cycle: real heating
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pen float64
+	for i := 0; i < b.N; i++ {
+		pen, err = repeater.ThermalDelayPenalty(tech, 5, sol.Tm, material.Tref100C)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(phys.KToC(sol.Tm), "Tm_at_limit_degC")
+	b.ReportMetric(pen, "route_delay_penalty")
+}
+
+// BenchmarkAblationEMStatistics folds failure statistics into the rule:
+// the 0.1 % cumulative-failure percentile (§2.2) plus weakest-link scaling
+// for a 20-segment net derate the EM budget well below the median rule.
+func BenchmarkAblationEMStatistics(b *testing.B) {
+	var single, series float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		single, err = em.PercentileJDerating(&material.Cu, em.DefaultSigma, em.DefaultPercentile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series, err = em.SeriesJDerating(&material.Cu, em.DefaultSigma, em.DefaultPercentile, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(single, "j_derating_0.1pct")
+	b.ReportMetric(series, "j_derating_20seg_net")
+}
+
+// BenchmarkAblationThermalVias quantifies the via-cooling design knob:
+// flanking stacked dummy vias cut a global line's thermal impedance.
+func BenchmarkAblationThermalVias(b *testing.B) {
+	mk := func(withVias bool) float64 {
+		ar, err := fdm.SingleLineArray(&material.Cu,
+			phys.Microns(0.5), phys.Microns(0.9), phys.Microns(4.0),
+			&material.Oxide, &material.Oxide, phys.Microns(10), phys.Microns(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withVias {
+			x0, x1, err := ar.LineSpanX(1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap, w := phys.Microns(0.5), phys.Microns(0.5)
+			ar.Vias = []geometry.ThermalVia{
+				{Metal: &material.W, X0: x0 - gap - w, X1: x0 - gap, Y0: 0, Y1: phys.Microns(4.0)},
+				{Metal: &material.W, X0: x1 + gap, X1: x1 + gap + w, Y0: 0, Y1: phys.Microns(4.0)},
+			}
+		}
+		th, err := fdm.LineImpedance(ar, phys.Microns(0.2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return th
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = mk(true) / mk(false)
+	}
+	b.ReportMetric(1-ratio, "theta_reduction_fraction")
+}
+
+// BenchmarkAblationProcessVariation reports the Monte Carlo guard band the
+// deck needs at the 1st percentile of process spread.
+func BenchmarkAblationProcessVariation(b *testing.B) {
+	var gb float64
+	for i := 0; i < b.N; i++ {
+		res, err := rules.MonteCarlo(ntrs.N250(), rules.Spec{},
+			rules.Variation{Width: 0.05, Thick: 0.05, ILD: 0.05, Kd: 0.1, Samples: 150, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gb = res[0].GuardBand
+	}
+	b.ReportMetric(gb, "guard_band_p1")
+}
+
+// BenchmarkAblationCrosstalk reports the dynamic-Miller delay spread and
+// injected noise of a minimum-pitch coupled bus.
+func BenchmarkAblationCrosstalk(b *testing.B) {
+	if testing.Short() {
+		b.Skip("transient sims in -short mode")
+	}
+	var r repeater.CrosstalkResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = repeater.SimulateCrosstalk(ntrs.N100(), 8, repeater.SimOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MillerSpread, "miller_delay_spread")
+	b.ReportMetric(r.NoiseFraction, "noise_fraction_of_vdd")
+}
+
+// BenchmarkAblationBlech reports the immortality threshold length for a
+// Cu line at the Table 3 design current.
+func BenchmarkAblationBlech(b *testing.B) {
+	var lMax float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		lMax, err = em.MaxImmortalLength(&material.Cu, em.CuTransport,
+			phys.MAPerCm2(1.8), phys.CToK(100))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(phys.ToMicrons(lMax), "max_immortal_length_um")
+}

@@ -1,0 +1,168 @@
+// Command spicesim runs a SPICE-format netlist on the internal transient
+// simulator and writes the probed signals as CSV — the standalone face of
+// the substrate behind the paper's §4 analysis.
+//
+//	spicesim deck.sp               # run, print .print probes as CSV
+//	spicesim -probe v(out) deck.sp # override the probes
+//	echo "..." | spicesim -        # read the deck from stdin
+//
+// Supported cards: R, C (IC=), L (IC=), V/I (DC, PULSE, PWL, SIN),
+// M (3-terminal square-law NMOS/PMOS with KP/VT/LAMBDA/M), .tran,
+// .ac dec (magnitude/phase CSV), .op, .print, .end. See
+// internal/spice/parser.go for the dialect definition. A deck with both
+// .tran and .ac runs both; .op prints the DC solution first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dsmtherm/internal/spice"
+)
+
+func main() {
+	probes := flag.String("probe", "", "comma-separated probe overrides, e.g. v(out),i(v1)")
+	every := flag.Int("every", 1, "print every Nth sample")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spicesim [-probe v(a),i(v1)] <deck.sp | ->")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *probes, *every); err != nil {
+		fmt.Fprintln(os.Stderr, "spicesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, probeOverride string, every int) error {
+	var src io.Reader
+	if path == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	deck, err := spice.ParseDeck(src)
+	if err != nil {
+		return err
+	}
+	probes := deck.Prints
+	if probeOverride != "" {
+		probes = nil
+		for _, p := range strings.Split(probeOverride, ",") {
+			p = strings.ToLower(strings.TrimSpace(p))
+			if len(p) < 4 || p[1] != '(' || p[len(p)-1] != ')' || (p[0] != 'v' && p[0] != 'i') {
+				return fmt.Errorf("bad probe %q (want v(node) or i(element))", p)
+			}
+			probes = append(probes, spice.Probe{Kind: p[0], Name: p[2 : len(p)-1]})
+		}
+	}
+	if len(probes) == 0 {
+		return fmt.Errorf("no probes: add a .print card or use -probe")
+	}
+	if every < 1 {
+		every = 1
+	}
+
+	if deck.WantOP {
+		op, err := deck.Circuit.OperatingPoint()
+		if err != nil {
+			return err
+		}
+		fmt.Println("* operating point")
+		for i, n := range deck.Circuit.Nodes() {
+			fmt.Printf("* v(%s) = %.6g\n", n, op[i])
+		}
+	}
+	if deck.AC != nil {
+		if err := runAC(deck, probes); err != nil {
+			return err
+		}
+		if deck.Tran == nil {
+			return nil
+		}
+	}
+	if deck.Tran == nil {
+		if deck.AC != nil || deck.WantOP {
+			return nil
+		}
+		return fmt.Errorf("deck has no analysis card (.tran/.ac/.op)")
+	}
+	res, err := deck.Run()
+	if err != nil {
+		return err
+	}
+	cols := make([][]float64, len(probes))
+	header := make([]string, 0, len(probes)+1)
+	header = append(header, "t")
+	for i, p := range probes {
+		var sig []float64
+		if p.Kind == 'v' {
+			sig, err = res.Voltage(p.Name)
+		} else {
+			sig, err = res.Current(p.Name)
+		}
+		if err != nil {
+			return err
+		}
+		cols[i] = sig
+		header = append(header, fmt.Sprintf("%c(%s)", p.Kind, p.Name))
+	}
+	fmt.Println(strings.Join(header, ","))
+	for k := 0; k < len(res.Time); k += every {
+		row := make([]string, 0, len(cols)+1)
+		row = append(row, fmt.Sprintf("%.6g", res.Time[k]))
+		for _, c := range cols {
+			row = append(row, fmt.Sprintf("%.6g", c[k]))
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+	return nil
+}
+
+// runAC emits the AC sweep as CSV: frequency, then |v| and phase(deg) for
+// every voltage probe.
+func runAC(deck *spice.Deck, probes []spice.Probe) error {
+	res, err := deck.RunAC()
+	if err != nil {
+		return err
+	}
+	header := []string{"f"}
+	var nodes []string
+	for _, p := range probes {
+		if p.Kind != 'v' {
+			continue // AC branch currents are not exposed
+		}
+		nodes = append(nodes, p.Name)
+		header = append(header, "mag("+p.Name+")", "phase("+p.Name+")")
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("no voltage probes for the AC sweep")
+	}
+	fmt.Println(strings.Join(header, ","))
+	mags := make([][]float64, len(nodes))
+	phases := make([][]float64, len(nodes))
+	for i, n := range nodes {
+		if mags[i], err = res.Magnitude(n); err != nil {
+			return err
+		}
+		if phases[i], err = res.PhaseDeg(n); err != nil {
+			return err
+		}
+	}
+	for k := range res.Freqs {
+		row := []string{fmt.Sprintf("%.6g", res.Freqs[k])}
+		for i := range nodes {
+			row = append(row, fmt.Sprintf("%.6g", mags[i][k]), fmt.Sprintf("%.4g", phases[i][k]))
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package dsmtherm reproduces "On Thermal Effects in Deep Sub-Micron VLSI
+// Interconnects" (Banerjee, Mehrotra, Sangiovanni-Vincentelli, Hu;
+// DAC 1999): self-consistent interconnect design rules that comprehend
+// electromigration and Joule self-heating simultaneously, applied to
+// NTRS-class 0.25 µm and 0.1 µm Cu / low-k technologies.
+//
+// The root package carries no code — it exists as the module landing page
+// and to host the benchmark harness (bench_test.go), which regenerates
+// every table and figure of the paper's evaluation. The implementation
+// lives under internal/:
+//
+//	internal/core      — the self-consistent solver (the paper's Eq. 13)
+//	internal/thermal   — Bilotti quasi-1-D and quasi-2-D impedance models
+//	internal/em        — Black's equation and EM design-rule derivation
+//	internal/waveform  — jpeak/javg/jrms and Hunter's effective duty cycle
+//	internal/ntrs      — reconstructed Table-8 technology files
+//	internal/extract   — capacitance/resistance extraction (SPACE3D stand-in)
+//	internal/spice     — MNA transient circuit simulator (SPICE stand-in)
+//	internal/rcline    — distributed RC lines and ladder netlists
+//	internal/repeater  — Eq. 16/17 repeater optimization and §4 metrics
+//	internal/fdm       — finite-volume 2-D heat solver (FEM/measurement stand-in)
+//	internal/esd       — §6 short-pulse (ESD) failure model
+//	internal/exp       — the per-table/figure experiment registry
+//
+// See README.md for a user guide, DESIGN.md for the system inventory and
+// reconstruction notes, and EXPERIMENTS.md for paper-vs-measured results.
+package dsmtherm

@@ -1,0 +1,64 @@
+// ESD robustness sizing: find the minimum width for an I/O bus line that
+// must survive a 2 A, 150 ns ESD-class pulse without opening or taking
+// latent damage — the §6 design problem for interconnects in ESD
+// protection circuits and I/O buffers.
+//
+//	go run ./examples/esd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsmtherm/internal/esd"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+func main() {
+	const (
+		peakCurrent = 2.0    // A — the ESD event
+		pulseWidth  = 150e-9 // s
+		thickness   = 0.6e-6 // m — process metal thickness
+	)
+
+	for _, m := range []*material.Metal{&material.AlCu, &material.Cu} {
+		fmt.Printf("== %s, %.0f ns / %.1f A pulse\n", m.Name, pulseWidth*1e9, peakCurrent)
+
+		// Thresholds for a reference cross-section.
+		cfg := esd.Config{Metal: m, Width: phys.Microns(3), Thick: thickness}
+		onset, err := esd.MeltOnsetDensity(cfg, pulseWidth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		open, err := esd.CriticalDensity(cfg, pulseWidth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  melt onset %.1f MA/cm², open circuit %.1f MA/cm² (paper: 60 for AlCu at <200 ns)\n",
+			phys.ToMAPerCm2(onset), phys.ToMAPerCm2(open))
+
+		// Size the line: width such that j = I/(W·t) stays below the
+		// melt-onset threshold with 2x margin (no latent damage).
+		jAllow := onset / 2
+		minWidth := peakCurrent / (jAllow * thickness)
+		fmt.Printf("  design rule: W ≥ %.1f µm for I = %.1f A (j ≤ %.1f MA/cm², 2x margin below onset)\n",
+			phys.ToMicrons(minWidth), peakCurrent, phys.ToMAPerCm2(jAllow))
+
+		// Verify the chosen width end-to-end.
+		check := esd.Config{Metal: m, Width: minWidth, Thick: thickness}
+		out, err := esd.Simulate(check, esd.Pulse{
+			J:        peakCurrent / (minWidth * thickness),
+			Duration: pulseWidth,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  verification: peak temp %.0f K (melt at %.0f K), open=%v, latent damage=%v\n\n",
+			out.PeakTemp, m.MeltingPoint, out.Open, out.LatentDamage)
+	}
+
+	fmt.Println("note: these ESD limits are ~10x above the functional (EM + self-heating)")
+	fmt.Println("rules of the quickstart example — §6's point is that both must be checked,")
+	fmt.Println("because they protect against different failure mechanisms.")
+}

@@ -1,0 +1,99 @@
+// Power-grid co-analysis: size a Vdd mesh on the top two levels, place
+// block loads, and compare the cold IR-drop solution with the
+// electrothermal one (hot straps are more resistive and sag more) — the
+// r = 1.0 "power lines" side of the paper's design rules, closed through
+// its own thermal model.
+//
+//	go run ./examples/powergrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/powergrid"
+	"dsmtherm/internal/rules"
+)
+
+func main() {
+	tech := ntrs.N250()
+	grid := &powergrid.Grid{
+		Tech:          tech,
+		HLevel:        5,
+		VLevel:        6,
+		Nx:            13,
+		Ny:            13,
+		PitchX:        phys.Microns(150),
+		PitchY:        phys.Microns(150),
+		WidthMultiple: 6,
+		Pads: []powergrid.Node{
+			{I: 0, J: 0}, {I: 12, J: 0}, {I: 0, J: 12}, {I: 12, J: 12},
+			{I: 6, J: 0}, {I: 6, J: 12}, {I: 0, J: 6}, {I: 12, J: 6},
+		},
+	}
+	// Two hungry blocks and distributed background draw.
+	loads := []powergrid.Load{
+		{Node: powergrid.Node{I: 4, J: 7}, Current: 0.9}, // CPU core
+		{Node: powergrid.Node{I: 9, J: 4}, Current: 0.6}, // cache
+	}
+	for i := 2; i <= 10; i += 2 {
+		for j := 2; j <= 10; j += 2 {
+			loads = append(loads, powergrid.Load{Node: powergrid.Node{I: i, J: j}, Current: 0.05})
+		}
+	}
+	fmt.Printf("grid: %dx%d mesh, %g µm pitch, %gx straps on M%d/M%d, %d pads, %.2f A total load\n\n",
+		grid.Nx, grid.Ny, phys.ToMicrons(grid.PitchX), grid.WidthMultiple,
+		grid.HLevel, grid.VLevel, len(grid.Pads), powergrid.TotalLoad(loads))
+
+	cold, err := grid.Solve(loads, powergrid.SolveOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot, err := grid.Solve(loads, powergrid.SolveOpts{Electrothermal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("IR-drop map (mV, electrothermal solve; pads at 0):")
+	printDropMap(hot)
+
+	fmt.Printf("\nworst IR drop: cold %.1f mV → electrothermal %.1f mV (+%.1f%%) at node %v\n",
+		cold.WorstDrop*1e3, hot.WorstDrop*1e3,
+		100*(hot.WorstDrop/cold.WorstDrop-1), hot.WorstDropNode)
+	fmt.Printf("budget check: %.1f mV against the 10%%·Vdd = %.0f mV guideline\n",
+		hot.WorstDrop*1e3, 0.1*tech.Vdd*1e3)
+	fmt.Printf("hottest strap: %.1f °C; max branch density %.2f MA/cm²\n",
+		phys.KToC(hot.HottestTm), phys.ToMAPerCm2(hot.MaxJ))
+
+	// Check the busiest strap against the deck's power rule.
+	deck, err := rules.Generate(tech, rules.Spec{J0: phys.MAPerCm2(1.8)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rule, err := deck.ByLevel(grid.HLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	margin := rule.PowerJ / hot.MaxJ
+	fmt.Printf("power-rule margin on M%d: limit %.2f MA/cm² / worst %.2f = %.1fx — ",
+		grid.HLevel, phys.ToMAPerCm2(rule.PowerJ), phys.ToMAPerCm2(hot.MaxJ), margin)
+	if margin > 1 {
+		fmt.Println("PASS")
+	} else {
+		fmt.Println("FAIL: widen the straps or add pads")
+	}
+}
+
+func printDropMap(s *powergrid.Solution) {
+	var b strings.Builder
+	for j := len(s.Drop) - 1; j >= 0; j-- {
+		for i := range s.Drop[j] {
+			fmt.Fprintf(&b, "%5.0f", s.Drop[j][i]*1e3)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+}

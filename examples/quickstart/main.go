@@ -1,0 +1,73 @@
+// Quickstart: compute the self-consistent (EM + self-heating) design rule
+// for one global Cu interconnect — the paper's Eq. 13 in five steps.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+func main() {
+	// 1. Describe the line: a 1 µm × 0.9 µm Cu global wire sitting on
+	//    6.3 µm of dielectric stack (oxide here; try material.HSQ).
+	line := &geometry.Line{
+		Metal:  &material.Cu,
+		Width:  phys.Microns(1.0),
+		Thick:  phys.Microns(0.9),
+		Length: phys.Microns(3000),
+		Below: geometry.Stack{
+			{Material: &material.Oxide, Thickness: phys.Microns(6.3)},
+		},
+	}
+
+	// 2. Pick a thermal model: the quasi-2-D heat-spreading model with
+	//    the paper's measured phi = 2.45.
+	model := thermal.Quasi2D()
+
+	// 3. State the operating conditions: a signal line with effective
+	//    duty cycle 0.1 (the paper's measured 0.12 ≈ 0.1) and the Cu EM
+	//    budget j0 = 1.8 MA/cm² at the 100 °C reference.
+	problem := core.Problem{
+		Line:  line,
+		Model: model,
+		R:     0.1,
+		J0:    phys.MAPerCm2(1.8),
+	}
+
+	// 4. Solve the self-consistent equation.
+	sol, err := core.Solve(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Read off the design rule.
+	fmt.Printf("self-consistent metal temperature: %.1f °C (ΔT = %.1f K)\n",
+		phys.KToC(sol.Tm), sol.DeltaT)
+	fmt.Printf("maximum allowed peak current density:    %.2f MA/cm²\n", phys.ToMAPerCm2(sol.Jpeak))
+	fmt.Printf("maximum allowed RMS current density:     %.2f MA/cm²\n", phys.ToMAPerCm2(sol.Jrms))
+	fmt.Printf("maximum allowed average current density: %.2f MA/cm²\n", phys.ToMAPerCm2(sol.Javg))
+	fmt.Printf("naive EM-only rule (j0/r):               %.2f MA/cm²\n", phys.ToMAPerCm2(sol.EMOnlyJpeak))
+	fmt.Printf("derating vs naive rule: %.2f (lifetime penalty if ignored: %.1fx)\n",
+		sol.DeratingVsNaive, sol.PaperLifetimePenalty())
+
+	// Bonus: verify a proposed operating point.
+	operating := phys.MAPerCm2(2.0)
+	margin, _, err := core.Check(problem, operating)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operating at jpeak = 2.0 MA/cm²: margin %.1fx — ", margin)
+	if margin > 1 {
+		fmt.Println("thermally safe")
+	} else {
+		fmt.Println("VIOLATES the self-consistent rule")
+	}
+}

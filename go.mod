@@ -1,0 +1,3 @@
+module dsmtherm
+
+go 1.22

@@ -1,0 +1,170 @@
+package dsmtherm_test
+
+// End-to-end integration: the full designer flow a downstream adopter
+// would run, crossing every major package boundary in one scenario —
+// deck generation → route planning → transient verification → signoff →
+// power-grid closure → ESD sizing.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dsmtherm/internal/em"
+	"dsmtherm/internal/esd"
+	"dsmtherm/internal/netcheck"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/powergrid"
+	"dsmtherm/internal/repeater"
+	"dsmtherm/internal/rules"
+	"dsmtherm/internal/waveform"
+)
+
+func TestFullDesignFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end flow in -short mode")
+	}
+	tech := ntrs.N100()
+
+	// 1. Generate the self-consistent rule deck.
+	deck, err := rules.Generate(tech, rules.Spec{
+		J0:              phys.MAPerCm2(1.8),
+		ESDPulseCurrent: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deck.Rules) != 8 {
+		t.Fatalf("deck covers %d levels", len(deck.Rules))
+	}
+
+	// 2. Plan a 6 mm global route with optimal repeaters and verify the
+	//    transient metrics against the deck.
+	const level = 8
+	m, err := repeater.Simulate(tech, level, repeater.SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reff < 0.08 || m.Reff > 0.18 {
+		t.Fatalf("reff = %v", m.Reff)
+	}
+	margin, err := deck.CheckSignal(level, m.Jpeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin <= 1 {
+		t.Fatalf("delay-optimal route violates the deck: margin %v", margin)
+	}
+
+	// 3. Sign off the route (three segments of ~lopt) with the measured
+	//    waveform statistics.
+	o, err := repeater.Optimize(tech, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSeg := int(math.Ceil(6e-3 / o.Lopt))
+	var segs []*netcheck.Segment
+	for i := 0; i < nSeg; i++ {
+		segs = append(segs, &netcheck.Segment{
+			Net: "bus0", Name: string(rune('a' + i)), Level: level,
+			WidthMultiple: 1, Length: 6e-3 / float64(nSeg),
+			Current: m.Wave,
+		})
+	}
+	rep, err := netcheck.Check(netcheck.Config{Deck: deck}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Worst() == netcheck.Fail {
+		t.Fatalf("signoff failed:\n%s", rep.Format())
+	}
+	if !strings.Contains(rep.Format(), "bus0") {
+		t.Fatal("report must mention the net")
+	}
+
+	// 4. Close the power grid feeding the repeaters: the repeater supply
+	//    current loads the mesh; the electrothermal solve must stay inside
+	//    the 10 % IR budget and the deck's power rule.
+	grid := &powergrid.Grid{
+		Tech: tech, HLevel: 7, VLevel: 8,
+		Nx: 9, Ny: 9,
+		PitchX: phys.Microns(150), PitchY: phys.Microns(150),
+		WidthMultiple: 10,
+		Pads:          []powergrid.Node{{I: 0, J: 0}, {I: 8, J: 0}, {I: 0, J: 8}, {I: 8, J: 8}},
+	}
+	// Average supply draw of one repeater ≈ |avg| of the line current.
+	iRep := m.Wave.AbsAvg()
+	loads := []powergrid.Load{
+		{Node: powergrid.Node{I: 2, J: 4}, Current: iRep * 10},
+		{Node: powergrid.Node{I: 6, J: 4}, Current: iRep * 10},
+	}
+	sol, err := grid.Solve(loads, powergrid.SolveOpts{Electrothermal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.WorstDrop > 0.1*tech.Vdd {
+		t.Fatalf("IR drop %v exceeds budget", sol.WorstDrop)
+	}
+	r7, err := deck.ByLevel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxJ >= r7.PowerJ {
+		t.Fatalf("grid density %v violates the power rule %v", sol.MaxJ, r7.PowerJ)
+	}
+
+	// 5. ESD-size the I/O connection that the bus terminates in.
+	layer, _ := tech.Layer(level)
+	minW := deck.Rules[level-1].ESDWidthNoDamage
+	out, err := esd.Simulate(esd.Config{
+		Metal: tech.Metal, Width: minW, Thick: layer.Thick,
+	}, esd.Pulse{J: 1.5 / (minW * layer.Thick), Duration: 200e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Open || out.LatentDamage {
+		t.Fatalf("deck ESD width failed its own verification: %+v", out)
+	}
+
+	// 6. Blech sanity: the individual segments are mortal (long global
+	//    wires), so the EM budget genuinely binds.
+	tp, err := em.TransportFor(tech.Metal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := em.Immortal(tech.Metal, tp, segs[0].Current.AbsAvg()/(layer.Width*layer.Thick),
+		segs[0].Length, phys.CToK(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im {
+		t.Log("note: route segments are Blech-immortal at this current — EM rule is conservative here")
+	}
+}
+
+// TestDesignFlowWaveformRoundTrip: the simulated repeater waveform pushed
+// through the netcheck machinery reproduces the same densities the
+// repeater metrics report.
+func TestDesignFlowWaveformRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient sims in -short mode")
+	}
+	tech := ntrs.N250()
+	m, err := repeater.Simulate(tech, 5, repeater.SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, _ := tech.Layer(5)
+	area := layer.Width * layer.Thick
+	var w waveform.Waveform = m.Wave
+	if got := w.Peak() / area; math.Abs(got-m.Jpeak)/m.Jpeak > 1e-9 {
+		t.Errorf("peak density mismatch: %v vs %v", got, m.Jpeak)
+	}
+	if got := w.RMS() / area; math.Abs(got-m.Jrms)/m.Jrms > 1e-9 {
+		t.Errorf("rms density mismatch: %v vs %v", got, m.Jrms)
+	}
+	if got := waveform.EffectiveDutyCycle(w); math.Abs(got-m.Reff) > 1e-12 {
+		t.Errorf("reff mismatch: %v vs %v", got, m.Reff)
+	}
+}

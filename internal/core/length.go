@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+)
+
+// SolveFiniteLength solves Eq. 13 with end-cooling credit for thermally
+// short lines (§3.2's thermally-long / thermally-short distinction).
+//
+// The uniform-heating analysis behind Solve assumes the line is much
+// longer than the thermal healing length λ, so its interior reaches the
+// full ΔT∞. A line of finite length L with heat-sinking terminations
+// (vias, contacts) peaks at only
+//
+//	ΔT_peak = ΔT∞ · [1 − 1/cosh(L/2λ)]
+//
+// (thermal.Model.PeakFactor). Scaling the self-heating coefficient by
+// that factor and re-solving yields a *relaxed but still worst-case-safe*
+// rule for short lines; for thermally long lines it converges to Solve.
+// The relaxation is what the paper means by "their lengths are usually of
+// the same order ... hence the thermal problem is not as severe" for
+// inter-block wiring.
+func SolveFiniteLength(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	pf := p.Model.PeakFactor(p.Line)
+	if pf <= 0 {
+		return Solution{}, fmt.Errorf("%w: degenerate peak factor %g", ErrInvalid, pf)
+	}
+	cp := p.Coeff()
+	cp.Coeff *= pf
+	return SolveCoeff(cp)
+}
+
+// LengthRelaxation returns the jpeak gain of the finite-length rule over
+// the thermally-long rule for this problem: ≥ 1, approaching 1 for long
+// lines and growing for short ones.
+func LengthRelaxation(p Problem) (float64, error) {
+	long, err := Solve(p)
+	if err != nil {
+		return 0, err
+	}
+	short, err := SolveFiniteLength(p)
+	if err != nil {
+		return 0, err
+	}
+	return short.Jpeak / long.Jpeak, nil
+}

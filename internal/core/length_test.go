@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/phys"
+)
+
+func TestFiniteLengthConvergesForLongLines(t *testing.T) {
+	p := fig2Problem(0.01) // L = 1000 µm ≫ λ ≈ 17 µm
+	long, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := SolveFiniteLength(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fin.Jpeak-long.Jpeak)/long.Jpeak > 1e-6 {
+		t.Errorf("long line: finite-length rule %v should equal standard %v",
+			fin.Jpeak, long.Jpeak)
+	}
+}
+
+func TestFiniteLengthRelaxesShortLines(t *testing.T) {
+	p := fig2Problem(0.01)
+	line := *p.Line
+	line.Length = phys.Microns(20) // ≈ λ: strongly end-cooled
+	p.Line = &line
+	rel, err := LengthRelaxation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel <= 1 {
+		t.Errorf("short line relaxation = %v, want > 1", rel)
+	}
+	// The relaxation never exceeds the pure heat-limited bound
+	// 1/sqrt(PeakFactor); with PF ≈ 0.16 at 20 µm that is ≈ 2.5.
+	pf := p.Model.PeakFactor(p.Line)
+	if rel > 1/math.Sqrt(pf)+1e-9 {
+		t.Errorf("relaxation %v exceeds heat-limited bound %v", rel, 1/math.Sqrt(pf))
+	}
+}
+
+func TestFiniteLengthMonotoneInLength(t *testing.T) {
+	// Longer lines → smaller relaxation, approaching 1.
+	prev := math.Inf(1)
+	for _, lUm := range []float64{15, 30, 60, 120, 500} {
+		p := fig2Problem(0.01)
+		line := *p.Line
+		line.Length = phys.Microns(lUm)
+		p.Line = &line
+		rel, err := LengthRelaxation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel > prev+1e-12 {
+			t.Errorf("relaxation not monotone at L = %v µm", lUm)
+		}
+		prev = rel
+	}
+	if prev > 1.001 {
+		t.Errorf("500 µm line should be nearly thermally long (rel = %v)", prev)
+	}
+}
+
+func TestFiniteLengthStillSafe(t *testing.T) {
+	// The relaxed solution still satisfies the EM budget at its own
+	// (peak-interior) temperature.
+	p := fig2Problem(0.01)
+	line := *p.Line
+	line.Length = phys.Microns(40)
+	p.Line = &line
+	sol, err := SolveFiniteLength(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Javg > p.J0*(1+1e-9) {
+		t.Error("relaxed rule may not exceed the Tref EM budget")
+	}
+	if sol.Tm <= phys.CToK(100) {
+		t.Error("solution temperature must exceed the reference")
+	}
+}
+
+func TestFiniteLengthValidation(t *testing.T) {
+	p := fig2Problem(0.1)
+	p.R = 0
+	if _, err := SolveFiniteLength(p); err == nil {
+		t.Error("invalid problem must fail")
+	}
+	if _, err := LengthRelaxation(p); err == nil {
+		t.Error("invalid problem must fail in LengthRelaxation")
+	}
+}

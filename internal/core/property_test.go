@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+// randomProblem draws a physically plausible problem from a seeded RNG:
+// DSM-range geometry, paper dielectrics and metals, r and j0 across their
+// practical ranges.
+func randomProblem(rng *rand.Rand) Problem {
+	metals := []*material.Metal{&material.Cu, &material.AlCu}
+	diels := material.PaperDielectrics()
+	line := &geometry.Line{
+		Metal:  metals[rng.Intn(len(metals))],
+		Width:  phys.Microns(0.2 + 3*rng.Float64()),
+		Thick:  phys.Microns(0.3 + 1.2*rng.Float64()),
+		Length: phys.Microns(500 + 3000*rng.Float64()),
+		Below: geometry.Stack{
+			{Material: diels[rng.Intn(len(diels))], Thickness: phys.Microns(0.5 + 3*rng.Float64())},
+			{Material: diels[rng.Intn(len(diels))], Thickness: phys.Microns(0.3 + 2*rng.Float64())},
+		},
+	}
+	model, _ := thermal.NewModel(0.8 + 2*rng.Float64())
+	return Problem{
+		Line:  line,
+		Model: model,
+		R:     math.Pow(10, -3*rng.Float64()), // 1e-3 … 1
+		J0:    phys.MAPerCm2(0.3 + 2.5*rng.Float64()),
+	}
+}
+
+// TestPropertySolveInvariants checks, over hundreds of random problems,
+// the physics invariants every Eq. 13 solution must satisfy.
+func TestPropertySolveInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		p := randomProblem(rng)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, p, err)
+		}
+		tref := phys.CToK(100)
+		if sol.Tm <= tref {
+			t.Fatalf("trial %d: Tm %v below Tref", trial, sol.Tm)
+		}
+		// EM budget is respected: javg ≤ j0.
+		if sol.Javg > p.J0*(1+1e-9) {
+			t.Fatalf("trial %d: javg %v exceeds j0 %v", trial, sol.Javg, p.J0)
+		}
+		// Eqs. 4–5 consistency.
+		if math.Abs(sol.Javg-p.R*sol.Jpeak) > 1e-6*sol.Javg {
+			t.Fatalf("trial %d: eq.4 broken", trial)
+		}
+		if math.Abs(sol.Jrms-math.Sqrt(p.R)*sol.Jpeak) > 1e-6*sol.Jrms {
+			t.Fatalf("trial %d: eq.5 broken", trial)
+		}
+		// Residual of Eq. 13: self-heating at (jrms, Tm) reproduces ΔT.
+		dt := p.Model.DeltaT(p.Line, sol.Jrms, sol.Tm)
+		if math.Abs(dt-sol.DeltaT) > 1e-5*(1+sol.DeltaT) {
+			t.Fatalf("trial %d: residual %v vs %v", trial, dt, sol.DeltaT)
+		}
+		// Self-consistent never beats the naive EM-only rule.
+		if sol.Jpeak > sol.EMOnlyJpeak*(1+1e-9) {
+			t.Fatalf("trial %d: jpeak above naive rule", trial)
+		}
+	}
+}
+
+// TestPropertyMonotonicities verifies directional responses on random
+// problems: more heating (thicker stack, worse dielectric, more coupling)
+// must never increase the allowed current; a larger EM budget must never
+// decrease it.
+func TestPropertyMonotonicities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng)
+		base, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Worse dielectric at identical geometry (note: *adding* stack
+		// thickness is not monotone in the Weff model — extra depth also
+		// buys spreading width — so the clean axis is conductivity).
+		worse := p
+		line := *p.Line
+		var degraded geometry.Stack
+		for _, l := range p.Line.Below {
+			d := *l.Material
+			d.ThermalCond *= 0.7
+			degraded = append(degraded, geometry.Layer{Material: &d, Thickness: l.Thickness})
+		}
+		line.Below = degraded
+		worse.Line = &line
+		st, err := Solve(worse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Jpeak > base.Jpeak*(1+1e-9) {
+			t.Fatalf("trial %d: worse dielectric increased jpeak", trial)
+		}
+		// Bigger EM budget.
+		richer := p
+		richer.J0 = p.J0 * 1.5
+		sr, err := Solve(richer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Jpeak < base.Jpeak*(1-1e-9) {
+			t.Fatalf("trial %d: larger j0 decreased jpeak", trial)
+		}
+		// Coupling factor.
+		coupled := p
+		m, err := p.Model.WithCoupling(1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coupled.Model = m
+		sc, err := Solve(coupled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Jpeak > base.Jpeak*(1+1e-9) {
+			t.Fatalf("trial %d: coupling increased jpeak", trial)
+		}
+	}
+}
+
+// TestPropertyFiniteLengthBounds: the finite-length rule always lies
+// between the thermally-long rule and the pure heat-limit relaxation
+// bound.
+func TestPropertyFiniteLengthBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng)
+		line := *p.Line
+		line.Length = phys.Microns(10 + 200*rng.Float64())
+		p.Line = &line
+		long, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin, err := SolveFiniteLength(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.Jpeak < long.Jpeak*(1-1e-9) {
+			t.Fatalf("trial %d: finite-length rule tighter than long rule", trial)
+		}
+		pf := p.Model.PeakFactor(p.Line)
+		if fin.Jpeak > long.Jpeak/math.Sqrt(pf)*(1+1e-9) {
+			t.Fatalf("trial %d: relaxation beyond heat-limited bound", trial)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package core implements the paper's primary contribution: self-consistent
+// interconnect design rules that comprehend electromigration and
+// self-heating simultaneously (§3, Eq. 13).
+//
+// For a unipolar pulse train of duty cycle r, combining
+//
+//	javg² = r · jrms²                                (Eqs. 4–6)
+//	jrms² = (Tm − Tref) / (ρm(Tm) · C)                    (Eq. 9 inverted)
+//	javg ≤ j0 · exp[Q/(n·kB) · (1/Tm − 1/Tref)]          (Eqs. 11–12)
+//
+// where C = tm·Wm·Σ(bᵢ/Kᵢ)/Weff is the geometry self-heating coefficient
+// (thermal.Model.SelfHeatingCoeff, Eqs. 10/14/15), yields the single
+// nonlinear equation in the metal temperature Tm:
+//
+//	r · (Tm − Tref) / (ρm(Tm) · C)  =  j0² · exp[Q/kB · (1/Tm − 1/Tref)]   (Eq. 13)
+//
+// The left side (heating-limited j²rms) grows from zero at Tm = Tref; the
+// right side (EM-limited j²rms) decays exponentially; the unique crossing
+// is the self-consistent temperature, from which the maximum allowed jrms,
+// jpeak = jrms/√r and javg = r·jpeak follow.
+//
+// The same machinery serves the generalized cases: layered low-k stacks
+// enter through C (Eq. 15), the quasi-2-D spreading through φ (Eq. 14),
+// and 3-D array thermal coupling through the model's coupling factor (§5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/mathx"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+// ErrInvalid reports an ill-formed problem.
+var ErrInvalid = errors.New("core: invalid problem")
+
+// ErrNoSolution is returned when the self-consistent equation has no root
+// below the search ceiling — physically, the EM budget cannot be exhausted
+// before the model leaves its validity range (e.g. absurdly large j0).
+var ErrNoSolution = errors.New("core: no self-consistent solution below temperature ceiling")
+
+// TCeilingAboveRef is the search ceiling for the self-consistent metal
+// temperature, well above any temperature at which the linear ρ(T) and
+// Black models remain meaningful but below pathological blow-up.
+const TCeilingAboveRef = 2000.0
+
+// Problem specifies one self-consistent design-rule computation.
+type Problem struct {
+	// Line is the interconnect geometry (metal, cross-section, stack).
+	Line *geometry.Line
+	// Model supplies the thermal impedance (φ and any 3-D coupling).
+	Model thermal.Model
+	// R is the (effective) duty cycle ∈ (0, 1]. The paper uses 0.1 for
+	// signal lines and 1.0 for power lines (Tables 2–4), justified by the
+	// measured reff = 0.12 ± 0.01 of §4.
+	R float64
+	// J0 is the EM design-rule current density at Tref, A/m² (e.g.
+	// 0.6 MA/cm² for AlCu-era rules, 1.8 MA/cm² for Cu; Tables 2–3).
+	J0 float64
+	// Tref is the reference chip temperature, kelvin. Zero selects the
+	// paper's 100 °C.
+	Tref float64
+}
+
+func (p *Problem) tref() float64 {
+	if p.Tref == 0 {
+		return phys.CToK(100)
+	}
+	return p.Tref
+}
+
+// Validate checks the problem parameters.
+func (p *Problem) Validate() error {
+	if p.Line == nil {
+		return fmt.Errorf("%w: nil line", ErrInvalid)
+	}
+	if err := p.Line.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if p.R <= 0 || p.R > 1 {
+		return fmt.Errorf("%w: duty cycle %g outside (0,1]", ErrInvalid, p.R)
+	}
+	if p.J0 <= 0 {
+		return fmt.Errorf("%w: j0 = %g", ErrInvalid, p.J0)
+	}
+	if p.Tref < 0 {
+		return fmt.Errorf("%w: negative Tref", ErrInvalid)
+	}
+	return nil
+}
+
+// Solution is the self-consistent operating limit for a Problem.
+type Solution struct {
+	// Tm is the self-consistent metal temperature, kelvin.
+	Tm float64
+	// DeltaT = Tm − Tref, the self-heating temperature rise.
+	DeltaT float64
+	// Jpeak, Jrms, Javg are the maximum allowed current densities, A/m².
+	Jpeak, Jrms, Javg float64
+	// EMOnlyJpeak is the naive rule jpeak = j0/r that ignores
+	// self-heating (Fig. 2 dotted line a).
+	EMOnlyJpeak float64
+	// DeratingVsNaive = Jpeak / EMOnlyJpeak ≤ 1: how much the
+	// self-consistent rule tightens the naive one.
+	DeratingVsNaive float64
+}
+
+// CoeffProblem is the coefficient form of Eq. (13): everything about the
+// geometry and thermal model is folded into a single self-heating
+// coefficient C such that ΔT = j²rms·ρ(Tm)·C (m²·K/W). This is the entry
+// point for §5, where C comes from a finite-difference array solution
+// rather than the analytic Weff model.
+type CoeffProblem struct {
+	Metal *material.Metal
+	Coeff float64 // m²·K/W
+	R     float64 // duty cycle ∈ (0, 1]
+	J0    float64 // EM design-rule density at Tref, A/m²
+	Tref  float64 // kelvin; 0 selects 100 °C
+}
+
+func (p *CoeffProblem) tref() float64 {
+	if p.Tref == 0 {
+		return phys.CToK(100)
+	}
+	return p.Tref
+}
+
+// Validate checks the coefficient problem.
+func (p *CoeffProblem) Validate() error {
+	if p.Metal == nil {
+		return fmt.Errorf("%w: nil metal", ErrInvalid)
+	}
+	if p.Coeff <= 0 {
+		return fmt.Errorf("%w: coefficient %g", ErrInvalid, p.Coeff)
+	}
+	if p.R <= 0 || p.R > 1 {
+		return fmt.Errorf("%w: duty cycle %g outside (0,1]", ErrInvalid, p.R)
+	}
+	if p.J0 <= 0 {
+		return fmt.Errorf("%w: j0 = %g", ErrInvalid, p.J0)
+	}
+	if p.Tref < 0 {
+		return fmt.Errorf("%w: negative Tref", ErrInvalid)
+	}
+	return nil
+}
+
+// heatLimitedJrmsSq returns the Eq. 9 inversion (Tm−Tref)/(ρ(Tm)·C).
+func (p *CoeffProblem) heatLimitedJrmsSq(tm float64) float64 {
+	return (tm - p.tref()) / (p.Metal.Resistivity(tm) * p.Coeff)
+}
+
+// emLimitedJrmsSq returns j0²·exp[Q/kB·(1/Tm−1/Tref)] / r — the RMS
+// density squared at which javg exactly exhausts the EM budget at Tm.
+func (p *CoeffProblem) emLimitedJrmsSq(tm float64) float64 {
+	e := math.Exp(p.Metal.EMActivation / phys.BoltzmannEV * (1/tm - 1/p.tref()))
+	return p.J0 * p.J0 * e / p.R
+}
+
+// SolveCoeff computes the self-consistent solution of Eq. (13) in
+// coefficient form.
+func SolveCoeff(p CoeffProblem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	tref := p.tref()
+	// g(Tm) = heat-limited j²rms − EM-limited j²rms. g(Tref) < 0 (zero
+	// heating budget, positive EM budget); g grows without bound, so a
+	// unique crossing exists.
+	g := func(tm float64) float64 {
+		return p.heatLimitedJrmsSq(tm) - p.emLimitedJrmsSq(tm)
+	}
+	lo := tref * (1 + 1e-12)
+	hi := tref + TCeilingAboveRef
+	if g(hi) < 0 {
+		return Solution{}, ErrNoSolution
+	}
+	tm, err := mathx.Brent(g, lo, hi, 1e-9)
+	if err != nil {
+		return Solution{}, fmt.Errorf("core: root search failed: %w", err)
+	}
+	jrms := math.Sqrt(p.heatLimitedJrmsSq(tm))
+	sol := Solution{
+		Tm:          tm,
+		DeltaT:      tm - tref,
+		Jrms:        jrms,
+		Jpeak:       jrms / math.Sqrt(p.R),
+		Javg:        math.Sqrt(p.R) * jrms,
+		EMOnlyJpeak: p.J0 / p.R,
+	}
+	sol.DeratingVsNaive = sol.Jpeak / sol.EMOnlyJpeak
+	return sol, nil
+}
+
+// Coeff folds the problem's geometry and thermal model into the
+// coefficient form.
+func (p *Problem) Coeff() CoeffProblem {
+	return CoeffProblem{
+		Metal: p.Line.Metal,
+		Coeff: p.Model.SelfHeatingCoeff(p.Line),
+		R:     p.R,
+		J0:    p.J0,
+		Tref:  p.Tref,
+	}
+}
+
+// Solve computes the self-consistent solution of Eq. (13).
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	return SolveCoeff(p.Coeff())
+}
+
+// PaperLifetimePenalty is the §3.1 lifetime estimate for a design that
+// follows the naive EM-only rule: with TTF ∝ j⁻² (Eq. 6), carrying
+// 1/DeratingVsNaive times the safe current at the self-consistent
+// temperature costs (1/DeratingVsNaive)² in lifetime — "nearly three times
+// smaller" at r = 0.01 in Fig. 2. NaiveRulePenalty computes the stricter
+// estimate that also accounts for the extra heating the naive current
+// itself produces.
+func (s Solution) PaperLifetimePenalty() float64 {
+	return 1 / (s.DeratingVsNaive * s.DeratingVsNaive)
+}
+
+// TemperatureAtJrms returns the steady-state metal temperature reached when
+// the line actually carries the RMS current density jrms — the fixed point
+// of Tm = Tref + j²rms·ρ(Tm)·C. With the linear ρ(T) model the fixed point
+// is available in closed form; ErrNoSolution signals thermal runaway (the
+// denominator crossing zero), which happens when j²rms·ρ'·C ≥ 1.
+func TemperatureAtJrms(p Problem, jrms float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if jrms < 0 {
+		return 0, fmt.Errorf("%w: negative jrms", ErrInvalid)
+	}
+	tref := p.tref()
+	m := p.Line.Metal
+	c := p.Model.SelfHeatingCoeff(p.Line)
+	// ρ(T) = ρ0·(1 + α(T − Tr0)). Solve T = Tref + j²·ρ(T)·C linearly.
+	k := jrms * jrms * c * m.Rho0
+	den := 1 - k*m.TCR
+	if den <= 0 {
+		return 0, fmt.Errorf("%w: thermal runaway at jrms=%g", ErrNoSolution, jrms)
+	}
+	tm := (tref + k*(1-m.TCR*m.RhoRefTemp)) / den
+	if tm < tref {
+		// Clamped-resistivity region is outside the fixed-point algebra;
+		// jrms this small heats negligibly anyway.
+		tm = tref
+	}
+	return tm, nil
+}
+
+// NaiveRulePenalty quantifies the paper's §3.1 warning with the full
+// thermal feedback: if a design uses only the EM (average-current) rule
+// javg = j0 and ignores self-heating, the metal self-heats to the
+// TemperatureAtJrms fixed point for jrms = j0/√r, and the realized
+// lifetime falls short of the design goal by the returned factor (≥ 1).
+// Because it evaluates Black's exponential at the temperature the naive
+// current actually produces — not at the self-consistent temperature — it
+// is strictly larger than Solution.PaperLifetimePenalty (an order of
+// magnitude at r = 0.01 for the Fig. 2 line).
+func NaiveRulePenalty(p Problem) (penalty float64, tm float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	// javg = j0 ⇒ jrms = j0/√r.
+	jrms := p.J0 / math.Sqrt(p.R)
+	tm, err = TemperatureAtJrms(p, jrms)
+	if err != nil {
+		return 0, 0, err
+	}
+	m := p.Line.Metal
+	ratio := math.Exp(m.EMActivation / phys.BoltzmannEV * (1/tm - 1/p.tref()))
+	if ratio <= 0 {
+		return 0, 0, ErrNoSolution
+	}
+	return 1 / ratio, tm, nil
+}
+
+// HeatOnlyJpeak is the dotted line (b) of Fig. 2: the peak current density
+// allowed by self-heating alone (no EM), for a maximum permitted
+// temperature rise deltaTMax: jpeak = jrms(ΔTmax)/√r.
+func HeatOnlyJpeak(p Problem, deltaTMax float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if deltaTMax <= 0 {
+		return 0, fmt.Errorf("%w: deltaTMax = %g", ErrInvalid, deltaTMax)
+	}
+	tm := p.tref() + deltaTMax
+	jrms := p.Model.JrmsForDeltaT(p.Line, deltaTMax, tm)
+	return jrms / math.Sqrt(p.R), nil
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+// fig2Problem reproduces the Fig. 2 caption setup: Cu line, Wm = 3 µm,
+// tm = 0.5 µm, tox = 3 µm, j0 = 0.6 MA/cm², quasi-1-D heat conduction.
+func fig2Problem(r float64) Problem {
+	return Problem{
+		Line: &geometry.Line{
+			Metal:  &material.Cu,
+			Width:  phys.Microns(3),
+			Thick:  phys.Microns(0.5),
+			Length: phys.Microns(1000),
+			Below:  geometry.Stack{{Material: &material.Oxide, Thickness: phys.Microns(3)}},
+		},
+		Model: thermal.Quasi1D(),
+		R:     r,
+		J0:    phys.MAPerCm2(0.6),
+	}
+}
+
+func TestSolveDCPowerLine(t *testing.T) {
+	// At r = 1 (power line) self-heating at j ≈ j0 is tiny (≈ 0.4 K), so
+	// the self-consistent jpeak is only marginally below j0.
+	sol, err := Solve(fig2Problem(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.DeltaT < 0.2 || sol.DeltaT > 0.8 {
+		t.Errorf("ΔT = %v K, want ≈0.4", sol.DeltaT)
+	}
+	jp := phys.ToMAPerCm2(sol.Jpeak)
+	if jp < 0.55 || jp > 0.6 {
+		t.Errorf("jpeak = %v MA/cm², want just below 0.6", jp)
+	}
+	// At r = 1 all three densities coincide.
+	if math.Abs(sol.Jpeak-sol.Jrms) > 1e-6 || math.Abs(sol.Jpeak-sol.Javg) > 1e-6 {
+		t.Error("r = 1 must give jpeak = jrms = javg")
+	}
+}
+
+func TestSolveFig2MidpointHandChecked(t *testing.T) {
+	// Hand-solved §3.1 point (see DESIGN.md): r = 0.01 gives Tm ≈ 117 °C
+	// and jpeak ≈ 39 MA/cm², with the naive/self-consistent ratio ≈ 1.5–2
+	// ("nearly 2 times smaller" in the paper).
+	sol, err := Solve(fig2Problem(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmC := phys.KToC(sol.Tm)
+	if tmC < 110 || tmC > 125 {
+		t.Errorf("Tm = %v °C, want ≈117", tmC)
+	}
+	jp := phys.ToMAPerCm2(sol.Jpeak)
+	if jp < 33 || jp > 45 {
+		t.Errorf("jpeak = %v MA/cm², want ≈39", jp)
+	}
+	ratio := sol.EMOnlyJpeak / sol.Jpeak
+	if ratio < 1.4 || ratio > 2.1 {
+		t.Errorf("naive/self-consistent = %v, want 1.4–2.1", ratio)
+	}
+}
+
+func TestSolveIdentities(t *testing.T) {
+	for _, r := range []float64{1e-4, 1e-3, 0.01, 0.1, 1} {
+		sol, err := Solve(fig2Problem(r))
+		if err != nil {
+			t.Fatalf("r=%v: %v", r, err)
+		}
+		// Eqs. 4–5 identities.
+		if math.Abs(sol.Javg-r*sol.Jpeak)/sol.Javg > 1e-9 {
+			t.Errorf("r=%v: javg ≠ r·jpeak", r)
+		}
+		if math.Abs(sol.Jrms-math.Sqrt(r)*sol.Jpeak)/sol.Jrms > 1e-9 {
+			t.Errorf("r=%v: jrms ≠ √r·jpeak", r)
+		}
+		// EM budget never exceeded: javg ≤ j0 (equality only at Tm = Tref).
+		if sol.Javg > phys.MAPerCm2(0.6)*(1+1e-9) {
+			t.Errorf("r=%v: javg %v exceeds j0", r, phys.ToMAPerCm2(sol.Javg))
+		}
+		// Eq. 13 residual: the self-heating at (jrms, Tm) must reproduce ΔT.
+		p := fig2Problem(r)
+		dt := p.Model.DeltaT(p.Line, sol.Jrms, sol.Tm)
+		if math.Abs(dt-sol.DeltaT) > 1e-6*(1+sol.DeltaT) {
+			t.Errorf("r=%v: Eq.13 residual: model ΔT %v vs solution %v", r, dt, sol.DeltaT)
+		}
+		if sol.DeratingVsNaive <= 0 || sol.DeratingVsNaive > 1+1e-9 {
+			t.Errorf("r=%v: derating %v outside (0,1]", r, sol.DeratingVsNaive)
+		}
+	}
+}
+
+func TestSolveMonotonicityInR(t *testing.T) {
+	// §3.1: "as r decreases the self-consistent temperature and the
+	// maximum allowed jpeak increase" while jpeak(sc)/jpeak(naive)
+	// decreases monotonically.
+	rs := Fig2DutyCycles(25)
+	pts, err := SweepDutyCycle(fig2Problem(0.1), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		// rs ascend, so Tm and jpeak must descend.
+		if pts[i].Tm > pts[i-1].Tm {
+			t.Errorf("Tm not decreasing with r at r=%v", pts[i].X)
+		}
+		if pts[i].Jpeak > pts[i-1].Jpeak {
+			t.Errorf("jpeak not decreasing with r at r=%v", pts[i].X)
+		}
+		if pts[i].DeratingVsNaive < pts[i-1].DeratingVsNaive-1e-12 {
+			t.Errorf("derating not increasing with r at r=%v", pts[i].X)
+		}
+	}
+	// Fig. 2 temperature range: ≈ 100 °C at r = 1 up to roughly 200 °C
+	// at r = 1e-4.
+	tTop := phys.KToC(pts[0].Tm)
+	if tTop < 150 || tTop > 260 {
+		t.Errorf("Tm at r=1e-4 is %v °C, want 150–260", tTop)
+	}
+}
+
+func TestSweepJ0Fig3(t *testing.T) {
+	// Fig. 3: raising j0 raises Tm everywhere, but the jpeak gain
+	// saturates at small duty cycles ("jo becomes increasingly
+	// ineffective ... as r decreases").
+	j0s := []float64{phys.MAPerCm2(0.6), phys.MAPerCm2(1.8)}
+	gainAt := func(r float64) float64 {
+		pts, err := SweepJ0(fig2Problem(r), j0s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pts[1].Tm <= pts[0].Tm {
+			t.Errorf("r=%v: Tm must rise with j0", r)
+		}
+		return pts[1].Jpeak / pts[0].Jpeak
+	}
+	gHigh := gainAt(1.0) // at r = 1, nearly the full 3×
+	gLow := gainAt(1e-4) // deep saturation
+	if gHigh < 2.5 || gHigh > 3.0 {
+		t.Errorf("jpeak gain at r=1: %v, want ≈3", gHigh)
+	}
+	if gLow >= gHigh {
+		t.Errorf("jpeak gain must saturate at low r: %v vs %v", gLow, gHigh)
+	}
+	if gLow > 2.2 {
+		t.Errorf("gain at r=1e-4 = %v, want strongly sub-3×", gLow)
+	}
+}
+
+func TestPaperLifetimePenalty(t *testing.T) {
+	// §3.1: "a lifetime nearly three times smaller" at r = 0.01, from the
+	// j⁻² law applied to the ≈1.7× naive/self-consistent current ratio.
+	sol, err := Solve(fig2Problem(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen := sol.PaperLifetimePenalty(); pen < 2.2 || pen > 3.8 {
+		t.Errorf("paper lifetime penalty = %v, want ≈3", pen)
+	}
+}
+
+func TestNaiveRulePenalty(t *testing.T) {
+	// Full thermal feedback: running jrms = j0/√r at r = 0.01 heats the
+	// Fig. 2 line by ≈ 60 K, a one-to-two-order-of-magnitude lifetime
+	// loss — strictly worse than the paper's fixed-temperature estimate.
+	pen, tm, err := NaiveRulePenalty(fig2Problem(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen < 10 || pen > 60 {
+		t.Errorf("naive-rule lifetime penalty = %v, want 10–60", pen)
+	}
+	sol, err := Solve(fig2Problem(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen <= sol.PaperLifetimePenalty() {
+		t.Error("full-feedback penalty must exceed the paper's estimate")
+	}
+	if tm <= phys.CToK(100) {
+		t.Error("naive operating point must run above Tref")
+	}
+	// At r = 1 the naive rule is nearly harmless.
+	pen1, _, err := NaiveRulePenalty(fig2Problem(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen1 > 1.1 {
+		t.Errorf("penalty at r=1 = %v, want ≈1", pen1)
+	}
+}
+
+func TestTemperatureAtJrmsFixedPoint(t *testing.T) {
+	p := fig2Problem(0.01)
+	for _, jMA := range []float64{0.1, 1, 3, 5} {
+		j := phys.MAPerCm2(jMA)
+		tm, err := TemperatureAtJrms(p, j)
+		if err != nil {
+			t.Fatalf("j=%v: %v", jMA, err)
+		}
+		dt := p.Model.DeltaT(p.Line, j, tm)
+		if math.Abs((tm-phys.CToK(100))-dt) > 1e-6*(1+dt) {
+			t.Errorf("j=%v MA/cm²: fixed point violated: Tm-Tref=%v, ΔT(Tm)=%v",
+				jMA, tm-phys.CToK(100), dt)
+		}
+	}
+	// Zero current: no heating.
+	tm, err := TemperatureAtJrms(p, 0)
+	if err != nil || math.Abs(tm-phys.CToK(100)) > 1e-9 {
+		t.Errorf("zero current: tm=%v err=%v", tm, err)
+	}
+}
+
+func TestTemperatureAtJrmsRunaway(t *testing.T) {
+	// Far beyond any allowed density the positive-feedback fixed point
+	// disappears (thermal runaway): expect ErrNoSolution.
+	p := fig2Problem(1)
+	_, err := TemperatureAtJrms(p, phys.MAPerCm2(1000))
+	if !errors.Is(err, ErrNoSolution) {
+		t.Errorf("expected runaway error, got %v", err)
+	}
+}
+
+func TestHeatOnlyJpeak(t *testing.T) {
+	p := fig2Problem(0.01)
+	jb, err := HeatOnlyJpeak(p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb <= 0 {
+		t.Fatal("heat-only jpeak must be positive")
+	}
+	// A larger allowed rise → more current.
+	jb2, _ := HeatOnlyJpeak(p, 80)
+	if jb2 <= jb {
+		t.Error("larger ΔT budget must allow more current")
+	}
+	if _, err := HeatOnlyJpeak(p, 0); err == nil {
+		t.Error("ΔTmax = 0 must fail")
+	}
+}
+
+func TestSolveNoSolution(t *testing.T) {
+	p := fig2Problem(1e-4)
+	p.J0 = phys.MAPerCm2(1e5) // absurd EM budget: heating always wins
+	if _, err := Solve(p); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("expected ErrNoSolution, got %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := fig2Problem(0.1)
+	cases := []func(*Problem){
+		func(p *Problem) { p.Line = nil },
+		func(p *Problem) { p.R = 0 },
+		func(p *Problem) { p.R = 1.5 },
+		func(p *Problem) { p.J0 = 0 },
+		func(p *Problem) { p.Tref = -1 },
+		func(p *Problem) { p.Line = &geometry.Line{} },
+	}
+	for i, mutate := range cases {
+		p := good
+		line := *good.Line
+		p.Line = &line
+		mutate(&p)
+		if _, err := Solve(p); !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: expected ErrInvalid, got %v", i, err)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	p := fig2Problem(0.1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operating at half the limit: margin 2.
+	margin, _, err := Check(p, sol.Jpeak/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(margin-2) > 1e-9 {
+		t.Errorf("margin = %v, want 2", margin)
+	}
+	if _, _, err := Check(p, 0); err == nil {
+		t.Error("zero operating current must fail")
+	}
+}
+
+func TestLowKReducesAllowedJpeak(t *testing.T) {
+	// Tables 2–4 ordering: oxide > HSQ > polyimide at fixed geometry.
+	jp := func(d *material.Dielectric) float64 {
+		p := fig2Problem(0.1)
+		line := *p.Line
+		line.Below = geometry.Stack{{Material: d, Thickness: phys.Microns(3)}}
+		p.Line = &line
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Jpeak
+	}
+	o, h, pi := jp(&material.Oxide), jp(&material.HSQ), jp(&material.Polyimide)
+	if !(o > h && h > pi) {
+		t.Errorf("dielectric ordering violated: oxide %v, HSQ %v, polyimide %v",
+			phys.ToMAPerCm2(o), phys.ToMAPerCm2(h), phys.ToMAPerCm2(pi))
+	}
+}
+
+func TestAlCuBelowCu(t *testing.T) {
+	// Table 4 vs Table 2: at the same j0 and geometry, AlCu allows less
+	// peak current than Cu (higher ρ → more heating per j²).
+	p := fig2Problem(0.1)
+	cu, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := *p.Line
+	line.Metal = &material.AlCu
+	p.Line = &line
+	al, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Jpeak >= cu.Jpeak {
+		t.Errorf("AlCu jpeak %v should be below Cu %v",
+			phys.ToMAPerCm2(al.Jpeak), phys.ToMAPerCm2(cu.Jpeak))
+	}
+}
+
+func TestCouplingReducesJpeak(t *testing.T) {
+	// Table 7 mechanism: a coupled (3-D heated) line must allow less
+	// current. In the heat-limited regime (strong self-heating, steep EM
+	// exponential pinning Tm) jpeak scales ≈ 1/√θ, so a 2.74× coupling
+	// factor costs ≈ 40 % — exactly the Table 7 ratio 6.4/10.6 = 1/√2.74.
+	// Use a deep heat-limited operating point: Cu-class j0, r = 1e-3.
+	p := fig2Problem(1e-3)
+	p.J0 = phys.MAPerCm2(1.8)
+	iso, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coupled, err := p.Model.WithCoupling(2.74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Model = coupled
+	c3d, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := 1 - c3d.Jpeak/iso.Jpeak
+	if drop < 0.25 || drop > 0.55 {
+		t.Errorf("3-D coupling jpeak drop = %v, want ≈0.40", drop)
+	}
+}
+
+func TestDefaultTref(t *testing.T) {
+	p := fig2Problem(0.5)
+	p.Tref = 0 // default
+	s1, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tref = phys.CToK(100)
+	s2, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.Tm-s2.Tm) > 1e-9 {
+		t.Error("zero Tref must default to 100 °C")
+	}
+	// A hotter chip tightens the rule.
+	p.Tref = phys.CToK(140)
+	s3, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Jpeak >= s2.Jpeak {
+		t.Error("higher Tref must reduce allowed jpeak")
+	}
+}
+
+func TestCoeffProblemValidation(t *testing.T) {
+	good := CoeffProblem{Metal: &material.Cu, Coeff: 1e-13, R: 0.1, J0: phys.MAPerCm2(1)}
+	if _, err := SolveCoeff(good); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*CoeffProblem){
+		func(p *CoeffProblem) { p.Metal = nil },
+		func(p *CoeffProblem) { p.Coeff = 0 },
+		func(p *CoeffProblem) { p.Coeff = -1 },
+		func(p *CoeffProblem) { p.R = 0 },
+		func(p *CoeffProblem) { p.R = 1.1 },
+		func(p *CoeffProblem) { p.J0 = 0 },
+		func(p *CoeffProblem) { p.Tref = -5 },
+	}
+	for i, mutate := range mutations {
+		p := good
+		mutate(&p)
+		if _, err := SolveCoeff(p); !errors.Is(err, ErrInvalid) {
+			t.Errorf("mutation %d: expected ErrInvalid, got %v", i, err)
+		}
+	}
+	// Explicit Tref is honored.
+	hot := good
+	hot.Tref = phys.CToK(150)
+	sHot, err := SolveCoeff(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRef, _ := SolveCoeff(good)
+	if sHot.Jpeak >= sRef.Jpeak {
+		t.Error("hotter reference must tighten the coefficient-form rule too")
+	}
+}
+
+func TestNaiveRulePenaltyErrorPaths(t *testing.T) {
+	bad := fig2Problem(0.01)
+	bad.J0 = 0
+	if _, _, err := NaiveRulePenalty(bad); !errors.Is(err, ErrInvalid) {
+		t.Error("invalid problem must fail")
+	}
+	// Naive rule far into runaway: the fixed point disappears.
+	runaway := fig2Problem(1e-4)
+	runaway.J0 = phys.MAPerCm2(5)
+	if _, _, err := NaiveRulePenalty(runaway); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("expected runaway, got %v", err)
+	}
+}
+
+func TestTemperatureAtJrmsValidation(t *testing.T) {
+	p := fig2Problem(0.1)
+	if _, err := TemperatureAtJrms(p, -1); !errors.Is(err, ErrInvalid) {
+		t.Error("negative jrms must fail")
+	}
+	p.R = 0
+	if _, err := TemperatureAtJrms(p, 1); !errors.Is(err, ErrInvalid) {
+		t.Error("invalid problem must fail")
+	}
+}

@@ -1,0 +1,265 @@
+package em
+
+import (
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/mathx"
+	"dsmtherm/internal/phys"
+)
+
+// Blech immortality and Korhonen stress evolution.
+//
+// Black's equation (blackbox lifetime, this package's core) has a
+// microscopic companion from the same era: electromigration drives a
+// divergence-free atom flux only in infinite lines; in a finite line with
+// blocking boundaries (vias, contacts) the depleted cathode builds
+// tensile stress whose back-flow opposes the electron wind (Blech 1976).
+// If the steady-state peak stress stays below the void-nucleation
+// threshold, the line never fails — it is "immortal" — which happens
+// exactly when the current-density–length product is below a critical
+// value:
+//
+//	(j·L)c = 2·σc·Ω / (Z*·e·ρ)
+//
+// The transient is the Korhonen equation (Korhonen et al. 1993), a
+// diffusion equation for the stress σ(x, t):
+//
+//	∂σ/∂t = κ·∂²σ/∂x²,   κ = Da·B·Ω/(kB·T)
+//
+// with flux-blocking boundaries ∂σ/∂x = −G at x = 0, L, where
+// G = Z*·e·ρ·j/Ω is the electron-wind driving force per unit length. The
+// solver below integrates it with backward-Euler over the package's
+// tridiagonal solve; nucleation-time scaling reproduces Black's n = 2
+// exponent, which is why the paper can use n = 2 "under normal use
+// conditions".
+
+// TransportParams are the microscopic EM parameters of a metallization.
+type TransportParams struct {
+	// Zeff is the effective charge number Z* (dimensionless).
+	Zeff float64
+	// AtomicVolume is Ω, m³.
+	AtomicVolume float64
+	// CriticalStress is the void-nucleation threshold σc, Pa.
+	CriticalStress float64
+	// EffectiveModulus is B, the effective elastic modulus coupling
+	// volume depletion to stress, Pa.
+	EffectiveModulus float64
+	// D0 and Ea parameterize the atomic diffusivity
+	// Da = D0·exp(−Ea/(kB·T)), m²/s and eV. Ea matches the metal's
+	// Black activation energy.
+	D0 float64
+	Ea float64
+}
+
+// Validate checks the parameters.
+func (p TransportParams) Validate() error {
+	if p.Zeff <= 0 || p.AtomicVolume <= 0 || p.CriticalStress <= 0 ||
+		p.EffectiveModulus <= 0 || p.D0 <= 0 || p.Ea <= 0 {
+		return fmt.Errorf("%w: transport params %+v", ErrInvalid, p)
+	}
+	return nil
+}
+
+// Standard transport parameter sets (era-typical literature values; the
+// Blech products they imply are validated in the tests).
+var (
+	// AlCuTransport: grain-boundary diffusion, Z* ≈ 4,
+	// σc ≈ 100 MPa ⇒ (jL)c ≈ 1.6·10³ A/cm.
+	AlCuTransport = TransportParams{
+		Zeff:             4,
+		AtomicVolume:     1.66e-29,
+		CriticalStress:   100e6,
+		EffectiveModulus: 7.5e10,
+		D0:               5e-5,
+		Ea:               0.7,
+	}
+	// CuTransport: interface diffusion, Z* ≈ 1, σc ≈ 40 MPa
+	// ⇒ (jL)c ≈ 3·10³ A/cm.
+	CuTransport = TransportParams{
+		Zeff:             1,
+		AtomicVolume:     1.18e-29,
+		CriticalStress:   40e6,
+		EffectiveModulus: 1.15e11,
+		D0:               1e-6,
+		Ea:               0.8,
+	}
+)
+
+// TransportFor returns the standard transport set for a metal.
+func TransportFor(m *material.Metal) (TransportParams, error) {
+	switch m.Name {
+	case "Cu":
+		return CuTransport, nil
+	case "AlCu":
+		return AlCuTransport, nil
+	}
+	return TransportParams{}, fmt.Errorf("%w: no transport parameters for %s", ErrInvalid, m.Name)
+}
+
+// BlechProduct returns the critical current-density–length product
+// (A/m) below which a line with blocking boundaries is immortal:
+// (jL)c = 2·σc·Ω/(Z*·e·ρ(T)).
+func BlechProduct(m *material.Metal, p TransportParams, tKelvin float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if tKelvin <= 0 {
+		return 0, fmt.Errorf("%w: temperature %g", ErrInvalid, tKelvin)
+	}
+	const e = phys.ElectronVolt // elementary charge, C
+	return 2 * p.CriticalStress * p.AtomicVolume / (p.Zeff * e * m.Resistivity(tKelvin)), nil
+}
+
+// Immortal reports whether a line of the given length carrying average
+// current density j (A/m²) at temperature T is below the Blech threshold.
+func Immortal(m *material.Metal, p TransportParams, j, length, tKelvin float64) (bool, error) {
+	if j < 0 || length <= 0 {
+		return false, fmt.Errorf("%w: j=%g L=%g", ErrInvalid, j, length)
+	}
+	jl, err := BlechProduct(m, p, tKelvin)
+	if err != nil {
+		return false, err
+	}
+	return j*length < jl, nil
+}
+
+// MaxImmortalLength returns the longest line that stays immortal at
+// average current density j.
+func MaxImmortalLength(m *material.Metal, p TransportParams, j, tKelvin float64) (float64, error) {
+	if j <= 0 {
+		return 0, fmt.Errorf("%w: j=%g", ErrInvalid, j)
+	}
+	jl, err := BlechProduct(m, p, tKelvin)
+	if err != nil {
+		return 0, err
+	}
+	return jl / j, nil
+}
+
+// KorhonenResult is a stress-evolution run.
+type KorhonenResult struct {
+	// X are the node positions (m); Stress the final σ(x), Pa.
+	X, Stress []float64
+	// PeakStress is the largest tensile stress reached (at the cathode,
+	// x = 0), Pa.
+	PeakStress float64
+	// Nucleated reports whether PeakStress reached the critical stress.
+	Nucleated bool
+	// NucleationTime is when it did (s); 0 if it never did.
+	NucleationTime float64
+	// SteadyPeak is the analytic t→∞ cathode stress G·L/2, Pa.
+	SteadyPeak float64
+}
+
+// SolveKorhonen integrates the stress evolution in a line of the given
+// length carrying DC current density j at temperature T, until nucleation
+// or tEnd. nodes ≥ 3 discretizes the line; steps is the number of
+// backward-Euler time steps.
+func SolveKorhonen(m *material.Metal, p TransportParams, j, length, tKelvin, tEnd float64,
+	nodes, steps int) (*KorhonenResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if j < 0 || length <= 0 || tKelvin <= 0 || tEnd <= 0 {
+		return nil, fmt.Errorf("%w: j=%g L=%g T=%g tEnd=%g", ErrInvalid, j, length, tKelvin, tEnd)
+	}
+	if nodes < 3 || steps < 1 {
+		return nil, fmt.Errorf("%w: nodes=%d steps=%d", ErrInvalid, nodes, steps)
+	}
+	const e = phys.ElectronVolt
+	g := p.Zeff * e * m.Resistivity(tKelvin) * j / p.AtomicVolume // Pa/m
+	da := p.D0 * math.Exp(-p.Ea/(phys.BoltzmannEV*tKelvin))
+	kappa := da * p.EffectiveModulus * p.AtomicVolume / (phys.Boltzmann * tKelvin) // m²/s
+
+	dx := length / float64(nodes)
+	dt := tEnd / float64(steps)
+	lam := kappa * dt / (dx * dx)
+
+	// Backward Euler: (I − dt·A)σ^{n+1} = σ^n + dt·b, with the wind term
+	// entering as boundary fluxes.
+	sub := make([]float64, nodes)
+	dia := make([]float64, nodes)
+	sup := make([]float64, nodes)
+	for i := 0; i < nodes; i++ {
+		switch i {
+		case 0:
+			dia[i] = 1 + lam
+			sup[i] = -lam
+		case nodes - 1:
+			dia[i] = 1 + lam
+			sub[i] = -lam
+		default:
+			sub[i], dia[i], sup[i] = -lam, 1+2*lam, -lam
+		}
+	}
+	bWind := kappa * g / dx * dt // Pa per step injected at the cathode cell
+
+	sigma := make([]float64, nodes)
+	rhs := make([]float64, nodes)
+	res := &KorhonenResult{SteadyPeak: g * length / 2}
+	tNow := 0.0
+	for s := 0; s < steps; s++ {
+		tNow += dt
+		copy(rhs, sigma)
+		rhs[0] += bWind
+		rhs[nodes-1] -= bWind
+		next, err := mathx.SolveTridiag(sub, dia, sup, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("em: korhonen solve: %w", err)
+		}
+		sigma = next
+		if sigma[0] > res.PeakStress {
+			res.PeakStress = sigma[0]
+		}
+		if !res.Nucleated && sigma[0] >= p.CriticalStress {
+			res.Nucleated = true
+			res.NucleationTime = tNow
+		}
+	}
+	res.X = make([]float64, nodes)
+	for i := range res.X {
+		res.X[i] = (float64(i) + 0.5) * dx
+	}
+	res.Stress = sigma
+	return res, nil
+}
+
+// NucleationTime runs SolveKorhonen with automatic time windows until the
+// line nucleates or proves effectively immortal (window exceeding maxTime
+// without nucleation).
+func NucleationTime(m *material.Metal, p TransportParams, j, length, tKelvin, maxTime float64) (float64, bool, error) {
+	im, err := Immortal(m, p, j, length, tKelvin)
+	if err != nil {
+		return 0, false, err
+	}
+	if im {
+		return 0, false, nil // steady state never reaches σc
+	}
+	window := maxTime / (1 << 20)
+	for ; window <= maxTime; window *= 4 {
+		r, err := SolveKorhonen(m, p, j, length, tKelvin, window, 400, 400)
+		if err != nil {
+			return 0, false, err
+		}
+		if !r.Nucleated {
+			continue
+		}
+		// Refine: re-solve over a window just covering the event so the
+		// step size (and thus the time resolution) shrinks with it.
+		tn := r.NucleationTime
+		for pass := 0; pass < 3; pass++ {
+			rr, err := SolveKorhonen(m, p, j, length, tKelvin, 1.25*tn, 400, 400)
+			if err != nil {
+				return 0, false, err
+			}
+			if !rr.Nucleated {
+				break // resolution limit: keep the previous estimate
+			}
+			tn = rr.NucleationTime
+		}
+		return tn, true, nil
+	}
+	return 0, false, nil
+}

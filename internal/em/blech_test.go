@@ -1,0 +1,196 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+func TestBlechProductMagnitudes(t *testing.T) {
+	// Literature band: (jL)c ≈ 1000–5000 A/cm at operating temperatures.
+	tm := phys.CToK(100)
+	jlAl, err := BlechProduct(&material.AlCu, AlCuTransport, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlCu, err := BlechProduct(&material.Cu, CuTransport, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convert A/m to A/cm.
+	if acm := jlAl / 100; acm < 800 || acm > 6000 {
+		t.Errorf("AlCu (jL)c = %v A/cm, want 0.8–6k", acm)
+	}
+	if acm := jlCu / 100; acm < 800 || acm > 8000 {
+		t.Errorf("Cu (jL)c = %v A/cm, want 0.8–8k", acm)
+	}
+	// Hotter metal is more resistive → smaller Blech product.
+	jlHot, _ := BlechProduct(&material.AlCu, AlCuTransport, tm+100)
+	if jlHot >= jlAl {
+		t.Error("Blech product must shrink when hot")
+	}
+}
+
+func TestImmortalityThreshold(t *testing.T) {
+	tm := phys.CToK(100)
+	j := phys.MAPerCm2(0.5)
+	lMax, err := MaxImmortalLength(&material.Cu, CuTransport, j, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 0.5 MA/cm², (jL)c ≈ 3000 A/cm gives L ≈ 60 µm — the classic
+	// "short lines are immortal" scale.
+	if um := phys.ToMicrons(lMax); um < 20 || um > 200 {
+		t.Errorf("max immortal length = %v µm, want tens of µm", um)
+	}
+	below, err := Immortal(&material.Cu, CuTransport, j, lMax*0.9, tm)
+	if err != nil || !below {
+		t.Errorf("0.9·Lmax should be immortal (err %v)", err)
+	}
+	above, err := Immortal(&material.Cu, CuTransport, j, lMax*1.1, tm)
+	if err != nil || above {
+		t.Errorf("1.1·Lmax should be mortal (err %v)", err)
+	}
+}
+
+func TestKorhonenSteadyState(t *testing.T) {
+	// Long integration: stress profile becomes linear with cathode peak
+	// G·L/2, and total stress integrates to ≈ 0 (mass conservation).
+	tm := phys.CToK(200) // hot: fast diffusion, short test
+	j := phys.MAPerCm2(1)
+	length := phys.Microns(50)
+	r, err := SolveKorhonen(&material.Cu, CuTransport, j, length, tm, 3e7, 80, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cathode stress ≈ steady peak.
+	if math.Abs(r.Stress[0]-r.SteadyPeak)/r.SteadyPeak > 0.05 {
+		t.Errorf("cathode stress %v, steady %v", r.Stress[0], r.SteadyPeak)
+	}
+	// Linearity: midpoint ≈ 0, anode ≈ −peak.
+	mid := r.Stress[len(r.Stress)/2]
+	if math.Abs(mid) > 0.05*r.SteadyPeak {
+		t.Errorf("midpoint stress %v, want ≈0", mid)
+	}
+	anode := r.Stress[len(r.Stress)-1]
+	if math.Abs(anode+r.SteadyPeak)/r.SteadyPeak > 0.05 {
+		t.Errorf("anode stress %v, want %v", anode, -r.SteadyPeak)
+	}
+	// Conservation: Σσ·dx ≈ 0.
+	sum := 0.0
+	for _, s := range r.Stress {
+		sum += s
+	}
+	if math.Abs(sum) > 1e-6*r.SteadyPeak*float64(len(r.Stress)) {
+		t.Errorf("stress sum %v, want 0", sum)
+	}
+}
+
+func TestKorhonenAgreesWithBlech(t *testing.T) {
+	// The transient solver and the closed-form threshold must agree on
+	// immortality: just below (jL)c the stress saturates under σc; just
+	// above it nucleates.
+	tm := phys.CToK(250)
+	jl, err := BlechProduct(&material.Cu, CuTransport, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	length := phys.Microns(100)
+	long := 1e8
+	below, err := SolveKorhonen(&material.Cu, CuTransport, 0.9*jl/length, length, tm, long, 60, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.Nucleated {
+		t.Errorf("0.9·(jL)c nucleated (peak %v vs σc %v)", below.PeakStress, CuTransport.CriticalStress)
+	}
+	above, err := SolveKorhonen(&material.Cu, CuTransport, 1.3*jl/length, length, tm, long, 60, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !above.Nucleated {
+		t.Errorf("1.3·(jL)c should nucleate (peak %v)", above.PeakStress)
+	}
+}
+
+func TestNucleationTimeBlackExponent(t *testing.T) {
+	// Far above the Blech threshold the cathode behaves semi-infinitely:
+	// σ(0,t) ∝ G·sqrt(κt), so t_nuc ∝ (σc/G)² ∝ 1/j² — Korhonen's
+	// microscopic derivation of Black's n = 2.
+	tm := phys.CToK(250)
+	length := phys.Microns(400)
+	t1, ok1, err := NucleationTime(&material.Cu, CuTransport, phys.MAPerCm2(2), length, tm, 1e9)
+	if err != nil || !ok1 {
+		t.Fatalf("j=2: %v %v", ok1, err)
+	}
+	t2, ok2, err := NucleationTime(&material.Cu, CuTransport, phys.MAPerCm2(4), length, tm, 1e9)
+	if err != nil || !ok2 {
+		t.Fatalf("j=4: %v %v", ok2, err)
+	}
+	n := math.Log(t1/t2) / math.Log(2) // t ∝ j^-n
+	if n < 1.6 || n > 2.4 {
+		t.Errorf("nucleation exponent n = %v, want ≈2 (t1=%v t2=%v)", n, t1, t2)
+	}
+}
+
+func TestNucleationTemperatureAcceleration(t *testing.T) {
+	length := phys.Microns(400)
+	j := phys.MAPerCm2(3)
+	tCold, okC, err := NucleationTime(&material.Cu, CuTransport, j, length, phys.CToK(220), 1e10)
+	if err != nil || !okC {
+		t.Fatalf("cold: %v %v", okC, err)
+	}
+	tHot, okH, err := NucleationTime(&material.Cu, CuTransport, j, length, phys.CToK(300), 1e10)
+	if err != nil || !okH {
+		t.Fatalf("hot: %v %v", okH, err)
+	}
+	if tHot >= tCold {
+		t.Errorf("hotter must nucleate faster: %v vs %v", tHot, tCold)
+	}
+	// Rough Arrhenius check: ln(t ratio) should reflect Ea within a
+	// broad band (diffusivity and the kT prefactor both contribute).
+	accel := tCold / tHot
+	if accel < 3 {
+		t.Errorf("acceleration %v too weak for Ea = 0.8 eV over 80 K", accel)
+	}
+}
+
+func TestImmortalLineNeverNucleates(t *testing.T) {
+	tm := phys.CToK(250)
+	tn, nucleated, err := NucleationTime(&material.Cu, CuTransport, phys.MAPerCm2(0.3), phys.Microns(30), tm, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nucleated || tn != 0 {
+		t.Errorf("Blech-immortal line nucleated at %v", tn)
+	}
+}
+
+func TestTransportForAndValidation(t *testing.T) {
+	if _, err := TransportFor(&material.Cu); err != nil {
+		t.Error(err)
+	}
+	if _, err := TransportFor(&material.AlCu); err != nil {
+		t.Error(err)
+	}
+	if _, err := TransportFor(&material.W); err == nil {
+		t.Error("tungsten has no transport set")
+	}
+	if _, err := BlechProduct(&material.Cu, TransportParams{}, 400); err == nil {
+		t.Error("empty transport params must fail")
+	}
+	if _, err := BlechProduct(&material.Cu, CuTransport, -1); err == nil {
+		t.Error("negative temperature must fail")
+	}
+	if _, err := SolveKorhonen(&material.Cu, CuTransport, 1e10, 1e-4, 400, 1, 2, 10); err == nil {
+		t.Error("nodes < 3 must fail")
+	}
+	if _, err := MaxImmortalLength(&material.Cu, CuTransport, 0, 400); err == nil {
+		t.Error("zero current must fail")
+	}
+	if _, err := Immortal(&material.Cu, CuTransport, -1, 1, 400); err == nil {
+		t.Error("negative j must fail")
+	}
+}

@@ -1,0 +1,126 @@
+// Package em implements the electromigration reliability models of §2.2:
+// Black's equation (Eq. 6), lifetime ratios between operating and
+// design-rule stress conditions (Eqs. 11–12), and derivation of the
+// design-rule current density j0 from accelerated-test data.
+//
+// Black's equation:
+//
+//	TTF = A* · j⁻ⁿ · exp(Q / (kB·Tm))                             (Eq. 6)
+//
+// where j is the DC (or average) current density, n ≈ 2 under use
+// conditions, Q is the grain-boundary (AlCu, 0.7 eV) or interface (Cu)
+// diffusion activation energy, and Tm the metal temperature. The design
+// rule is a current density j0 at the reference temperature Tref such that
+// TTF(j0, Tref) meets the lifetime goal (typically 10 years at 100 °C for
+// 0.1 % cumulative failure).
+//
+// The paper's key observation is that TTF depends exponentially on the
+// *metal* temperature, which self-heating raises above Tref — so a rule
+// that only constrains javg ≤ j0 silently loses lifetime (≈ 3× at
+// r = 0.01 for the Fig. 2 line). Package core closes the loop.
+package em
+
+import (
+	"errors"
+	"math"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+// ErrInvalid reports out-of-domain parameters.
+var ErrInvalid = errors.New("em: invalid parameters")
+
+// DefaultLifetimeGoal is the conventional reliability target: 10 years.
+const DefaultLifetimeGoal = 10 * 365.25 * 24 * 3600 // seconds
+
+// DefaultTref is the paper's reference chip temperature (100 °C) in kelvin.
+var DefaultTref = phys.CToK(100)
+
+// Black evaluates Black's equation for the metal m at average current
+// density j (A/m², must be > 0) and metal temperature tm (kelvin),
+// returning the time to fail in the units of prefactorA (prefactorA·s if
+// A is in seconds·(A/m²)ⁿ).
+func Black(m *material.Metal, prefactorA, j, tm float64) (float64, error) {
+	if j <= 0 || tm <= 0 || prefactorA <= 0 {
+		return 0, ErrInvalid
+	}
+	return prefactorA * math.Pow(j, -m.EMExponent) *
+		math.Exp(m.EMActivation/(phys.BoltzmannEV*tm)), nil
+}
+
+// LifetimeRatio returns TTF(j, Tm) / TTF(j0, Tref) — the factor by which
+// the operating-point lifetime differs from the design-rule lifetime. The
+// unknown Black prefactor A* cancels, which is what makes the paper's
+// self-consistent formulation solvable without accelerated-test data:
+//
+//	ratio = (j0/j)ⁿ · exp[Q/kB · (1/Tm − 1/Tref)]              (from Eq. 6)
+//
+// A ratio ≥ 1 means the operating point meets the design-rule lifetime
+// (Eq. 12's requirement).
+func LifetimeRatio(m *material.Metal, j, tm, j0, tref float64) (float64, error) {
+	if j <= 0 || j0 <= 0 || tm <= 0 || tref <= 0 {
+		return 0, ErrInvalid
+	}
+	return math.Pow(j0/j, m.EMExponent) *
+		math.Exp(m.EMActivation/phys.BoltzmannEV*(1/tm-1/tref)), nil
+}
+
+// MaxJavg returns the largest average current density that still meets the
+// design-rule lifetime when the metal runs at temperature tm (Eq. 11
+// solved for javg):
+//
+//	javg,max = j0 · exp[ Q/(n·kB) · (1/Tm − 1/Tref) ]
+//
+// For Tm > Tref the exponential is < 1: self-heating erodes the EM budget.
+func MaxJavg(m *material.Metal, j0, tm, tref float64) (float64, error) {
+	if j0 <= 0 || tm <= 0 || tref <= 0 {
+		return 0, ErrInvalid
+	}
+	return j0 * math.Exp(m.EMActivation/(m.EMExponent*phys.BoltzmannEV)*(1/tm-1/tref)), nil
+}
+
+// TempDeratingFactor returns MaxJavg/j0 — the pure-temperature derating of
+// the EM current budget, independent of j0.
+func TempDeratingFactor(m *material.Metal, tm, tref float64) float64 {
+	return math.Exp(m.EMActivation / (m.EMExponent * phys.BoltzmannEV) * (1/tm - 1/tref))
+}
+
+// AcceleratedTest describes one EM stress condition and its observed
+// median time to fail, the raw material for deriving j0.
+type AcceleratedTest struct {
+	J   float64 // stress current density, A/m²
+	Tm  float64 // stress metal temperature, K
+	TTF float64 // observed time to fail, s
+}
+
+// PrefactorFromTest back-solves Black's prefactor A* from a single
+// accelerated test point.
+func PrefactorFromTest(m *material.Metal, t AcceleratedTest) (float64, error) {
+	if t.J <= 0 || t.Tm <= 0 || t.TTF <= 0 {
+		return 0, ErrInvalid
+	}
+	return t.TTF * math.Pow(t.J, m.EMExponent) *
+		math.Exp(-m.EMActivation/(phys.BoltzmannEV*t.Tm)), nil
+}
+
+// DesignRuleJ0 derives the design-rule current density: the j0 at which
+// Black's equation predicts the lifetime goal at tref, given a prefactor
+// from accelerated testing (§2.2's "accelerated testing data produce a
+// design rule value").
+func DesignRuleJ0(m *material.Metal, prefactorA, lifetimeGoal, tref float64) (float64, error) {
+	if prefactorA <= 0 || lifetimeGoal <= 0 || tref <= 0 {
+		return 0, ErrInvalid
+	}
+	// TTF = A·j⁻ⁿ·exp(Q/kBT) = goal  ⇒  j = (A·exp(Q/kBT)/goal)^(1/n).
+	return math.Pow(prefactorA*math.Exp(m.EMActivation/(phys.BoltzmannEV*tref))/lifetimeGoal,
+		1/m.EMExponent), nil
+}
+
+// BipolarRecoveryFactor is the EM-immunity multiplier for bidirectional
+// (signal) currents relative to unipolar stress at the same |javg| per
+// polarity. Damage done by one polarity is largely healed by the other
+// (Liew, Cheung, Hu, ref. [7]); effective lifetimes are one to two orders
+// of magnitude longer, so the paper treats unipolar-derived rules as lower
+// bounds for signal lines (§4.1). The value here is a conservative 10×.
+const BipolarRecoveryFactor = 10.0

@@ -1,0 +1,185 @@
+package em
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+func TestBlackBasics(t *testing.T) {
+	ttf, err := Black(&material.AlCu, 1, phys.MAPerCm2(0.6), DefaultTref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttf <= 0 {
+		t.Error("TTF must be positive")
+	}
+	// n = 2: doubling j quarters the lifetime.
+	ttf2, _ := Black(&material.AlCu, 1, 2*phys.MAPerCm2(0.6), DefaultTref)
+	if math.Abs(ttf/ttf2-4) > 1e-9 {
+		t.Errorf("TTF ratio for 2× j = %v, want 4", ttf/ttf2)
+	}
+	// Hotter metal fails sooner.
+	ttfHot, _ := Black(&material.AlCu, 1, phys.MAPerCm2(0.6), DefaultTref+50)
+	if ttfHot >= ttf {
+		t.Error("higher temperature must shorten lifetime")
+	}
+}
+
+func TestBlackValidation(t *testing.T) {
+	if _, err := Black(&material.Cu, 1, 0, 400); err != ErrInvalid {
+		t.Error("j = 0 must fail")
+	}
+	if _, err := Black(&material.Cu, 1, 1e10, 0); err != ErrInvalid {
+		t.Error("T = 0 must fail")
+	}
+	if _, err := Black(&material.Cu, 0, 1e10, 400); err != ErrInvalid {
+		t.Error("A = 0 must fail")
+	}
+}
+
+func TestLifetimeRatioAtDesignPoint(t *testing.T) {
+	// At exactly (j0, Tref) the ratio is 1 by construction.
+	j0 := phys.MAPerCm2(0.6)
+	r, err := LifetimeRatio(&material.Cu, j0, DefaultTref, j0, DefaultTref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("ratio at design point = %v, want 1", r)
+	}
+}
+
+func TestLifetimeRatioMatchesBlack(t *testing.T) {
+	// The prefactor-free ratio must equal the ratio of two Black
+	// evaluations with any common prefactor.
+	m := &material.AlCu
+	j, tm := phys.MAPerCm2(0.4), 420.0
+	j0, tref := phys.MAPerCm2(0.6), DefaultTref
+	want1, _ := Black(m, 3.7, j, tm)
+	want2, _ := Black(m, 3.7, j0, tref)
+	got, err := LifetimeRatio(m, j, tm, j0, tref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want1/want2)/got > 1e-12 {
+		t.Errorf("ratio = %v, want %v", got, want1/want2)
+	}
+}
+
+func TestPaperLifetimePenaltyScale(t *testing.T) {
+	// §3.1: at r = 0.01 the self-consistent jpeak is ≈ 2× below the naive
+	// EM-only rule; equivalently, running javg = j0 while the metal sits
+	// ≈ 17 K above Tref costs ≈ 3× in lifetime. Verify the order of
+	// magnitude of that temperature sensitivity for Cu (Q = 0.8 eV).
+	r, err := LifetimeRatio(&material.Cu, phys.MAPerCm2(0.6), DefaultTref+17.5,
+		phys.MAPerCm2(0.6), DefaultTref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	penalty := 1 / r
+	if penalty < 2 || penalty > 4.5 {
+		t.Errorf("lifetime penalty at ΔT = 17.5 K is %v, want ≈3", penalty)
+	}
+}
+
+func TestMaxJavg(t *testing.T) {
+	m := &material.Cu
+	j0 := phys.MAPerCm2(0.6)
+	// At Tref the budget is exactly j0.
+	got, err := MaxJavg(m, j0, DefaultTref, DefaultTref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-j0)/j0 > 1e-12 {
+		t.Errorf("MaxJavg at Tref = %v, want j0", got)
+	}
+	// Above Tref the budget shrinks.
+	hot, _ := MaxJavg(m, j0, DefaultTref+40, DefaultTref)
+	if hot >= j0 {
+		t.Error("budget must shrink when hot")
+	}
+	// Consistency: at javg = MaxJavg the lifetime ratio is exactly 1.
+	ratio, _ := LifetimeRatio(m, hot, DefaultTref+40, j0, DefaultTref)
+	if math.Abs(ratio-1) > 1e-9 {
+		t.Errorf("ratio at MaxJavg = %v, want 1", ratio)
+	}
+}
+
+func TestMaxJavgMonotoneInT(t *testing.T) {
+	prop := func(d1, d2 uint8) bool {
+		t1 := DefaultTref + float64(d1%150)
+		t2 := t1 + 1 + float64(d2%100)
+		j1, err1 := MaxJavg(&material.Cu, 1e10, t1, DefaultTref)
+		j2, err2 := MaxJavg(&material.Cu, 1e10, t2, DefaultTref)
+		return err1 == nil && err2 == nil && j2 < j1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTempDeratingFactor(t *testing.T) {
+	if f := TempDeratingFactor(&material.Cu, DefaultTref, DefaultTref); math.Abs(f-1) > 1e-12 {
+		t.Errorf("derating at Tref = %v", f)
+	}
+	// AlCu (lower Q) derates less steeply than Cu at the same ΔT.
+	fc := TempDeratingFactor(&material.Cu, DefaultTref+60, DefaultTref)
+	fa := TempDeratingFactor(&material.AlCu, DefaultTref+60, DefaultTref)
+	if fc >= fa {
+		t.Errorf("Cu derating %v should be steeper than AlCu %v", fc, fa)
+	}
+}
+
+func TestDesignRuleRoundTrip(t *testing.T) {
+	// Synthesize an accelerated test from known ground truth, recover the
+	// prefactor, then derive j0 and verify Black's equation returns the
+	// lifetime goal at (j0, Tref).
+	m := &material.AlCu
+	const truthA = 5.0e-4 // s·(A/m²)²
+	stress := AcceleratedTest{J: phys.MAPerCm2(2), Tm: phys.CToK(250)}
+	var err error
+	stress.TTF, err = Black(m, truthA, stress.J, stress.Tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PrefactorFromTest(m, stress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-truthA)/truthA > 1e-9 {
+		t.Fatalf("prefactor = %v, want %v", a, truthA)
+	}
+	j0, err := DesignRuleJ0(m, a, DefaultLifetimeGoal, DefaultTref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttf, _ := Black(m, a, j0, DefaultTref)
+	if math.Abs(ttf-DefaultLifetimeGoal)/DefaultLifetimeGoal > 1e-9 {
+		t.Errorf("TTF at derived j0 = %v, want the goal %v", ttf, DefaultLifetimeGoal)
+	}
+}
+
+func TestDesignRuleValidation(t *testing.T) {
+	if _, err := PrefactorFromTest(&material.Cu, AcceleratedTest{}); err != ErrInvalid {
+		t.Error("empty test must fail")
+	}
+	if _, err := DesignRuleJ0(&material.Cu, 0, 1, 1); err != ErrInvalid {
+		t.Error("zero prefactor must fail")
+	}
+	if _, err := LifetimeRatio(&material.Cu, -1, 1, 1, 1); err != ErrInvalid {
+		t.Error("negative j must fail")
+	}
+	if _, err := MaxJavg(&material.Cu, 1, 1, -1); err != ErrInvalid {
+		t.Error("negative tref must fail")
+	}
+}
+
+func TestBipolarRecoveryFactor(t *testing.T) {
+	if BipolarRecoveryFactor < 1 {
+		t.Error("recovery factor must not penalize bipolar currents")
+	}
+}

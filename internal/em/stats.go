@@ -1,0 +1,101 @@
+package em
+
+import (
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/mathx"
+)
+
+// Black's equation gives a *median* time to fail; measured EM failure
+// times are lognormally distributed about it, and design rules are stated
+// at a small cumulative-failure percentile — the paper's "typically for
+// 0.1 % cumulative failure" (§2.2). This file carries the statistics:
+// lognormal percentiles, weakest-link (series) scaling for multi-segment
+// nets, and the resulting current-density deratings.
+
+// DefaultSigma is a representative lognormal shape parameter for
+// well-controlled AlCu/Cu EM (σ of ln TTF ≈ 0.5).
+const DefaultSigma = 0.5
+
+// DefaultPercentile is the conventional design percentile (0.1 %
+// cumulative failure).
+const DefaultPercentile = 1e-3
+
+// Lognormal is a lognormal time-to-fail distribution.
+type Lognormal struct {
+	Median float64 // t50, same units as the TTF it describes
+	Sigma  float64 // shape (std dev of ln TTF)
+}
+
+// Validate checks the distribution parameters.
+func (l Lognormal) Validate() error {
+	if l.Median <= 0 || l.Sigma <= 0 {
+		return fmt.Errorf("%w: lognormal median=%g sigma=%g", ErrInvalid, l.Median, l.Sigma)
+	}
+	return nil
+}
+
+// CDF returns the cumulative failure probability at time t.
+func (l Lognormal) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return mathx.NormCDF(math.Log(t/l.Median) / l.Sigma)
+}
+
+// Quantile returns the time by which a fraction p of the population has
+// failed: t_p = median·exp(σ·Φ⁻¹(p)).
+func (l Lognormal) Quantile(p float64) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("%w: percentile %g", ErrInvalid, p)
+	}
+	return l.Median * math.Exp(l.Sigma*mathx.InvNormCDF(p)), nil
+}
+
+// SeriesQuantile returns the time by which a fraction p of *systems* each
+// consisting of n independent identical segments (weakest-link: the net
+// fails when any segment fails) has failed.
+func SeriesQuantile(l Lognormal, n int, p float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%w: segment count %d", ErrInvalid, n)
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("%w: percentile %g", ErrInvalid, p)
+	}
+	// F_sys = 1 − (1−F)^n  ⇒  per-segment percentile.
+	pSeg := 1 - math.Pow(1-p, 1/float64(n))
+	return l.Quantile(pSeg)
+}
+
+// PercentileJDerating returns the factor (≤ 1) by which a median-based
+// design-rule current density must be multiplied so that the lifetime
+// goal holds at cumulative-failure percentile p instead of at the median:
+//
+//	TTF_p(j) = TTF50(j)·exp(σ·z_p)  and  TTF ∝ j⁻ⁿ
+//	⇒  j_p = j_median · exp(σ·z_p / n)
+//
+// With σ = 0.5, n = 2, p = 0.1 % the derating is exp(0.5·(−3.09)/2) ≈ 0.46
+// — statistics roughly halve the usable current, independent of
+// temperature.
+func PercentileJDerating(m *material.Metal, sigma, p float64) (float64, error) {
+	if sigma <= 0 || p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("%w: sigma=%g p=%g", ErrInvalid, sigma, p)
+	}
+	return math.Exp(sigma * mathx.InvNormCDF(p) / m.EMExponent), nil
+}
+
+// SeriesJDerating extends PercentileJDerating to an n-segment net
+// (weakest-link): longer nets need a further derating because any one
+// segment failing kills the net.
+func SeriesJDerating(m *material.Metal, sigma, p float64, segments int) (float64, error) {
+	if segments < 1 {
+		return 0, fmt.Errorf("%w: segment count %d", ErrInvalid, segments)
+	}
+	pSeg := 1 - math.Pow(1-p, 1/float64(segments))
+	return PercentileJDerating(m, sigma, pSeg)
+}

@@ -1,0 +1,229 @@
+package esd
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+// alcuIO is a §6-class I/O bus line: 3 µm wide, 0.6 µm thick AlCu.
+func alcuIO() Config {
+	return Config{
+		Metal: &material.AlCu,
+		Width: phys.Microns(3),
+		Thick: phys.Microns(0.6),
+	}
+}
+
+func TestAlCuCriticalNearSixtyMA(t *testing.T) {
+	// §6: "the critical current density for causing open circuit metal
+	// failure in AlCu interconnects is 60 MA/cm²" for < 200 ns stress.
+	j, err := CriticalDensity(alcuIO(), 200e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := phys.ToMAPerCm2(j)
+	if ma < 35 || ma > 95 {
+		t.Errorf("jcrit(AlCu, 200 ns) = %v MA/cm², want ≈60", ma)
+	}
+}
+
+func TestCuMoreRobustThanAlCu(t *testing.T) {
+	// Voldman (ref. [27]): Cu interconnects are more ESD-robust —
+	// higher melting point, heat capacity, and lower resistivity.
+	cu := alcuIO()
+	cu.Metal = &material.Cu
+	jAl, err := CriticalDensity(alcuIO(), 200e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jCu, err := CriticalDensity(cu, 200e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jCu <= jAl {
+		t.Errorf("Cu jcrit %v should exceed AlCu %v", phys.ToMAPerCm2(jCu), phys.ToMAPerCm2(jAl))
+	}
+}
+
+func TestCriticalDecreasesWithPulseWidth(t *testing.T) {
+	cfg := alcuIO()
+	prev := math.Inf(1)
+	for _, tp := range []float64{20e-9, 50e-9, 100e-9, 200e-9, 500e-9} {
+		j, err := CriticalDensity(cfg, tp)
+		if err != nil {
+			t.Fatalf("tp=%v: %v", tp, err)
+		}
+		if j >= prev {
+			t.Errorf("jcrit must fall with pulse width (tp=%v)", tp)
+		}
+		prev = j
+	}
+}
+
+func TestShortPulseApproachesAdiabatic(t *testing.T) {
+	// Wunsch–Bell-style scaling: for very short pulses conduction is
+	// negligible and jcrit → the adiabatic closed form (tp^−1/2).
+	cfg := alcuIO()
+	for _, tp := range []float64{5e-9, 20e-9} {
+		full, err := CriticalDensity(cfg, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adia, err := AdiabaticCritical(cfg, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := full / adia; r < 0.9 || r > 1.4 {
+			t.Errorf("tp=%v: full/adiabatic = %v, want ≈1", tp, r)
+		}
+	}
+	// And the adiabatic form itself scales as tp^−1/2.
+	a1, _ := AdiabaticCritical(cfg, 10e-9)
+	a2, _ := AdiabaticCritical(cfg, 40e-9)
+	if math.Abs(a1/a2-2) > 1e-9 {
+		t.Errorf("adiabatic scaling: %v", a1/a2)
+	}
+}
+
+func TestConductionRaisesLongPulseThreshold(t *testing.T) {
+	// For long pulses the conduction loss matters: the full model's
+	// jcrit must exceed the adiabatic estimate.
+	cfg := alcuIO()
+	full, err := CriticalDensity(cfg, 2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adia, _ := AdiabaticCritical(cfg, 2e-6)
+	if full <= adia {
+		t.Errorf("conduction should raise jcrit: full %v vs adiabatic %v", full, adia)
+	}
+}
+
+func TestLatentDamageBand(t *testing.T) {
+	// Between melt onset and open circuit the line survives with latent
+	// damage (ref. [9]).
+	cfg := alcuIO()
+	onset, err := MeltOnsetDensity(cfg, 200e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := CriticalDensity(cfg, 200e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onset >= open {
+		t.Fatalf("onset %v must be below open %v", onset, open)
+	}
+	mid := (onset + open) / 2
+	o, err := Simulate(cfg, Pulse{J: mid, Duration: 200e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.LatentDamage || o.Open {
+		t.Errorf("mid-band outcome = %+v, want latent damage without open", o)
+	}
+	if o.MeltFraction <= 0 || o.MeltFraction >= 1 {
+		t.Errorf("melt fraction = %v, want (0,1)", o.MeltFraction)
+	}
+	if o.PeakTemp != material.AlCu.MeltingPoint {
+		t.Errorf("peak temp %v should clamp at the melting point", o.PeakTemp)
+	}
+}
+
+func TestBelowOnsetNoDamage(t *testing.T) {
+	cfg := alcuIO()
+	o, err := Simulate(cfg, Pulse{J: phys.MAPerCm2(5), Duration: 200e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Open || o.LatentDamage || o.MeltFraction != 0 {
+		t.Errorf("5 MA/cm² must be harmless: %+v", o)
+	}
+	if o.PeakTemp <= phys.CToK(100) {
+		t.Error("some heating expected")
+	}
+	if o.PeakTemp >= material.AlCu.MeltingPoint {
+		t.Error("must stay below melt")
+	}
+}
+
+func TestOpenOutcomeTimestamps(t *testing.T) {
+	cfg := alcuIO()
+	o, err := Simulate(cfg, Pulse{J: phys.MAPerCm2(150), Duration: 200e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Open {
+		t.Fatalf("150 MA/cm² must open the line: %+v", o)
+	}
+	if o.TimeToMeltOnset <= 0 || o.TimeToOpen <= o.TimeToMeltOnset {
+		t.Errorf("timestamps inconsistent: %+v", o)
+	}
+}
+
+func TestESDMarginOverFunctionalLimits(t *testing.T) {
+	// §7: jcrit is far above the self-consistent functional limits
+	// (single-digit MA/cm²) — ESD is a separate design regime.
+	j, err := CriticalDensity(alcuIO(), 200e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys.ToMAPerCm2(j) < 10 {
+		t.Errorf("jcrit = %v MA/cm² — should be far above functional limits", phys.ToMAPerCm2(j))
+	}
+}
+
+func TestLowKWorsensESD(t *testing.T) {
+	// A low-k surround conducts pulse heat away more poorly, lowering
+	// jcrit for pulse widths long enough for conduction to matter.
+	ox := alcuIO()
+	lk := alcuIO()
+	pi := material.Polyimide
+	lk.Dielectric = &pi
+	jOx, err := CriticalDensity(ox, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jLk, err := CriticalDensity(lk, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jLk >= jOx {
+		t.Errorf("polyimide surround should lower jcrit: %v vs %v", jLk, jOx)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(Config{}, Pulse{J: 1, Duration: 1}); err == nil {
+		t.Error("empty config must fail")
+	}
+	cfg := alcuIO()
+	if _, err := Simulate(cfg, Pulse{J: -1, Duration: 1}); err == nil {
+		t.Error("negative current must fail")
+	}
+	if _, err := Simulate(cfg, Pulse{J: 1, Duration: 0}); err == nil {
+		t.Error("zero duration must fail")
+	}
+	if _, err := CriticalDensity(cfg, 0); err == nil {
+		t.Error("zero duration threshold must fail")
+	}
+	if _, err := AdiabaticCritical(cfg, -1); err == nil {
+		t.Error("negative duration must fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := alcuIO()
+	if cfg.dielectric().Name != "Oxide" {
+		t.Error("default dielectric should be oxide")
+	}
+	if cfg.t0() != phys.CToK(100) {
+		t.Error("default T0 should be 100 °C")
+	}
+	if cfg.boundaryCap() != phys.Microns(1) {
+		t.Error("default boundary cap should be 1 µm")
+	}
+}

@@ -1,0 +1,42 @@
+package esd_test
+
+import (
+	"fmt"
+
+	"dsmtherm/internal/esd"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+// ExampleCriticalDensity recovers the §6 headline: AlCu interconnects
+// open-circuit at a critical current density of tens of MA/cm² under
+// sub-200 ns (ESD-class) stress — far above the functional design rules.
+func ExampleCriticalDensity() {
+	cfg := esd.Config{
+		Metal: &material.AlCu,
+		Width: phys.Microns(3),
+		Thick: phys.Microns(0.6),
+	}
+	jOpen, err := esd.CriticalDensity(cfg, 100e-9)
+	if err != nil {
+		panic(err)
+	}
+	jOnset, err := esd.MeltOnsetDensity(cfg, 100e-9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("100 ns pulse: melt onset %.0f, open circuit %.0f MA/cm2\n",
+		phys.ToMAPerCm2(jOnset), phys.ToMAPerCm2(jOpen))
+
+	// Between the two thresholds the line survives but resolidifies with
+	// latent EM damage (ref. 9).
+	mid := (jOnset + jOpen) / 2
+	out, err := esd.Simulate(cfg, esd.Pulse{J: mid, Duration: 100e-9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("between them: open=%v latentDamage=%v\n", out.Open, out.LatentDamage)
+	// Output:
+	// 100 ns pulse: melt onset 52, open circuit 62 MA/cm2
+	// between them: open=false latentDamage=true
+}

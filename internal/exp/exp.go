@@ -1,0 +1,137 @@
+// Package exp is the experiment harness: one registered experiment per
+// table and figure of the paper's evaluation, each producing a formatted
+// table plus paper-vs-measured notes. cmd/repro, the integration tests,
+// and the root bench_test.go all drive the same registry, so the numbers
+// recorded in EXPERIMENTS.md are exactly what the tests enforce.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the paper-vs-measured comparison and any
+	// reconstruction caveats.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a formatted note.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment reproduces one paper item.
+type Experiment struct {
+	// ID is the registry key (fig2, tab3, …).
+	ID string
+	// Paper names the reproduced item ("Fig. 2", "Table 3").
+	Paper string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func() (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in a stable order (figures first, then
+// tables, then extras).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+func orderKey(id string) string {
+	// fig* < tab* < everything else, numerically within a class.
+	switch {
+	case strings.HasPrefix(id, "fig"):
+		return "0" + fmt.Sprintf("%04s", id[3:])
+	case strings.HasPrefix(id, "tab"):
+		return "1" + fmt.Sprintf("%04s", id[3:])
+	default:
+		return "2" + id
+	}
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for k := range registry {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+	}
+	return e, nil
+}
+
+// IDs returns all registered IDs in display order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure with reproducible content must be present.
+	want := []string{"fig1", "fig2", "fig3", "fig5", "fig7",
+		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8",
+		"esd", "rulesfdm", "xblech", "xtalk", "xguard", "xind", "xvia", "xscale", "xrec"}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+}
+
+func TestRegistryOrdering(t *testing.T) {
+	ids := IDs()
+	// Figures come before tables, which come before extras.
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	if !(pos["fig1"] < pos["fig2"] && pos["fig2"] < pos["tab1"] && pos["tab8"] < pos["esd"]) {
+		t.Errorf("ordering unexpected: %v", ids)
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig2")
+	if err != nil || e.ID != "fig2" {
+		t.Errorf("ByID(fig2): %v %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID must fail")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "longcol"},
+	}
+	tb.AddRow("1", "2")
+	tb.Note("hello %d", 7)
+	s := tb.Format()
+	for _, want := range []string{"x — demo", "a  longcol", "note: hello 7", "-  -------"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestAllExperimentsRun executes the complete registry — the same entry
+// point as cmd/repro — and checks every table renders with content.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if len(tb.Columns) == 0 {
+				t.Fatalf("%s has no columns", e.ID)
+			}
+			for i, r := range tb.Rows {
+				if len(r) != len(tb.Columns) {
+					t.Fatalf("%s row %d has %d cells, want %d", e.ID, i, len(r), len(tb.Columns))
+				}
+			}
+			if s := tb.Format(); !strings.Contains(s, tb.ID) {
+				t.Fatalf("%s format broken", e.ID)
+			}
+		})
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient sims in -short mode")
+	}
+	figs, err := Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"fig2_jpeak": false, "fig2_tm": false,
+		"fig3_jpeak": false, "fig3_tm": false,
+		"fig5_impedance": false, "fig7_waveform": false,
+	}
+	for _, f := range figs {
+		if _, ok := want[f.Name]; !ok {
+			t.Errorf("unexpected figure %q", f.Name)
+			continue
+		}
+		want[f.Name] = true
+		svg, err := f.Plot.SVG()
+		if err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+			continue
+		}
+		if !strings.Contains(svg, "<polyline") || !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s: malformed SVG", f.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("figure %q missing", name)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package exp
+
+// Shape tests: the quantitative claims of the paper's evaluation, enforced
+// on the same computations the experiment tables print. Each test names
+// the paper statement it guards.
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/repeater"
+)
+
+func TestShapeDesignRuleOrderings(t *testing.T) {
+	// Tables 2–4: within any (node, level, r, j0, metal) the dielectric
+	// ordering is oxide > HSQ > polyimide; within a node jpeak falls (or
+	// stays) going up levels; signal lines allow more peak current than
+	// power lines.
+	for _, metal := range []*material.Metal{&material.Cu, &material.AlCu} {
+		for _, j0 := range []float64{0.6, 1.8} {
+			for _, base := range ntrs.Nodes() {
+				tech := base.WithMetal(metal)
+				prevOxideSignal := math.Inf(1)
+				for _, lvl := range DesignRuleLevels(tech) {
+					var byDielectric []float64
+					for _, d := range material.PaperDielectrics() {
+						sig, err := SolveRule(tech.WithGapFill(d), lvl, 0.1, j0)
+						if err != nil {
+							t.Fatalf("%s M%d: %v", tech.Name, lvl, err)
+						}
+						pow, err := SolveRule(tech.WithGapFill(d), lvl, 1.0, j0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if sig.Jpeak <= pow.Jpeak {
+							t.Errorf("%s M%d %s: signal jpeak %v should exceed power %v",
+								tech.Name, lvl, d.Name, sig.Jpeak, pow.Jpeak)
+						}
+						byDielectric = append(byDielectric, sig.Jpeak)
+					}
+					if !(byDielectric[0] > byDielectric[1] && byDielectric[1] > byDielectric[2]) {
+						t.Errorf("%s M%d j0=%v: dielectric ordering violated: %v",
+							tech.Name, lvl, j0, byDielectric)
+					}
+					if byDielectric[0] > prevOxideSignal*(1+1e-9) {
+						t.Errorf("%s M%d j0=%v: jpeak rises going up levels", tech.Name, lvl, j0)
+					}
+					prevOxideSignal = byDielectric[0]
+				}
+			}
+		}
+	}
+}
+
+func TestShapeTable3ExceedsTable2(t *testing.T) {
+	// Tripling j0 must raise every entry, sub-linearly.
+	tech := ntrs.N250()
+	for _, lvl := range DesignRuleLevels(tech) {
+		lo, err := SolveRule(tech, lvl, 0.1, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := SolveRule(tech, lvl, 0.1, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := hi.Jpeak / lo.Jpeak
+		if gain <= 1 || gain > 3 {
+			t.Errorf("M%d: 3x j0 gain = %v, want (1, 3]", lvl, gain)
+		}
+	}
+}
+
+func TestShapeAlCuBelowCu(t *testing.T) {
+	// Table 4 vs Table 2.
+	cu := ntrs.N250()
+	al := cu.WithMetal(&material.AlCu)
+	for _, lvl := range DesignRuleLevels(cu) {
+		c, err := SolveRule(cu, lvl, 0.1, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := SolveRule(al, lvl, 0.1, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Jpeak >= c.Jpeak {
+			t.Errorf("M%d: AlCu %v should be below Cu %v", lvl, a.Jpeak, c.Jpeak)
+		}
+	}
+}
+
+func TestShapeLegibleTable2Anchor(t *testing.T) {
+	// The only fully legible signal-line magnitude family lies in the
+	// single-digit MA/cm² range for the 0.25 µm global tier at r = 0.1 —
+	// the reconstruction must land there (Table 2 anchor 5.94 at M5).
+	sol, err := SolveRule(ntrs.N250(), 5, 0.1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp := phys.ToMAPerCm2(sol.Jpeak)
+	if jp < 4 || jp > 8 {
+		t.Errorf("0.25um M5 signal oxide jpeak = %v MA/cm², want ≈5.9", jp)
+	}
+}
+
+func TestShapeTable5MarginPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient sims in -short mode")
+	}
+	// §4 headline: jpeak-delay < jpeak-self-consistent for oxide.
+	tech := ntrs.N250()
+	for _, lvl := range tech.TopLevels(2) {
+		m, err := repeater.Simulate(tech, lvl, repeater.SimOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := SolveRule(tech, lvl, 0.1, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if margin := sc.Jpeak / m.Jpeak; margin <= 1 {
+			t.Errorf("M%d: margin = %v, want > 1", lvl, margin)
+		}
+	}
+}
+
+func TestShapeLowKNarrowsMargin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient sims in -short mode")
+	}
+	// §4.1: moving to low-k, jpeak-self-consistent falls faster than
+	// jpeak-delay, narrowing the margin.
+	base := ntrs.N100()
+	lowk := base.WithGapFill(&material.LowK2)
+	lvl := 8
+	mOx, err := repeater.Simulate(base, lvl, repeater.SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLk, err := repeater.Simulate(lowk, lvl, repeater.SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scOx, err := SolveRuleFDM(base, lvl, 0.1, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scLk, err := SolveRuleFDM(lowk, lvl, 0.1, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marginOx := scOx.Jpeak / mOx.Jpeak
+	marginLk := scLk.Jpeak / mLk.Jpeak
+	if marginLk >= marginOx {
+		t.Errorf("low-k margin %v should be below oxide margin %v", marginLk, marginOx)
+	}
+	// jrms-delay "remains almost unchanged" (±25 %).
+	if r := mLk.Jrms / mOx.Jrms; r < 0.75 || r > 1.25 {
+		t.Errorf("jrms ratio low-k/oxide = %v, want ≈1", r)
+	}
+}
+
+func TestShapeTable7Drop(t *testing.T) {
+	// Table 7: "the maximum allowed jpeak reduces by nearly 40% for the
+	// 3-D case". Our FDM realization of the 4x3 array gives a drop in a
+	// band around it.
+	r, err := RunTab7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drop < 0.2 || r.Drop > 0.6 {
+		t.Errorf("3-D jpeak drop = %v, want ≈0.4", r.Drop)
+	}
+	if r.Factor <= 2 {
+		t.Errorf("effective-theta factor = %v, want > 2 (paper implies 2.74)", r.Factor)
+	}
+	if r.JpeakArray >= r.JpeakIsolated {
+		t.Error("coupled jpeak must be below isolated")
+	}
+}
+
+func TestShapeFig5(t *testing.T) {
+	// Fig. 5: impedance falls with width; HSQ ≈ 20 % above oxide at the
+	// narrowest width.
+	thNarrowOx, err := Fig5Impedance(0.35, &material.Oxide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thNarrowHSQ, err := Fig5Impedance(0.35, &material.HSQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thWideOx, err := Fig5Impedance(3.3, &material.Oxide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thWideOx >= thNarrowOx {
+		t.Error("impedance must fall with width")
+	}
+	if r := thNarrowHSQ / thNarrowOx; r < 1.08 || r > 1.4 {
+		t.Errorf("HSQ/oxide at 0.35 µm = %v, want ≈1.2", r)
+	}
+}
+
+func TestShapeRulesFDMStrongerLevelDependence(t *testing.T) {
+	// The solved impedances make upper levels lose more jpeak than the
+	// Weff model predicts (spreading saturation).
+	tech := ntrs.N100()
+	fdmTop, err := SolveRuleFDM(tech, 8, 0.1, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anaTop, err := SolveRule(tech, 8, 0.1, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdmTop.Jpeak >= anaTop.Jpeak {
+		t.Errorf("FDM top-level jpeak %v should be below the Weff model %v",
+			phys.ToMAPerCm2(fdmTop.Jpeak), phys.ToMAPerCm2(anaTop.Jpeak))
+	}
+	// And the FDM level dependence within the node is at least as strong.
+	fdmLow, err := SolveRuleFDM(tech, 5, 0.1, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anaLow, err := SolveRule(tech, 5, 0.1, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropFDM := 1 - fdmTop.Jpeak/fdmLow.Jpeak
+	dropAna := 1 - anaTop.Jpeak/anaLow.Jpeak
+	if dropFDM < dropAna {
+		t.Errorf("FDM level drop %v should be ≥ analytic %v", dropFDM, dropAna)
+	}
+}

@@ -1,0 +1,152 @@
+// Package extract is the parasitic-extraction substrate that stands in for
+// the SPACE3D full 3-D capacitance extractor used in §4 ("we performed a
+// full 3D-capacitance extraction using SPACE3D for the signal lines to
+// obtain the value of c for every metal layer for both technologies").
+//
+// It computes per-unit-length resistance and capacitance for a minimum-
+// pitch line of any metallization level, using Sakurai–Tamaru-class
+// empirical field formulas (accurate to ≈ 10 % in their fitted range,
+// which covers DSM geometries):
+//
+//	ground:   Cg/ε = w/h + 2.80·(t/h)^0.222
+//	coupling: Cc/ε = [0.03·(w/h) + 0.83·(t/h) − 0.07·(t/h)^0.222] · (s/h)^−1.34
+//
+// where w is the line width, t its thickness, h the dielectric height to
+// the plane below, and s the spacing to each lateral neighbor. The ground
+// term uses the inter-level dielectric's permittivity, the coupling term
+// the intra-level (gap-fill) permittivity — this is how the low-k
+// materials of Tables 2–6 lower the total c. As the paper notes, in DSM
+// technologies "a significant fraction of c [is] contributed by coupling
+// capacitances to neighboring lines".
+package extract
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+)
+
+// ErrInvalid reports out-of-domain geometry.
+var ErrInvalid = errors.New("extract: invalid parameters")
+
+// LineParams is the cross-sectional configuration for extraction: a line
+// of width Width and thickness Thick at height Height above the plane
+// below, with two neighbors at spacing Space on the same level.
+type LineParams struct {
+	Width, Thick, Height, Space float64 // m
+	// KGround is the relative permittivity of the inter-level dielectric
+	// (vertical field); KCoupling that of the gap-fill (lateral field).
+	KGround, KCoupling float64
+}
+
+// Validate checks the parameters.
+func (p *LineParams) Validate() error {
+	if p.Width <= 0 || p.Thick <= 0 || p.Height <= 0 || p.Space <= 0 {
+		return fmt.Errorf("%w: dims w=%g t=%g h=%g s=%g", ErrInvalid, p.Width, p.Thick, p.Height, p.Space)
+	}
+	if p.KGround < 1 || p.KCoupling < 1 {
+		return fmt.Errorf("%w: permittivity below 1", ErrInvalid)
+	}
+	return nil
+}
+
+// GroundCap returns the line-to-plane capacitance per unit length (F/m):
+// the parallel-plate term plus the Sakurai–Tamaru fringe term.
+func GroundCap(p LineParams) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	eps := p.KGround * phys.Epsilon0
+	return eps * (p.Width/p.Height + 2.80*math.Pow(p.Thick/p.Height, 0.222)), nil
+}
+
+// CouplingCap returns the capacitance per unit length to ONE lateral
+// neighbor (F/m).
+func CouplingCap(p LineParams) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	eps := p.KCoupling * phys.Epsilon0
+	toh := p.Thick / p.Height
+	c := 0.03*(p.Width/p.Height) + 0.83*toh - 0.07*math.Pow(toh, 0.222)
+	if c < 0 {
+		c = 0
+	}
+	return eps * c * math.Pow(p.Space/p.Height, -1.34), nil
+}
+
+// TotalCap returns the switching capacitance per unit length seen by a
+// driver (F/m): ground capacitance plus both lateral neighbors weighted by
+// the Miller factor (1 when neighbors are quiet, 2 when both switch in
+// opposition — the worst-case delay assumption).
+func TotalCap(p LineParams, miller float64) (float64, error) {
+	if miller < 0 {
+		return 0, fmt.Errorf("%w: negative Miller factor", ErrInvalid)
+	}
+	cg, err := GroundCap(p)
+	if err != nil {
+		return 0, err
+	}
+	cc, err := CouplingCap(p)
+	if err != nil {
+		return 0, err
+	}
+	return cg + 2*miller*cc, nil
+}
+
+// FromTech builds the extraction parameters for a minimum-pitch line of
+// the given level of a technology: height = the level's own ILD (the
+// level below acts as the return plane), spacing = pitch − width.
+func FromTech(t *ntrs.Technology, level int) (LineParams, error) {
+	l, err := t.Layer(level)
+	if err != nil {
+		return LineParams{}, err
+	}
+	return LineParams{
+		Width:     l.Width,
+		Thick:     l.Thick,
+		Height:    l.ILD,
+		Space:     l.Space(),
+		KGround:   t.ILD.RelPermittivity,
+		KCoupling: t.Gap.RelPermittivity,
+	}, nil
+}
+
+// RC returns the per-unit-length resistance (Ω/m, at metal temperature
+// tKelvin) and worst-case switching capacitance (F/m, Miller factor 1 —
+// the paper's delay optimization assumes steady neighbors) for a
+// minimum-pitch line of the given level.
+func RC(t *ntrs.Technology, level int, tKelvin float64) (r, c float64, err error) {
+	l, err := t.Layer(level)
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := FromTech(t, level)
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err = TotalCap(p, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	r = t.Metal.Resistivity(tKelvin) / (l.Width * l.Thick)
+	return r, c, nil
+}
+
+// CouplingFraction returns the fraction of the total (Miller-1)
+// capacitance contributed by lateral coupling — the quantity behind the
+// paper's remark that coupling dominates c in DSM nodes.
+func CouplingFraction(p LineParams) (float64, error) {
+	tot, err := TotalCap(p, 1)
+	if err != nil {
+		return 0, err
+	}
+	cc, err := CouplingCap(p)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * cc / tot, nil
+}

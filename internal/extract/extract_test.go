@@ -1,0 +1,193 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+)
+
+func n250M5() LineParams {
+	return LineParams{
+		Width:     phys.Microns(1.0),
+		Thick:     phys.Microns(0.9),
+		Height:    phys.Microns(0.9),
+		Space:     phys.Microns(1.2),
+		KGround:   4.0,
+		KCoupling: 4.0,
+	}
+}
+
+func TestGroundCapWideLimit(t *testing.T) {
+	// A very wide line approaches the parallel-plate value ε·w/h.
+	p := n250M5()
+	p.Width = phys.Microns(100)
+	cg, err := GroundCap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plate := p.KGround * phys.Epsilon0 * p.Width / p.Height
+	if cg < plate {
+		t.Error("ground cap must exceed the parallel-plate floor")
+	}
+	if (cg-plate)/plate > 0.05 {
+		t.Errorf("wide-line fringe fraction = %v, want < 5 %%", (cg-plate)/plate)
+	}
+}
+
+func TestGroundCapFringeDominatesNarrow(t *testing.T) {
+	// For a minimum-width DSM line the fringe term dominates.
+	p := n250M5()
+	p.Width = phys.Microns(0.25)
+	cg, _ := GroundCap(p)
+	plate := p.KGround * phys.Epsilon0 * p.Width / p.Height
+	if cg < 2*plate {
+		t.Errorf("narrow-line cap %v should be ≫ plate %v", cg, plate)
+	}
+}
+
+func TestTypicalGlobalLineCapacitance(t *testing.T) {
+	// Sanity anchor: a 0.25 µm global line should extract to ≈ 0.2 fF/µm
+	// total — the universally quoted DSM value.
+	tot, err := TotalCap(n250M5(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := phys.ToFFPerMicron(tot)
+	if ff < 0.12 || ff > 0.30 {
+		t.Errorf("total c = %v fF/µm, want ≈0.2", ff)
+	}
+}
+
+func TestCouplingIncreasesWhenSpacingShrinks(t *testing.T) {
+	p := n250M5()
+	c1, err := CouplingCap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Space /= 2
+	c2, _ := CouplingCap(p)
+	if c2 <= c1 {
+		t.Error("halving the spacing must raise coupling capacitance")
+	}
+}
+
+func TestCouplingScalesWithGapFillK(t *testing.T) {
+	// Low-k gap fill lowers coupling (the delay benefit of §4.1) but not
+	// the ground term.
+	p := n250M5()
+	ccOx, _ := CouplingCap(p)
+	cgOx, _ := GroundCap(p)
+	p.KCoupling = 2.0
+	ccLk, _ := CouplingCap(p)
+	cgLk, _ := GroundCap(p)
+	if math.Abs(ccLk-ccOx/2)/ccOx > 1e-9 {
+		t.Error("coupling must scale linearly with the gap-fill permittivity")
+	}
+	if cgLk != cgOx {
+		t.Error("ground cap must not depend on the gap-fill permittivity")
+	}
+}
+
+func TestMillerFactor(t *testing.T) {
+	p := n250M5()
+	c0, _ := TotalCap(p, 0)
+	c1, _ := TotalCap(p, 1)
+	c2, _ := TotalCap(p, 2)
+	cg, _ := GroundCap(p)
+	cc, _ := CouplingCap(p)
+	if math.Abs(c0-cg) > 1e-18 {
+		t.Error("Miller 0 must be ground-only")
+	}
+	if math.Abs(c1-(cg+2*cc)) > 1e-18 || math.Abs(c2-(cg+4*cc)) > 1e-18 {
+		t.Error("Miller weighting broken")
+	}
+	if _, err := TotalCap(p, -1); err == nil {
+		t.Error("negative Miller must fail")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []LineParams{
+		{},
+		{Width: 1e-6, Thick: 1e-6, Height: 1e-6, Space: 0, KGround: 4, KCoupling: 4},
+		{Width: 1e-6, Thick: 1e-6, Height: 1e-6, Space: 1e-6, KGround: 0.5, KCoupling: 4},
+	}
+	for i, p := range bad {
+		if _, err := GroundCap(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+		if _, err := CouplingCap(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestFromTech(t *testing.T) {
+	tech := ntrs.N250()
+	p, err := FromTech(tech, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Width != phys.Microns(1.0) || p.Height != phys.Microns(0.9) {
+		t.Errorf("M5 params = %+v", p)
+	}
+	if p.KGround != 4.0 || p.KCoupling != 4.0 {
+		t.Error("oxide permittivities expected")
+	}
+	lowk := tech.WithGapFill(&material.LowK2)
+	p2, _ := FromTech(lowk, 5)
+	if p2.KCoupling != 2.0 || p2.KGround != 4.0 {
+		t.Errorf("gap-fill swap: %+v", p2)
+	}
+	if _, err := FromTech(tech, 0); err == nil {
+		t.Error("invalid level must fail")
+	}
+}
+
+func TestRCAllLevels(t *testing.T) {
+	for _, tech := range ntrs.Nodes() {
+		for lvl := 1; lvl <= tech.NumLevels(); lvl++ {
+			r, c, err := RC(tech, lvl, material.Tref100C)
+			if err != nil {
+				t.Fatalf("%s M%d: %v", tech.Name, lvl, err)
+			}
+			if r <= 0 || c <= 0 {
+				t.Fatalf("%s M%d: r=%v c=%v", tech.Name, lvl, r, c)
+			}
+			// All per-unit-length capacitances live in the broad
+			// physically plausible DSM band.
+			ff := phys.ToFFPerMicron(c)
+			if ff < 0.05 || ff > 0.6 {
+				t.Errorf("%s M%d: c = %v fF/µm outside 0.05–0.6", tech.Name, lvl, ff)
+			}
+		}
+	}
+}
+
+func TestRCResistanceOrdering(t *testing.T) {
+	// Upper levels are fatter: r must decrease going up within a node.
+	tech := ntrs.N100()
+	r1, _, _ := RC(tech, 1, material.Tref100C)
+	r8, _, _ := RC(tech, 8, material.Tref100C)
+	if r8 >= r1 {
+		t.Errorf("global r=%v should be well below local r=%v", r8, r1)
+	}
+}
+
+func TestCouplingFractionDSM(t *testing.T) {
+	// The paper's premise: coupling is a significant fraction of c for
+	// minimum-pitch DSM lines. For the dense M1 of the 0.1 µm node it
+	// should be the dominant term.
+	tech := ntrs.N100()
+	p, _ := FromTech(tech, 1)
+	f, err := CouplingFraction(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.3 {
+		t.Errorf("M1 coupling fraction = %v, want ≥ 0.3", f)
+	}
+}

@@ -1,0 +1,109 @@
+package extract
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/phys"
+)
+
+// On-chip inductance extraction — the interconnect frontier immediately
+// beyond the paper (its RC delay model is explicitly resistive): as clock
+// edges sharpened past ~100 ps, global lines started to behave as lossy
+// transmission lines. The microstrip-style loop inductance here, together
+// with the RLC ladder in internal/rcline, lets the simulator answer
+// "does inductance matter for this line?" with the standard
+// rise-time/length window criterion.
+
+// ErrNotApplicable reports a query outside a model's validity.
+var ErrNotApplicable = errors.New("extract: not applicable")
+
+// LoopInductance returns the per-unit-length loop inductance (H/m) of a
+// line of width w and thickness t at height h above its current-return
+// plane, using the wide-microstrip formula with a thickness-corrected
+// effective width:
+//
+//	L' = (µ0/2π)·ln(8h/weff + weff/(4h)),   weff = w + t
+//
+// Accuracy is a few tens of percent — adequate for the "does it matter"
+// screening this supports (on-chip values are 0.2–1 pH/µm).
+func LoopInductance(p LineParams) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	weff := p.Width + p.Thick
+	h := p.Height
+	return phys.Mu0 / (2 * math.Pi) * math.Log(8*h/weff+weff/(4*h)), nil
+}
+
+// WaveVelocity returns the line's propagation velocity 1/√(L'C') (m/s)
+// using the extracted loop inductance and total (Miller-1) capacitance.
+func WaveVelocity(p LineParams) (float64, error) {
+	l, err := LoopInductance(p)
+	if err != nil {
+		return 0, err
+	}
+	c, err := TotalCap(p, 1)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / math.Sqrt(l*c), nil
+}
+
+// TimeOfFlight returns length/velocity — the lower bound on any signal's
+// arrival that no RC model can see.
+func TimeOfFlight(p LineParams, length float64) (float64, error) {
+	if length <= 0 {
+		return 0, fmt.Errorf("%w: length %g", ErrInvalid, length)
+	}
+	v, err := WaveVelocity(p)
+	if err != nil {
+		return 0, err
+	}
+	return length / v, nil
+}
+
+// InductanceWindow returns the length range [lo, hi] in which inductance
+// shapes the response for a given input rise time (the classic two-sided
+// criterion):
+//
+//	tr/(2·√(L'C'))  <  len  <  (2/R')·√(L'/C')
+//
+// Below lo the edge is slow enough that the line looks like lumped RC;
+// above hi resistive attenuation kills the wave before it matters. When
+// lo ≥ hi the window is empty: inductance never matters for this line
+// (hi collapses below lo as R' grows), and ErrNotApplicable is returned.
+func InductanceWindow(p LineParams, rPerLen, riseTime float64) (lo, hi float64, err error) {
+	if rPerLen <= 0 || riseTime <= 0 {
+		return 0, 0, fmt.Errorf("%w: r=%g tr=%g", ErrInvalid, rPerLen, riseTime)
+	}
+	l, err := LoopInductance(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := TotalCap(p, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo = riseTime / (2 * math.Sqrt(l*c))
+	hi = 2 / rPerLen * math.Sqrt(l/c)
+	if lo >= hi {
+		return lo, hi, fmt.Errorf("%w: window empty (RC-dominated line)", ErrNotApplicable)
+	}
+	return lo, hi, nil
+}
+
+// CharacteristicImpedance returns √(L'/C') in ohms — the lossless-line
+// impedance that sets matching and overshoot behavior.
+func CharacteristicImpedance(p LineParams) (float64, error) {
+	l, err := LoopInductance(p)
+	if err != nil {
+		return 0, err
+	}
+	c, err := TotalCap(p, 1)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(l / c), nil
+}

@@ -1,0 +1,123 @@
+package extract
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+)
+
+func TestLoopInductanceMagnitude(t *testing.T) {
+	// On-chip global wires: 0.2–1 pH/µm is the universally quoted band.
+	for _, tech := range ntrs.Nodes() {
+		p, err := FromTech(tech, tech.NumLevels())
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := LoopInductance(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pHPerUm := l * 1e12 * phys.Micron
+		if pHPerUm < 0.05 || pHPerUm > 2 {
+			t.Errorf("%s: L' = %v pH/µm, want 0.05–2", tech.Name, pHPerUm)
+		}
+	}
+}
+
+func TestWaveVelocityBelowLight(t *testing.T) {
+	// The signal must travel slower than c (and plausibly faster than
+	// 0.1·c given k ≈ 4 dielectrics with fringing).
+	p, err := FromTech(ntrs.N250(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := WaveVelocity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= phys.SpeedOfLight {
+		t.Errorf("velocity %v exceeds c", v)
+	}
+	if v < 0.1*phys.SpeedOfLight {
+		t.Errorf("velocity %v implausibly slow", v)
+	}
+}
+
+func TestTimeOfFlight(t *testing.T) {
+	p, err := FromTech(ntrs.N250(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tof, err := TimeOfFlight(p, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A centimeter at half light speed ≈ 67 ps; expect tens of ps.
+	if tof < 30e-12 || tof > 300e-12 {
+		t.Errorf("TOF(10 mm) = %v, want tens of ps", tof)
+	}
+	if _, err := TimeOfFlight(p, -1); err == nil {
+		t.Error("negative length must fail")
+	}
+}
+
+func TestInductanceWindow(t *testing.T) {
+	// A fat, low-R global line with a sharp edge has a real window; a
+	// skinny resistive line has none.
+	p, err := FromTech(ntrs.N250(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a low-resistance variant (wide strap) for the open window.
+	fat := p
+	fat.Width *= 8
+	fat.Thick *= 2
+	rFat := 1.9e-8 / (fat.Width * fat.Thick)
+	lo, hi, err := InductanceWindow(fat, rFat, 20e-12)
+	if err != nil {
+		t.Fatalf("fat line should have a window: %v", err)
+	}
+	if !(lo > 0 && lo < hi) {
+		t.Errorf("window [%v, %v] malformed", lo, hi)
+	}
+	// The minimum-width line at a slow edge: window collapses.
+	rMin := 1.9e-8 / (p.Width * p.Thick)
+	if _, _, err := InductanceWindow(p, rMin, 200e-12); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("RC-dominated line should report ErrNotApplicable, got %v", err)
+	}
+	if _, _, err := InductanceWindow(p, -1, 1e-12); err == nil {
+		t.Error("negative r must fail")
+	}
+}
+
+func TestCharacteristicImpedance(t *testing.T) {
+	// On-chip Z0 sits in the tens of ohms.
+	p, err := FromTech(ntrs.N100(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0, err := CharacteristicImpedance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z0 < 10 || z0 > 200 {
+		t.Errorf("Z0 = %v Ω, want 10–200", z0)
+	}
+}
+
+func TestVelocityConsistency(t *testing.T) {
+	// v·Z0·C' = 1 identity (v = 1/√(LC), Z0 = √(L/C)).
+	p, err := FromTech(ntrs.N250(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := WaveVelocity(p)
+	z0, _ := CharacteristicImpedance(p)
+	c, _ := TotalCap(p, 1)
+	if math.Abs(v*z0*c-1) > 1e-9 {
+		t.Errorf("v·Z0·C = %v, want 1", v*z0*c)
+	}
+}

@@ -1,0 +1,80 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsmtherm/internal/phys"
+)
+
+// randomParams draws a plausible DSM extraction configuration.
+func randomParams(rng *rand.Rand) LineParams {
+	return LineParams{
+		Width:     phys.Microns(0.15 + 2*rng.Float64()),
+		Thick:     phys.Microns(0.2 + 1*rng.Float64()),
+		Height:    phys.Microns(0.3 + 1.5*rng.Float64()),
+		Space:     phys.Microns(0.15 + 2*rng.Float64()),
+		KGround:   2 + 2.5*rng.Float64(),
+		KCoupling: 2 + 2.5*rng.Float64(),
+	}
+}
+
+// TestPropertyExtractionMonotonicities checks the field-solver facts the
+// empirical formulas must respect, across random geometries.
+func TestPropertyExtractionMonotonicities(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		p := randomParams(rng)
+		cg, err := GroundCap(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := CouplingCap(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cg <= 0 || cc < 0 {
+			t.Fatalf("trial %d: non-physical capacitances %v %v", trial, cg, cc)
+		}
+		// Wider line → more ground cap.
+		wider := p
+		wider.Width *= 1.3
+		cgW, _ := GroundCap(wider)
+		if cgW <= cg {
+			t.Fatalf("trial %d: width did not raise ground cap", trial)
+		}
+		// Taller dielectric → less ground cap.
+		taller := p
+		taller.Height *= 1.3
+		cgH, _ := GroundCap(taller)
+		if cgH >= cg {
+			t.Fatalf("trial %d: height did not lower ground cap", trial)
+		}
+		// Wider spacing → less coupling.
+		spaced := p
+		spaced.Space *= 1.3
+		ccS, _ := CouplingCap(spaced)
+		if ccS >= cc && cc > 0 {
+			t.Fatalf("trial %d: spacing did not lower coupling", trial)
+		}
+		// Thicker metal → more coupling (bigger facing sidewalls).
+		thicker := p
+		thicker.Thick *= 1.3
+		ccT, _ := CouplingCap(thicker)
+		if ccT <= cc {
+			t.Fatalf("trial %d: thickness did not raise coupling", trial)
+		}
+		// Total with Miller 2 ≥ Miller 1 ≥ Miller 0.
+		t0, _ := TotalCap(p, 0)
+		t1, _ := TotalCap(p, 1)
+		t2, _ := TotalCap(p, 2)
+		if !(t0 <= t1 && t1 <= t2) {
+			t.Fatalf("trial %d: Miller ordering broken", trial)
+		}
+		// Coupling fraction is a fraction.
+		f, err := CouplingFraction(p)
+		if err != nil || f < 0 || f > 1 {
+			t.Fatalf("trial %d: coupling fraction %v (%v)", trial, f, err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package fdm
+
+import (
+	"fmt"
+
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+)
+
+// SingleLineArray builds a one-line cross-section for impedance studies
+// (the Fig. 5 configuration): a line of the given metal and dimensions
+// over an ILD of thickness tox, embedded in gap-fill dielectric at its own
+// level, with sideMargin of dielectric on each side and a passivation
+// overcoat.
+func SingleLineArray(m *material.Metal, w, t, tox float64,
+	ild, gap *material.Dielectric, sideMargin, passivation float64) (*geometry.Array, error) {
+	ar := &geometry.Array{
+		Levels: []geometry.ArrayLevel{{
+			Metal: m, Width: w, Thick: t, Pitch: w, Count: 1,
+			ILD: tox, GapFill: gap, ILDMat: ild,
+		}},
+		Passivation: geometry.Layer{Material: ild, Thickness: passivation},
+		MarginX:     sideMargin,
+	}
+	if err := ar.Validate(); err != nil {
+		return nil, err
+	}
+	return ar, nil
+}
+
+// LineImpedance solves the single-line problem and returns the line's
+// per-unit-length thermal impedance (K·m/W). res ≤ 0 selects the default
+// mesh resolution.
+func LineImpedance(ar *geometry.Array, res float64) (float64, error) {
+	if len(ar.Levels) != 1 || ar.Levels[0].Count != 1 {
+		return 0, fmt.Errorf("%w: LineImpedance expects a single-line array", ErrInvalid)
+	}
+	if res <= 0 {
+		res = DefaultResolution(ar)
+	}
+	s, err := NewSolver(ar, res)
+	if err != nil {
+		return 0, err
+	}
+	ref := LineRef{Level: 1, Index: 0}
+	const p = 1.0 // W/m; the system is linear
+	f, err := s.Solve(map[LineRef]float64{ref: p})
+	if err != nil {
+		return 0, err
+	}
+	return f.ImpedancePerLength(ref)
+}
+
+// CouplingResult quantifies §5's array self-heating for one observed line.
+type CouplingResult struct {
+	// IsolatedImpedance is θ' with only the observed line heated, K·m/W.
+	IsolatedImpedance float64
+	// CoupledImpedance is the effective θ' with every line in the array
+	// dissipating (scaled per line by cross-section so all carry the same
+	// current density), K·m/W.
+	CoupledImpedance float64
+	// Factor = CoupledImpedance / IsolatedImpedance ≥ 1 — the multiplier
+	// to feed thermal.Model.WithCoupling.
+	Factor float64
+}
+
+// CouplingFactor solves the Fig. 8-style array twice — observed line only,
+// then every line in the array at equal current density — and returns the
+// effective impedance ratio for the observed line. The ratio is
+// independent of the current-density scale (linearity), but per-line
+// powers weight by each line's cross-section and resistivity.
+func CouplingFactor(ar *geometry.Array, observed LineRef, res float64) (CouplingResult, error) {
+	return CouplingFactorFor(ar, observed, nil, res)
+}
+
+// CouplingFactorFor is CouplingFactor with an explicit heated set (the
+// observed line is always included). nil means every line in the array —
+// the worst case; a vertical column (one line per level) models the
+// Table 7 "M1–M4 heated" configuration where only the stack above/below
+// the victim is simultaneously active.
+func CouplingFactorFor(ar *geometry.Array, observed LineRef, heated []LineRef, res float64) (CouplingResult, error) {
+	if res <= 0 {
+		res = DefaultResolution(ar)
+	}
+	s, err := NewSolver(ar, res)
+	if err != nil {
+		return CouplingResult{}, err
+	}
+	// Power per unit length at unit current density scale: P' = j²·ρ·A.
+	powerOf := func(ref LineRef) float64 {
+		lvl := &ar.Levels[ref.Level-1]
+		area := lvl.Width * lvl.Thick
+		rho := lvl.Metal.Resistivity(material.Tref100C)
+		return rho * area // ∝ j²·ρ·A with j = 1
+	}
+	pObs := powerOf(observed)
+	iso, err := s.Solve(map[LineRef]float64{observed: pObs})
+	if err != nil {
+		return CouplingResult{}, err
+	}
+	all := make(map[LineRef]float64)
+	if heated == nil {
+		for _, ref := range s.Lines() {
+			all[ref] = powerOf(ref)
+		}
+	} else {
+		for _, ref := range heated {
+			all[ref] = powerOf(ref)
+		}
+		all[observed] = pObs
+	}
+	coup, err := s.Solve(all)
+	if err != nil {
+		return CouplingResult{}, err
+	}
+	r := CouplingResult{}
+	if r.IsolatedImpedance, err = iso.ImpedancePerLength(observed); err != nil {
+		return CouplingResult{}, err
+	}
+	dtObs, err := coup.LineDeltaT(observed)
+	if err != nil {
+		return CouplingResult{}, err
+	}
+	r.CoupledImpedance = dtObs / pObs
+	r.Factor = r.CoupledImpedance / r.IsolatedImpedance
+	return r, nil
+}

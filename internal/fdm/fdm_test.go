@@ -1,0 +1,515 @@
+package fdm
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+// slabArray is a line as wide as its margins are zero — effectively a 1-D
+// conduction problem with an exact answer.
+func slabArray(t *testing.T) *geometry.Array {
+	t.Helper()
+	ar, err := SingleLineArray(&material.Cu,
+		phys.Microns(20), phys.Microns(0.5), phys.Microns(2),
+		&material.Oxide, &material.Oxide, phys.Microns(0.001), phys.Microns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ar
+}
+
+func TestSlabMatchesAnalytic1D(t *testing.T) {
+	// A line spanning (almost) the whole domain over tox of oxide:
+	// θ' = tox / (K·W) per unit length.
+	ar := slabArray(t)
+	theta, err := LineImpedance(ar, phys.Microns(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := phys.Microns(2) / (material.Oxide.ThermalCond * phys.Microns(20))
+	if math.Abs(theta-want)/want > 0.05 {
+		t.Errorf("slab θ' = %v, want %v (±5 %%)", theta, want)
+	}
+}
+
+func TestGridRefinementConverges(t *testing.T) {
+	ar, err := SingleLineArray(&material.AlCu,
+		phys.Microns(0.6), phys.Microns(0.6), phys.Microns(1.2),
+		&material.Oxide, &material.Oxide, phys.Microns(8), phys.Microns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := LineImpedance(ar, phys.Microns(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := LineImpedance(ar, phys.Microns(0.12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coarse-fine)/fine > 0.08 {
+		t.Errorf("refinement moved θ' by %v (%v vs %v)", math.Abs(coarse-fine)/fine, coarse, fine)
+	}
+}
+
+func TestSymmetryOfField(t *testing.T) {
+	ar, err := SingleLineArray(&material.Cu,
+		phys.Microns(1), phys.Microns(0.5), phys.Microns(1),
+		&material.Oxide, &material.Oxide, phys.Microns(5), phys.Microns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(ar, phys.Microns(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Solve(map[LineRef]float64{{Level: 1, Index: 0}: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ar.WidthExtent()
+	for _, frac := range []float64{0.1, 0.25, 0.4} {
+		y := phys.Microns(1.2)
+		l := f.At(frac*w, y)
+		r := f.At((1-frac)*w, y)
+		if math.Abs(l-r) > 1e-6*(1+math.Abs(l)) {
+			t.Errorf("asymmetry at frac %v: %v vs %v", frac, l, r)
+		}
+	}
+}
+
+func TestSuperposition(t *testing.T) {
+	// Two lines: field(all) = field(1) + field(2) — linearity check.
+	ar := &geometry.Array{
+		Levels: []geometry.ArrayLevel{{
+			Metal: &material.Cu, Width: phys.Microns(0.5), Thick: phys.Microns(0.5),
+			Pitch: phys.Microns(1.2), Count: 2, ILD: phys.Microns(1),
+			GapFill: &material.Oxide, ILDMat: &material.Oxide,
+		}},
+		Passivation: geometry.Layer{Material: &material.Oxide, Thickness: phys.Microns(1)},
+		MarginX:     phys.Microns(4),
+	}
+	s, err := NewSolver(ar, phys.Microns(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := LineRef{Level: 1, Index: 0}
+	b := LineRef{Level: 1, Index: 1}
+	fa, err := s.Solve(map[LineRef]float64{a: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := s.Solve(map[LineRef]float64{b: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := s.Solve(map[LineRef]float64{a: 2, b: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtA1, _ := fa.LineDeltaT(a)
+	dtA2, _ := fb.LineDeltaT(a)
+	dtAll, _ := fab.LineDeltaT(a)
+	if math.Abs(dtAll-(dtA1+dtA2))/dtAll > 1e-6 {
+		t.Errorf("superposition violated: %v vs %v + %v", dtAll, dtA1, dtA2)
+	}
+}
+
+func TestNeighborHeatingRaisesTemperature(t *testing.T) {
+	// §5: a line within a heated array runs hotter than isolated.
+	ar := &geometry.Array{
+		Levels: []geometry.ArrayLevel{{
+			Metal: &material.Cu, Width: phys.Microns(0.5), Thick: phys.Microns(0.5),
+			Pitch: phys.Microns(1.0), Count: 5, ILD: phys.Microns(0.8),
+			GapFill: &material.Oxide, ILDMat: &material.Oxide,
+		}},
+		Passivation: geometry.Layer{Material: &material.Oxide, Thickness: phys.Microns(1)},
+		MarginX:     phys.Microns(5),
+	}
+	res, err := CouplingFactor(ar, LineRef{Level: 1, Index: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factor <= 1 {
+		t.Errorf("coupling factor = %v, want > 1", res.Factor)
+	}
+	if res.Factor > 6 {
+		t.Errorf("coupling factor = %v implausibly large", res.Factor)
+	}
+}
+
+// extractPhi runs the Fig. 5 configuration at one width and returns the
+// heat-spreading parameter implied by the FDM impedance.
+func extractPhi(t *testing.T, wUm, passUm float64) float64 {
+	t.Helper()
+	ar, err := SingleLineArray(&material.AlCu,
+		phys.Microns(wUm), phys.Microns(0.6), phys.Microns(1.2),
+		&material.Oxide, &material.Oxide, phys.Microns(12), phys.Microns(passUm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, err := LineImpedance(ar, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := &geometry.Line{
+		Metal: &material.AlCu, Width: phys.Microns(wUm), Thick: phys.Microns(0.6),
+		Length: 1, Below: geometry.Stack{{Material: &material.Oxide, Thickness: phys.Microns(1.2)}},
+	}
+	phi, err := thermal.PhiFromImpedance(line, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phi
+}
+
+func TestWeffFunctionalFormHolds(t *testing.T) {
+	// The Eq. 14 form Weff = Wm + φ·b is only useful if a single φ fits
+	// every width. The FDM-extracted φ must be nearly width-independent
+	// across the Fig. 5 sweep (0.35–3 µm) — and it is, to better than
+	// ±10 %, which is the quantitative justification for §3.2's
+	// one-parameter extraction.
+	var phis []float64
+	for _, w := range []float64{0.35, 0.6, 1.0, 2.0, 3.0} {
+		phis = append(phis, extractPhi(t, w, 2.0))
+	}
+	lo, hi := phis[0], phis[0]
+	for _, p := range phis[1:] {
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+	}
+	if (hi-lo)/lo > 0.2 {
+		t.Errorf("φ varies too much across widths: %v", phis)
+	}
+}
+
+func TestPhiNearPaperValue(t *testing.T) {
+	// §3.2 extracts φ = 2.45 from a passivated 0.25 µm process at
+	// W = 0.35 µm; the FDM surrogate should land close by.
+	phi := extractPhi(t, 0.35, 2.0)
+	if phi < 1.8 || phi > 2.9 {
+		t.Errorf("extracted φ = %v, want ≈2.45", phi)
+	}
+}
+
+func TestPassivationIncreasesSpreading(t *testing.T) {
+	// The overcoat opens an extra lateral heat path above the line, so a
+	// passivated structure spreads more (larger φ) than a bare one —
+	// which is why the measured DSM φ (2.45) exceeds Bilotti's 0.88
+	// (derived without top-side escape).
+	bare := extractPhi(t, 1.0, 0.05)
+	passivated := extractPhi(t, 1.0, 2.0)
+	if passivated <= bare {
+		t.Errorf("passivated φ (%v) should exceed bare φ (%v)", passivated, bare)
+	}
+	if bare <= thermal.PhiBilotti {
+		t.Errorf("even a bare line spreads more than the Bilotti floor: φ = %v", bare)
+	}
+}
+
+func TestNarrowLineNeedsSpreadingCorrection(t *testing.T) {
+	// §3.2's motivation: below Wm/b = 0.4 the quasi-1-D formula
+	// *overestimates* the impedance (it under-counts lateral spreading);
+	// the extracted φ exceeds 0.88.
+	ar, err := SingleLineArray(&material.AlCu,
+		phys.Microns(0.35), phys.Microns(0.6), phys.Microns(1.2),
+		&material.Oxide, &material.Oxide, phys.Microns(12), phys.Microns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, err := LineImpedance(ar, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := &geometry.Line{
+		Metal: &material.AlCu, Width: phys.Microns(0.35), Thick: phys.Microns(0.6),
+		Length: 1, Below: geometry.Stack{{Material: &material.Oxide, Thickness: phys.Microns(1.2)}},
+	}
+	phi, err := thermal.PhiFromImpedance(line, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi <= thermal.PhiBilotti {
+		t.Errorf("extracted φ = %v, want > 0.88 for a narrow DSM line", phi)
+	}
+	if phi > 4.5 {
+		t.Errorf("extracted φ = %v implausibly large", phi)
+	}
+}
+
+func TestHSQGapFillRaisesImpedance(t *testing.T) {
+	// Fig. 5: the low-k (HSQ) gap-fill process shows ≈ 20 % higher
+	// thermal impedance at the narrowest width.
+	mk := func(gap *material.Dielectric) float64 {
+		ar, err := SingleLineArray(&material.AlCu,
+			phys.Microns(0.35), phys.Microns(0.6), phys.Microns(1.2),
+			&material.Oxide, gap, phys.Microns(12), phys.Microns(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta, err := LineImpedance(ar, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return theta
+	}
+	ox := mk(&material.Oxide)
+	hsq := mk(&material.HSQ)
+	ratio := hsq / ox
+	if ratio < 1.05 || ratio > 1.5 {
+		t.Errorf("HSQ/oxide θ ratio = %v, want ≈1.2", ratio)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	ar := slabArray(t)
+	s, err := NewSolver(ar, phys.Microns(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(map[LineRef]float64{{Level: 2, Index: 0}: 1}); err == nil {
+		t.Error("unknown line must fail")
+	}
+	if _, err := s.Solve(map[LineRef]float64{{Level: 1, Index: 0}: -1}); err == nil {
+		t.Error("negative power must fail")
+	}
+	if _, err := NewSolver(ar, -1); err == nil {
+		t.Error("negative resolution must fail")
+	}
+	f, err := s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MaxDeltaT() != 0 {
+		t.Error("no power → no heating")
+	}
+	if _, err := f.ImpedancePerLength(LineRef{Level: 1, Index: 0}); err == nil {
+		t.Error("impedance of unheated line must fail")
+	}
+}
+
+func TestFieldAccessors(t *testing.T) {
+	ar := slabArray(t)
+	s, err := NewSolver(ar, phys.Microns(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := LineRef{Level: 1, Index: 0}
+	f, err := s.Solve(map[LineRef]float64{ref: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := f.Grid()
+	if len(xs) < 2 || len(ys) < 2 {
+		t.Fatal("grid accessor broken")
+	}
+	if f.CellDeltaT(0, 0) < 0 {
+		t.Error("negative ΔT in a pure-source problem")
+	}
+	dt, err := f.LineDeltaT(ref)
+	if err != nil || dt <= 0 {
+		t.Errorf("line ΔT = %v, err %v", dt, err)
+	}
+	if f.MaxDeltaT() < dt {
+		t.Error("max must be ≥ line average")
+	}
+	if _, err := f.LineDeltaT(LineRef{Level: 9}); err == nil {
+		t.Error("unknown line must fail")
+	}
+}
+
+func fig8Array(t *testing.T, count int) *geometry.Array {
+	t.Helper()
+	ar, err := geometry.UniformArray(4, count, &material.Cu,
+		phys.Microns(0.5), phys.Microns(0.6), phys.Microns(1.0), phys.Microns(0.8),
+		&material.Oxide, &material.Oxide, phys.Microns(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ar
+}
+
+func TestTable7ColumnCoupling(t *testing.T) {
+	// Table 7: M4 with M1–M4 heated loses ≈ 40 % of its allowed jpeak
+	// vs isolated (10.6 → 6.4 MA/cm², i.e. θ ratio 2.74). The column
+	// configuration (one heated line per level) is the closest
+	// realization; in the heat-limited regime jpeak ∝ 1/√θ, so require
+	// the θ factor in a band around the paper's 2.74.
+	ar := fig8Array(t, 3)
+	var column []LineRef
+	for lvl := 1; lvl <= 4; lvl++ {
+		column = append(column, LineRef{Level: lvl, Index: 1})
+	}
+	res, err := CouplingFactorFor(ar, LineRef{Level: 4, Index: 1}, column, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factor < 1.5 || res.Factor > 4.5 {
+		t.Errorf("column coupling factor = %v, want ≈2.7", res.Factor)
+	}
+	drop := 1 - 1/math.Sqrt(res.Factor)
+	if drop < 0.2 || drop > 0.55 {
+		t.Errorf("jpeak drop = %v, want ≈0.40", drop)
+	}
+}
+
+func TestCouplingGrowsWithArrayWidth(t *testing.T) {
+	// More simultaneously heated neighbors → more coupling.
+	f1, err := CouplingFactor(fig8Array(t, 1), LineRef{Level: 4, Index: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := CouplingFactor(fig8Array(t, 3), LineRef{Level: 4, Index: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Factor <= f1.Factor {
+		t.Errorf("wider heated array must couple more: %v vs %v", f3.Factor, f1.Factor)
+	}
+}
+
+func TestCouplingObservedAlwaysHeated(t *testing.T) {
+	// Passing an explicit heated set without the observed line must still
+	// include it (its own dissipation cannot be switched off).
+	ar := fig8Array(t, 1)
+	res, err := CouplingFactorFor(ar, LineRef{Level: 4, Index: 0},
+		[]LineRef{{Level: 1, Index: 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factor < 1 {
+		t.Errorf("factor = %v < 1", res.Factor)
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	// The conduction operator is symmetric, so thermal coupling is
+	// reciprocal: the temperature rise of line A per watt injected in
+	// line B equals the rise of B per watt injected in A — for ANY pair,
+	// regardless of geometry. This is a strong whole-solver property.
+	ar := fig8Array(t, 3)
+	s, err := NewSolver(ar, DefaultResolution(ar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]LineRef{
+		{{Level: 1, Index: 0}, {Level: 4, Index: 2}},
+		{{Level: 2, Index: 1}, {Level: 3, Index: 1}},
+		{{Level: 1, Index: 2}, {Level: 1, Index: 0}},
+	}
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		fa, err := s.Solve(map[LineRef]float64{a: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := s.Solve(map[LineRef]float64{b: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dtBA, _ := fa.LineDeltaT(b) // rise of B due to A
+		dtAB, _ := fb.LineDeltaT(a) // rise of A due to B
+		if math.Abs(dtBA-dtAB)/dtAB > 1e-3 {
+			t.Errorf("reciprocity violated for %v/%v: %v vs %v", a, b, dtBA, dtAB)
+		}
+	}
+}
+
+func TestThermalViasReduceImpedance(t *testing.T) {
+	// A pair of stacked dummy-via columns flanking a hot global line
+	// shorts heat toward the substrate: the line's thermal impedance must
+	// drop substantially vs the via-less structure.
+	base := func() *geometry.Array {
+		ar, err := SingleLineArray(&material.Cu,
+			phys.Microns(0.5), phys.Microns(0.9), phys.Microns(4.0),
+			&material.Oxide, &material.Oxide, phys.Microns(10), phys.Microns(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ar
+	}
+	plain, err := LineImpedance(base(), phys.Microns(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withVias := base()
+	x0, x1, err := withVias.LineSpanX(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := phys.Microns(0.5)
+	w := phys.Microns(0.5)
+	withVias.Vias = []geometry.ThermalVia{
+		{Metal: &material.W, X0: x0 - gap - w, X1: x0 - gap, Y0: 0, Y1: phys.Microns(4.0)},
+		{Metal: &material.W, X0: x1 + gap, X1: x1 + gap + w, Y0: 0, Y1: phys.Microns(4.0)},
+	}
+	cooled, err := LineImpedance(withVias, phys.Microns(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cooled >= plain {
+		t.Fatalf("vias must reduce θ: %v vs %v", cooled, plain)
+	}
+	reduction := 1 - cooled/plain
+	if reduction < 0.25 {
+		t.Errorf("via cooling only %v, want ≥ 25%%", reduction)
+	}
+
+	// A distant via pair barely helps.
+	far := base()
+	off := phys.Microns(8)
+	far.Vias = []geometry.ThermalVia{
+		{Metal: &material.W, X0: x0 - off - w, X1: x0 - off, Y0: 0, Y1: phys.Microns(4.0)},
+		{Metal: &material.W, X0: x1 + off, X1: x1 + off + w, Y0: 0, Y1: phys.Microns(4.0)},
+	}
+	farTheta, err := LineImpedance(far, phys.Microns(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farTheta >= plain {
+		t.Error("even distant vias should not hurt")
+	}
+	if (1 - farTheta/plain) > reduction {
+		t.Error("distant vias must help less than adjacent ones")
+	}
+}
+
+func TestViaValidation(t *testing.T) {
+	ar := slabArray(t)
+	ar.Vias = []geometry.ThermalVia{{Metal: nil, X0: 0, X1: 1e-6, Y0: 0, Y1: 1e-6}}
+	if err := ar.Validate(); err == nil {
+		t.Error("nil via metal must fail")
+	}
+	ar.Vias = []geometry.ThermalVia{{Metal: &material.W, X0: 1e-6, X1: 0, Y0: 0, Y1: 1e-6}}
+	if err := ar.Validate(); err == nil {
+		t.Error("inverted via extent must fail")
+	}
+}
+
+func TestLineSpanX(t *testing.T) {
+	ar := fig8Array(t, 3)
+	x0, x1, err := ar.LineSpanX(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((x1-x0)-ar.Levels[3].Width) > 1e-15 {
+		t.Error("span width mismatch")
+	}
+	// Center line of 3 is centered in the domain.
+	mid := (x0 + x1) / 2
+	if math.Abs(mid-ar.WidthExtent()/2) > 1e-12 {
+		t.Errorf("center line midpoint %v, domain mid %v", mid, ar.WidthExtent()/2)
+	}
+	if _, _, err := ar.LineSpanX(9, 0); err == nil {
+		t.Error("bad level must fail")
+	}
+	if _, _, err := ar.LineSpanX(1, 9); err == nil {
+		t.Error("bad index must fail")
+	}
+}

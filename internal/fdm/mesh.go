@@ -1,0 +1,267 @@
+// Package fdm is a finite-volume steady-state heat-conduction solver on
+// 2-D interconnect cross-sections. It is the numerical substrate standing
+// in for two things the paper relies on:
+//
+//   - the measured thermal impedances of Fig. 5 (level-1 AlCu lines in a
+//     0.25 µm process with oxide vs HSQ gap-fill), from which the
+//     quasi-2-D heat-spreading parameter φ = 2.45 is extracted, and
+//   - the finite-element simulations of Rzepka et al. (ref. [11]) for
+//     dense 3-D interconnect arrays (Fig. 8), from which the §5 thermal
+//     coupling constants and the Table 7 jpeak reduction derive.
+//
+// The model: a rectilinear cross-section (x lateral, y vertical) of
+// dielectric layers and metal lines; the silicon substrate surface is an
+// isothermal (Dirichlet, ΔT = 0) boundary — silicon conducts two orders
+// of magnitude better than the dielectrics — and the remaining boundaries
+// are adiabatic. Metal lines dissipate a specified power per unit length
+// normal to the section. The solver works in ΔT = T − Tref, which is
+// exact for temperature-independent conductivities (heating is evaluated
+// at a fixed resistivity operating point, as in Eq. 8).
+package fdm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+)
+
+// ErrInvalid reports an unusable geometry or configuration.
+var ErrInvalid = errors.New("fdm: invalid parameters")
+
+// LineRef identifies one line in an array: 1-based metallization level,
+// 0-based line index (left to right).
+type LineRef struct {
+	Level int
+	Index int
+}
+
+// mesh is a rectilinear grid: cell (i, j) spans [xs[i], xs[i+1]] ×
+// [ys[j], ys[j+1]] with conductivity k[j][i]; line cells are tagged with
+// the owning LineRef.
+type mesh struct {
+	xs, ys []float64   // grid planes, ascending
+	k      [][]float64 // k[j][i], W/(m·K)
+	rhoc   [][]float64 // rhoc[j][i], volumetric heat capacity, J/(m³·K)
+	owner  [][]int     // owner[j][i]: index into lines, or −1
+	lines  []LineRef
+	areas  []float64 // cross-sectional area of each line's cells, m²
+}
+
+func (m *mesh) nx() int { return len(m.xs) - 1 }
+func (m *mesh) ny() int { return len(m.ys) - 1 }
+
+func (m *mesh) dx(i int) float64 { return m.xs[i+1] - m.xs[i] }
+func (m *mesh) dy(j int) float64 { return m.ys[j+1] - m.ys[j] }
+
+// lineIndex returns the dense index of ref, or −1.
+func (m *mesh) lineIndex(ref LineRef) int {
+	for i, l := range m.lines {
+		if l == ref {
+			return i
+		}
+	}
+	return -1
+}
+
+// subdivide splits [a, b] into segments no longer than res (at least one,
+// at most maxPer), appending interior planes to out.
+func subdivide(a, b, res float64, maxPer int, out []float64) []float64 {
+	n := int(math.Ceil((b - a) / res))
+	if n < 1 {
+		n = 1
+	}
+	if n > maxPer {
+		n = maxPer
+	}
+	for i := 1; i < n; i++ {
+		out = append(out, a+(b-a)*float64(i)/float64(n))
+	}
+	return out
+}
+
+// uniqSorted sorts and deduplicates planes closer than tol.
+func uniqSorted(v []float64, tol float64) []float64 {
+	sort.Float64s(v)
+	out := v[:0]
+	for _, x := range v {
+		if len(out) == 0 || x-out[len(out)-1] > tol {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// lineSpanX returns the x-extent of line idx on the given level, with the
+// level's line group centered in the domain.
+func lineSpanX(ar *geometry.Array, domainW float64, lvl *geometry.ArrayLevel, idx int) (x0, x1 float64) {
+	span := float64(lvl.Count-1)*lvl.Pitch + lvl.Width
+	start := (domainW - span) / 2
+	x0 = start + float64(idx)*lvl.Pitch
+	return x0, x0 + lvl.Width
+}
+
+// paintVias overlays the thermal-via columns as metal after the dielectric
+// bands are painted (and before the lines claim their cells, so a via
+// never overrides a current-carrying line).
+func (m *mesh) paintVias(ar *geometry.Array) {
+	for vi := range ar.Vias {
+		v := &ar.Vias[vi]
+		for j := 0; j < m.ny(); j++ {
+			yc := 0.5 * (m.ys[j] + m.ys[j+1])
+			if yc < v.Y0 || yc > v.Y1 {
+				continue
+			}
+			for i := 0; i < m.nx(); i++ {
+				xc := 0.5 * (m.xs[i] + m.xs[i+1])
+				if xc < v.X0 || xc > v.X1 {
+					continue
+				}
+				m.k[j][i] = v.Metal.ThermalCond
+				m.rhoc[j][i] = v.Metal.VolumetricHeatCapacity()
+			}
+		}
+	}
+}
+
+// buildMesh rasterizes the array at the given resolution.
+func buildMesh(ar *geometry.Array, res float64) (*mesh, error) {
+	if err := ar.Validate(); err != nil {
+		return nil, err
+	}
+	if res <= 0 {
+		return nil, fmt.Errorf("%w: resolution %g", ErrInvalid, res)
+	}
+	domainW := ar.WidthExtent()
+	height := ar.Height()
+	tol := res * 1e-6
+
+	// Collect breaks at every material boundary.
+	xBreaks := []float64{0, domainW}
+	yBreaks := []float64{0, height}
+	{
+		h := 0.0
+		for _, bl := range ar.Base {
+			h += bl.Thickness
+			yBreaks = append(yBreaks, h)
+		}
+	}
+	for li := range ar.Levels {
+		lvl := &ar.Levels[li]
+		base := ar.LevelBase(li)
+		yBreaks = append(yBreaks, base, base+lvl.Thick)
+		for idx := 0; idx < lvl.Count; idx++ {
+			x0, x1 := lineSpanX(ar, domainW, lvl, idx)
+			xBreaks = append(xBreaks, x0, x1)
+		}
+	}
+	for vi := range ar.Vias {
+		v := &ar.Vias[vi]
+		xBreaks = append(xBreaks, v.X0, v.X1)
+		yBreaks = append(yBreaks, v.Y0, v.Y1)
+	}
+	xBreaks = uniqSorted(xBreaks, tol)
+	yBreaks = uniqSorted(yBreaks, tol)
+
+	// Subdivide: fine inside the wiring region, capped in the margins.
+	var xs, ys []float64
+	xs = append(xs, xBreaks...)
+	for i := 0; i+1 < len(xBreaks); i++ {
+		xs = subdivide(xBreaks[i], xBreaks[i+1], res, 24, xs)
+	}
+	ys = append(ys, yBreaks...)
+	for j := 0; j+1 < len(yBreaks); j++ {
+		ys = subdivide(yBreaks[j], yBreaks[j+1], res, 24, ys)
+	}
+	xs = uniqSorted(xs, tol)
+	ys = uniqSorted(ys, tol)
+
+	m := &mesh{xs: xs, ys: ys}
+	nx, ny := m.nx(), m.ny()
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("%w: degenerate mesh %dx%d", ErrInvalid, nx, ny)
+	}
+	m.k = make([][]float64, ny)
+	m.rhoc = make([][]float64, ny)
+	m.owner = make([][]int, ny)
+	for j := 0; j < ny; j++ {
+		m.k[j] = make([]float64, nx)
+		m.rhoc[j] = make([]float64, nx)
+		m.owner[j] = make([]int, nx)
+		for i := range m.owner[j] {
+			m.owner[j][i] = -1
+		}
+	}
+
+	// Paint materials: default = enclosing dielectric per y-band, then
+	// lines on top.
+	for j := 0; j < ny; j++ {
+		yc := 0.5 * (m.ys[j] + m.ys[j+1])
+		mat := bandMaterial(ar, yc)
+		for i := 0; i < nx; i++ {
+			m.k[j][i] = mat.ThermalCond
+			m.rhoc[j][i] = mat.VolumetricHeatCapacity()
+		}
+	}
+	m.paintVias(ar)
+	for li := range ar.Levels {
+		lvl := &ar.Levels[li]
+		base := ar.LevelBase(li)
+		top := base + lvl.Thick
+		for idx := 0; idx < lvl.Count; idx++ {
+			x0, x1 := lineSpanX(ar, domainW, lvl, idx)
+			ref := LineRef{Level: li + 1, Index: idx}
+			m.lines = append(m.lines, ref)
+			m.areas = append(m.areas, 0)
+			li2 := len(m.lines) - 1
+			for j := 0; j < ny; j++ {
+				yc := 0.5 * (m.ys[j] + m.ys[j+1])
+				if yc < base || yc > top {
+					continue
+				}
+				for i := 0; i < nx; i++ {
+					xc := 0.5 * (m.xs[i] + m.xs[i+1])
+					if xc < x0 || xc > x1 {
+						continue
+					}
+					m.k[j][i] = lvl.Metal.ThermalCond
+					m.rhoc[j][i] = lvl.Metal.VolumetricHeatCapacity()
+					m.owner[j][i] = li2
+					m.areas[li2] += m.dx(i) * m.dy(j)
+				}
+			}
+			if m.areas[li2] == 0 {
+				return nil, fmt.Errorf("%w: line %v rasterized to zero area (resolution too coarse?)", ErrInvalid, ref)
+			}
+		}
+	}
+	return m, nil
+}
+
+// bandMaterial returns the dielectric at height y outside the metal
+// lines: the gap-fill material within a level's metal band, the ILD
+// material below it, and the passivation above the top level.
+func bandMaterial(ar *geometry.Array, y float64) *material.Dielectric {
+	h := 0.0
+	for _, bl := range ar.Base {
+		if y < h+bl.Thickness {
+			return bl.Material
+		}
+		h += bl.Thickness
+	}
+	for li := range ar.Levels {
+		lvl := &ar.Levels[li]
+		if y < h+lvl.ILD {
+			return lvl.ILDMat
+		}
+		h += lvl.ILD
+		if y < h+lvl.Thick {
+			return lvl.GapFill
+		}
+		h += lvl.Thick
+	}
+	return ar.Passivation.Material
+}

@@ -1,0 +1,214 @@
+package fdm
+
+import (
+	"fmt"
+
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/mathx"
+)
+
+// Solver discretizes one array cross-section and solves steady-state heat
+// conduction for arbitrary per-line dissipations. The mesh and matrix
+// structure are built once; each Solve is a preconditioned CG run with a
+// fresh right-hand side.
+type Solver struct {
+	m    *mesh
+	a    *mathx.CSR
+	n    int
+	rtol float64
+}
+
+// NewSolver meshes the array at the given resolution (metres; a third of
+// the smallest feature is a good default — see DefaultResolution).
+func NewSolver(ar *geometry.Array, res float64) (*Solver, error) {
+	m, err := buildMesh(ar, res)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{m: m, n: m.nx() * m.ny(), rtol: 1e-10}
+	s.a = s.assemble()
+	return s, nil
+}
+
+// DefaultResolution suggests a mesh resolution for the array: one third of
+// the smallest line dimension or ILD thickness.
+func DefaultResolution(ar *geometry.Array) float64 {
+	min := ar.Passivation.Thickness
+	for i := range ar.Levels {
+		l := &ar.Levels[i]
+		for _, d := range []float64{l.Width, l.Thick, l.ILD} {
+			if d < min {
+				min = d
+			}
+		}
+	}
+	return min / 3
+}
+
+// idx maps cell (i, j) to an unknown index.
+func (s *Solver) idx(i, j int) int { return j*s.m.nx() + i }
+
+// assemble builds the SPD conduction matrix: per-unit-length face
+// conductances with series (harmonic) averaging of cell conductivities,
+// Dirichlet ΔT = 0 at the substrate surface (y = 0), adiabatic elsewhere.
+func (s *Solver) assemble() *mathx.CSR {
+	m := s.m
+	nx, ny := m.nx(), m.ny()
+	co := mathx.NewCoord(s.n)
+	face := func(d1, k1, d2, k2, w float64) float64 {
+		// Conductance between two cell centers across their shared face
+		// of width w: series half-cells.
+		return w / (d1/(2*k1) + d2/(2*k2))
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			p := s.idx(i, j)
+			// East neighbor.
+			if i+1 < nx {
+				g := face(m.dx(i), m.k[j][i], m.dx(i+1), m.k[j][i+1], m.dy(j))
+				q := s.idx(i+1, j)
+				co.Add(p, p, g)
+				co.Add(q, q, g)
+				co.Add(p, q, -g)
+				co.Add(q, p, -g)
+			}
+			// North neighbor.
+			if j+1 < ny {
+				g := face(m.dy(j), m.k[j][i], m.dy(j+1), m.k[j+1][i], m.dx(i))
+				q := s.idx(i, j+1)
+				co.Add(p, p, g)
+				co.Add(q, q, g)
+				co.Add(p, q, -g)
+				co.Add(q, p, -g)
+			}
+			// Substrate Dirichlet at y = 0: half-cell conductance to ΔT = 0.
+			if j == 0 {
+				g := m.dx(i) * m.k[j][i] / (m.dy(j) / 2)
+				co.Add(p, p, g)
+			}
+		}
+	}
+	return co.ToCSR()
+}
+
+// Field is a solved temperature-rise distribution.
+type Field struct {
+	s  *Solver
+	dt []float64 // ΔT per cell, kelvin
+	// PowerPerLength holds the applied dissipations (W/m) by line.
+	PowerPerLength map[LineRef]float64
+}
+
+// Lines lists every line present in the meshed array.
+func (s *Solver) Lines() []LineRef { return append([]LineRef(nil), s.m.lines...) }
+
+// Solve computes the steady-state ΔT field for the given per-line
+// dissipations in watts per metre of line (normal to the section). Lines
+// not present in the map dissipate nothing.
+func (s *Solver) Solve(powers map[LineRef]float64) (*Field, error) {
+	b := make([]float64, s.n)
+	for ref, p := range powers {
+		li := s.m.lineIndex(ref)
+		if li < 0 {
+			return nil, fmt.Errorf("%w: no line %+v in array", ErrInvalid, ref)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("%w: negative power for %+v", ErrInvalid, ref)
+		}
+		// Distribute uniformly over the line's cells: volumetric density
+		// p/area times cell area.
+		q := p / s.m.areas[li]
+		for j := 0; j < s.m.ny(); j++ {
+			for i := 0; i < s.m.nx(); i++ {
+				if s.m.owner[j][i] == li {
+					b[s.idx(i, j)] += q * s.m.dx(i) * s.m.dy(j)
+				}
+			}
+		}
+	}
+	x := make([]float64, s.n)
+	res := mathx.SolveCG(s.a, b, x, s.rtol, 40*s.n)
+	if !res.Converged {
+		return nil, fmt.Errorf("fdm: CG stalled at residual %g after %d iterations", res.Residual, res.Iterations)
+	}
+	pp := make(map[LineRef]float64, len(powers))
+	for k, v := range powers {
+		pp[k] = v
+	}
+	return &Field{s: s, dt: x, PowerPerLength: pp}, nil
+}
+
+// LineDeltaT returns the area-averaged temperature rise of a line.
+func (f *Field) LineDeltaT(ref LineRef) (float64, error) {
+	li := f.s.m.lineIndex(ref)
+	if li < 0 {
+		return 0, fmt.Errorf("%w: no line %+v in array", ErrInvalid, ref)
+	}
+	m := f.s.m
+	sum, area := 0.0, 0.0
+	for j := 0; j < m.ny(); j++ {
+		for i := 0; i < m.nx(); i++ {
+			if m.owner[j][i] == li {
+				a := m.dx(i) * m.dy(j)
+				sum += f.dt[f.s.idx(i, j)] * a
+				area += a
+			}
+		}
+	}
+	return sum / area, nil
+}
+
+// MaxDeltaT returns the hottest cell's temperature rise.
+func (f *Field) MaxDeltaT() float64 {
+	max := 0.0
+	for _, v := range f.dt {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// At returns the temperature rise at the cell containing (x, y), clamping
+// coordinates to the domain.
+func (f *Field) At(x, y float64) float64 {
+	m := f.s.m
+	i := locate(m.xs, x)
+	j := locate(m.ys, y)
+	return f.dt[f.s.idx(i, j)]
+}
+
+// locate finds the cell index along one axis.
+func locate(planes []float64, v float64) int {
+	n := len(planes) - 1
+	for i := 0; i < n; i++ {
+		if v < planes[i+1] {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// ImpedancePerLength returns the per-unit-length thermal impedance
+// (K·m/W) of a line in this field: its temperature rise divided by its
+// own dissipation. With other lines heated too, this is the *effective*
+// impedance, which is how §5's coupling factors are defined.
+func (f *Field) ImpedancePerLength(ref LineRef) (float64, error) {
+	p, ok := f.PowerPerLength[ref]
+	if !ok || p <= 0 {
+		return 0, fmt.Errorf("%w: line %+v carries no power", ErrInvalid, ref)
+	}
+	dt, err := f.LineDeltaT(ref)
+	if err != nil {
+		return 0, err
+	}
+	return dt / p, nil
+}
+
+// Grid exposes the mesh planes for rendering (examples/thermalmap).
+func (f *Field) Grid() (xs, ys []float64) {
+	return append([]float64(nil), f.s.m.xs...), append([]float64(nil), f.s.m.ys...)
+}
+
+// CellDeltaT returns ΔT of cell (i, j) in grid coordinates.
+func (f *Field) CellDeltaT(i, j int) float64 { return f.dt[f.s.idx(i, j)] }

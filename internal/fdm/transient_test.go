@@ -1,0 +1,177 @@
+package fdm
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/esd"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+func esdLineArray(t *testing.T) *Solver {
+	t.Helper()
+	ar, err := SingleLineArray(&material.AlCu,
+		phys.Microns(3), phys.Microns(0.6), phys.Microns(1.0),
+		&material.Oxide, &material.Oxide, phys.Microns(6), phys.Microns(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(ar, phys.Microns(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTransientApproachesSteadyState(t *testing.T) {
+	// A long power step must converge to the steady solver's answer.
+	s := esdLineArray(t)
+	ref := LineRef{Level: 1, Index: 0}
+	const p = 5.0 // W/m
+	steady, err := s.Solve(map[LineRef]float64{ref: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := steady.LineDeltaT(ref)
+	// Diffusion time over the ~2.5 µm stack: ~ L²/D ≈ 10 µs; run 100 µs.
+	tr, err := s.SolvePulse(map[LineRef]float64{ref: p}, 100e-6, 100e-6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.LineDT[ref][len(tr.LineDT[ref])-1]
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("transient end ΔT = %v, steady = %v", got, want)
+	}
+}
+
+func TestTransientMonotoneRiseAndCooling(t *testing.T) {
+	s := esdLineArray(t)
+	ref := LineRef{Level: 1, Index: 0}
+	tr, err := s.SolvePulse(map[LineRef]float64{ref: 10}, 1e-6, 3e-6, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := tr.LineDT[ref]
+	peakIdx := 0
+	for i, v := range series {
+		if v > series[peakIdx] {
+			peakIdx = i
+		}
+	}
+	// Peak occurs at (or just after) the end of the pulse.
+	tPeak := tr.Times[peakIdx]
+	if tPeak < 0.9e-6 || tPeak > 1.2e-6 {
+		t.Errorf("peak at %v, want ≈1 µs", tPeak)
+	}
+	// Monotone rise before, monotone fall after.
+	for i := 1; i <= peakIdx; i++ {
+		if series[i] < series[i-1]-1e-12 {
+			t.Fatalf("non-monotone rise at step %d", i)
+		}
+	}
+	for i := peakIdx + 2; i < len(series); i++ {
+		if series[i] > series[i-1]+1e-12 {
+			t.Fatalf("non-monotone cooling at step %d", i)
+		}
+	}
+	// Fully cooled well after the pulse? Not fully in 2 µs, but well
+	// below the peak.
+	if series[len(series)-1] > 0.8*series[peakIdx] {
+		t.Error("insufficient cooling after the pulse")
+	}
+}
+
+func TestTransientEarlyAdiabatic(t *testing.T) {
+	// At times short against the dielectric diffusion time, the line
+	// heats nearly adiabatically: ΔT ≈ P'·t/(ρc·A).
+	s := esdLineArray(t)
+	ref := LineRef{Level: 1, Index: 0}
+	const p = 50.0
+	dur := 20e-9
+	tr, err := s.SolvePulse(map[LineRef]float64{ref: p}, dur, dur, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := phys.Microns(3) * phys.Microns(0.6)
+	adiabatic := p * dur / (material.AlCu.VolumetricHeatCapacity() * area)
+	got := tr.LineDT[ref][len(tr.LineDT[ref])-1]
+	if got > adiabatic {
+		t.Errorf("transient ΔT %v cannot exceed adiabatic %v", got, adiabatic)
+	}
+	if got < 0.5*adiabatic {
+		t.Errorf("ΔT %v far below adiabatic %v — losses too strong for 20 ns", got, adiabatic)
+	}
+}
+
+// TestESDModelCrossValidation compares the lumped §6 heat-balance model
+// with the full 2-D transient solver in the sub-melting regime: the two
+// substrates must agree on the peak temperature rise within a modeling
+// band. This is the justification for using the fast lumped model in the
+// esd package's threshold searches.
+func TestESDModelCrossValidation(t *testing.T) {
+	s := esdLineArray(t)
+	ref := LineRef{Level: 1, Index: 0}
+	cfg := esd.Config{
+		Metal: &material.AlCu,
+		Width: phys.Microns(3),
+		Thick: phys.Microns(0.6),
+	}
+	for _, jMA := range []float64{10, 20} {
+		j := phys.MAPerCm2(jMA)
+		dur := 200e-9
+		out, err := esd.Simulate(cfg, esd.Pulse{J: j, Duration: dur})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lumpedRise := out.PeakTemp - phys.CToK(100)
+
+		// FDM with the dissipation evaluated at the lumped model's mean
+		// temperature (the FDM is linear; pick ρ at the midpoint rise).
+		tMid := phys.CToK(100) + lumpedRise/2
+		p := j * j * material.AlCu.Resistivity(tMid) * cfg.Width * cfg.Thick
+		tr, err := s.SolvePulse(map[LineRef]float64{ref: p}, dur, dur, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fdmRise, err := tr.PeakLineDT(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := lumpedRise / fdmRise
+		if ratio < 0.6 || ratio > 1.7 {
+			t.Errorf("j=%v MA/cm²: lumped ΔT %v vs FDM %v (ratio %v)",
+				jMA, lumpedRise, fdmRise, ratio)
+		}
+	}
+}
+
+func TestSolvePulseValidation(t *testing.T) {
+	s := esdLineArray(t)
+	ref := LineRef{Level: 1, Index: 0}
+	if _, err := s.SolvePulse(map[LineRef]float64{ref: 1}, 0, 1, 10); err == nil {
+		t.Error("zero on-duration must fail")
+	}
+	if _, err := s.SolvePulse(map[LineRef]float64{ref: 1}, 2, 1, 10); err == nil {
+		t.Error("total < on must fail")
+	}
+	if _, err := s.SolvePulse(map[LineRef]float64{ref: 1}, 1, 1, 1); err == nil {
+		t.Error("single step must fail")
+	}
+	if _, err := s.SolvePulse(map[LineRef]float64{{Level: 9}: 1}, 1, 1, 10); err == nil {
+		t.Error("unknown line must fail")
+	}
+	if _, err := s.SolvePulse(map[LineRef]float64{ref: -1}, 1, 1, 10); err == nil {
+		t.Error("negative power must fail")
+	}
+	tr, err := s.SolvePulse(map[LineRef]float64{ref: 1}, 1e-6, 1e-6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.PeakLineDT(LineRef{Level: 9}); err == nil {
+		t.Error("PeakLineDT of unheated line must fail")
+	}
+	if tr.Final == nil || len(tr.Times) != 11 {
+		t.Errorf("transient bookkeeping: %d times", len(tr.Times))
+	}
+}

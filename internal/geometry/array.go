@@ -1,0 +1,176 @@
+package geometry
+
+import (
+	"fmt"
+
+	"dsmtherm/internal/material"
+)
+
+// ArrayLevel is one metallization level of a cross-sectional interconnect
+// array (Fig. 8): parallel lines of equal width and pitch running normal
+// to the section.
+type ArrayLevel struct {
+	Metal   *material.Metal
+	Width   float64              // line width, m
+	Thick   float64              // line thickness, m
+	Pitch   float64              // line-to-line pitch (width + space), m
+	Count   int                  // number of lines on this level in the section
+	ILD     float64              // dielectric thickness below this level's lines, m
+	GapFill *material.Dielectric // intra-level (between-lines) dielectric
+	ILDMat  *material.Dielectric // inter-level dielectric below the lines
+}
+
+// Validate checks the level.
+func (a *ArrayLevel) Validate() error {
+	if a.Metal == nil || a.GapFill == nil || a.ILDMat == nil {
+		return fmt.Errorf("%w: array level with nil material", ErrInvalid)
+	}
+	if a.Width <= 0 || a.Thick <= 0 || a.ILD <= 0 || a.Count < 1 {
+		return fmt.Errorf("%w: array level dims W=%g t=%g ILD=%g n=%d",
+			ErrInvalid, a.Width, a.Thick, a.ILD, a.Count)
+	}
+	if a.Pitch < a.Width {
+		return fmt.Errorf("%w: pitch %g < width %g", ErrInvalid, a.Pitch, a.Width)
+	}
+	return nil
+}
+
+// Array is a full multi-level cross-section: substrate at the bottom, then
+// levels bottom-up, then a passivation overcoat. It is the input geometry
+// for the finite-difference thermal solver (internal/fdm) used to
+// reproduce Fig. 5 and Table 7.
+type Array struct {
+	// Base is an optional dielectric stack between the substrate surface
+	// and the first level's ILD — used to place a single analyzed line on
+	// top of the (metal-free, Eq. 15-style) representation of the levels
+	// below it.
+	Base        Stack
+	Levels      []ArrayLevel
+	Passivation Layer // topmost dielectric above the last level
+	// Vias are optional heat-sinking metal columns (no current).
+	Vias []ThermalVia
+	// MarginX is extra dielectric width added on each side of the widest
+	// level to push the adiabatic side boundaries away from the lines.
+	MarginX float64
+}
+
+// Validate checks the whole array.
+func (ar *Array) Validate() error {
+	if len(ar.Levels) == 0 {
+		return fmt.Errorf("%w: array with no levels", ErrInvalid)
+	}
+	for i := range ar.Levels {
+		if err := ar.Levels[i].Validate(); err != nil {
+			return fmt.Errorf("level %d: %w", i+1, err)
+		}
+	}
+	if ar.Passivation.Material == nil || ar.Passivation.Thickness <= 0 {
+		return fmt.Errorf("%w: missing passivation", ErrInvalid)
+	}
+	if len(ar.Base) > 0 {
+		if err := ar.Base.Validate(); err != nil {
+			return fmt.Errorf("base stack: %w", err)
+		}
+	}
+	for i := range ar.Vias {
+		if err := ar.Vias[i].Validate(); err != nil {
+			return fmt.Errorf("via %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Height returns the total stack height from substrate surface to the top
+// of the passivation.
+func (ar *Array) Height() float64 {
+	h := ar.Base.TotalThickness() + ar.Passivation.Thickness
+	for _, l := range ar.Levels {
+		h += l.ILD + l.Thick
+	}
+	return h
+}
+
+// WidthExtent returns the lateral extent occupied by the widest level plus
+// margins.
+func (ar *Array) WidthExtent() float64 {
+	w := 0.0
+	for _, l := range ar.Levels {
+		span := float64(l.Count-1)*l.Pitch + l.Width
+		if span > w {
+			w = span
+		}
+	}
+	return w + 2*ar.MarginX
+}
+
+// LevelBase returns the height of the bottom face of level i (0-based)
+// above the substrate surface.
+func (ar *Array) LevelBase(i int) float64 {
+	h := ar.Base.TotalThickness()
+	for k := 0; k < i; k++ {
+		h += ar.Levels[k].ILD + ar.Levels[k].Thick
+	}
+	return h + ar.Levels[i].ILD
+}
+
+// UniformArray builds an n-level array in which every level shares the
+// same line geometry — the Fig. 8 quadruple-level structure. count lines
+// per level, all with the given gap-fill and ILD dielectrics.
+func UniformArray(n, count int, m *material.Metal, w, t, pitch, ild float64,
+	gap, ildMat *material.Dielectric, passivation float64) (*Array, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: need at least one level", ErrInvalid)
+	}
+	ar := &Array{MarginX: 5 * pitch}
+	for i := 0; i < n; i++ {
+		ar.Levels = append(ar.Levels, ArrayLevel{
+			Metal: m, Width: w, Thick: t, Pitch: pitch, Count: count,
+			ILD: ild, GapFill: gap, ILDMat: ildMat,
+		})
+	}
+	ar.Passivation = Layer{Material: ildMat, Thickness: passivation}
+	if err := ar.Validate(); err != nil {
+		return nil, err
+	}
+	return ar, nil
+}
+
+// ThermalVia is a vertical metal column in the array cross-section — a
+// stacked dummy via used purely as a heat-sinking path from the upper
+// levels toward the substrate. It spans [X0, X1] laterally (domain
+// coordinates; see LineSpanX) and [Y0, Y1] vertically above the substrate
+// surface. Vias carry no current in this model.
+type ThermalVia struct {
+	Metal  *material.Metal
+	X0, X1 float64
+	Y0, Y1 float64
+}
+
+// Validate checks the via.
+func (v *ThermalVia) Validate() error {
+	if v.Metal == nil {
+		return fmt.Errorf("%w: via with nil metal", ErrInvalid)
+	}
+	if v.X1 <= v.X0 || v.Y1 <= v.Y0 || v.Y0 < 0 {
+		return fmt.Errorf("%w: via extent x=[%g,%g] y=[%g,%g]", ErrInvalid, v.X0, v.X1, v.Y0, v.Y1)
+	}
+	return nil
+}
+
+// LineSpanX returns the lateral extent [x0, x1] of line idx (0-based) on
+// the given 1-based level, in domain coordinates (the level's line group
+// is centered in WidthExtent). It is the coordinate frame for placing
+// thermal vias next to specific lines.
+func (ar *Array) LineSpanX(level, idx int) (x0, x1 float64, err error) {
+	if level < 1 || level > len(ar.Levels) {
+		return 0, 0, fmt.Errorf("%w: no level %d", ErrInvalid, level)
+	}
+	lvl := &ar.Levels[level-1]
+	if idx < 0 || idx >= lvl.Count {
+		return 0, 0, fmt.Errorf("%w: no line %d on level %d", ErrInvalid, idx, level)
+	}
+	span := float64(lvl.Count-1)*lvl.Pitch + lvl.Width
+	start := (ar.WidthExtent() - span) / 2
+	x0 = start + float64(idx)*lvl.Pitch
+	return x0, x0 + lvl.Width, nil
+}

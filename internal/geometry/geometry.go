@@ -1,0 +1,136 @@
+// Package geometry describes interconnect line and stack geometry: the
+// cross-section of a metal line, the dielectric stack separating it from
+// the silicon substrate, and multi-line / multi-level array layouts used by
+// the finite-difference thermal solver.
+//
+// All dimensions are metres (SI).
+package geometry
+
+import (
+	"errors"
+	"fmt"
+
+	"dsmtherm/internal/material"
+)
+
+// ErrInvalid reports out-of-domain geometry parameters.
+var ErrInvalid = errors.New("geometry: invalid parameters")
+
+// Layer is one dielectric film in a stack, bottom-up.
+type Layer struct {
+	Material  *material.Dielectric
+	Thickness float64 // m
+}
+
+// Stack is a dielectric stack between a metal line and the heat sink
+// (silicon substrate), listed bottom-up: Stack[0] touches the substrate.
+type Stack []Layer
+
+// TotalThickness returns the summed thickness b of the stack — the "tox"
+// (or b_ox) of the paper's quasi-1-D model.
+func (s Stack) TotalThickness() float64 {
+	t := 0.0
+	for _, l := range s {
+		t += l.Thickness
+	}
+	return t
+}
+
+// SeriesResistanceTerm returns Σ bᵢ/Kᵢ in m²·K/W — the generalized series
+// conduction term of the paper's Eq. (15), which replaces b/K for layered
+// (e.g. low-k gap-fill over oxide) dielectrics.
+func (s Stack) SeriesResistanceTerm() float64 {
+	r := 0.0
+	for _, l := range s {
+		r += l.Thickness / l.Material.ThermalCond
+	}
+	return r
+}
+
+// EffectiveConductivity returns the series-equivalent thermal conductivity
+// K̄ = b / Σ(bᵢ/Kᵢ): the uniform-material conductivity that would give the
+// same 1-D conduction resistance across the same total thickness.
+func (s Stack) EffectiveConductivity() float64 {
+	b := s.TotalThickness()
+	if b == 0 {
+		return 0
+	}
+	return b / s.SeriesResistanceTerm()
+}
+
+// Validate checks the stack for physical consistency.
+func (s Stack) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("%w: empty stack", ErrInvalid)
+	}
+	for i, l := range s {
+		if l.Material == nil {
+			return fmt.Errorf("%w: layer %d has nil material", ErrInvalid, i)
+		}
+		if l.Thickness <= 0 {
+			return fmt.Errorf("%w: layer %d thickness %g", ErrInvalid, i, l.Thickness)
+		}
+		if l.Material.ThermalCond <= 0 {
+			return fmt.Errorf("%w: layer %d non-conducting material %s", ErrInvalid, i, l.Material.Name)
+		}
+	}
+	return nil
+}
+
+// Line is a single interconnect line cross-section: the unit of analysis
+// for the paper's Eqs. 8–15.
+type Line struct {
+	Metal  *material.Metal
+	Width  float64 // Wm, m
+	Thick  float64 // tm, m
+	Length float64 // L, m
+	Below  Stack   // dielectric stack between line bottom and substrate
+	Level  int     // metallization level (1-based); 0 = unspecified
+}
+
+// Validate checks the line for physical consistency.
+func (l *Line) Validate() error {
+	if l.Metal == nil {
+		return fmt.Errorf("%w: nil metal", ErrInvalid)
+	}
+	if l.Width <= 0 || l.Thick <= 0 || l.Length <= 0 {
+		return fmt.Errorf("%w: non-positive dimension W=%g t=%g L=%g", ErrInvalid, l.Width, l.Thick, l.Length)
+	}
+	return l.Below.Validate()
+}
+
+// CrossSection returns the conducting cross-sectional area A = Wm·tm in m².
+func (l *Line) CrossSection() float64 { return l.Width * l.Thick }
+
+// Resistance returns the end-to-end electrical resistance at temperature T
+// (kelvin): ρ(T)·L/A.
+func (l *Line) Resistance(tKelvin float64) float64 {
+	return l.Metal.Resistivity(tKelvin) * l.Length / l.CrossSection()
+}
+
+// ResistancePerLength returns r = ρ(T)/A in Ω/m.
+func (l *Line) ResistancePerLength(tKelvin float64) float64 {
+	return l.Metal.Resistivity(tKelvin) / l.CrossSection()
+}
+
+// CurrentFromDensity converts a current density j (A/m²) in this line to an
+// absolute current (A).
+func (l *Line) CurrentFromDensity(j float64) float64 { return j * l.CrossSection() }
+
+// DensityFromCurrent converts an absolute current (A) to a current density
+// (A/m²).
+func (l *Line) DensityFromCurrent(i float64) float64 { return i / l.CrossSection() }
+
+// AspectRatio returns tm/Wm.
+func (l *Line) AspectRatio() float64 { return l.Thick / l.Width }
+
+// WidthToStackRatio returns Wm/b — the parameter that decides whether the
+// Bilotti quasi-1-D model (valid for Wm/b ≳ 0.4, §3.1) applies or the
+// quasi-2-D spreading correction is required (§3.2).
+func (l *Line) WidthToStackRatio() float64 {
+	b := l.Below.TotalThickness()
+	if b == 0 {
+		return 0
+	}
+	return l.Width / b
+}

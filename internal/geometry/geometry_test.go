@@ -1,0 +1,277 @@
+package geometry
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+func oxideStack(thickness float64) Stack {
+	return Stack{{Material: &material.Oxide, Thickness: thickness}}
+}
+
+func fig2Line() *Line {
+	// Fig. 2 caption geometry: tox = 3 µm, tm = 0.5 µm, Wm = 3 µm.
+	return &Line{
+		Metal:  &material.Cu,
+		Width:  phys.Microns(3),
+		Thick:  phys.Microns(0.5),
+		Length: phys.Microns(1000),
+		Below:  oxideStack(phys.Microns(3)),
+	}
+}
+
+func TestStackTotals(t *testing.T) {
+	s := Stack{
+		{Material: &material.Oxide, Thickness: 1e-6},
+		{Material: &material.HSQ, Thickness: 0.5e-6},
+	}
+	if math.Abs(s.TotalThickness()-1.5e-6) > 1e-18 {
+		t.Error("TotalThickness")
+	}
+	want := 1e-6/1.15 + 0.5e-6/0.6
+	if math.Abs(s.SeriesResistanceTerm()-want) > 1e-12 {
+		t.Errorf("SeriesResistanceTerm = %v, want %v", s.SeriesResistanceTerm(), want)
+	}
+	keff := s.EffectiveConductivity()
+	// Series-effective K must lie between the constituents' K values.
+	if keff <= material.HSQ.ThermalCond || keff >= material.Oxide.ThermalCond {
+		t.Errorf("effective K = %v outside (0.6, 1.15)", keff)
+	}
+}
+
+func TestStackSingleLayerEffectiveK(t *testing.T) {
+	s := oxideStack(2e-6)
+	if math.Abs(s.EffectiveConductivity()-1.15) > 1e-12 {
+		t.Errorf("single-layer effective K = %v", s.EffectiveConductivity())
+	}
+}
+
+func TestEmptyStack(t *testing.T) {
+	var s Stack
+	if s.TotalThickness() != 0 || s.EffectiveConductivity() != 0 {
+		t.Error("empty stack should be degenerate zero")
+	}
+	if err := s.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("empty stack must not validate")
+	}
+}
+
+func TestStackValidate(t *testing.T) {
+	bad := Stack{{Material: &material.Oxide, Thickness: -1}}
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("negative thickness must not validate")
+	}
+	bad2 := Stack{{Material: nil, Thickness: 1e-6}}
+	if err := bad2.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("nil material must not validate")
+	}
+}
+
+func TestLineBasics(t *testing.T) {
+	l := fig2Line()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.CrossSection()-1.5e-12) > 1e-24 {
+		t.Errorf("A = %v, want 1.5e-12 m²", l.CrossSection())
+	}
+	// R = ρL/A at 100 °C: 1.67e-8·1e-3/1.5e-12 ≈ 11.13 Ω.
+	r := l.Resistance(material.Tref100C)
+	if math.Abs(r-11.133) > 0.01 {
+		t.Errorf("R = %v, want ≈11.13", r)
+	}
+	if math.Abs(l.ResistancePerLength(material.Tref100C)*l.Length-r) > 1e-9 {
+		t.Error("per-length resistance inconsistent")
+	}
+	// 1 MA/cm² in a 1.5 µm² line is 15 mA.
+	i := l.CurrentFromDensity(phys.MAPerCm2(1))
+	if math.Abs(i-0.015) > 1e-9 {
+		t.Errorf("I = %v, want 0.015", i)
+	}
+	if math.Abs(l.DensityFromCurrent(i)-phys.MAPerCm2(1)) > 1 {
+		t.Error("density round trip")
+	}
+	if math.Abs(l.AspectRatio()-1.0/6) > 1e-12 {
+		t.Error("aspect ratio")
+	}
+	if math.Abs(l.WidthToStackRatio()-1.0) > 1e-12 {
+		t.Errorf("W/b = %v, want 1", l.WidthToStackRatio())
+	}
+}
+
+func TestLineValidate(t *testing.T) {
+	l := fig2Line()
+	l.Width = 0
+	if err := l.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("zero width must not validate")
+	}
+	l2 := fig2Line()
+	l2.Metal = nil
+	if err := l2.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("nil metal must not validate")
+	}
+	l3 := fig2Line()
+	l3.Below = nil
+	if err := l3.Validate(); err == nil {
+		t.Error("missing stack must not validate")
+	}
+}
+
+func TestWidthToStackRatioNoStack(t *testing.T) {
+	l := &Line{Width: 1e-6}
+	if l.WidthToStackRatio() != 0 {
+		t.Error("W/b with empty stack should be 0")
+	}
+}
+
+func TestUniformArray(t *testing.T) {
+	ar, err := UniformArray(4, 5, &material.Cu,
+		phys.Microns(0.5), phys.Microns(0.5), phys.Microns(1.0), phys.Microns(0.8),
+		&material.Oxide, &material.Oxide, phys.Microns(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Levels) != 4 {
+		t.Fatal("level count")
+	}
+	// Height: 4·(0.8+0.5) + 1.0 = 6.2 µm.
+	if math.Abs(ar.Height()-phys.Microns(6.2)) > 1e-12 {
+		t.Errorf("height = %v", phys.ToMicrons(ar.Height()))
+	}
+	// Width extent: 4 pitches + width + 2·margin(5 pitches) = 14.5 µm.
+	if math.Abs(ar.WidthExtent()-phys.Microns(14.5)) > 1e-12 {
+		t.Errorf("extent = %v µm", phys.ToMicrons(ar.WidthExtent()))
+	}
+	// Level bases: M1 at 0.8 µm, M2 at 0.8+1.3 = 2.1 µm.
+	if math.Abs(ar.LevelBase(0)-phys.Microns(0.8)) > 1e-12 {
+		t.Error("LevelBase(0)")
+	}
+	if math.Abs(ar.LevelBase(1)-phys.Microns(2.1)) > 1e-12 {
+		t.Error("LevelBase(1)")
+	}
+}
+
+func TestUniformArrayValidation(t *testing.T) {
+	if _, err := UniformArray(0, 1, &material.Cu, 1e-6, 1e-6, 2e-6, 1e-6,
+		&material.Oxide, &material.Oxide, 1e-6); err == nil {
+		t.Error("zero levels must fail")
+	}
+	// Pitch below width must fail.
+	if _, err := UniformArray(1, 2, &material.Cu, 2e-6, 1e-6, 1e-6, 1e-6,
+		&material.Oxide, &material.Oxide, 1e-6); err == nil {
+		t.Error("pitch < width must fail")
+	}
+}
+
+func TestArrayLevelValidate(t *testing.T) {
+	lvl := ArrayLevel{
+		Metal: &material.Cu, Width: 1e-6, Thick: 1e-6, Pitch: 2e-6,
+		Count: 1, ILD: 1e-6, GapFill: &material.Oxide, ILDMat: &material.Oxide,
+	}
+	if err := lvl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := lvl
+	bad.Count = 0
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("count 0 must fail")
+	}
+	bad2 := lvl
+	bad2.GapFill = nil
+	if err := bad2.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("nil gap fill must fail")
+	}
+}
+
+func TestThermalViaValidate(t *testing.T) {
+	good := ThermalVia{Metal: &material.W, X0: 0, X1: 1e-6, Y0: 0, Y1: 2e-6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ThermalVia{
+		{X0: 0, X1: 1e-6, Y0: 0, Y1: 1e-6},                         // nil metal
+		{Metal: &material.W, X0: 1e-6, X1: 0, Y0: 0, Y1: 1e-6},     // inverted x
+		{Metal: &material.W, X0: 0, X1: 1e-6, Y0: 1e-6, Y1: 1e-7},  // inverted y
+		{Metal: &material.W, X0: 0, X1: 1e-6, Y0: -1e-6, Y1: 1e-6}, // below substrate
+	}
+	for i, v := range bad {
+		if err := v.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("via %d must not validate", i)
+		}
+	}
+	// Array validation covers the via list.
+	ar, err := UniformArray(1, 1, &material.Cu, 1e-6, 1e-6, 2e-6, 1e-6,
+		&material.Oxide, &material.Oxide, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.Vias = []ThermalVia{bad[0]}
+	if err := ar.Validate(); err == nil {
+		t.Error("array with bad via must not validate")
+	}
+}
+
+func TestLineSpanXGeometry(t *testing.T) {
+	ar, err := UniformArray(2, 3, &material.Cu,
+		phys.Microns(0.5), phys.Microns(0.5), phys.Microns(1.5), phys.Microns(1),
+		&material.Oxide, &material.Oxide, phys.Microns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent lines are one pitch apart; widths match the level.
+	a0, a1, err := ar.LineSpanX(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, b1, err := ar.LineSpanX(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((b0-a0)-phys.Microns(1.5)) > 1e-15 {
+		t.Errorf("pitch spacing = %v", b0-a0)
+	}
+	if math.Abs((a1-a0)-phys.Microns(0.5)) > 1e-15 || math.Abs((b1-b0)-phys.Microns(0.5)) > 1e-15 {
+		t.Error("span widths wrong")
+	}
+	// Group is centered.
+	c0, c1, _ := ar.LineSpanX(2, 2)
+	mid := (a0 + c1) / 2
+	_ = c0
+	if math.Abs(mid-ar.WidthExtent()/2) > 1e-12 {
+		t.Errorf("group midpoint %v vs domain mid %v", mid, ar.WidthExtent()/2)
+	}
+	if _, _, err := ar.LineSpanX(0, 0); err == nil {
+		t.Error("level 0 must fail")
+	}
+	if _, _, err := ar.LineSpanX(1, 3); err == nil {
+		t.Error("index out of range must fail")
+	}
+}
+
+func TestBaseStackInArray(t *testing.T) {
+	ar, err := UniformArray(1, 1, &material.Cu, 1e-6, 1e-6, 2e-6, 1e-6,
+		&material.Oxide, &material.Oxide, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := ar.Height()
+	base0 := ar.LevelBase(0)
+	ar.Base = Stack{{Material: &material.HSQ, Thickness: 2e-6}}
+	if err := ar.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ar.Height()-(h0+2e-6)) > 1e-15 {
+		t.Error("base must add to height")
+	}
+	if math.Abs(ar.LevelBase(0)-(base0+2e-6)) > 1e-15 {
+		t.Error("base must lift the levels")
+	}
+	ar.Base = Stack{{Material: nil, Thickness: 1e-6}}
+	if err := ar.Validate(); err == nil {
+		t.Error("bad base stack must not validate")
+	}
+}

@@ -1,0 +1,154 @@
+// Package material is the materials database for dsmtherm: interconnect
+// metals (resistivity vs temperature, thermophysical properties, EM
+// parameters) and dielectrics (thermal conductivity, permittivity).
+//
+// Table 1 of the paper (thermal conductivity of PETEOS oxide, HSQ, and
+// polyimide) is carried verbatim; the remaining properties are the standard
+// late-1990s literature values the paper's references rely on (Black 1969,
+// Hunter 1997, Banerjee 1996/1997, Jin 1996, Goodson).
+package material
+
+import (
+	"fmt"
+
+	"dsmtherm/internal/phys"
+)
+
+// Metal describes an interconnect metal.
+//
+// Resistivity follows the linear model used by the paper:
+//
+//	ρ(T) = Rho0 · [1 + TCR · (T − RhoRefTemp)]
+//
+// where Rho0 is the resistivity at RhoRefTemp. The paper's Fig. 2 caption
+// gives Cu as ρ(Tm) = 1.67 µΩ·cm · [1 + 6.8e-3 °C⁻¹ (Tm − Tref)] with
+// Tref = 100 °C — i.e. referenced to the chip operating temperature, not
+// to 0 or 20 °C — and the database mirrors that convention.
+type Metal struct {
+	Name string
+
+	Rho0       float64 // resistivity at RhoRefTemp, Ω·m
+	TCR        float64 // temperature coefficient of resistivity, 1/K
+	RhoRefTemp float64 // reference temperature for Rho0, K
+
+	Density      float64 // kg/m³
+	SpecificHeat float64 // J/(kg·K)
+	ThermalCond  float64 // W/(m·K), near room temperature
+	MeltingPoint float64 // K
+	LatentHeat   float64 // J/kg, heat of fusion
+
+	// Electromigration (Black's equation) parameters.
+	EMExponent   float64 // current-density exponent n (≈ 2 in use conditions)
+	EMActivation float64 // activation energy Q, eV
+
+	// CriticalESD is the experimentally observed current density causing
+	// open-circuit (melt) failure under < 200 ns pulses, A/m². The paper
+	// cites 60 MA/cm² for AlCu (Banerjee et al. 1997). Zero means unknown.
+	CriticalESD float64
+}
+
+// Resistivity returns ρ(T) in Ω·m at the absolute temperature T (kelvin).
+// The linear model is clamped so extreme extrapolation below the reference
+// cannot produce a negative resistivity: values below 1 % of Rho0 are
+// reported as 1 % of Rho0.
+func (m *Metal) Resistivity(tKelvin float64) float64 {
+	rho := m.Rho0 * (1 + m.TCR*(tKelvin-m.RhoRefTemp))
+	if min := 0.01 * m.Rho0; rho < min {
+		return min
+	}
+	return rho
+}
+
+// SheetResistance returns the sheet resistance (Ω/□) of a film of the given
+// thickness (m) at temperature T.
+func (m *Metal) SheetResistance(thickness, tKelvin float64) float64 {
+	return m.Resistivity(tKelvin) / thickness
+}
+
+// VolumetricHeatCapacity returns ρ·cp in J/(m³·K).
+func (m *Metal) VolumetricHeatCapacity() float64 {
+	return m.Density * m.SpecificHeat
+}
+
+// String implements fmt.Stringer.
+func (m *Metal) String() string { return m.Name }
+
+// Tref100C is the paper's reference chip temperature, 100 °C, in kelvins.
+// Resistivity reference temperatures and the self-consistent formulation
+// both use it.
+var Tref100C = phys.CToK(100)
+
+// Standard metals. These are package-level immutable values; callers that
+// need to perturb a parameter (ablation studies) should copy the struct.
+var (
+	// Cu matches the Fig. 2 caption exactly: 1.67 µΩ·cm at 100 °C with
+	// TCR 6.8e-3 /°C about that reference. Q = 0.8 eV is the era's
+	// accepted Cu interface-diffusion activation energy (the paper leaves
+	// it unprinted; see DESIGN.md note 5 and the activation-energy
+	// ablation bench).
+	Cu = Metal{
+		Name:         "Cu",
+		Rho0:         phys.MicroOhmCm(1.67),
+		TCR:          6.8e-3,
+		RhoRefTemp:   Tref100C,
+		Density:      8960,
+		SpecificHeat: 385,
+		ThermalCond:  400,
+		MeltingPoint: 1357.8,
+		LatentHeat:   2.05e5,
+		EMExponent:   2,
+		EMActivation: 0.8,
+		CriticalESD:  phys.MAPerCm2(90),
+	}
+
+	// AlCu is Al-0.5%Cu, the incumbent metallization the paper compares
+	// against. ρ ≈ 3.2 µΩ·cm at 100 °C (2.9 µΩ·cm at 20 °C with
+	// TCR ≈ 3.9e-3 /K, re-referenced), Q = 0.7 eV as stated in §2.2,
+	// ESD critical current density 60 MA/cm² (§6, Banerjee 1997).
+	AlCu = Metal{
+		Name:         "AlCu",
+		Rho0:         phys.MicroOhmCm(3.2),
+		TCR:          3.9e-3,
+		RhoRefTemp:   Tref100C,
+		Density:      2700,
+		SpecificHeat: 900,
+		ThermalCond:  200,
+		MeltingPoint: 933.5,
+		LatentHeat:   3.97e5,
+		EMExponent:   2,
+		EMActivation: 0.7,
+		CriticalESD:  phys.MAPerCm2(60),
+	}
+
+	// W (tungsten) is used for contacts/vias and local interconnect in
+	// 0.25 µm flows; included for stack modeling completeness.
+	W = Metal{
+		Name:         "W",
+		Rho0:         phys.MicroOhmCm(14),
+		TCR:          4.5e-3,
+		RhoRefTemp:   Tref100C,
+		Density:      19300,
+		SpecificHeat: 134,
+		ThermalCond:  170,
+		MeltingPoint: 3695,
+		LatentHeat:   1.93e5,
+		EMExponent:   2,
+		EMActivation: 1.0,
+	}
+)
+
+// MetalByName returns the standard metal with the given name.
+func MetalByName(name string) (*Metal, error) {
+	switch name {
+	case "Cu", "cu":
+		m := Cu
+		return &m, nil
+	case "AlCu", "alcu", "Al-Cu":
+		m := AlCu
+		return &m, nil
+	case "W", "w":
+		m := W
+		return &m, nil
+	}
+	return nil, fmt.Errorf("material: unknown metal %q", name)
+}

@@ -1,0 +1,92 @@
+package mathx
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CDense is a dense row-major complex matrix (the frequency-domain MNA
+// system G + jωC of the AC analysis).
+type CDense struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCDense allocates an r×c zero matrix.
+func NewCDense(r, c int) *CDense {
+	return &CDense{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i, j).
+func (m *CDense) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CDense) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *CDense) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Zero resets all elements.
+func (m *CDense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// SolveCDense solves A·x = b in place of a copy of A (partial pivoting by
+// magnitude). A and b are not modified.
+func SolveCDense(a *CDense, b []complex128) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mathx: SolveCDense needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mathx: SolveCDense dimension mismatch")
+	}
+	lu := make([]complex128, n*n)
+	copy(lu, a.Data)
+	x := make([]complex128, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot by magnitude.
+		p, best := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu[i*n+k]); a > best {
+				p, best = i, a
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] / pivot
+			if l == 0 {
+				continue
+			}
+			lu[i*n+k] = l
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= l * lu[k*n+j]
+			}
+			x[i] -= l * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i*n+j] * x[j]
+		}
+		x[i] = s / lu[i*n+i]
+	}
+	return x, nil
+}

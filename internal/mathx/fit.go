@@ -1,0 +1,130 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit holds the result of an ordinary least-squares straight-line fit
+// y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64 // coefficient of determination
+}
+
+// FitLine performs a least-squares straight-line fit through the points
+// (xs[i], ys[i]). At least two distinct abscissae are required.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	n := len(xs)
+	if n < 2 || n != len(ys) {
+		return LinearFit{}, fmt.Errorf("mathx: FitLine needs >=2 equal-length points, got %d, %d", len(xs), len(ys))
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("mathx: FitLine abscissae are all equal")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// FitPowerLaw fits y ≈ A·x^p by a straight-line fit in log–log space.
+// All xs and ys must be positive.
+func FitPowerLaw(xs, ys []float64) (a, p float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("mathx: FitPowerLaw needs positive data (index %d)", i)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	f, err := FitLine(lx, ly)
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Exp(f.Intercept), f.Slope, nil
+}
+
+// FitArrhenius fits y ≈ A·exp(Q / (kB·T)) given temperatures T (kelvin) and
+// positive observations y, returning the prefactor A and activation energy
+// Q in the same energy units as kB. It is used to recover Black's-equation
+// parameters from synthetic accelerated-test data.
+func FitArrhenius(tKelvin, ys []float64, kB float64) (a, q float64, err error) {
+	xs := make([]float64, len(tKelvin))
+	ly := make([]float64, len(ys))
+	for i := range tKelvin {
+		if tKelvin[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("mathx: FitArrhenius needs positive data (index %d)", i)
+		}
+		xs[i] = 1 / (kB * tKelvin[i])
+		ly[i] = math.Log(ys[i])
+	}
+	f, err := FitLine(xs, ly)
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Exp(f.Intercept), f.Slope, nil
+}
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// MinMax returns the smallest and largest values of v. It panics on empty
+// input.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		panic("mathx: MinMax of empty slice")
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

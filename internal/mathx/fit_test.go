@@ -1,0 +1,154 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Errorf("fit %+v, want slope 2 intercept 1", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i) / 50
+		xs = append(xs, x)
+		ys = append(ys, -0.7*x+4+0.01*rng.NormFloat64())
+	}
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope+0.7) > 0.01 || math.Abs(f.Intercept-4) > 0.01 {
+		t.Errorf("noisy fit %+v", f)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R2 = %v, want ≈1", f.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for degenerate abscissae")
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5 * math.Pow(x, -1.25)
+	}
+	a, p, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-3.5) > 1e-9 || math.Abs(p+1.25) > 1e-9 {
+		t.Errorf("power-law fit a=%v p=%v", a, p)
+	}
+	if _, _, err := FitPowerLaw([]float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Error("expected error for non-positive data")
+	}
+}
+
+func TestFitArrhenius(t *testing.T) {
+	// Synthetic Black's-equation data: TTF = A·exp(Q/kB/T).
+	const kB = 8.617333262e-5 // eV/K
+	const a0, q0 = 2.0e-3, 0.7
+	ts := []float64{350, 400, 450, 500}
+	ys := make([]float64, len(ts))
+	for i, T := range ts {
+		ys[i] = a0 * math.Exp(q0/(kB*T))
+	}
+	a, q, err := FitArrhenius(ts, ys, kB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-a0)/a0 > 1e-6 || math.Abs(q-q0) > 1e-9 {
+		t.Errorf("arrhenius fit a=%v q=%v", a, q)
+	}
+}
+
+func TestStats(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	v := []float64{1, 2, 3, 4}
+	if Mean(v) != 2.5 {
+		t.Error("Mean")
+	}
+	if math.Abs(StdDev(v)-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("StdDev = %v", StdDev(v))
+	}
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestInterp1D(t *testing.T) {
+	in, err := NewInterp1D([]float64{0, 1, 3}, []float64{0, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{
+		-1:  0, // clamp left
+		0:   0,
+		0.5: 5,
+		1:   10,
+		2:   20,
+		3:   30,
+		9:   30, // clamp right
+	}
+	for x, want := range cases {
+		if got := in.At(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if in.Min() != 0 || in.Max() != 3 {
+		t.Error("Min/Max")
+	}
+	if _, err := NewInterp1D([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("expected error for non-increasing abscissae")
+	}
+	if _, err := NewInterp1D(nil, nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestLinspaceLogspace(t *testing.T) {
+	ls := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(ls[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %v", i, ls[i])
+		}
+	}
+	lg := Logspace(1e-4, 1, 5)
+	if lg[0] != 1e-4 || lg[4] != 1 {
+		t.Errorf("Logspace endpoints %v", lg)
+	}
+	for i := 1; i < len(lg); i++ {
+		ratio := lg[i] / lg[i-1]
+		if math.Abs(ratio-10) > 1e-9 {
+			t.Errorf("Logspace ratio %v", ratio)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interp1D is a piecewise-linear interpolant over strictly increasing
+// abscissae. Evaluation outside the range clamps to the end values (flat
+// extrapolation), which is the safe choice for tabulated material data.
+type Interp1D struct {
+	xs, ys []float64
+}
+
+// NewInterp1D builds an interpolant from parallel slices. xs must be
+// strictly increasing and of the same nonzero length as ys.
+func NewInterp1D(xs, ys []float64) (*Interp1D, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("mathx: interp needs equal nonzero lengths, got %d, %d", len(xs), len(ys))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("mathx: interp abscissae not strictly increasing at %d", i)
+		}
+	}
+	in := &Interp1D{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+	return in, nil
+}
+
+// At evaluates the interpolant at x.
+func (in *Interp1D) At(x float64) float64 {
+	n := len(in.xs)
+	if x <= in.xs[0] {
+		return in.ys[0]
+	}
+	if x >= in.xs[n-1] {
+		return in.ys[n-1]
+	}
+	i := sort.SearchFloat64s(in.xs, x)
+	// xs[i-1] < x <= xs[i]
+	x0, x1 := in.xs[i-1], in.xs[i]
+	y0, y1 := in.ys[i-1], in.ys[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Min returns the smallest abscissa.
+func (in *Interp1D) Min() float64 { return in.xs[0] }
+
+// Max returns the largest abscissa.
+func (in *Interp1D) Max() float64 { return in.xs[len(in.xs)-1] }
+
+// Linspace returns n evenly spaced values covering [a, b] inclusive.
+// n must be ≥ 2.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		panic("mathx: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}
+
+// Logspace returns n logarithmically spaced values covering [a, b]
+// inclusive; a and b must be positive.
+func Logspace(a, b float64, n int) []float64 {
+	if a <= 0 || b <= 0 {
+		panic("mathx: Logspace needs positive endpoints")
+	}
+	la, lb := math.Log(a), math.Log(b)
+	out := Linspace(la, lb, n)
+	for i, v := range out {
+		out[i] = math.Exp(v)
+	}
+	out[0], out[n-1] = a, b
+	return out
+}

@@ -1,0 +1,234 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear solve encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mathx: singular matrix")
+
+// Dense is a dense row-major matrix. The zero value is an empty matrix;
+// use NewDense to allocate.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j). MNA stamping is additive, so this
+// is the primitive the circuit simulator uses.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Zero resets every element to 0 without reallocating.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	n := NewDense(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// MulVec computes y = M·x. y must have length Rows and x length Cols.
+func (m *Dense) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("mathx: MulVec dimension mismatch %dx%d vs %d,%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// LU is an in-place LU factorization with partial pivoting of a square
+// dense matrix, reusable across multiple right-hand sides (the transient
+// circuit simulator refactors only when the timestep or operating point
+// changes).
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// FactorLU computes the LU factorization of the square matrix m. m is not
+// modified. It returns ErrSingular when a pivot is exactly zero.
+func FactorLU(m *Dense) (*LU, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("mathx: FactorLU needs square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, m.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, maxAbs := k, math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(f.lu[i*n+k]); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.lu[k*n+j], f.lu[p*n+j] = f.lu[p*n+j], f.lu[k*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.lu[i*n+k] / pivot
+			f.lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu[i*n+j] -= l * f.lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the factorization. b is not modified; the
+// result is written into x (which may alias b).
+func (f *LU) Solve(b, x []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("mathx: LU.Solve dimension mismatch")
+	}
+	// Apply permutation into x.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		s := tmp[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * tmp[j]
+		}
+		tmp[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * tmp[j]
+		}
+		tmp[i] = s / f.lu[i*n+i]
+	}
+	copy(x, tmp)
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveDense is a one-shot convenience: solve A·x = b for dense square A.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	f.Solve(b, x)
+	return x, nil
+}
+
+// SolveTridiag solves a tridiagonal system with sub-diagonal a, diagonal b,
+// super-diagonal c and right-hand side d using the Thomas algorithm.
+// a[0] and c[n-1] are ignored. The inputs are not modified.
+// It returns ErrSingular if a pivot vanishes (the algorithm does not pivot;
+// diagonally dominant systems, as produced by 1-D heat discretizations, are
+// always safe).
+func SolveTridiag(a, b, c, d []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(d) != n {
+		return nil, fmt.Errorf("mathx: SolveTridiag length mismatch")
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if b[0] == 0 {
+		return nil, ErrSingular
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return nil, ErrSingular
+		}
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// NormInf returns the maximum absolute entry of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += alpha·x in place.
+func Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

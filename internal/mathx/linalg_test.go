@@ -1,0 +1,196 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 7 || m.At(0, 1) != 0 {
+		t.Errorf("dense get/set/add broken: %+v", m)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Error("Zero left nonzero entries")
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	y := make([]float64, 2)
+	m.MulVec([]float64{1, 1}, y)
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec got %v", y)
+	}
+}
+
+func TestLUKnownSystem(t *testing.T) {
+	a := NewDense(3, 3)
+	vals := [][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	x, err := SolveDense(a, []float64{5, -2, 9})
+	if err != nil {
+		t.Fatalf("SolveDense: %v", err)
+	}
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := FactorLU(a); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(NewDense(2, 3)); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+}
+
+// Property: solving A·x = A·x0 recovers x0 for random diagonally dominant A.
+func TestLUPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Add(i, i, rowSum+1) // ensure strict diagonal dominance
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(x0, b)
+		x, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-x0[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d]=%v want %v", trial, i, x[i], x0[i])
+			}
+		}
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-10) > 1e-12 {
+		t.Errorf("Det = %v, want 10", f.Det())
+	}
+}
+
+func TestSolveTridiag(t *testing.T) {
+	// -u'' = 1 on [0,1], u(0)=u(1)=0 discretized: exact u = x(1-x)/2.
+	n := 101
+	h := 1.0 / float64(n+1)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i], b[i], c[i], d[i] = -1, 2, -1, h*h
+	}
+	x, err := SolveTridiag(a, b, c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		xi := float64(i+1) * h
+		want := xi * (1 - xi) / 2
+		if math.Abs(x[i]-want) > 1e-10 {
+			t.Fatalf("u(%v) = %v, want %v", xi, x[i], want)
+		}
+	}
+}
+
+func TestSolveTridiagErrors(t *testing.T) {
+	if _, err := SolveTridiag([]float64{1}, []float64{1, 2}, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := SolveTridiag([]float64{0, 1}, []float64{0, 1}, []float64{0, 1}, []float64{1, 1}); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{3, 4}
+	if Dot(a, a) != 25 {
+		t.Error("Dot")
+	}
+	if Norm2(a) != 5 {
+		t.Error("Norm2")
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Error("NormInf")
+	}
+	y := []float64{1, 1}
+	Axpy(2, a, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Error("Axpy")
+	}
+}
+
+// Property: ‖x‖∞ ≤ ‖x‖₂ for all vectors.
+func TestNormOrdering(t *testing.T) {
+	prop := func(v []float64) bool {
+		if len(v) == 0 {
+			return true
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		return NormInf(v) <= Norm2(v)*(1+1e-12)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ODEFunc is the right-hand side of an autonomous-or-not scalar-vector ODE
+// system dy/dt = f(t, y). The result is written into dydt, which has the
+// same length as y.
+type ODEFunc func(t float64, y, dydt []float64)
+
+// ErrStepUnderflow is returned by the adaptive integrator when the required
+// step size falls below machine-meaningful resolution (typically a stiff
+// blow-up such as thermal runaway at metal melt).
+var ErrStepUnderflow = errors.New("mathx: ODE step size underflow")
+
+// RK4Step advances y by one classical Runge–Kutta step of size h.
+// Scratch slices are allocated internally; use RK4Integrate for repeated
+// stepping without per-step allocation.
+func RK4Step(f ODEFunc, t float64, y []float64, h float64) []float64 {
+	n := len(y)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	out := make([]float64, n)
+
+	f(t, y, k1)
+	for i := range tmp {
+		tmp[i] = y[i] + 0.5*h*k1[i]
+	}
+	f(t+0.5*h, tmp, k2)
+	for i := range tmp {
+		tmp[i] = y[i] + 0.5*h*k2[i]
+	}
+	f(t+0.5*h, tmp, k3)
+	for i := range tmp {
+		tmp[i] = y[i] + h*k3[i]
+	}
+	f(t+h, tmp, k4)
+	for i := range out {
+		out[i] = y[i] + h/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
+	}
+	return out
+}
+
+// StopFunc lets integrations terminate early; returning true at (t, y)
+// halts the integrator after that sample is recorded.
+type StopFunc func(t float64, y []float64) bool
+
+// ODEResult holds an integration trajectory.
+type ODEResult struct {
+	T       []float64
+	Y       [][]float64 // Y[k] is the state at T[k]
+	Stopped bool        // true if a StopFunc ended the run before tEnd
+}
+
+// RK4Integrate integrates dy/dt = f from t0 to tEnd with fixed step h,
+// recording every step. stop may be nil.
+func RK4Integrate(f ODEFunc, t0, tEnd float64, y0 []float64, h float64, stop StopFunc) ODEResult {
+	res := ODEResult{}
+	t := t0
+	y := append([]float64(nil), y0...)
+	res.T = append(res.T, t)
+	res.Y = append(res.Y, append([]float64(nil), y...))
+	for t < tEnd {
+		step := h
+		if t+step > tEnd {
+			step = tEnd - t
+		}
+		y = RK4Step(f, t, y, step)
+		t += step
+		res.T = append(res.T, t)
+		res.Y = append(res.Y, append([]float64(nil), y...))
+		if stop != nil && stop(t, y) {
+			res.Stopped = true
+			return res
+		}
+	}
+	return res
+}
+
+// RK45Integrate integrates with an adaptive Runge–Kutta–Fehlberg 4(5)
+// scheme to relative tolerance rtol (per component, with atol floor).
+// It records accepted steps only. stop may be nil.
+func RK45Integrate(f ODEFunc, t0, tEnd float64, y0 []float64, rtol, atol float64, stop StopFunc) (ODEResult, error) {
+	// Fehlberg coefficients.
+	var (
+		a2                          = 0.25
+		a3, b31, b32                = 3.0 / 8, 3.0 / 32, 9.0 / 32
+		a4, b41, b42, b43           = 12.0 / 13, 1932.0 / 2197, -7200.0 / 2197, 7296.0 / 2197
+		b51, b52, b53, b54          = 439.0 / 216, -8.0, 3680.0 / 513, -845.0 / 4104
+		a6, b61, b62, b63, b64, b65 = 0.5, -8.0 / 27, 2.0, -3544.0 / 2565, 1859.0 / 4104, -11.0 / 40
+		// 4th-order solution weights.
+		c1, c3, c4, c5 = 25.0 / 216, 1408.0 / 2565, 2197.0 / 4104, -1.0 / 5
+		// 5th-order solution weights.
+		d1, d3, d4, d5, d6 = 16.0 / 135, 6656.0 / 12825, 28561.0 / 56430, -9.0 / 50, 2.0 / 55
+	)
+	n := len(y0)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	k5 := make([]float64, n)
+	k6 := make([]float64, n)
+	tmp := make([]float64, n)
+
+	res := ODEResult{}
+	t := t0
+	y := append([]float64(nil), y0...)
+	res.T = append(res.T, t)
+	res.Y = append(res.Y, append([]float64(nil), y...))
+	h := (tEnd - t0) / 100
+	hMin := (tEnd - t0) * 1e-14
+	for t < tEnd {
+		if t+h > tEnd {
+			h = tEnd - t
+		}
+		f(t, y, k1)
+		for i := range tmp {
+			tmp[i] = y[i] + h*a2*k1[i]
+		}
+		f(t+a2*h, tmp, k2)
+		for i := range tmp {
+			tmp[i] = y[i] + h*(b31*k1[i]+b32*k2[i])
+		}
+		f(t+a3*h, tmp, k3)
+		for i := range tmp {
+			tmp[i] = y[i] + h*(b41*k1[i]+b42*k2[i]+b43*k3[i])
+		}
+		f(t+a4*h, tmp, k4)
+		for i := range tmp {
+			tmp[i] = y[i] + h*(b51*k1[i]+b52*k2[i]+b53*k3[i]+b54*k4[i])
+		}
+		f(t+h, tmp, k5)
+		for i := range tmp {
+			tmp[i] = y[i] + h*(b61*k1[i]+b62*k2[i]+b63*k3[i]+b64*k4[i]+b65*k5[i])
+		}
+		f(t+a6*h, tmp, k6)
+
+		// Error estimate = |y5 − y4| per component.
+		errNorm := 0.0
+		for i := 0; i < n; i++ {
+			y4 := y[i] + h*(c1*k1[i]+c3*k3[i]+c4*k4[i]+c5*k5[i])
+			y5 := y[i] + h*(d1*k1[i]+d3*k3[i]+d4*k4[i]+d5*k5[i]+d6*k6[i])
+			sc := atol + rtol*math.Max(math.Abs(y[i]), math.Abs(y5))
+			e := math.Abs(y5-y4) / sc
+			if e > errNorm {
+				errNorm = e
+			}
+			tmp[i] = y5
+		}
+		if errNorm <= 1 {
+			t += h
+			copy(y, tmp)
+			res.T = append(res.T, t)
+			res.Y = append(res.Y, append([]float64(nil), y...))
+			if stop != nil && stop(t, y) {
+				res.Stopped = true
+				return res, nil
+			}
+		}
+		// Step-size controller.
+		fac := 0.9 * math.Pow(1/math.Max(errNorm, 1e-10), 0.2)
+		fac = math.Min(math.Max(fac, 0.2), 5)
+		h *= fac
+		if h < hMin {
+			return res, ErrStepUnderflow
+		}
+	}
+	return res, nil
+}
+
+// Final returns the last recorded state, or nil for an empty trajectory.
+func (r *ODEResult) Final() (t float64, y []float64) {
+	if len(r.T) == 0 {
+		return 0, nil
+	}
+	return r.T[len(r.T)-1], r.Y[len(r.Y)-1]
+}
+
+// Trapezoid integrates tabulated samples (ts, ys) with the trapezoid rule.
+func Trapezoid(ts, ys []float64) float64 {
+	s := 0.0
+	for i := 1; i < len(ts); i++ {
+		s += 0.5 * (ys[i] + ys[i-1]) * (ts[i] - ts[i-1])
+	}
+	return s
+}

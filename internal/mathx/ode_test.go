@@ -1,0 +1,112 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRK4Decay(t *testing.T) {
+	// dy/dt = -y, y(0) = 1 → y(1) = 1/e.
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -y[0] }
+	res := RK4Integrate(f, 0, 1, []float64{1}, 1e-3, nil)
+	_, y := res.Final()
+	if math.Abs(y[0]-math.Exp(-1)) > 1e-9 {
+		t.Errorf("RK4 decay y(1) = %v, want %v", y[0], math.Exp(-1))
+	}
+}
+
+func TestRK4Oscillator(t *testing.T) {
+	// Harmonic oscillator: energy must be conserved to O(h⁴).
+	f := func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	res := RK4Integrate(f, 0, 2*math.Pi, []float64{1, 0}, 1e-3, nil)
+	_, y := res.Final()
+	if math.Abs(y[0]-1) > 1e-8 || math.Abs(y[1]) > 1e-8 {
+		t.Errorf("oscillator after one period: %v", y)
+	}
+}
+
+func TestRK4Stop(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
+	res := RK4Integrate(f, 0, 10, []float64{0}, 0.01,
+		func(_ float64, y []float64) bool { return y[0] >= 0.5 })
+	if !res.Stopped {
+		t.Fatal("expected early stop")
+	}
+	tf, y := res.Final()
+	if math.Abs(y[0]-0.5) > 0.02 || math.Abs(tf-0.5) > 0.02 {
+		t.Errorf("stopped at t=%v y=%v", tf, y)
+	}
+}
+
+func TestRK45Decay(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -y[0] }
+	res, err := RK45Integrate(f, 0, 5, []float64{1}, 1e-10, 1e-14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := res.Final()
+	if math.Abs(y[0]-math.Exp(-5)) > 1e-8 {
+		t.Errorf("RK45 decay y(5) = %v, want %v", y[0], math.Exp(-5))
+	}
+}
+
+func TestRK45StiffBlowupReturnsError(t *testing.T) {
+	// dy/dt = y² with y(0)=1 blows up at t=1; the integrator must bail out
+	// with ErrStepUnderflow rather than hang or return garbage.
+	f := func(_ float64, y, dydt []float64) { dydt[0] = y[0] * y[0] }
+	_, err := RK45Integrate(f, 0, 2, []float64{1}, 1e-8, 1e-12, nil)
+	if err != ErrStepUnderflow {
+		t.Errorf("expected ErrStepUnderflow, got %v", err)
+	}
+}
+
+func TestRK45Stop(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = 2 }
+	res, err := RK45Integrate(f, 0, 10, []float64{0}, 1e-9, 1e-12,
+		func(_ float64, y []float64) bool { return y[0] >= 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Error("expected early stop")
+	}
+}
+
+func TestODEResultFinalEmpty(t *testing.T) {
+	var r ODEResult
+	if _, y := r.Final(); y != nil {
+		t.Error("Final of empty trajectory should be nil")
+	}
+}
+
+func TestTrapezoid(t *testing.T) {
+	ts := Linspace(0, math.Pi, 2001)
+	ys := make([]float64, len(ts))
+	for i, x := range ts {
+		ys[i] = math.Sin(x)
+	}
+	if got := Trapezoid(ts, ys); math.Abs(got-2) > 1e-6 {
+		t.Errorf("∫sin over [0,π] = %v, want 2", got)
+	}
+	if Trapezoid([]float64{1}, []float64{5}) != 0 {
+		t.Error("single-sample trapezoid should be 0")
+	}
+}
+
+func TestRK4ConvergenceOrder(t *testing.T) {
+	// Halving h should reduce error by ~16× for RK4.
+	f := func(tt float64, y, dydt []float64) { dydt[0] = math.Cos(tt) }
+	errAt := func(h float64) float64 {
+		res := RK4Integrate(f, 0, 1, []float64{0}, h, nil)
+		_, y := res.Final()
+		return math.Abs(y[0] - math.Sin(1))
+	}
+	e1, e2 := errAt(0.1), errAt(0.05)
+	ratio := e1 / e2
+	if ratio < 10 || ratio > 25 {
+		t.Errorf("RK4 order ratio = %v (e1=%v e2=%v), want ≈16", ratio, e1, e2)
+	}
+}

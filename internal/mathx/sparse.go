@@ -1,0 +1,169 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is a coordinate-format (COO) sparse-matrix builder. Finite
+// difference assembly appends (i, j, v) triplets, possibly with duplicates,
+// and ToCSR merges them into compressed sparse row form.
+type Coord struct {
+	N      int
+	is, js []int
+	vals   []float64
+}
+
+// NewCoord returns a builder for an n×n sparse matrix.
+func NewCoord(n int) *Coord { return &Coord{N: n} }
+
+// Add appends the triplet (i, j, v). Duplicate coordinates are summed by
+// ToCSR, which matches the additive stamping used by discretizations.
+func (c *Coord) Add(i, j int, v float64) {
+	if i < 0 || i >= c.N || j < 0 || j >= c.N {
+		panic(fmt.Sprintf("mathx: Coord.Add index (%d,%d) out of range n=%d", i, j, c.N))
+	}
+	c.is = append(c.is, i)
+	c.js = append(c.js, j)
+	c.vals = append(c.vals, v)
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	N      int
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// ToCSR converts the accumulated triplets to CSR, summing duplicates.
+func (c *Coord) ToCSR() *CSR {
+	order := make([]int, len(c.is))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if c.is[ia] != c.is[ib] {
+			return c.is[ia] < c.is[ib]
+		}
+		return c.js[ia] < c.js[ib]
+	})
+	m := &CSR{N: c.N, RowPtr: make([]int, c.N+1)}
+	prevI, prevJ := -1, -1
+	for _, k := range order {
+		i, j, v := c.is[k], c.js[k], c.vals[k]
+		if i == prevI && j == prevJ {
+			m.Val[len(m.Val)-1] += v
+			continue
+		}
+		m.ColIdx = append(m.ColIdx, j)
+		m.Val = append(m.Val, v)
+		m.RowPtr[i+1]++
+		prevI, prevJ = i, j
+	}
+	for i := 0; i < c.N; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// MulVec computes y = M·x.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic("mathx: CSR.MulVec dimension mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag extracts the diagonal of the matrix; zero diagonal entries are
+// returned as zero.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] == i {
+				d[i] = m.Val[k]
+			}
+		}
+	}
+	return d
+}
+
+// CGResult reports the outcome of a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final ‖b − A·x‖₂ / ‖b‖₂
+	Converged  bool
+}
+
+// SolveCG solves A·x = b for a symmetric positive-definite CSR matrix using
+// Jacobi-preconditioned conjugate gradients. x is used as the initial
+// guess and overwritten with the solution. rtol is the relative residual
+// target; maxIter caps the iteration count (≤ 0 means 10·N).
+func SolveCG(a *CSR, b, x []float64, rtol float64, maxIter int) CGResult {
+	n := a.N
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	d := a.Diag()
+	for i := range d {
+		if d[i] == 0 {
+			d[i] = 1
+		}
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	for i := range z {
+		z[i] = r[i] / d[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+	res := CGResult{}
+	for k := 0; k < maxIter; k++ {
+		rn := Norm2(r) / bnorm
+		res.Iterations, res.Residual = k, rn
+		if rn < rtol {
+			res.Converged = true
+			return res
+		}
+		a.MulVec(p, ap)
+		pap := Dot(p, ap)
+		if pap == 0 || math.IsNaN(pap) {
+			return res
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		for i := range z {
+			z[i] = r[i] / d[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Residual = Norm2(r) / bnorm
+	res.Converged = res.Residual < rtol
+	return res
+}

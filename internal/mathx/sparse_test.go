@@ -1,0 +1,133 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildLaplacian1D(n int) *CSR {
+	co := NewCoord(n)
+	for i := 0; i < n; i++ {
+		co.Add(i, i, 2)
+		if i > 0 {
+			co.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			co.Add(i, i+1, -1)
+		}
+	}
+	return co.ToCSR()
+}
+
+func TestCoordDuplicateMerge(t *testing.T) {
+	co := NewCoord(2)
+	co.Add(0, 0, 1)
+	co.Add(0, 0, 2.5)
+	co.Add(1, 1, 4)
+	co.Add(0, 1, -1)
+	m := co.ToCSR()
+	x := []float64{1, 1}
+	y := make([]float64, 2)
+	m.MulVec(x, y)
+	if y[0] != 2.5 || y[1] != 4 {
+		t.Errorf("MulVec after merge got %v", y)
+	}
+	d := m.Diag()
+	if d[0] != 3.5 || d[1] != 4 {
+		t.Errorf("Diag got %v", d)
+	}
+}
+
+func TestCoordOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range Add")
+		}
+	}()
+	NewCoord(2).Add(2, 0, 1)
+}
+
+func TestCGPoisson(t *testing.T) {
+	// Same Poisson problem as the tridiagonal test, via CG.
+	n := 200
+	h := 1.0 / float64(n+1)
+	m := buildLaplacian1D(n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = h * h
+	}
+	x := make([]float64, n)
+	res := SolveCG(m, b, x, 1e-12, 0)
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := 0; i < n; i++ {
+		xi := float64(i+1) * h
+		want := xi * (1 - xi) / 2
+		if math.Abs(x[i]-want) > 1e-8 {
+			t.Fatalf("u(%v) = %v, want %v", xi, x[i], want)
+		}
+	}
+}
+
+func TestCGMatchesTridiag(t *testing.T) {
+	n := 50
+	rng := rand.New(rand.NewSource(3))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	m := buildLaplacian1D(n)
+	x := make([]float64, n)
+	res := SolveCG(m, b, x, 1e-13, 0)
+	if !res.Converged {
+		t.Fatalf("CG did not converge")
+	}
+	sub := make([]float64, n)
+	dia := make([]float64, n)
+	sup := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sub[i], dia[i], sup[i] = -1, 2, -1
+	}
+	want, err := SolveTridiag(sub, dia, sup, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("x[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	m := buildLaplacian1D(5)
+	x := []float64{1, 2, 3, 4, 5}
+	res := SolveCG(m, make([]float64, 5), x, 1e-12, 0)
+	if !res.Converged {
+		t.Fatalf("CG on zero RHS did not converge: %+v", res)
+	}
+	for i, v := range x {
+		if math.Abs(v) > 1e-8 {
+			t.Errorf("x[%d]=%v, want 0", i, v)
+		}
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	n := 100
+	m := buildLaplacian1D(n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	cold := make([]float64, n)
+	resCold := SolveCG(m, b, cold, 1e-10, 0)
+	// Warm start from the exact solution should converge immediately.
+	warm := append([]float64(nil), cold...)
+	resWarm := SolveCG(m, b, warm, 1e-10, 0)
+	if resWarm.Iterations > 2 {
+		t.Errorf("warm start took %d iterations (cold: %d)", resWarm.Iterations, resCold.Iterations)
+	}
+}

@@ -1,0 +1,146 @@
+package netcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/rules"
+	"dsmtherm/internal/waveform"
+)
+
+// Design-file loading: a small JSON schema so signoff runs can be driven
+// from the command line (dsmtherm netcheck -file design.json) without
+// writing Go. Units in the file are designer-friendly: lengths in µm,
+// current densities in MA/cm², currents in A.
+
+// WaveformSpec selects a segment's current waveform.
+type WaveformSpec struct {
+	// Kind is "dc", "unipolar", or "bipolar".
+	Kind string `json:"kind"`
+	// Amps is the DC current (kind "dc"), A.
+	Amps float64 `json:"amps,omitempty"`
+	// PeakMA is the peak current density (pulsed kinds), MA/cm²,
+	// referred to the segment's own cross-section.
+	PeakMA float64 `json:"peakMA,omitempty"`
+	// DutyCycle applies to the pulsed kinds.
+	DutyCycle float64 `json:"dutyCycle,omitempty"`
+}
+
+// SegmentSpec is one routed segment in the design file.
+type SegmentSpec struct {
+	Net           string       `json:"net"`
+	Name          string       `json:"name"`
+	Level         int          `json:"level"`
+	WidthMultiple float64      `json:"widthMultiple"`
+	LengthUm      float64      `json:"lengthUm"`
+	Waveform      WaveformSpec `json:"waveform"`
+}
+
+// DesignFile is the top-level schema.
+type DesignFile struct {
+	// Node selects the technology: "0.25" or "0.10".
+	Node string `json:"node"`
+	// J0MA overrides the EM budget, MA/cm² (default 1.8).
+	J0MA float64 `json:"j0MA,omitempty"`
+	// Gap optionally swaps the gap-fill dielectric by name.
+	Gap string `json:"gap,omitempty"`
+	// Metal optionally swaps the interconnect metal by name.
+	Metal    string        `json:"metal,omitempty"`
+	Segments []SegmentSpec `json:"segments"`
+}
+
+// LoadDesign parses a design file and materializes the deck and segments
+// it describes.
+func LoadDesign(r io.Reader) (*rules.Deck, []*Segment, error) {
+	var df DesignFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&df); err != nil {
+		return nil, nil, fmt.Errorf("netcheck: design file: %w", err)
+	}
+	var tech *ntrs.Technology
+	switch df.Node {
+	case "0.25", "250":
+		tech = ntrs.N250()
+	case "0.10", "0.1", "100":
+		tech = ntrs.N100()
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown node %q", ErrInvalid, df.Node)
+	}
+	if df.Gap != "" {
+		d, err := material.DielectricByName(df.Gap)
+		if err != nil {
+			return nil, nil, err
+		}
+		tech = tech.WithGapFill(d)
+	}
+	if df.Metal != "" {
+		m, err := material.MetalByName(df.Metal)
+		if err != nil {
+			return nil, nil, err
+		}
+		tech = tech.WithMetal(m)
+	}
+	j0 := df.J0MA
+	if j0 == 0 {
+		j0 = 1.8
+	}
+	deck, err := rules.Generate(tech, rules.Spec{J0: phys.MAPerCm2(j0)})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var segs []*Segment
+	for i, ss := range df.Segments {
+		seg, err := materializeSegment(tech, ss)
+		if err != nil {
+			return nil, nil, fmt.Errorf("netcheck: segment %d (%s/%s): %w", i, ss.Net, ss.Name, err)
+		}
+		segs = append(segs, seg)
+	}
+	return deck, segs, nil
+}
+
+func materializeSegment(tech *ntrs.Technology, ss SegmentSpec) (*Segment, error) {
+	layer, err := tech.Layer(ss.Level)
+	if err != nil {
+		return nil, err
+	}
+	if ss.WidthMultiple == 0 {
+		ss.WidthMultiple = 1
+	}
+	area := layer.Width * ss.WidthMultiple * layer.Thick
+	var w waveform.Waveform
+	switch ss.Waveform.Kind {
+	case "dc":
+		w = waveform.DC{Value: ss.Waveform.Amps}
+	case "unipolar":
+		u, err := waveform.NewUnipolarPulse(
+			phys.MAPerCm2(ss.Waveform.PeakMA)*area, 1/tech.Clock, ss.Waveform.DutyCycle)
+		if err != nil {
+			return nil, err
+		}
+		w = u
+	case "bipolar":
+		b, err := waveform.NewBipolarPulse(
+			phys.MAPerCm2(ss.Waveform.PeakMA)*area, 1/tech.Clock, ss.Waveform.DutyCycle)
+		if err != nil {
+			return nil, err
+		}
+		w = b
+	default:
+		return nil, fmt.Errorf("%w: waveform kind %q", ErrInvalid, ss.Waveform.Kind)
+	}
+	return &Segment{
+		Net:           ss.Net,
+		Name:          ss.Name,
+		Level:         ss.Level,
+		WidthMultiple: ss.WidthMultiple,
+		Length:        phys.Microns(ss.LengthUm),
+		Current:       w,
+	}, nil
+}

@@ -1,0 +1,35 @@
+package netcheck_test
+
+import (
+	"fmt"
+	"strings"
+
+	"dsmtherm/internal/netcheck"
+)
+
+// ExampleLoadDesign runs a signoff from a JSON design file — the flow
+// behind `dsmtherm netcheck -file design.json`.
+func ExampleLoadDesign() {
+	design := `{
+	  "node": "0.25",
+	  "j0MA": 1.8,
+	  "segments": [
+	    {"net": "clk", "name": "spine", "level": 6, "widthMultiple": 2,
+	     "lengthUm": 3000,
+	     "waveform": {"kind": "bipolar", "peakMA": 2.0, "dutyCycle": 0.12}}
+	  ]
+	}`
+	deck, segs, err := netcheck.LoadDesign(strings.NewReader(design))
+	if err != nil {
+		panic(err)
+	}
+	rep, err := netcheck.Check(netcheck.Config{Deck: deck}, segs)
+	if err != nil {
+		panic(err)
+	}
+	f := rep.Findings[0]
+	fmt.Printf("%s/%s on M%d: margin %.1fx → %s\n",
+		f.Segment.Net, f.Segment.Name, f.Segment.Level, f.Margin, f.Verdict)
+	// Output:
+	// clk/spine on M6: margin 3.0x → PASS
+}

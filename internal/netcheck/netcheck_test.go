@@ -1,0 +1,377 @@
+package netcheck
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/rules"
+	"dsmtherm/internal/waveform"
+)
+
+func testDeck(t *testing.T) *rules.Deck {
+	t.Helper()
+	d, err := rules.Generate(ntrs.N250(), rules.Spec{J0: phys.MAPerCm2(1.8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// seg builds a segment carrying a bipolar signal current with the given
+// peak density (MA/cm²) on a minimum-width line of the level.
+func seg(t *testing.T, deck *rules.Deck, net, name string, level int, jPeakMA, lengthUm float64) *Segment {
+	t.Helper()
+	layer, err := deck.Tech.Layer(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := layer.Width * layer.Thick
+	w, err := waveform.NewBipolarPulse(phys.MAPerCm2(jPeakMA)*area, 1/deck.Tech.Clock, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Segment{
+		Net: net, Name: name, Level: level, WidthMultiple: 1,
+		Length: phys.Microns(lengthUm), Current: w,
+	}
+}
+
+func TestCheckCleanDesignPasses(t *testing.T) {
+	deck := testDeck(t)
+	segs := []*Segment{
+		seg(t, deck, "clk", "s1", 5, 1.0, 3000),
+		seg(t, deck, "clk", "s2", 6, 1.0, 3000),
+		seg(t, deck, "data0", "s1", 3, 0.5, 800),
+	}
+	rep, err := Check(Config{Deck: deck}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Worst() != Pass {
+		t.Fatalf("clean design should pass:\n%s", rep.Format())
+	}
+	for _, f := range rep.Findings {
+		if f.Margin <= MarginalThreshold {
+			t.Errorf("%s/%s margin %v unexpectedly low", f.Segment.Net, f.Segment.Name, f.Margin)
+		}
+		if f.Tm < deck.Spec.Tref {
+			t.Error("operating temperature below reference")
+		}
+	}
+}
+
+func TestCheckOverdrivenFails(t *testing.T) {
+	deck := testDeck(t)
+	hot := seg(t, deck, "abuse", "s1", 5, 60, 3000)
+	rep, err := Check(Config{Deck: deck}, []*Segment{hot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Worst() != Fail {
+		t.Fatalf("60 MA/cm² should fail:\n%s", rep.Format())
+	}
+	if rep.ByNet["abuse"] != Fail {
+		t.Error("per-net verdict missing")
+	}
+}
+
+func TestVerdictOrdering(t *testing.T) {
+	deck := testDeck(t)
+	segs := []*Segment{
+		seg(t, deck, "ok", "s", 5, 0.5, 3000),
+		seg(t, deck, "bad", "s", 5, 60, 3000),
+	}
+	rep, err := Check(Config{Deck: deck}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Findings[0].Verdict != Fail {
+		t.Error("report must list worst findings first")
+	}
+	if !strings.Contains(rep.Format(), "FAIL") || !strings.Contains(rep.Format(), "worst: FAIL") {
+		t.Error("Format must surface the verdicts")
+	}
+}
+
+func TestStatisticsDerating(t *testing.T) {
+	// The same operating point must have a lower margin with EM
+	// statistics enabled, and lower still when the net has many
+	// segments.
+	deck := testDeck(t)
+	mkRep := func(disable bool, n int) float64 {
+		var segs []*Segment
+		for i := 0; i < n; i++ {
+			segs = append(segs, seg(t, deck, "net", "s"+string(rune('a'+i)), 5, 3, 3000))
+		}
+		rep, err := Check(Config{Deck: deck, DisableStatistics: disable}, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Findings[0].Margin
+	}
+	median := mkRep(true, 1)
+	stat1 := mkRep(false, 1)
+	stat8 := mkRep(false, 8)
+	if !(stat1 < median && stat8 < stat1) {
+		t.Errorf("margins should tighten with statistics: median %v, 1-seg %v, 8-seg %v",
+			median, stat1, stat8)
+	}
+}
+
+func TestThermallyShortCredit(t *testing.T) {
+	deck := testDeck(t)
+	long := seg(t, deck, "n", "long", 5, 3, 3000)
+	short := seg(t, deck, "m", "short", 5, 3, 25)
+	rep, err := Check(Config{Deck: deck}, []*Segment{long, short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fLong, fShort *Finding
+	for i := range rep.Findings {
+		switch rep.Findings[i].Segment.Name {
+		case "long":
+			fLong = &rep.Findings[i]
+		case "short":
+			fShort = &rep.Findings[i]
+		}
+	}
+	if fLong.ThermallyShort {
+		t.Error("3 mm segment should be thermally long")
+	}
+	if !fShort.ThermallyShort {
+		t.Error("25 µm segment should earn short-line credit")
+	}
+	if fShort.Limit <= fLong.Limit {
+		t.Error("short segment's limit should be relaxed")
+	}
+}
+
+func TestWiderSegmentsRunCooler(t *testing.T) {
+	deck := testDeck(t)
+	narrow := seg(t, deck, "n", "x1", 5, 4, 3000)
+	wide := seg(t, deck, "w", "x4", 5, 4, 3000)
+	wide.WidthMultiple = 4
+	// Same absolute current as the narrow one ⇒ quarter the density.
+	wide.Current = narrow.Current
+	rep, err := Check(Config{Deck: deck}, []*Segment{narrow, wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fn, fw *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Segment.Name == "x1" {
+			fn = &rep.Findings[i]
+		} else {
+			fw = &rep.Findings[i]
+		}
+	}
+	if fw.Jpeak >= fn.Jpeak/3.5 {
+		t.Errorf("4x width should quarter the density: %v vs %v", fw.Jpeak, fn.Jpeak)
+	}
+	if fw.Margin <= fn.Margin {
+		t.Error("wider segment must have more margin")
+	}
+}
+
+func TestIdleSegment(t *testing.T) {
+	deck := testDeck(t)
+	idle := &Segment{
+		Net: "idle", Name: "s", Level: 5, WidthMultiple: 1,
+		Length: phys.Microns(1000), Current: waveform.DC{Value: 0},
+	}
+	rep, err := Check(Config{Deck: deck}, []*Segment{idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Findings[0].Verdict != Pass {
+		t.Error("idle segment must pass")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	deck := testDeck(t)
+	if _, err := Check(Config{}, nil); err == nil {
+		t.Error("nil deck must fail")
+	}
+	bad := []*Segment{{Net: "n", Name: "", Level: 5, WidthMultiple: 1, Length: 1e-3}}
+	if _, err := Check(Config{Deck: deck}, bad); err == nil {
+		t.Error("unnamed segment must fail")
+	}
+	bad2 := []*Segment{{Net: "n", Name: "s", Level: 0, WidthMultiple: 1, Length: 1e-3,
+		Current: waveform.DC{Value: 1}}}
+	if _, err := Check(Config{Deck: deck}, bad2); err == nil {
+		t.Error("bad level must fail")
+	}
+	if _, err := Check(Config{Deck: deck, Percentile: 2}, nil); err == nil {
+		t.Error("bad percentile must fail")
+	}
+}
+
+func TestDutyCycleFloor(t *testing.T) {
+	// A very peaky waveform (r = 1e-4) must not earn an unbounded limit:
+	// the floor caps the rule's duty cycle.
+	deck := testDeck(t)
+	layer, _ := deck.Tech.Layer(5)
+	area := layer.Width * layer.Thick
+	peaky, err := waveform.NewUnipolarPulse(phys.MAPerCm2(10)*area, 1e-6, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Segment{Net: "p", Name: "s", Level: 5, WidthMultiple: 1,
+		Length: phys.Microns(3000), Current: peaky}
+	floored, err := Check(Config{Deck: deck, MinDutyCycle: 0.05}, []*Segment{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Check(Config{Deck: deck, MinDutyCycle: 1e-4}, []*Segment{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floored.Findings[0].Limit >= loose.Findings[0].Limit {
+		t.Error("the duty-cycle floor must tighten the limit for peaky waveforms")
+	}
+	if math.IsInf(loose.Findings[0].Limit, 1) {
+		t.Error("limit must stay finite")
+	}
+}
+
+func TestFormatContainsColumns(t *testing.T) {
+	deck := testDeck(t)
+	rep, err := Check(Config{Deck: deck}, []*Segment{seg(t, deck, "n", "s", 5, 1, 25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format()
+	for _, want := range []string{"net", "margin", "verdict", "(short)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBlechImmortalFlag(t *testing.T) {
+	deck := testDeck(t)
+	// A very short segment at modest current: javg·L far below (jL)c.
+	short := seg(t, deck, "im", "s", 5, 2, 20)
+	// A long one at the same density: above the threshold.
+	long := seg(t, deck, "mo", "s", 5, 2, 5000)
+	rep, err := Check(Config{Deck: deck}, []*Segment{short, long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		switch f.Segment.Net {
+		case "im":
+			if !f.BlechImmortal {
+				t.Error("20 µm segment should be Blech-immortal")
+			}
+		case "mo":
+			if f.BlechImmortal {
+				t.Error("5 mm segment should not be Blech-immortal")
+			}
+		}
+	}
+	if !strings.Contains(rep.Format(), "blech-immortal") {
+		t.Error("Format should surface the immortality flag")
+	}
+}
+
+func TestBipolarRecoveryRelaxesLimit(t *testing.T) {
+	deck := testDeck(t)
+	s := seg(t, deck, "n", "s", 5, 6, 3000)
+	base, err := Check(Config{Deck: deck}, []*Segment{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Check(Config{Deck: deck, BipolarRecovery: 0.9}, []*Segment{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Findings[0].Limit <= base.Findings[0].Limit {
+		t.Errorf("recovery should relax the limit: %v vs %v",
+			rec.Findings[0].Limit, base.Findings[0].Limit)
+	}
+	// But not unboundedly: the heat constraint still binds.
+	if rec.Findings[0].Limit > 20*base.Findings[0].Limit {
+		t.Error("recovery relaxation implausibly large")
+	}
+	if _, err := Check(Config{Deck: deck, BipolarRecovery: 2}, nil); err == nil {
+		t.Error("recovery > 1 must fail")
+	}
+}
+
+func TestSuggestWidth(t *testing.T) {
+	deck := testDeck(t)
+	hot := seg(t, deck, "hot", "s", 5, 12, 3000)
+	// Confirm it fails at 1x.
+	rep, err := Check(Config{Deck: deck}, []*Segment{hot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Findings[0].Verdict == Pass {
+		t.Fatal("test premise: 12 MA/cm² at 1x should not pass")
+	}
+	mult, err := SuggestWidth(Config{Deck: deck}, hot, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mult <= 1 {
+		t.Fatalf("suggested multiple %v should exceed 1", mult)
+	}
+	// The suggestion actually passes.
+	fixed := *hot
+	fixed.WidthMultiple = mult
+	rep2, err := Check(Config{Deck: deck}, []*Segment{&fixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Findings[0].Verdict != Pass {
+		t.Errorf("suggested width %vx does not pass:\n%s", mult, rep2.Format())
+	}
+	// And the step below it does not (minimality within the 0.5 grid).
+	if mult > 1 {
+		under := *hot
+		under.WidthMultiple = mult - 0.5
+		rep3, err := Check(Config{Deck: deck}, []*Segment{&under})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep3.Findings[0].Verdict == Pass {
+			t.Errorf("width %vx already passes — suggestion not minimal", mult-0.5)
+		}
+	}
+	// Unreachable target errors out.
+	impossible := seg(t, deck, "no", "s", 5, 500, 3000)
+	if _, err := SuggestWidth(Config{Deck: deck}, impossible, 1, 2); err == nil {
+		t.Error("unfixable segment must error")
+	}
+	if _, err := SuggestWidth(Config{Deck: deck}, hot, 1, 0.5); err == nil {
+		t.Error("maxMultiple below current must error")
+	}
+	if _, err := SuggestWidth(Config{Deck: deck}, hot, 0, 16); err == nil {
+		t.Error("netSegments < 1 must error")
+	}
+	// A crowded net needs a wider fix than a standalone segment.
+	mBig, err := SuggestWidth(Config{Deck: deck}, hot, 50, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mBig < mult {
+		t.Errorf("50-segment net suggestion %v should be ≥ standalone %v", mBig, mult)
+	}
+}
+
+func TestRunawayDisplay(t *testing.T) {
+	deck := testDeck(t)
+	melt := seg(t, deck, "melt", "s", 5, 60, 3000)
+	rep, err := Check(Config{Deck: deck}, []*Segment{melt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Format(), "RUNAWAY") {
+		t.Errorf("runaway operating point should print RUNAWAY:\n%s", rep.Format())
+	}
+}

@@ -1,0 +1,89 @@
+// Package phys provides physical constants and unit-conversion helpers used
+// throughout dsmtherm.
+//
+// All library-internal quantities are SI: metres, kilograms, seconds,
+// amperes, kelvins, watts, ohms, farads. The VLSI literature that this
+// library reproduces reports current densities in A/cm² (often MA/cm²),
+// lengths in micrometres and nanometres, and temperatures in degrees
+// Celsius; the helpers here convert at the API boundary so that internal
+// formulas stay unit-consistent.
+package phys
+
+// Physical constants (SI units, CODATA values as of the late-1990s era the
+// paper belongs to; differences from current CODATA are far below model
+// accuracy).
+const (
+	// Boltzmann is the Boltzmann constant kB in J/K.
+	Boltzmann = 1.380649e-23
+	// ElectronVolt is one electronvolt in joules.
+	ElectronVolt = 1.602176634e-19
+	// BoltzmannEV is the Boltzmann constant in eV/K. Black's equation is
+	// conventionally written with Q in eV, so Q/(BoltzmannEV·T) is the
+	// natural exponent form.
+	BoltzmannEV = Boltzmann / ElectronVolt
+	// StefanBoltzmann is the Stefan–Boltzmann constant in W/(m²·K⁴).
+	// Radiative loss is negligible at interconnect temperatures but the
+	// ESD model exposes it for completeness checks.
+	StefanBoltzmann = 5.670374419e-8
+	// Epsilon0 is the vacuum permittivity in F/m.
+	Epsilon0 = 8.8541878128e-12
+)
+
+// Length conversions.
+const (
+	Micron    = 1e-6 // one micrometre in metres
+	Nanometre = 1e-9 // one nanometre in metres
+	Angstrom  = 1e-10
+	Cm        = 1e-2
+)
+
+// ZeroCelsius is 0 °C in kelvins.
+const ZeroCelsius = 273.15
+
+// CToK converts a temperature in degrees Celsius to kelvins.
+func CToK(c float64) float64 { return c + ZeroCelsius }
+
+// KToC converts a temperature in kelvins to degrees Celsius.
+func KToC(k float64) float64 { return k - ZeroCelsius }
+
+// APerCm2 converts a current density given in A/cm² to A/m².
+func APerCm2(j float64) float64 { return j * 1e4 }
+
+// MAPerCm2 converts a current density given in MA/cm² to A/m².
+func MAPerCm2(j float64) float64 { return j * 1e10 }
+
+// ToMAPerCm2 converts a current density in A/m² to MA/cm².
+func ToMAPerCm2(j float64) float64 { return j / 1e10 }
+
+// ToAPerCm2 converts a current density in A/m² to A/cm².
+func ToAPerCm2(j float64) float64 { return j / 1e4 }
+
+// Microns converts micrometres to metres.
+func Microns(um float64) float64 { return um * Micron }
+
+// ToMicrons converts metres to micrometres.
+func ToMicrons(m float64) float64 { return m / Micron }
+
+// Nanometres converts nanometres to metres.
+func Nanometres(nm float64) float64 { return nm * Nanometre }
+
+// OhmCm converts a resistivity in Ω·cm to Ω·m.
+func OhmCm(r float64) float64 { return r * 1e-2 }
+
+// MicroOhmCm converts a resistivity in µΩ·cm to Ω·m.
+func MicroOhmCm(r float64) float64 { return r * 1e-8 }
+
+// FFPerMicron converts a per-unit-length capacitance in fF/µm to F/m.
+func FFPerMicron(c float64) float64 { return c * 1e-15 / Micron }
+
+// ToFFPerMicron converts a per-unit-length capacitance in F/m to fF/µm.
+func ToFFPerMicron(c float64) float64 { return c / 1e-15 * Micron }
+
+// OhmPerMicron converts a per-unit-length resistance in Ω/µm to Ω/m.
+func OhmPerMicron(r float64) float64 { return r / Micron }
+
+// Mu0 is the vacuum permeability in H/m.
+const Mu0 = 4 * 3.141592653589793 * 1e-7
+
+// SpeedOfLight is c in m/s.
+const SpeedOfLight = 2.99792458e8

@@ -1,0 +1,95 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemperatureConversions(t *testing.T) {
+	if CToK(0) != 273.15 {
+		t.Error("CToK(0)")
+	}
+	if CToK(100) != 373.15 {
+		t.Error("CToK(100)")
+	}
+	if KToC(273.15) != 0 {
+		t.Error("KToC")
+	}
+}
+
+func TestTemperatureRoundTrip(t *testing.T) {
+	prop := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		return math.Abs(KToC(CToK(c))-c) <= 1e-9*math.Max(1, math.Abs(c))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurrentDensityConversions(t *testing.T) {
+	// 1 MA/cm² = 1e6 A/cm² = 1e10 A/m².
+	if MAPerCm2(1) != 1e10 {
+		t.Error("MAPerCm2")
+	}
+	if APerCm2(1e6) != MAPerCm2(1) {
+		t.Error("APerCm2 vs MAPerCm2")
+	}
+	if ToMAPerCm2(MAPerCm2(0.6)) != 0.6 {
+		t.Error("round trip MA/cm²")
+	}
+	if ToAPerCm2(APerCm2(42)) != 42 {
+		t.Error("round trip A/cm²")
+	}
+}
+
+func TestLengthConversions(t *testing.T) {
+	if Microns(3) != 3e-6 {
+		t.Error("Microns")
+	}
+	if ToMicrons(Microns(0.25)) != 0.25 {
+		t.Error("ToMicrons round trip")
+	}
+	if Nanometres(650) != 650e-9 {
+		t.Error("Nanometres")
+	}
+}
+
+func TestResistivityConversions(t *testing.T) {
+	// Cu bulk: 1.67 µΩ·cm = 1.67e-8 Ω·m.
+	if MicroOhmCm(1.67) != 1.67e-8 {
+		t.Error("MicroOhmCm")
+	}
+	if OhmCm(1e-6) != 1e-8 {
+		t.Error("OhmCm")
+	}
+}
+
+func TestPerUnitLengthConversions(t *testing.T) {
+	// 0.2 fF/µm = 2e-10 F/m.
+	if math.Abs(FFPerMicron(0.2)-2e-10) > 1e-24 {
+		t.Error("FFPerMicron")
+	}
+	if math.Abs(ToFFPerMicron(FFPerMicron(0.35))-0.35) > 1e-12 {
+		t.Error("FF round trip")
+	}
+	// 0.1 Ω/µm = 1e5 Ω/m.
+	if math.Abs(OhmPerMicron(0.1)-1e5) > 1e-6 {
+		t.Error("OhmPerMicron")
+	}
+}
+
+func TestBoltzmannEV(t *testing.T) {
+	// kB in eV/K ≈ 8.617e-5.
+	if math.Abs(BoltzmannEV-8.617333e-5) > 1e-9 {
+		t.Errorf("BoltzmannEV = %v", BoltzmannEV)
+	}
+	// Q/kB for Q = 0.7 eV ≈ 8123 K — the exponent scale used throughout
+	// the paper's EM analysis.
+	if s := 0.7 / BoltzmannEV; math.Abs(s-8123.3) > 1 {
+		t.Errorf("0.7eV/kB = %v K, want ≈8123", s)
+	}
+}

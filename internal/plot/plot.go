@@ -1,0 +1,214 @@
+// Package plot renders simple line plots as SVG using only the standard
+// library — enough to regenerate the paper's figures (log-log sweeps,
+// impedance-vs-width curves, current waveforms) as viewable artifacts
+// from cmd/repro.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrInvalid reports an unplottable configuration.
+var ErrInvalid = errors.New("plot: invalid parameters")
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a single chart.
+type Plot struct {
+	Title          string
+	XLabel, YLabel string
+	LogX, LogY     bool
+	Series         []Series
+	// W, H are the pixel dimensions (defaults 640×420).
+	W, H int
+}
+
+// palette cycles across series.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginL = 70.0
+	marginR = 20.0
+	marginT = 40.0
+	marginB = 55.0
+)
+
+func (p *Plot) validate() error {
+	if len(p.Series) == 0 {
+		return fmt.Errorf("%w: no series", ErrInvalid)
+	}
+	for _, s := range p.Series {
+		if len(s.X) < 2 || len(s.X) != len(s.Y) {
+			return fmt.Errorf("%w: series %q needs >=2 equal-length points", ErrInvalid, s.Name)
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) ||
+				math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				return fmt.Errorf("%w: series %q has non-finite point %d", ErrInvalid, s.Name, i)
+			}
+			if p.LogX && s.X[i] <= 0 {
+				return fmt.Errorf("%w: series %q x[%d] <= 0 on a log axis", ErrInvalid, s.Name, i)
+			}
+			if p.LogY && s.Y[i] <= 0 {
+				return fmt.Errorf("%w: series %q y[%d] <= 0 on a log axis", ErrInvalid, s.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// axis transforms a data value to its axis coordinate (after optional log).
+func axis(v float64, log bool) float64 {
+	if log {
+		return math.Log10(v)
+	}
+	return v
+}
+
+// SVG renders the plot.
+func (p *Plot) SVG() (string, error) {
+	if err := p.validate(); err != nil {
+		return "", err
+	}
+	w, h := p.W, p.H
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+
+	// Data ranges in axis coordinates.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			x, y := axis(s.X[i], p.LogX), axis(s.Y[i], p.LogY)
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// Pad linear axes 5 %.
+	if !p.LogY {
+		pad := 0.05 * (yMax - yMin)
+		yMin -= pad
+		yMax += pad
+	}
+
+	plotW := float64(w) - marginL - marginR
+	plotH := float64(h) - marginT - marginB
+	px := func(x float64) float64 { return marginL + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-yMin)/(yMax-yMin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, esc(p.Title))
+
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="black"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+
+	// Ticks.
+	for _, t := range ticks(xMin, xMax, p.LogX) {
+		x := px(t.pos)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			x, marginT+plotH, x, marginT+plotH+5)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			x, marginT, x, marginT+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginT+plotH+18, t.label)
+	}
+	for _, t := range ticks(yMin, yMax, p.LogY) {
+		y := py(t.pos)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			marginL-5, y, marginL, y)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, y+4, t.label)
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, float64(h)-12, esc(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, esc(p.YLabel))
+
+	// Series.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f",
+				px(axis(s.X[i], p.LogX)), py(axis(s.Y[i], p.LogY))))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		// Legend entry.
+		ly := marginT + 14 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+plotW-130, ly, marginL+plotW-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginL+plotW-105, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+type tick struct {
+	pos   float64 // in axis coordinates
+	label string
+}
+
+// ticks picks tick positions: decades for log axes, ~5 nice steps for
+// linear ones.
+func ticks(lo, hi float64, log bool) []tick {
+	var out []tick
+	if log {
+		for d := math.Ceil(lo - 1e-9); d <= hi+1e-9; d++ {
+			out = append(out, tick{pos: d, label: fmt.Sprintf("1e%.0f", d)})
+		}
+		return out
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	switch {
+	case span/step > 8:
+		step *= 2
+	case span/step < 3:
+		step /= 2
+	}
+	for v := math.Ceil(lo/step) * step; v <= hi+step*1e-9; v += step {
+		out = append(out, tick{pos: v, label: trimFloat(v)})
+	}
+	return out
+}
+
+// trimFloat prints a tick value compactly.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// esc escapes XML-special characters in labels.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

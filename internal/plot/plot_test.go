@@ -1,0 +1,126 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func linePlot() *Plot {
+	return &Plot{
+		Title:  "demo <plot> & friends",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	s, err := linePlot().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid XML (catches unescaped labels, broken attributes).
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "demo &lt;plot&gt; &amp; friends", "</svg>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One polyline per series.
+	if n := strings.Count(s, "<polyline"); n != 2 {
+		t.Errorf("polyline count = %d, want 2", n)
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	p := &Plot{
+		LogX: true, LogY: true,
+		Series: []Series{{
+			Name: "sweep",
+			X:    []float64{1e-4, 1e-3, 1e-2, 1e-1, 1},
+			Y:    []float64{1, 10, 100, 1000, 10000},
+		}},
+	}
+	s, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decade ticks appear.
+	for _, want := range []string{"1e-4", "1e-2", "1e0", "1e2", "1e4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("log ticks missing %q", want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (&Plot{}).SVG(); err == nil {
+		t.Error("empty plot must fail")
+	}
+	bad := &Plot{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("single point must fail")
+	}
+	mismatch := &Plot{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := mismatch.SVG(); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	logNeg := &Plot{LogY: true, Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1, -1}}}}
+	if _, err := logNeg.SVG(); err == nil {
+		t.Error("negative value on log axis must fail")
+	}
+	nan := &Plot{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1, math.NaN()}}}}
+	if _, err := nan.SVG(); err == nil {
+		t.Error("NaN must fail")
+	}
+}
+
+func TestDegenerateRange(t *testing.T) {
+	// Constant series must still render (range widened internally).
+	p := &Plot{Series: []Series{{Name: "c", X: []float64{0, 1}, Y: []float64{5, 5}}}}
+	if _, err := p.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTicksLinear(t *testing.T) {
+	ts := ticks(0, 10, false)
+	if len(ts) < 3 || len(ts) > 12 {
+		t.Errorf("tick count = %d", len(ts))
+	}
+	// Ticks inside the range and ascending.
+	for i, tk := range ts {
+		if tk.pos < -1e-9 || tk.pos > 10+1e-9 {
+			t.Errorf("tick %v out of range", tk.pos)
+		}
+		if i > 0 && tk.pos <= ts[i-1].pos {
+			t.Error("ticks not ascending")
+		}
+	}
+}
+
+func TestCustomSize(t *testing.T) {
+	p := linePlot()
+	p.W, p.H = 300, 200
+	s, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, `width="300" height="200"`) {
+		t.Error("custom size not honored")
+	}
+}

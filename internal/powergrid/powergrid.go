@@ -1,0 +1,376 @@
+// Package powergrid analyzes on-chip power-distribution grids — the
+// "power lines" side of the paper's design-rule split (unipolar, r = 1.0).
+//
+// A grid is a rectangular mesh of straps on two adjacent metallization
+// levels (horizontal straps on one, vertical on the other, via-connected
+// at every crossing), fed from Vdd pads and discharged by block current
+// sinks. The solver computes node voltages (IR drop) and branch currents
+// by nodal analysis, and optionally iterates an electrothermal loop: each
+// strap's resistance is evaluated at the metal temperature its own RMS
+// current produces (core.TemperatureAtJrms with the quasi-2-D model), so
+// hot straps sag more — the coupling the paper's r = 1 rules guard.
+//
+// Results report the worst IR drop, the per-branch current densities for
+// checking against a rules.Deck power limit, and the hottest strap.
+package powergrid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/mathx"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+// ErrInvalid reports an ill-formed grid or load set.
+var ErrInvalid = errors.New("powergrid: invalid parameters")
+
+// Node addresses a grid crossing: column i ∈ [0, Nx), row j ∈ [0, Ny).
+type Node struct{ I, J int }
+
+// Load is a DC current sink (block supply draw) at a node, amperes.
+type Load struct {
+	Node
+	Current float64
+}
+
+// Grid describes the mesh.
+type Grid struct {
+	Tech *ntrs.Technology
+	// HLevel carries the horizontal straps (rows), VLevel the vertical
+	// ones (columns). They are usually the top two levels.
+	HLevel, VLevel int
+	// Nx, Ny are the numbers of vertical and horizontal straps (so the
+	// node mesh is Nx × Ny).
+	Nx, Ny int
+	// PitchX, PitchY are the strap pitches, m (branch lengths).
+	PitchX, PitchY float64
+	// WidthMultiple scales both levels' minimum widths for the straps.
+	WidthMultiple float64
+	// Pads are the Vdd connections (ideal, zero impedance).
+	Pads []Node
+}
+
+// Validate checks the grid.
+func (g *Grid) Validate() error {
+	if g.Tech == nil {
+		return fmt.Errorf("%w: nil technology", ErrInvalid)
+	}
+	if _, err := g.Tech.Layer(g.HLevel); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if _, err := g.Tech.Layer(g.VLevel); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if g.Nx < 2 || g.Ny < 2 {
+		return fmt.Errorf("%w: mesh %dx%d too small", ErrInvalid, g.Nx, g.Ny)
+	}
+	if g.PitchX <= 0 || g.PitchY <= 0 || g.WidthMultiple < 1 {
+		return fmt.Errorf("%w: pitch/width", ErrInvalid)
+	}
+	if len(g.Pads) == 0 {
+		return fmt.Errorf("%w: no pads", ErrInvalid)
+	}
+	for _, p := range g.Pads {
+		if !g.inRange(p) {
+			return fmt.Errorf("%w: pad %v outside mesh", ErrInvalid, p)
+		}
+	}
+	return nil
+}
+
+func (g *Grid) inRange(n Node) bool {
+	return n.I >= 0 && n.I < g.Nx && n.J >= 0 && n.J < g.Ny
+}
+
+func (g *Grid) nodeIndex(n Node) int { return n.J*g.Nx + n.I }
+
+// Branch identifies one strap segment between adjacent nodes.
+type Branch struct {
+	From, To   Node
+	Horizontal bool
+	// Current is the solved branch current From→To, A.
+	Current float64
+	// J is the current density magnitude, A/m².
+	J float64
+	// Tm is the strap temperature from the electrothermal loop (or Tref
+	// for a cold solve), K.
+	Tm float64
+}
+
+// Solution is a solved grid.
+type Solution struct {
+	Grid *Grid
+	// V[j][i] is the node voltage, volts below Vdd (i.e. the IR drop; 0
+	// at pads).
+	Drop [][]float64
+	// Branches lists every strap segment with solved currents.
+	Branches []Branch
+	// WorstDrop is the maximum IR drop, V.
+	WorstDrop float64
+	// WorstDropNode is where it occurs.
+	WorstDropNode Node
+	// MaxJ is the highest branch current density, A/m².
+	MaxJ float64
+	// HottestTm is the highest strap temperature, K.
+	HottestTm float64
+	// Iterations is the number of electrothermal passes performed.
+	Iterations int
+}
+
+// SolveOpts configures a solve.
+type SolveOpts struct {
+	// Electrothermal enables the temperature-resistance feedback loop.
+	Electrothermal bool
+	// MaxIter caps the feedback iterations (default 10).
+	MaxIter int
+	// Tref is the reference temperature, K (default 100 °C).
+	Tref float64
+}
+
+// Solve computes the DC IR-drop solution for the given loads.
+func (g *Grid) Solve(loads []Load, opts SolveOpts) (*Solution, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 10
+	}
+	if opts.Tref == 0 {
+		opts.Tref = phys.CToK(100)
+	}
+	for _, l := range loads {
+		if !g.inRange(l.Node) {
+			return nil, fmt.Errorf("%w: load %v outside mesh", ErrInvalid, l.Node)
+		}
+		if l.Current < 0 {
+			return nil, fmt.Errorf("%w: negative load at %v", ErrInvalid, l.Node)
+		}
+	}
+
+	branches := g.branches()
+	temps := make([]float64, len(branches))
+	for i := range temps {
+		temps[i] = opts.Tref
+	}
+
+	var sol *Solution
+	iters := 1
+	if opts.Electrothermal {
+		iters = opts.MaxIter
+	}
+	prevWorst := math.Inf(1)
+	for pass := 0; pass < iters; pass++ {
+		var err error
+		sol, err = g.solveOnce(loads, branches, temps)
+		if err != nil {
+			return nil, err
+		}
+		sol.Iterations = pass + 1
+		if !opts.Electrothermal {
+			break
+		}
+		// Update strap temperatures from their own Joule heating.
+		changed := false
+		for i := range branches {
+			tm, err := g.branchTemperature(&branches[i], sol.Branches[i].J, opts.Tref)
+			if err != nil {
+				return nil, err
+			}
+			if math.Abs(tm-temps[i]) > 0.01 {
+				changed = true
+			}
+			temps[i] = tm
+			sol.Branches[i].Tm = tm
+		}
+		if !changed || math.Abs(sol.WorstDrop-prevWorst) < 1e-9 {
+			break
+		}
+		prevWorst = sol.WorstDrop
+	}
+	// Final bookkeeping of temperatures.
+	sol.HottestTm = opts.Tref
+	for i := range sol.Branches {
+		sol.Branches[i].Tm = temps[i]
+		if temps[i] > sol.HottestTm {
+			sol.HottestTm = temps[i]
+		}
+	}
+	return sol, nil
+}
+
+// branches enumerates the strap segments.
+func (g *Grid) branches() []Branch {
+	var out []Branch
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i+1 < g.Nx; i++ {
+			out = append(out, Branch{From: Node{i, j}, To: Node{i + 1, j}, Horizontal: true})
+		}
+	}
+	for i := 0; i < g.Nx; i++ {
+		for j := 0; j+1 < g.Ny; j++ {
+			out = append(out, Branch{From: Node{i, j}, To: Node{i, j + 1}, Horizontal: false})
+		}
+	}
+	return out
+}
+
+// branchGeometry returns the layer, length and cross-section of a branch.
+func (g *Grid) branchGeometry(b *Branch) (level int, length, area float64) {
+	if b.Horizontal {
+		layer := &g.Tech.Layers[g.HLevel-1]
+		return g.HLevel, g.PitchX, layer.Width * g.WidthMultiple * layer.Thick
+	}
+	layer := &g.Tech.Layers[g.VLevel-1]
+	return g.VLevel, g.PitchY, layer.Width * g.WidthMultiple * layer.Thick
+}
+
+// branchTemperature evaluates the strap's self-heated temperature at the
+// given current density (DC: jrms = j).
+func (g *Grid) branchTemperature(b *Branch, j, tref float64) (float64, error) {
+	if j == 0 {
+		return tref, nil
+	}
+	level, _, _ := g.branchGeometry(b)
+	line, err := g.Tech.Line(level, 1e-3)
+	if err != nil {
+		return 0, err
+	}
+	line.Width *= g.WidthMultiple
+	prob := core.Problem{
+		Line:  line,
+		Model: thermal.Quasi2D(),
+		R:     1,
+		J0:    1, // unused by TemperatureAtJrms beyond validation
+		Tref:  tref,
+	}
+	tm, err := core.TemperatureAtJrms(prob, j)
+	if err != nil {
+		// Runaway: clamp at the ceiling so the loop reports the hazard.
+		return tref + core.TCeilingAboveRef, nil
+	}
+	return tm, nil
+}
+
+// solveOnce performs one nodal-analysis pass with fixed branch
+// temperatures.
+func (g *Grid) solveOnce(loads []Load, branches []Branch, temps []float64) (*Solution, error) {
+	n := g.Nx * g.Ny
+	isPad := make([]bool, n)
+	for _, p := range g.Pads {
+		isPad[g.nodeIndex(p)] = true
+	}
+	co := mathx.NewCoord(n)
+	rhs := make([]float64, n)
+	conds := make([]float64, len(branches))
+	for bi := range branches {
+		b := &branches[bi]
+		_, length, area := g.branchGeometry(b)
+		rho := g.Tech.Metal.Resistivity(temps[bi])
+		gcond := area / (rho * length)
+		conds[bi] = gcond
+		f, t := g.nodeIndex(b.From), g.nodeIndex(b.To)
+		stampBranch(co, rhs, f, t, gcond, isPad)
+	}
+	// Pad rows: identity (drop = 0).
+	for i := 0; i < n; i++ {
+		if isPad[i] {
+			co.Add(i, i, 1)
+		}
+	}
+	// Loads: current drawn out of the node (drop formulation: I enters
+	// the drop network).
+	for _, l := range loads {
+		idx := g.nodeIndex(l.Node)
+		if !isPad[idx] {
+			rhs[idx] += l.Current
+		}
+	}
+	a := co.ToCSR()
+	x := make([]float64, n)
+	res := mathx.SolveCG(a, rhs, x, 1e-12, 0)
+	if !res.Converged {
+		return nil, fmt.Errorf("powergrid: CG stalled (residual %g)", res.Residual)
+	}
+
+	sol := &Solution{Grid: g}
+	sol.Drop = make([][]float64, g.Ny)
+	for j := 0; j < g.Ny; j++ {
+		sol.Drop[j] = make([]float64, g.Nx)
+		for i := 0; i < g.Nx; i++ {
+			d := x[g.nodeIndex(Node{i, j})]
+			sol.Drop[j][i] = d
+			if d > sol.WorstDrop {
+				sol.WorstDrop = d
+				sol.WorstDropNode = Node{i, j}
+			}
+		}
+	}
+	sol.Branches = make([]Branch, len(branches))
+	for bi := range branches {
+		b := branches[bi]
+		_, _, area := g.branchGeometry(&b)
+		f, t := g.nodeIndex(b.From), g.nodeIndex(b.To)
+		// Current flows from lower drop to higher drop within the drop
+		// network; in the physical grid it flows toward the loads.
+		b.Current = conds[bi] * (x[t] - x[f])
+		b.J = math.Abs(b.Current) / area
+		b.Tm = temps[bi]
+		if b.J > sol.MaxJ {
+			sol.MaxJ = b.J
+		}
+		sol.Branches[bi] = b
+	}
+	return sol, nil
+}
+
+// stampBranch stamps a conductance between nodes f and t in the drop
+// formulation, where pad nodes are held at drop 0.
+func stampBranch(co *mathx.Coord, rhs []float64, f, t int, g float64, isPad []bool) {
+	if !isPad[f] {
+		co.Add(f, f, g)
+		if !isPad[t] {
+			co.Add(f, t, -g)
+		}
+	}
+	if !isPad[t] {
+		co.Add(t, t, g)
+		if !isPad[f] {
+			co.Add(t, f, -g)
+		}
+	}
+}
+
+// TotalLoad sums the sink currents.
+func TotalLoad(loads []Load) float64 {
+	s := 0.0
+	for _, l := range loads {
+		s += l.Current
+	}
+	return s
+}
+
+// PadCurrents returns the current delivered by each pad (A), computed
+// from the solved branch flows: a pad's delivery is the net current
+// leaving it into the grid.
+func (s *Solution) PadCurrents() map[Node]float64 {
+	out := map[Node]float64{}
+	for _, p := range s.Grid.Pads {
+		out[p] = 0
+	}
+	for _, b := range s.Branches {
+		// b.Current > 0 means flow From→... toward higher drop, i.e.
+		// away from supply: it leaves From.
+		if _, ok := out[b.From]; ok {
+			out[b.From] += b.Current
+		}
+		if _, ok := out[b.To]; ok {
+			out[b.To] -= b.Current
+		}
+	}
+	return out
+}

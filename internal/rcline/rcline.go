@@ -1,0 +1,178 @@
+// Package rcline models distributed RC interconnect lines: Elmore delay
+// estimates for driver + line + load configurations (the objective behind
+// the Eq. 16–17 repeater optimum) and discretization into π-segment
+// ladder netlists for the transient simulator (the Fig. 6 equivalent
+// network).
+package rcline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/spice"
+)
+
+// ErrInvalid reports out-of-domain parameters.
+var ErrInvalid = errors.New("rcline: invalid parameters")
+
+// Line is a uniform distributed RC line.
+type Line struct {
+	R float64 // resistance per unit length, Ω/m
+	C float64 // capacitance per unit length, F/m
+	L float64 // length, m
+}
+
+// Validate checks the line.
+func (l Line) Validate() error {
+	if l.R <= 0 || l.C <= 0 || l.L <= 0 {
+		return fmt.Errorf("%w: r=%g c=%g L=%g", ErrInvalid, l.R, l.C, l.L)
+	}
+	return nil
+}
+
+// TotalR returns R·L.
+func (l Line) TotalR() float64 { return l.R * l.L }
+
+// TotalC returns C·L.
+func (l Line) TotalC() float64 { return l.C * l.L }
+
+// ElmoreDelay returns the Elmore (first-moment) delay from a step at the
+// driver to the far-end node, for effective driver resistance rd and lumped
+// far-end load cl:
+//
+//	τ = rd·(C·L + cl) + R·L·(C·L/2 + cl)
+//
+// The distributed line contributes R·C·L²/2 (not the lumped R·C·L).
+func (l Line) ElmoreDelay(rd, cl float64) float64 {
+	return rd*(l.TotalC()+cl) + l.TotalR()*(l.TotalC()/2+cl)
+}
+
+// Delay50 approximates the 50 % step-response delay as 0.69·τ_Elmore —
+// exact for a single pole, a few percent high for RC lines.
+func (l Line) Delay50(rd, cl float64) float64 {
+	return 0.69 * l.ElmoreDelay(rd, cl)
+}
+
+// Ladder appends an n-segment π-ladder discretization of the line to the
+// circuit between nodes in and out. Internal nodes are named
+// prefix_0 … prefix_{n-2}; element names are prefixed likewise. Each
+// segment carries series resistance R·L/n; shunt capacitance C·L/n is
+// split half to each segment end, so the end nodes carry C·L/(2n) each and
+// interior nodes C·L/n.
+func (l Line) Ladder(c *spice.Circuit, prefix, in, out string, n int) error {
+	_, err := l.LadderNodes(c, prefix, in, out, n)
+	return err
+}
+
+// LadderNodes is Ladder returning the ordered node names along the line
+// (in, internals…, out) — the attachment points for lateral coupling
+// capacitors in multi-line (crosstalk) netlists.
+func (l Line) LadderNodes(c *spice.Circuit, prefix, in, out string, n int) ([]string, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w: ladder needs n >= 1 segments", ErrInvalid)
+	}
+	rSeg := l.TotalR() / float64(n)
+	cSeg := l.TotalC() / float64(n)
+	nodes := []string{in}
+	prev := in
+	if err := c.C(prefix+"_cin", in, spice.Ground, cSeg/2, 0); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		next := out
+		if i < n-1 {
+			next = fmt.Sprintf("%s_%d", prefix, i)
+		}
+		if err := c.R(fmt.Sprintf("%s_r%d", prefix, i), prev, next, rSeg); err != nil {
+			return nil, err
+		}
+		shunt := cSeg
+		if i == n-1 {
+			shunt = cSeg / 2
+		}
+		if err := c.C(fmt.Sprintf("%s_c%d", prefix, i), next, spice.Ground, shunt, 0); err != nil {
+			return nil, err
+		}
+		prev = next
+		nodes = append(nodes, next)
+	}
+	return nodes, nil
+}
+
+// SuggestedSegments returns a segment count that keeps per-segment time
+// constants well below the line's own response: 10 is accurate to ≈ 1 %
+// for 50 % delay; longer lines or tighter accuracy use more, capped at 50.
+func (l Line) SuggestedSegments() int {
+	return 20
+}
+
+// RLCLine adds per-unit-length loop inductance to a Line — the
+// transmission-line extension the paper's RC model deliberately omits
+// (see internal/extract.LoopInductance for where L comes from).
+type RLCLine struct {
+	Line
+	// LInd is the loop inductance per unit length, H/m.
+	LInd float64
+}
+
+// Validate checks the RLC line.
+func (l RLCLine) Validate() error {
+	if err := l.Line.Validate(); err != nil {
+		return err
+	}
+	if l.LInd <= 0 {
+		return fmt.Errorf("%w: L'=%g", ErrInvalid, l.LInd)
+	}
+	return nil
+}
+
+// TimeOfFlight returns L·sqrt(L'·C') — the wave-propagation lower bound on
+// the far-end arrival.
+func (l RLCLine) TimeOfFlight() float64 {
+	return l.L * math.Sqrt(l.LInd*l.C)
+}
+
+// Ladder appends an n-segment RLC ladder: each segment carries series
+// R·L/n and L'·L/n with the shunt capacitance split as in the RC ladder.
+// Internal series nodes are prefixed prefix_m.
+func (l RLCLine) Ladder(c *spice.Circuit, prefix, in, out string, n int) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("%w: ladder needs n >= 1 segments", ErrInvalid)
+	}
+	rSeg := l.TotalR() / float64(n)
+	lSeg := l.LInd * l.L / float64(n)
+	cSeg := l.TotalC() / float64(n)
+	prev := in
+	if err := c.C(prefix+"_cin", in, spice.Ground, cSeg/2, 0); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		next := out
+		if i < n-1 {
+			next = fmt.Sprintf("%s_%d", prefix, i)
+		}
+		mid := fmt.Sprintf("%s_m%d", prefix, i)
+		if err := c.R(fmt.Sprintf("%s_r%d", prefix, i), prev, mid, rSeg); err != nil {
+			return err
+		}
+		if err := c.L(fmt.Sprintf("%s_l%d", prefix, i), mid, next, lSeg, 0); err != nil {
+			return err
+		}
+		shunt := cSeg
+		if i == n-1 {
+			shunt = cSeg / 2
+		}
+		if err := c.C(fmt.Sprintf("%s_c%d", prefix, i), next, spice.Ground, shunt, 0); err != nil {
+			return err
+		}
+		prev = next
+	}
+	return nil
+}

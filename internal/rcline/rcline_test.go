@@ -1,0 +1,278 @@
+package rcline
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/spice"
+)
+
+func testLine() Line {
+	// A 0.25 µm-class global segment: 24 kΩ/m, 0.17 nF/m, 5 mm.
+	return Line{R: 24e3, C: 1.7e-10, L: 5e-3}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testLine().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Line{{}, {R: 1, C: 1, L: -1}, {R: 0, C: 1, L: 1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("line %+v must not validate", bad)
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	l := testLine()
+	if math.Abs(l.TotalR()-120) > 1e-9 {
+		t.Errorf("TotalR = %v, want 120", l.TotalR())
+	}
+	if math.Abs(l.TotalC()-8.5e-13) > 1e-24 {
+		t.Errorf("TotalC = %v", l.TotalC())
+	}
+}
+
+func TestElmoreDistributedHalf(t *testing.T) {
+	// With zero driver resistance and no load, τ = RC·L²/2 (the
+	// distributed half, not the lumped product).
+	l := testLine()
+	want := l.TotalR() * l.TotalC() / 2
+	if got := l.ElmoreDelay(0, 0); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Elmore = %v, want %v", got, want)
+	}
+	// Adding driver resistance and load increases delay.
+	if l.ElmoreDelay(1000, 1e-13) <= want {
+		t.Error("driver and load must add delay")
+	}
+}
+
+func TestLadderStepResponseMatchesElmore(t *testing.T) {
+	// Drive the discretized line through a driver resistor and compare
+	// the 50 % crossing of the far end with 0.69·τ_Elmore.
+	l := testLine()
+	rd := 1e3
+	cl := 0.5e-12
+	c := spice.New()
+	if err := c.V("vin", "in", "0", spice.DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.R("rd", "in", "near", rd); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ladder(c, "ln", "near", "far", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.C("cl", "far", "0", cl, 0); err != nil {
+		t.Fatal(err)
+	}
+	tauE := 0.69 * l.ElmoreDelay(rd, cl)
+	res, err := c.Transient(spice.TranOpts{Stop: 6 * tauE, Step: tauE / 400, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("far")
+	t50 := -1.0
+	for k := 1; k < len(v); k++ {
+		if v[k-1] < 0.5 && v[k] >= 0.5 {
+			t50 = res.Time[k]
+			break
+		}
+	}
+	if t50 < 0 {
+		t.Fatal("far end never crossed 50 %")
+	}
+	// 0.69·Elmore overestimates a distributed line's 50 % delay by up to
+	// ~20 %; require agreement within that modeling band.
+	ratio := t50 / tauE
+	if ratio < 0.6 || ratio > 1.1 {
+		t.Errorf("t50/0.69τ = %v, want 0.6–1.1 (t50=%v, τ=%v)", ratio, t50, tauE)
+	}
+}
+
+func TestLadderChargeConservation(t *testing.T) {
+	// After a full charge to 1 V, the charge delivered through the
+	// driver equals (C·L + cl)·V.
+	l := Line{R: 10e3, C: 2e-10, L: 2e-3}
+	cl := 0.3e-12
+	c := spice.New()
+	if err := c.V("vin", "in", "0", spice.DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ammeter("am", "in", "drv"); err != nil {
+		t.Fatal(err)
+	}
+	// A finite driver resistance avoids the (unphysical) 0 Ω
+	// source-to-capacitor conflict at t = 0.
+	if err := c.R("rd", "drv", "near", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ladder(c, "ln", "near", "far", 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.C("cl", "far", "0", cl, 0); err != nil {
+		t.Fatal(err)
+	}
+	tau := l.ElmoreDelay(100, cl)
+	res, err := c.Transient(spice.TranOpts{Stop: 12 * tau, Step: tau / 200, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := res.Current("am")
+	q := 0.0
+	for k := 1; k < len(i); k++ {
+		q += 0.5 * (i[k] + i[k-1]) * (res.Time[k] - res.Time[k-1])
+	}
+	want := l.TotalC() + cl
+	if math.Abs(q-want)/want > 0.02 {
+		t.Errorf("delivered charge = %v, want %v", q, want)
+	}
+}
+
+func TestLadderSegmentConvergence(t *testing.T) {
+	// Far-end 50 % delay must converge as the segment count grows.
+	l := testLine()
+	delayWith := func(n int) float64 {
+		c := spice.New()
+		if err := c.V("vin", "in", "0", spice.DC(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.R("rd", "in", "near", 500); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Ladder(c, "ln", "near", "far", n); err != nil {
+			t.Fatal(err)
+		}
+		tau := l.ElmoreDelay(500, 0)
+		res, err := c.Transient(spice.TranOpts{Stop: 4 * tau, Step: tau / 500, UseIC: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := res.Voltage("far")
+		for k := 1; k < len(v); k++ {
+			if v[k] >= 0.5 {
+				return res.Time[k]
+			}
+		}
+		t.Fatal("no crossing")
+		return 0
+	}
+	d5, d20, d40 := delayWith(5), delayWith(20), delayWith(40)
+	if math.Abs(d20-d40)/d40 > 0.02 {
+		t.Errorf("20 vs 40 segments differ by %v", math.Abs(d20-d40)/d40)
+	}
+	if math.Abs(d5-d40)/d40 > 0.15 {
+		t.Errorf("even 5 segments should be within 15 %%: %v vs %v", d5, d40)
+	}
+}
+
+func TestLadderValidation(t *testing.T) {
+	c := spice.New()
+	if err := testLine().Ladder(c, "l", "a", "b", 0); err == nil {
+		t.Error("0 segments must fail")
+	}
+	if err := (Line{}).Ladder(c, "l", "a", "b", 5); err == nil {
+		t.Error("invalid line must fail")
+	}
+}
+
+func TestSuggestedSegments(t *testing.T) {
+	if n := testLine().SuggestedSegments(); n < 10 || n > 50 {
+		t.Errorf("suggested segments = %d", n)
+	}
+}
+
+func TestRLCLineValidate(t *testing.T) {
+	ok := RLCLine{Line: testLine(), LInd: 4e-7}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := RLCLine{Line: testLine()}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero inductance must fail")
+	}
+}
+
+func TestRLCLadderRespectsTimeOfFlight(t *testing.T) {
+	// A low-loss RLC line: nothing arrives at the far end before the time
+	// of flight, and the arrival clusters near it — behavior an RC ladder
+	// cannot reproduce (its response starts instantly).
+	l := RLCLine{
+		Line: Line{R: 2e3, C: 1.7e-10, L: 5e-3}, // deliberately low R
+		LInd: 4e-7,                              // 0.4 pH/µm
+	}
+	tof := l.TimeOfFlight()
+	c := spice.New()
+	if err := c.V("vin", "in", "0", spice.Pulse(0, 1, 0, 2e-12, 2e-12, 1e-8, 2e-8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.R("rd", "in", "near", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ladder(c, "ln", "near", "far", 40); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(spice.TranOpts{Stop: 6 * tof, Step: tof / 200, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("far")
+	// Before ~0.8·TOF the far end is essentially quiet (discretized lines
+	// leak slightly ahead of the wavefront).
+	for k, tk := range res.Time {
+		if tk < 0.8*tof && math.Abs(v[k]) > 0.05 {
+			t.Fatalf("signal arrived at %v, before TOF %v (v=%v)", tk, tof, v[k])
+		}
+	}
+	// And it does arrive: 50 % crossing within a few TOF.
+	arrived := false
+	for k, tk := range res.Time {
+		if v[k] >= 0.5 {
+			if tk < 0.8*tof {
+				t.Fatalf("arrival %v impossibly early", tk)
+			}
+			arrived = true
+			break
+		}
+	}
+	if !arrived {
+		t.Fatal("far end never reached 50 %")
+	}
+}
+
+func TestRLCReducesToRCWhenLNegligible(t *testing.T) {
+	// With vanishing inductance the RLC ladder's far-end delay matches
+	// the RC ladder's.
+	base := testLine()
+	delay := func(build func(c *spice.Circuit) error) float64 {
+		c := spice.New()
+		if err := c.V("vin", "in", "0", spice.DC(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.R("rd", "in", "near", 500); err != nil {
+			t.Fatal(err)
+		}
+		if err := build(c); err != nil {
+			t.Fatal(err)
+		}
+		tau := base.ElmoreDelay(500, 0)
+		res, err := c.Transient(spice.TranOpts{Stop: 4 * tau, Step: tau / 400, UseIC: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := res.Voltage("far")
+		for k := range v {
+			if v[k] >= 0.5 {
+				return res.Time[k]
+			}
+		}
+		t.Fatal("no crossing")
+		return 0
+	}
+	dRC := delay(func(c *spice.Circuit) error { return base.Ladder(c, "ln", "near", "far", 20) })
+	rlc := RLCLine{Line: base, LInd: 1e-12} // negligible
+	dRLC := delay(func(c *spice.Circuit) error { return rlc.Ladder(c, "ln", "near", "far", 20) })
+	if math.Abs(dRC-dRLC)/dRC > 0.02 {
+		t.Errorf("RLC with tiny L: %v vs RC %v", dRLC, dRC)
+	}
+}

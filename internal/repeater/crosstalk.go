@@ -1,0 +1,190 @@
+package repeater
+
+import (
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/extract"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/rcline"
+	"dsmtherm/internal/spice"
+)
+
+// Crosstalk analysis: §4.1 notes that "a significant fraction of c [is]
+// contributed by coupling capacitances to neighboring lines" and that
+// buffer insertion is also used to contain crosstalk noise (ref. [23]).
+// SimulateCrosstalk builds the three-line version of the Fig. 6 netlist —
+// a victim between two aggressors at minimum pitch, with distributed
+// lateral coupling — and measures both effects: the victim's delay shift
+// when the aggressors switch with or against it (the dynamic Miller
+// effect) and the glitch injected into a quiet victim.
+
+// CrosstalkResult summarizes one coupled-bus simulation set.
+type CrosstalkResult struct {
+	// DelayQuiet, DelayAligned, DelayOpposed are the victim's 50 % delays
+	// (s) with aggressors held, switching in the same direction, and
+	// switching oppositely.
+	DelayQuiet, DelayAligned, DelayOpposed float64
+	// MillerSpread = DelayOpposed/DelayAligned — the delay uncertainty
+	// crosstalk induces on an optimally buffered line.
+	MillerSpread float64
+	// NoisePeak is the largest excursion (V) of the held victim's far end
+	// from its rail while both aggressors switch.
+	NoisePeak float64
+	// NoiseFraction is NoisePeak/Vdd.
+	NoiseFraction float64
+	// CouplingFraction is 2·cc/(cg + 2·cc) from extraction.
+	CouplingFraction float64
+}
+
+// SimulateCrosstalk runs the three coupled simulations for a level's
+// minimum-pitch bus, each line optimally buffered per Eqs. 16–17.
+func SimulateCrosstalk(t *ntrs.Technology, level int, opts SimOpts) (CrosstalkResult, error) {
+	opts.defaults()
+	if opts.Segments > 14 {
+		opts.Segments = 14 // three coupled ladders: keep the MNA small
+	}
+	o, err := Optimize(t, level)
+	if err != nil {
+		return CrosstalkResult{}, err
+	}
+	params, err := extract.FromTech(t, level)
+	if err != nil {
+		return CrosstalkResult{}, err
+	}
+	cg, err := extract.GroundCap(params)
+	if err != nil {
+		return CrosstalkResult{}, err
+	}
+	cc, err := extract.CouplingCap(params)
+	if err != nil {
+		return CrosstalkResult{}, err
+	}
+	res := CrosstalkResult{CouplingFraction: 2 * cc / (cg + 2*cc)}
+	l := o.Lopt
+
+	period := 1 / t.Clock
+	edge := opts.InputEdgeFraction * period
+
+	type mode struct {
+		name            string
+		victimSwitches  bool
+		aggressorDrive  spice.SourceFunc
+		victimHoldLevel float64
+	}
+	vicClock := spice.Pulse(0, t.Vdd, 0.1*period, edge, edge, period/2-edge, period)
+	aggAligned := vicClock
+	aggOpposed := spice.Pulse(t.Vdd, 0, 0.1*period, edge, edge, period/2-edge, period)
+	modes := []mode{
+		{"quiet", true, spice.DC(0), 0},
+		{"aligned", true, aggAligned, 0},
+		{"opposed", true, aggOpposed, 0},
+		{"noise", false, aggAligned, 0}, // victim input low → far end held at Vdd
+	}
+	for _, m := range modes {
+		ckt := spice.New()
+		if err := buildCoupledBus(ckt, t, o, l, cg, cc, opts.Segments, m.victimSwitches,
+			vicClock, m.aggressorDrive); err != nil {
+			return CrosstalkResult{}, fmt.Errorf("repeater: crosstalk %s: %w", m.name, err)
+		}
+		tr, err := ckt.Transient(spice.TranOpts{
+			Stop: 2 * period,
+			Step: period / float64(opts.StepsPerPeriod),
+		})
+		if err != nil {
+			return CrosstalkResult{}, fmt.Errorf("repeater: crosstalk %s transient: %w", m.name, err)
+		}
+		vin, err := tr.Voltage("vin")
+		if err != nil {
+			return CrosstalkResult{}, err
+		}
+		vfar, err := tr.Voltage("vfar")
+		if err != nil {
+			return CrosstalkResult{}, err
+		}
+		switch m.name {
+		case "quiet":
+			res.DelayQuiet = crossDelay(tr.Time, vin, vfar, period, t.Vdd)
+		case "aligned":
+			res.DelayAligned = crossDelay(tr.Time, vin, vfar, period, t.Vdd)
+		case "opposed":
+			res.DelayOpposed = crossDelay(tr.Time, vin, vfar, period, t.Vdd)
+		case "noise":
+			// The held victim's far end sits at Vdd (input low through an
+			// inverter); measure the worst dip in the second period.
+			peak := 0.0
+			for k, tt := range tr.Time {
+				if tt < period {
+					continue
+				}
+				if d := math.Abs(vfar[k] - t.Vdd); d > peak {
+					peak = d
+				}
+			}
+			res.NoisePeak = peak
+			res.NoiseFraction = peak / t.Vdd
+		}
+	}
+	if res.DelayAligned > 0 {
+		res.MillerSpread = res.DelayOpposed / res.DelayAligned
+	}
+	return res, nil
+}
+
+// buildCoupledBus wires victim (index 1) between aggressors (0, 2).
+func buildCoupledBus(ckt *spice.Circuit, t *ntrs.Technology, o Optimum, l, cg, cc float64,
+	segments int, victimSwitches bool, vicDrive, aggDrive spice.SourceFunc) error {
+	if err := ckt.V("vdd", "vdd", spice.Ground, spice.DC(t.Vdd)); err != nil {
+		return err
+	}
+	drive := []spice.SourceFunc{aggDrive, vicDrive, aggDrive}
+	if !victimSwitches {
+		drive[1] = spice.DC(0)
+	}
+	inNames := []string{"ain0", "vin", "ain2"}
+	farNames := []string{"afar0", "vfar", "afar2"}
+	size := o.Sopt
+	d := t.Device
+	lineModel := rcline.Line{R: o.R, C: cg, L: l} // ground cap only; coupling added explicitly
+	allNodes := make([][]string, 3)
+	for i := 0; i < 3; i++ {
+		pre := fmt.Sprintf("b%d", i)
+		if err := ckt.V("vsrc"+pre, inNames[i], spice.Ground, drive[i]); err != nil {
+			return err
+		}
+		if err := ckt.MOSFET("mn"+pre, "drv"+pre, inNames[i], spice.Ground,
+			driverParams(t, false).Scaled(size)); err != nil {
+			return err
+		}
+		if err := ckt.MOSFET("mp"+pre, "drv"+pre, inNames[i], "vdd",
+			driverParams(t, true).Scaled(size)); err != nil {
+			return err
+		}
+		if err := ckt.C("cpar"+pre, "drv"+pre, spice.Ground, size*d.Cp, 0); err != nil {
+			return err
+		}
+		nodes, err := lineModel.LadderNodes(ckt, "ln"+pre, "drv"+pre, farNames[i], segments)
+		if err != nil {
+			return err
+		}
+		allNodes[i] = nodes
+		if err := ckt.C("cload"+pre, farNames[i], spice.Ground, size*d.Cg, 0); err != nil {
+			return err
+		}
+	}
+	// Distributed coupling: victim to each aggressor at every ladder node.
+	ccSeg := cc * l / float64(segments)
+	for _, agg := range []int{0, 2} {
+		for k := range allNodes[1] {
+			val := ccSeg
+			if k == 0 || k == len(allNodes[1])-1 {
+				val = ccSeg / 2
+			}
+			name := fmt.Sprintf("cx%d_%d", agg, k)
+			if err := ckt.C(name, allNodes[1][k], allNodes[agg][k], val, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

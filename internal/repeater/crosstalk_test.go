@@ -1,0 +1,67 @@
+package repeater
+
+import (
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+)
+
+func TestCrosstalkDelayOrdering(t *testing.T) {
+	// The dynamic Miller effect: aggressors switching WITH the victim
+	// reduce its effective coupling load; switching AGAINST it double it.
+	// DelayAligned < DelayQuiet < DelayOpposed.
+	r, err := SimulateCrosstalk(ntrs.N100(), 8, SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.DelayAligned > 0 && r.DelayQuiet > 0 && r.DelayOpposed > 0) {
+		t.Fatalf("delays not measured: %+v", r)
+	}
+	if !(r.DelayAligned < r.DelayQuiet && r.DelayQuiet < r.DelayOpposed) {
+		t.Errorf("Miller ordering violated: aligned %v, quiet %v, opposed %v",
+			r.DelayAligned, r.DelayQuiet, r.DelayOpposed)
+	}
+	if r.MillerSpread <= 1 || r.MillerSpread > 3 {
+		t.Errorf("Miller spread = %v, want (1, 3]", r.MillerSpread)
+	}
+}
+
+func TestCrosstalkNoiseScalesWithCoupling(t *testing.T) {
+	// A low-k gap fill cuts the coupling capacitance, so the injected
+	// glitch must shrink.
+	ox, err := SimulateCrosstalk(ntrs.N100(), 8, SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := SimulateCrosstalk(ntrs.N100().WithGapFill(&material.LowK2), 8, SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ox.NoisePeak <= 0 {
+		t.Fatal("no noise measured on the quiet victim")
+	}
+	if lk.NoisePeak >= ox.NoisePeak {
+		t.Errorf("low-k noise %v should be below oxide %v", lk.NoisePeak, ox.NoisePeak)
+	}
+	if lk.CouplingFraction >= ox.CouplingFraction {
+		t.Error("low-k must reduce the coupling fraction")
+	}
+	// Noise stays below the switching threshold for a buffered optimal
+	// line (buffer insertion contains crosstalk, ref. 23).
+	if ox.NoiseFraction > 0.5 {
+		t.Errorf("noise fraction %v implausibly large", ox.NoiseFraction)
+	}
+}
+
+func TestCrosstalkCouplingFractionSignificant(t *testing.T) {
+	// The §4.1 premise: coupling is a significant part of c at minimum
+	// pitch.
+	r, err := SimulateCrosstalk(ntrs.N250(), 5, SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CouplingFraction < 0.1 {
+		t.Errorf("coupling fraction = %v, want ≥ 0.1", r.CouplingFraction)
+	}
+}

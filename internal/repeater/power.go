@@ -1,0 +1,78 @@
+package repeater
+
+import (
+	"fmt"
+
+	"dsmtherm/internal/mathx"
+	"dsmtherm/internal/ntrs"
+)
+
+// Power-aware sizing: §4.1 observes that "for lines which are not on
+// critical path, the buffer size may be reduced to save power". These
+// helpers quantify the trade — dynamic power and delay as functions of
+// repeater size, and the energy–delay-product (EDP) optimal size that a
+// power-conscious flow would pick instead of the delay-optimal sopt.
+
+// StageDelay returns the closed-form 50 % delay of one stage of size s
+// driving a length-l segment of this design point's line into an
+// identical next stage.
+func StageDelay(t *ntrs.Technology, o Optimum, s, l float64) float64 {
+	d := t.Device
+	return 0.69*(d.R0/s)*(s*d.Cp+o.C*l+s*d.Cg) +
+		0.69*o.R*l*s*d.Cg +
+		0.38*o.R*o.C*l*l
+}
+
+// StagePower returns the dynamic power of one stage: the switched
+// capacitance (line + repeater parasitics + next stage's gate) at the
+// given activity factor (transitions per clock period ÷ 2):
+//
+//	P = activity · f · Vdd² · (c·l + s·(cg + cp))
+func StagePower(t *ntrs.Technology, o Optimum, s, l, activity float64) float64 {
+	d := t.Device
+	csw := o.C*l + s*(d.Cg+d.Cp)
+	return activity * t.Clock * t.Vdd * t.Vdd * csw
+}
+
+// PowerOptimum is a power-aware sizing result.
+type PowerOptimum struct {
+	// SizeEDP minimizes the energy·delay product for the segment.
+	SizeEDP float64
+	// DelayEDP, PowerEDP are the resulting per-stage delay and power.
+	DelayEDP, PowerEDP float64
+	// DelayOpt, PowerOpt are the delay-optimal (sopt) reference values.
+	DelayOpt, PowerOpt float64
+	// DelayPenalty = DelayEDP/DelayOpt (≥ 1); PowerSaving =
+	// 1 − PowerEDP/PowerOpt (≥ 0).
+	DelayPenalty, PowerSaving float64
+}
+
+// OptimizeEDP finds the repeater size minimizing the per-stage
+// energy·delay product at the design point's lopt spacing, with the given
+// switching activity.
+func OptimizeEDP(t *ntrs.Technology, level int, activity float64) (PowerOptimum, error) {
+	if activity <= 0 || activity > 1 {
+		return PowerOptimum{}, fmt.Errorf("%w: activity %g", ErrInvalid, activity)
+	}
+	o, err := Optimize(t, level)
+	if err != nil {
+		return PowerOptimum{}, err
+	}
+	l := o.Lopt
+	edp := func(s float64) float64 {
+		d := StageDelay(t, o, s, l)
+		p := StagePower(t, o, s, l, activity)
+		return p * d * d // energy·delay = (P·D)·D
+	}
+	sBest := mathx.MinimizeGolden(edp, o.Sopt/20, o.Sopt, o.Sopt*1e-4)
+	out := PowerOptimum{
+		SizeEDP:  sBest,
+		DelayEDP: StageDelay(t, o, sBest, l),
+		PowerEDP: StagePower(t, o, sBest, l, activity),
+		DelayOpt: StageDelay(t, o, o.Sopt, l),
+		PowerOpt: StagePower(t, o, o.Sopt, l, activity),
+	}
+	out.DelayPenalty = out.DelayEDP / out.DelayOpt
+	out.PowerSaving = 1 - out.PowerEDP/out.PowerOpt
+	return out, nil
+}

@@ -1,0 +1,308 @@
+// Package repeater implements §4 of the paper: optimal repeater insertion
+// on long (semi-)global interconnects and the extraction of the resulting
+// peak/RMS current densities and effective duty cycle by transient
+// simulation.
+//
+// For a line with resistance r and capacitance c per unit length, driven
+// by repeaters built from minimum inverters with effective resistance r0,
+// input capacitance cg, and output parasitic cp (Fig. 6), the
+// delay-optimal segment length and repeater size are
+//
+//	lopt = sqrt( 2·r0·(cg + cp) / (r·c) )                        (Eq. 16)
+//	sopt = sqrt( r0·c / (r·cg) )                                 (Eq. 17)
+//
+// The delay between two optimally spaced and sized repeaters is then
+// independent of the layer, and buffering is useless for lines shorter
+// than lopt. For a given level the maximum RMS current occurs in an
+// optimally buffered, optimal-length line, close to the repeater output —
+// which is exactly where Simulate places its ammeter.
+package repeater
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/extract"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/rcline"
+	"dsmtherm/internal/spice"
+	"dsmtherm/internal/waveform"
+)
+
+// ErrInvalid reports out-of-domain parameters.
+var ErrInvalid = errors.New("repeater: invalid parameters")
+
+// Optimum is the Eq. 16–17 design point for one metallization level.
+type Optimum struct {
+	Level int
+	// R, C are the extracted per-unit-length line parasitics (Ω/m, F/m).
+	R, C float64
+	// Lopt is the optimal repeater spacing (m); Sopt the optimal repeater
+	// size (multiple of a minimum inverter).
+	Lopt, Sopt float64
+	// SegmentDelay is the closed-form 50 % delay of one optimally sized
+	// and spaced segment (s).
+	SegmentDelay float64
+}
+
+// Optimize computes the Eq. 16–17 optimum for a level of a technology,
+// extracting r and c with the internal extractor (Miller factor 1, quiet
+// neighbors — the paper's delay-optimization assumption).
+func Optimize(t *ntrs.Technology, level int) (Optimum, error) {
+	r, c, err := extract.RC(t, level, material.Tref100C)
+	if err != nil {
+		return Optimum{}, err
+	}
+	d := t.Device
+	o := Optimum{
+		Level: level,
+		R:     r,
+		C:     c,
+		Lopt:  math.Sqrt(2 * d.R0 * (d.Cg + d.Cp) / (r * c)),
+		Sopt:  math.Sqrt(d.R0 * c / (r * d.Cg)),
+	}
+	o.SegmentDelay = segmentDelay(t, o)
+	return o, nil
+}
+
+// segmentDelay is the standard closed-form 50 % Elmore-style delay of one
+// repeater stage of size s driving a length-l line into the next stage's
+// input capacitance:
+//
+//	T = 0.69·(r0/s)·(s·cp + c·l + s·cg) + 0.69·r·l·s·cg + 0.38·r·c·l²
+func segmentDelay(t *ntrs.Technology, o Optimum) float64 {
+	d := t.Device
+	s, l := o.Sopt, o.Lopt
+	return 0.69*(d.R0/s)*(s*d.Cp+o.C*l+s*d.Cg) +
+		0.69*o.R*l*s*d.Cg +
+		0.38*o.R*o.C*l*l
+}
+
+// SizeForLength returns the reduced repeater size s = sopt·(l/lopt) the
+// paper recommends for lines shorter than lopt ("the buffer size can also
+// be reduced ... to reduce the power dissipation while still maintaining
+// good slew rates").
+func (o Optimum) SizeForLength(l float64) float64 {
+	if l >= o.Lopt {
+		return o.Sopt
+	}
+	return o.Sopt * l / o.Lopt
+}
+
+// Metrics are the simulated §4 quantities for one buffered segment.
+type Metrics struct {
+	Optimum
+	// Ipeak, Irms, IabsAvg are the line-current statistics at the
+	// repeater output over one steady-state clock period (A).
+	Ipeak, Irms, IabsAvg float64
+	// Jpeak, Jrms are the corresponding densities in the line (A/m²).
+	Jpeak, Jrms float64
+	// Reff is Hunter's effective duty cycle javg²/jrms² of the measured
+	// waveform — the paper reports 0.12 ± 0.01 across layers and nodes.
+	Reff float64
+	// RelativeSlew is the far-end voltage 10–90 % rise time as a fraction
+	// of the clock period.
+	RelativeSlew float64
+	// DelayMeasured is the simulated input-50 % to far-end-50 % delay (s).
+	DelayMeasured float64
+	// Wave is the line-current waveform over the measured period.
+	Wave *waveform.Sampled
+}
+
+// SimOpts tunes Simulate.
+type SimOpts struct {
+	// Segments is the ladder discretization (default 20).
+	Segments int
+	// StepsPerPeriod sets the timestep (default 1500).
+	StepsPerPeriod int
+	// InputEdgeFraction is the driving clock's rise/fall time as a
+	// fraction of the period (default 0.05).
+	InputEdgeFraction float64
+	// LineLength overrides the simulated segment length (default Lopt).
+	LineLength float64
+	// Size overrides the repeater size (default Sopt, or the scaled size
+	// for short lines).
+	Size float64
+}
+
+func (s *SimOpts) defaults() {
+	if s.Segments == 0 {
+		s.Segments = 20
+	}
+	if s.StepsPerPeriod == 0 {
+		s.StepsPerPeriod = 1500
+	}
+	if s.InputEdgeFraction == 0 {
+		s.InputEdgeFraction = 0.05
+	}
+}
+
+// driverParams derives square-law device parameters for a minimum
+// inverter of the technology: Vt = 0.2·Vdd and KP chosen to reproduce the
+// technology file's saturation current at full gate drive.
+func driverParams(t *ntrs.Technology, pmos bool) spice.MOSParams {
+	vt := 0.2 * t.Vdd
+	ov := t.Vdd - vt
+	return spice.MOSParams{
+		KP:     2 * t.Device.Isat / (ov * ov),
+		Vt:     vt,
+		Lambda: 0.05,
+		PMOS:   pmos,
+	}
+}
+
+// Simulate builds and runs the Fig. 6 netlist for one buffered segment of
+// the given level: clock → repeater (sized s) → ammeter → distributed line
+// (length l) → next repeater's input capacitance, and reduces the
+// measured line current to the §4 metrics. The simulation runs two clock
+// periods and measures the second (steady-state) one.
+func Simulate(t *ntrs.Technology, level int, opts SimOpts) (Metrics, error) {
+	opts.defaults()
+	o, err := Optimize(t, level)
+	if err != nil {
+		return Metrics{}, err
+	}
+	l := opts.LineLength
+	if l == 0 {
+		l = o.Lopt
+	}
+	size := opts.Size
+	if size == 0 {
+		size = o.SizeForLength(l)
+	}
+	if l <= 0 || size <= 0 {
+		return Metrics{}, fmt.Errorf("%w: length %g, size %g", ErrInvalid, l, size)
+	}
+
+	period := 1 / t.Clock
+	edge := opts.InputEdgeFraction * period
+
+	ckt := spice.New()
+	if err := buildSegment(ckt, t, o, l, size, period, edge, opts.Segments); err != nil {
+		return Metrics{}, err
+	}
+
+	res, err := ckt.Transient(spice.TranOpts{
+		Stop: 2 * period,
+		Step: period / float64(opts.StepsPerPeriod),
+	})
+	if err != nil {
+		return Metrics{}, fmt.Errorf("repeater: transient: %w", err)
+	}
+	return reduce(t, level, o, l, size, period, res)
+}
+
+// buildSegment wires the Fig. 6 network into ckt.
+func buildSegment(ckt *spice.Circuit, t *ntrs.Technology, o Optimum,
+	l, size, period, edge float64, segments int) error {
+	d := t.Device
+	steps := []error{
+		ckt.V("vdd", "vdd", spice.Ground, spice.DC(t.Vdd)),
+		ckt.V("vin", "in", spice.Ground,
+			spice.Pulse(0, t.Vdd, 0.1*period, edge, edge, period/2-edge, period)),
+		// The repeater under test.
+		ckt.MOSFET("mn", "drv", "in", spice.Ground, driverParams(t, false).Scaled(size)),
+		ckt.MOSFET("mp", "drv", "in", "vdd", driverParams(t, true).Scaled(size)),
+		// Its own output parasitic.
+		ckt.C("cpar", "drv", spice.Ground, size*d.Cp, 0),
+		// Ammeter at the repeater output — where the maximum RMS current
+		// density occurs.
+		ckt.Ammeter("iline", "drv", "near"),
+		(rcline.Line{R: o.R, C: o.C, L: l}).Ladder(ckt, "ln", "near", "far", segments),
+		// Next repeater's input capacitance as the load.
+		ckt.C("cload", "far", spice.Ground, size*d.Cg, 0),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reduce converts the raw transient result into Metrics.
+func reduce(t *ntrs.Technology, level int, o Optimum, l, size, period float64,
+	res *spice.Result) (Metrics, error) {
+	iRaw, err := res.Current("iline")
+	if err != nil {
+		return Metrics{}, err
+	}
+	vin, err := res.Voltage("in")
+	if err != nil {
+		return Metrics{}, err
+	}
+	vfar, err := res.Voltage("far")
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	// Second period only.
+	var ts, is, vf []float64
+	for k, tk := range res.Time {
+		if tk >= period {
+			ts = append(ts, tk)
+			is = append(is, iRaw[k])
+			vf = append(vf, vfar[k])
+		}
+	}
+	wave, err := waveform.NewSampled(ts, is)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("repeater: current waveform: %w", err)
+	}
+	layer, err := t.Layer(level)
+	if err != nil {
+		return Metrics{}, err
+	}
+	area := layer.Width * layer.Thick
+
+	m := Metrics{
+		Optimum: o,
+		Ipeak:   wave.Peak(),
+		Irms:    wave.RMS(),
+		IabsAvg: wave.AbsAvg(),
+		Reff:    waveform.EffectiveDutyCycle(wave),
+		Wave:    wave,
+	}
+	m.Jpeak = m.Ipeak / area
+	m.Jrms = m.Irms / area
+
+	// Far-end voltage slew over the measured period.
+	if vw, err := waveform.NewSampled(ts, vf); err == nil {
+		m.RelativeSlew = vw.RiseTime() / period
+	}
+	// 50 % input → 50 % far-end delay on the rising input edge of the
+	// second period.
+	m.DelayMeasured = crossDelay(res.Time, vin, vfar, period, t.Vdd)
+	return m, nil
+}
+
+// crossDelay measures the delay from the input's rising 50 % crossing
+// (after tMin) to the far end's subsequent 50 % crossing in either
+// direction (the repeater inverts).
+func crossDelay(ts, vin, vfar []float64, tMin, vdd float64) float64 {
+	half := vdd / 2
+	tIn := -1.0
+	for k := 1; k < len(ts); k++ {
+		if ts[k] < tMin {
+			continue
+		}
+		if vin[k-1] < half && vin[k] >= half {
+			tIn = ts[k]
+			break
+		}
+	}
+	if tIn < 0 {
+		return 0
+	}
+	for k := 1; k < len(ts); k++ {
+		if ts[k] <= tIn {
+			continue
+		}
+		if (vfar[k-1] < half) != (vfar[k] < half) {
+			return ts[k] - tIn
+		}
+	}
+	return 0
+}

@@ -1,0 +1,366 @@
+package repeater
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+)
+
+func TestOptimizeClosedForms(t *testing.T) {
+	tech := ntrs.N250()
+	o, err := Optimize(tech, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tech.Device
+	wantL := math.Sqrt(2 * d.R0 * (d.Cg + d.Cp) / (o.R * o.C))
+	wantS := math.Sqrt(d.R0 * o.C / (o.R * d.Cg))
+	if math.Abs(o.Lopt-wantL)/wantL > 1e-12 || math.Abs(o.Sopt-wantS)/wantS > 1e-12 {
+		t.Errorf("Eq.16/17 mismatch: %+v", o)
+	}
+	// Era-plausible magnitudes: global repeater spacing of millimetres,
+	// sizes of hundreds of minimum inverters.
+	if mm := o.Lopt * 1e3; mm < 1 || mm > 10 {
+		t.Errorf("lopt = %v mm, want 1–10", mm)
+	}
+	if o.Sopt < 50 || o.Sopt > 600 {
+		t.Errorf("sopt = %v, want 50–600", o.Sopt)
+	}
+	if o.SegmentDelay <= 0 {
+		t.Error("segment delay must be positive")
+	}
+	if _, err := Optimize(tech, 0); err == nil {
+		t.Error("invalid level must fail")
+	}
+}
+
+func TestLoptIsActuallyOptimal(t *testing.T) {
+	// Total delay over a fixed 2 cm route, buffered every l metres with
+	// n = L/l stages, must be minimized near lopt.
+	tech := ntrs.N100()
+	o, err := Optimize(tech, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tech.Device
+	total := func(l float64) float64 {
+		n := 2e-2 / l
+		s := o.Sopt
+		seg := 0.69*(d.R0/s)*(s*d.Cp+o.C*l+s*d.Cg) +
+			0.69*o.R*l*s*d.Cg + 0.38*o.R*o.C*l*l
+		return n * seg
+	}
+	base := total(o.Lopt)
+	for _, f := range []float64{0.5, 0.7, 1.4, 2.0} {
+		if total(o.Lopt*f) < base*(1-1e-9) {
+			t.Errorf("delay at %.1f·lopt beats lopt: %v < %v", f, total(o.Lopt*f), base)
+		}
+	}
+}
+
+func TestSoptIsActuallyOptimal(t *testing.T) {
+	tech := ntrs.N250()
+	o, err := Optimize(tech, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tech.Device
+	segAt := func(s float64) float64 {
+		return 0.69*(d.R0/s)*(s*d.Cp+o.C*o.Lopt+s*d.Cg) +
+			0.69*o.R*o.Lopt*s*d.Cg + 0.38*o.R*o.C*o.Lopt*o.Lopt
+	}
+	base := segAt(o.Sopt)
+	for _, f := range []float64{0.5, 0.8, 1.25, 2.0} {
+		if segAt(o.Sopt*f) < base*(1-1e-9) {
+			t.Errorf("delay at %.2f·sopt beats sopt", f)
+		}
+	}
+}
+
+func TestSegmentDelayLayerInvariance(t *testing.T) {
+	// §4: "the delay between any two optimally spaced and sized repeaters
+	// is independent of the layer". With shared device parameters the
+	// closed form depends on r·c only through lopt/sopt, cancelling out.
+	tech := ntrs.N100()
+	var delays []float64
+	for lvl := 3; lvl <= 8; lvl++ {
+		o, err := Optimize(tech, lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delays = append(delays, o.SegmentDelay)
+	}
+	for _, dl := range delays[1:] {
+		if math.Abs(dl-delays[0])/delays[0] > 0.25 {
+			t.Errorf("segment delays vary too much across layers: %v", delays)
+		}
+	}
+}
+
+func TestLowKIncreasesLoptDecreasesSopt(t *testing.T) {
+	// §4.1: low-k raises lopt and lowers sopt (both through c), leaving
+	// jrms nearly unchanged.
+	ox := ntrs.N100()
+	lk := ox.WithGapFill(&material.LowK2)
+	oo, err := Optimize(ox, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol, err := Optimize(lk, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ol.Lopt > oo.Lopt && ol.Sopt < oo.Sopt) {
+		t.Errorf("low-k: lopt %v→%v sopt %v→%v", oo.Lopt, ol.Lopt, oo.Sopt, ol.Sopt)
+	}
+	// sopt·lopt·c (the charge per segment) falls by the same factor on
+	// both axes, so their product ratio ≈ c ratio.
+	if ol.C >= oo.C {
+		t.Error("low-k must reduce c")
+	}
+}
+
+func TestSizeForLength(t *testing.T) {
+	o := Optimum{Lopt: 2e-3, Sopt: 100}
+	if o.SizeForLength(3e-3) != 100 {
+		t.Error("long lines use sopt")
+	}
+	if o.SizeForLength(1e-3) != 50 {
+		t.Error("short lines scale linearly")
+	}
+}
+
+func TestSimulateTopLevelMetrics(t *testing.T) {
+	// The headline §4 numbers for the 0.25 µm node.
+	tech := ntrs.N250()
+	m, err := Simulate(tech, 5, SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective duty cycle: paper reports 0.12 ± 0.01; allow a modeling
+	// band around it.
+	if m.Reff < 0.08 || m.Reff > 0.18 {
+		t.Errorf("reff = %v, want ≈0.12", m.Reff)
+	}
+	// Bipolar signal current: signed average ≈ 0, |avg| > 0.
+	if m.Wave.Avg() > 0.15*m.Wave.AbsAvg() {
+		t.Errorf("signal current should be nearly charge-balanced: avg=%v absavg=%v",
+			m.Wave.Avg(), m.Wave.AbsAvg())
+	}
+	// Peak density of a delay-optimal segment: single MA/cm² digits.
+	jp := phys.ToMAPerCm2(m.Jpeak)
+	if jp < 1 || jp > 6 {
+		t.Errorf("jpeak-delay = %v MA/cm², want 1–6", jp)
+	}
+	if m.Jrms >= m.Jpeak {
+		t.Error("jrms must be below jpeak")
+	}
+	// Simulated delay within 2.5× of the closed form (Elmore + square
+	// law vs transistor transient).
+	if m.DelayMeasured <= 0 || m.DelayMeasured > 2.5*m.SegmentDelay {
+		t.Errorf("measured delay %v vs closed form %v", m.DelayMeasured, m.SegmentDelay)
+	}
+}
+
+func TestDutyCycleInvariantAcrossNodesAndLayers(t *testing.T) {
+	// The paper's key §4 observation: reff ≈ const (0.12 ± 0.01) across
+	// metal layers and technology nodes.
+	var reffs []float64
+	for _, tech := range ntrs.Nodes() {
+		for _, lvl := range tech.TopLevels(2) {
+			m, err := Simulate(tech, lvl, SimOpts{})
+			if err != nil {
+				t.Fatalf("%s M%d: %v", tech.Name, lvl, err)
+			}
+			reffs = append(reffs, m.Reff)
+		}
+	}
+	lo, hi := reffs[0], reffs[0]
+	for _, r := range reffs {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if hi-lo > 0.05 {
+		t.Errorf("reff spread too wide: %v", reffs)
+	}
+	mid := (hi + lo) / 2
+	if mid < 0.08 || mid > 0.18 {
+		t.Errorf("reff center = %v, want ≈0.12", mid)
+	}
+}
+
+func TestRelativeSlewInvariance(t *testing.T) {
+	// "the relative slew rate ... is almost constant across all metal
+	// layers and across technologies".
+	m250, err := Simulate(ntrs.N250(), 6, SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m100, err := Simulate(ntrs.N100(), 8, SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m250.RelativeSlew <= 0 || m100.RelativeSlew <= 0 {
+		t.Fatal("slew must be measured")
+	}
+	if r := m250.RelativeSlew / m100.RelativeSlew; r < 0.6 || r > 1.7 {
+		t.Errorf("relative slew ratio across nodes = %v, want ≈1", r)
+	}
+}
+
+func TestShortLineReducedBufferKeepsDutyCycle(t *testing.T) {
+	// §4.1: reducing buffer size on non-critical (shorter) lines raises
+	// the effective duty cycle only slightly.
+	tech := ntrs.N250()
+	opt, err := Simulate(tech, 5, SimOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := Optimize(tech, 5)
+	short, err := Simulate(tech, 5, SimOpts{LineLength: o.Lopt / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Reff < opt.Reff*0.8 {
+		t.Errorf("short-line reff %v should not fall well below optimal %v", short.Reff, opt.Reff)
+	}
+	if short.Reff > 3*opt.Reff {
+		t.Errorf("short-line reff %v should rise only slightly vs %v", short.Reff, opt.Reff)
+	}
+	// The scaled-down buffer draws less peak current.
+	if short.Ipeak >= opt.Ipeak {
+		t.Error("reduced buffer must draw less peak current")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(ntrs.N250(), 99, SimOpts{}); err == nil {
+		t.Error("bad level must fail")
+	}
+	if _, err := Simulate(ntrs.N250(), 5, SimOpts{LineLength: -1}); err == nil {
+		t.Error("negative length must fail")
+	}
+}
+
+func TestOptimizeAtTemperature(t *testing.T) {
+	tech := ntrs.N250()
+	cold, err := OptimizeAtTemperature(tech, 5, material.Tref100C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Optimize(tech, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cold.Lopt-base.Lopt)/base.Lopt > 1e-12 {
+		t.Error("reference-temperature optimum must match Optimize")
+	}
+	hot, err := OptimizeAtTemperature(tech, 5, material.Tref100C+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hot.Lopt < cold.Lopt && hot.Sopt < cold.Sopt) {
+		t.Errorf("heating must shorten segments and shrink repeaters: %+v vs %+v", hot, cold)
+	}
+	if hot.DelayPerLength() <= cold.DelayPerLength() {
+		t.Error("hot routes must be slower per unit length")
+	}
+	if _, err := OptimizeAtTemperature(tech, 5, -1); err == nil {
+		t.Error("negative temperature must fail")
+	}
+}
+
+func TestThermalDelayPenaltyScale(t *testing.T) {
+	// Optimal delay/length scales as sqrt(r·c) ∝ sqrt(ρ(T)): with the
+	// paper's Cu model a 100 K rise gives sqrt(1 + 0.68) ≈ 1.30.
+	tech := ntrs.N250()
+	pen, err := ThermalDelayPenalty(tech, 5, material.Tref100C+100, material.Tref100C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(material.Cu.Resistivity(material.Tref100C+100) /
+		material.Cu.Resistivity(material.Tref100C))
+	if math.Abs(pen-want)/want > 0.02 {
+		t.Errorf("delay penalty = %v, want ≈%v", pen, want)
+	}
+	// No rise, no penalty.
+	pen0, _ := ThermalDelayPenalty(tech, 5, material.Tref100C, material.Tref100C)
+	if math.Abs(pen0-1) > 1e-12 {
+		t.Errorf("zero-rise penalty = %v", pen0)
+	}
+}
+
+func TestStageDelayMatchesOptimum(t *testing.T) {
+	tech := ntrs.N250()
+	o, err := Optimize(tech, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(StageDelay(tech, o, o.Sopt, o.Lopt)-o.SegmentDelay)/o.SegmentDelay > 1e-12 {
+		t.Error("StageDelay at the optimum must equal SegmentDelay")
+	}
+}
+
+func TestOptimizeEDP(t *testing.T) {
+	tech := ntrs.N250()
+	po, err := OptimizeEDP(tech, 5, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := Optimize(tech, 5)
+	// EDP-optimal buffers are smaller than delay-optimal ones.
+	if po.SizeEDP >= o.Sopt {
+		t.Errorf("EDP size %v should be below sopt %v", po.SizeEDP, o.Sopt)
+	}
+	// The classic shape: meaningful power saving for a modest delay hit.
+	if po.PowerSaving <= 0.05 {
+		t.Errorf("power saving %v too small", po.PowerSaving)
+	}
+	if po.DelayPenalty < 1 || po.DelayPenalty > 1.6 {
+		t.Errorf("delay penalty %v outside (1, 1.6]", po.DelayPenalty)
+	}
+	// It is actually the EDP optimum: perturbing the size worsens EDP.
+	edp := func(s float64) float64 {
+		d := StageDelay(tech, o, s, o.Lopt)
+		return StagePower(tech, o, s, o.Lopt, 0.15) * d * d
+	}
+	base := edp(po.SizeEDP)
+	for _, f := range []float64{0.8, 1.25} {
+		if edp(po.SizeEDP*f) < base*(1-1e-6) {
+			t.Errorf("size %.2f·sEDP beats the reported optimum", f)
+		}
+	}
+	if _, err := OptimizeEDP(tech, 5, 0); err == nil {
+		t.Error("zero activity must fail")
+	}
+	if _, err := OptimizeEDP(tech, 99, 0.1); err == nil {
+		t.Error("bad level must fail")
+	}
+}
+
+func TestStagePowerScales(t *testing.T) {
+	tech := ntrs.N100()
+	o, err := Optimize(tech, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := StagePower(tech, o, 100, o.Lopt, 0.1)
+	if p1 <= 0 {
+		t.Fatal("power must be positive")
+	}
+	if StagePower(tech, o, 100, o.Lopt, 0.2) != 2*p1 {
+		t.Error("power linear in activity")
+	}
+	if StagePower(tech, o, 200, o.Lopt, 0.1) <= p1 {
+		t.Error("bigger buffer burns more")
+	}
+	// Magnitude: an optimally buffered global segment at activity 0.15
+	// burns on the order of 0.1–10 mW.
+	pw := StagePower(tech, o, o.Sopt, o.Lopt, 0.15)
+	if pw < 1e-5 || pw > 3e-2 {
+		t.Errorf("stage power = %v W, want 0.01–30 mW", pw)
+	}
+}

@@ -1,0 +1,61 @@
+package repeater
+
+import (
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/extract"
+	"dsmtherm/internal/ntrs"
+)
+
+// Temperature closes the loop the paper opens in §4: thermal limits
+// constrain the currents that delay optimization produces, but heat also
+// degrades the delay itself — hot copper is more resistive, so a route
+// optimized at the reference temperature runs slower at its true
+// operating temperature. These helpers quantify that feedback.
+
+// OptimizeAtTemperature recomputes the Eq. 16–17 optimum with the line
+// resistance extracted at metal temperature tKelvin instead of Tref.
+// Since lopt ∝ 1/√r and sopt ∝ √(1/r) while the per-segment delay scales
+// as √(r·c), heating shortens the optimal segments, shrinks the
+// repeaters, and slows the route.
+func OptimizeAtTemperature(t *ntrs.Technology, level int, tKelvin float64) (Optimum, error) {
+	if tKelvin <= 0 {
+		return Optimum{}, fmt.Errorf("%w: temperature %g K", ErrInvalid, tKelvin)
+	}
+	r, c, err := extract.RC(t, level, tKelvin)
+	if err != nil {
+		return Optimum{}, err
+	}
+	d := t.Device
+	o := Optimum{
+		Level: level,
+		R:     r,
+		C:     c,
+		Lopt:  math.Sqrt(2 * d.R0 * (d.Cg + d.Cp) / (r * c)),
+		Sopt:  math.Sqrt(d.R0 * c / (r * d.Cg)),
+	}
+	o.SegmentDelay = segmentDelay(t, o)
+	return o, nil
+}
+
+// DelayPerLength returns the per-unit-length delay of an optimally
+// buffered route at this design point: SegmentDelay/Lopt (s/m).
+func (o Optimum) DelayPerLength() float64 { return o.SegmentDelay / o.Lopt }
+
+// ThermalDelayPenalty returns the ratio of optimal per-unit-length route
+// delay at metal temperature tm to the delay at the reference temperature
+// — > 1 when hot. For the paper's Cu model a 100 K rise costs ≈ √1.68 ≈
+// 30 % of global-route performance, which is why the thermal and delay
+// analyses cannot be decoupled.
+func ThermalDelayPenalty(t *ntrs.Technology, level int, tm, tref float64) (float64, error) {
+	hot, err := OptimizeAtTemperature(t, level, tm)
+	if err != nil {
+		return 0, err
+	}
+	cold, err := OptimizeAtTemperature(t, level, tref)
+	if err != nil {
+		return 0, err
+	}
+	return hot.DelayPerLength() / cold.DelayPerLength(), nil
+}

@@ -1,0 +1,36 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/rules"
+)
+
+// ExampleGenerate builds the self-consistent design-rule deck for the
+// 0.25 µm node and reads off the global-tier signal limit — the per-level
+// deliverable the paper's §7 argues designers should receive.
+func ExampleGenerate() {
+	deck, err := rules.Generate(ntrs.N250(), rules.Spec{
+		J0: phys.MAPerCm2(1.8), // Cu EM budget (Table 3)
+	})
+	if err != nil {
+		panic(err)
+	}
+	m5, err := deck.ByLevel(5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("M5 signal limit: jpeak %.1f, jrms %.1f, javg %.2f MA/cm2\n",
+		phys.ToMAPerCm2(m5.SignalJpeak),
+		phys.ToMAPerCm2(m5.SignalJrms),
+		phys.ToMAPerCm2(m5.SignalJavg))
+	fmt.Printf("M5 power limit: %.2f MA/cm2 at %.0f degC\n",
+		phys.ToMAPerCm2(m5.PowerJ), phys.KToC(m5.PowerTm))
+	fmt.Printf("thermally long above %.0f um\n", phys.ToMicrons(m5.ThermallyLongAbove))
+	// Output:
+	// M5 signal limit: jpeak 13.3, jrms 4.2, javg 1.33 MA/cm2
+	// M5 power limit: 1.71 MA/cm2 at 101 degC
+	// thermally long above 55 um
+}

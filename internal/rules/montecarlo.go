@@ -1,0 +1,172 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/ntrs"
+)
+
+// Monte Carlo guard-banding: the deck's limits assume nominal geometry and
+// material properties, but fabricated width, thickness, ILD and dielectric
+// conductivity all vary. Sampling the self-consistent rule over those
+// variations yields the percentile limit a robust deck should publish —
+// the statistical companion to the paper's deterministic Tables 2–4.
+
+// Variation describes relative (1-σ, lognormal) process spreads.
+type Variation struct {
+	// Width, Thick, ILD are the geometric spreads; Kd the thermal
+	// conductivity spread of the dielectrics.
+	Width, Thick, ILD, Kd float64
+	// Samples is the Monte Carlo size (default 200).
+	Samples int
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+}
+
+func (v *Variation) defaults() error {
+	if v.Samples == 0 {
+		v.Samples = 200
+	}
+	if v.Seed == 0 {
+		v.Seed = 1
+	}
+	if v.Width < 0 || v.Thick < 0 || v.ILD < 0 || v.Kd < 0 {
+		return fmt.Errorf("%w: negative variation", ErrInvalid)
+	}
+	if v.Width > 0.3 || v.Thick > 0.3 || v.ILD > 0.3 || v.Kd > 0.5 {
+		return fmt.Errorf("%w: variation beyond the lognormal small-spread regime", ErrInvalid)
+	}
+	if v.Samples < 10 {
+		return fmt.Errorf("%w: need at least 10 samples", ErrInvalid)
+	}
+	return nil
+}
+
+// MCLevelResult summarizes the jpeak distribution for one level.
+type MCLevelResult struct {
+	Level int
+	// P1, P50, P99 are signal-line jpeak percentiles across process
+	// variation, A/m².
+	P1, P50, P99 float64
+	// Nominal is the unperturbed limit, A/m².
+	Nominal float64
+	// GuardBand = Nominal/P1: divide the nominal deck entry by this to be
+	// safe at the 1st percentile of the process distribution.
+	GuardBand float64
+}
+
+// MonteCarlo samples the signal-line rule across process variation for
+// every DesignRuleLevels level of the technology.
+func MonteCarlo(tech *ntrs.Technology, spec Spec, v Variation) ([]MCLevelResult, error) {
+	if err := v.defaults(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(v.Seed))
+	levels := designRuleLevels(tech)
+	samples := make(map[int][]float64, len(levels))
+
+	for s := 0; s < v.Samples; s++ {
+		pert := perturb(tech, v, rng)
+		for _, lvl := range levels {
+			sol, err := solveSignal(pert, lvl, spec)
+			if err != nil {
+				return nil, fmt.Errorf("rules: MC sample %d level %d: %w", s, lvl, err)
+			}
+			samples[lvl] = append(samples[lvl], sol.Jpeak)
+		}
+	}
+
+	var out []MCLevelResult
+	for _, lvl := range levels {
+		nom, err := solveSignal(tech, lvl, spec)
+		if err != nil {
+			return nil, err
+		}
+		js := samples[lvl]
+		sort.Float64s(js)
+		r := MCLevelResult{
+			Level:   lvl,
+			P1:      percentile(js, 0.01),
+			P50:     percentile(js, 0.50),
+			P99:     percentile(js, 0.99),
+			Nominal: nom.Jpeak,
+		}
+		r.GuardBand = r.Nominal / r.P1
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// designRuleLevels mirrors exp.DesignRuleLevels without importing exp
+// (avoiding a cycle): the top four levels of an 8-level node, two
+// otherwise.
+func designRuleLevels(tech *ntrs.Technology) []int {
+	if tech.NumLevels() >= 8 {
+		return tech.TopLevels(4)
+	}
+	return tech.TopLevels(2)
+}
+
+// solveSignal computes the signal-line rule with the spec's parameters.
+func solveSignal(tech *ntrs.Technology, level int, spec Spec) (core.Solution, error) {
+	line, err := tech.Line(level, spec.ReferenceLength)
+	if err != nil {
+		return core.Solution{}, err
+	}
+	return core.Solve(core.Problem{
+		Line:  line,
+		Model: *spec.Model,
+		R:     spec.SignalDutyCycle,
+		J0:    spec.J0,
+		Tref:  spec.Tref,
+	})
+}
+
+// perturb deep-copies the technology with lognormal variations applied.
+func perturb(tech *ntrs.Technology, v Variation, rng *rand.Rand) *ntrs.Technology {
+	p := tech.WithGapFill(tech.Gap) // deep copy
+	ln := func(sigma float64) float64 {
+		if sigma == 0 {
+			return 1
+		}
+		return math.Exp(sigma * rng.NormFloat64())
+	}
+	for i := range p.Layers {
+		l := &p.Layers[i]
+		l.Width *= ln(v.Width)
+		if l.Width > 0.98*l.Pitch {
+			l.Width = 0.98 * l.Pitch
+		}
+		l.Thick *= ln(v.Thick)
+		l.ILD *= ln(v.ILD)
+	}
+	p.Gap.ThermalCond *= ln(v.Kd)
+	p.ILD.ThermalCond *= ln(v.Kd)
+	return p
+}
+
+// percentile returns the pth quantile (0..1) of sorted data by linear
+// interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

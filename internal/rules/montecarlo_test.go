@@ -1,0 +1,130 @@
+package rules
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/ntrs"
+)
+
+func defaultVariation() Variation {
+	return Variation{Width: 0.05, Thick: 0.05, ILD: 0.05, Kd: 0.1, Samples: 150, Seed: 7}
+}
+
+func TestMonteCarloBasics(t *testing.T) {
+	res, err := MonteCarlo(ntrs.N250(), Spec{}, defaultVariation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 { // top two levels of the 6-level node
+		t.Fatalf("got %d level results", len(res))
+	}
+	for _, r := range res {
+		if !(r.P1 < r.P50 && r.P50 < r.P99) {
+			t.Errorf("M%d: percentile ordering broken: %v %v %v", r.Level, r.P1, r.P50, r.P99)
+		}
+		// Median near nominal (small symmetric-ish spreads).
+		if math.Abs(r.P50-r.Nominal)/r.Nominal > 0.05 {
+			t.Errorf("M%d: median %v far from nominal %v", r.Level, r.P50, r.Nominal)
+		}
+		// Guard band is a modest penalty > 1.
+		if r.GuardBand <= 1 || r.GuardBand > 1.5 {
+			t.Errorf("M%d: guard band %v outside (1, 1.5]", r.Level, r.GuardBand)
+		}
+	}
+}
+
+func TestMonteCarloReproducible(t *testing.T) {
+	a, err := MonteCarlo(ntrs.N250(), Spec{}, defaultVariation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(ntrs.N250(), Spec{}, defaultVariation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].P1 != b[i].P1 || a[i].P99 != b[i].P99 {
+			t.Error("same seed must reproduce identical percentiles")
+		}
+	}
+	v2 := defaultVariation()
+	v2.Seed = 99
+	c, err := MonteCarlo(ntrs.N250(), Spec{}, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0].P1 == a[0].P1 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMonteCarloSpreadScalesWithVariation(t *testing.T) {
+	tight := defaultVariation()
+	tight.Width, tight.Thick, tight.ILD, tight.Kd = 0.01, 0.01, 0.01, 0.02
+	loose := defaultVariation()
+	loose.Width, loose.Thick, loose.ILD, loose.Kd = 0.1, 0.1, 0.1, 0.2
+	rt, err := MonteCarlo(ntrs.N250(), Spec{}, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := MonteCarlo(ntrs.N250(), Spec{}, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreadT := rt[0].P99/rt[0].P1 - 1
+	spreadL := rl[0].P99/rl[0].P1 - 1
+	if spreadL <= spreadT {
+		t.Errorf("looser process must spread more: %v vs %v", spreadL, spreadT)
+	}
+	if rl[0].GuardBand <= rt[0].GuardBand {
+		t.Error("looser process needs a larger guard band")
+	}
+}
+
+func TestMonteCarloZeroVariation(t *testing.T) {
+	v := Variation{Samples: 20, Seed: 3} // all sigmas zero
+	res, err := MonteCarlo(ntrs.N250(), Spec{}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if math.Abs(r.P1-r.P99) > 1e-9*r.P50 {
+			t.Error("zero variation must collapse the distribution")
+		}
+		if math.Abs(r.GuardBand-1) > 1e-9 {
+			t.Errorf("guard band = %v, want 1", r.GuardBand)
+		}
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarlo(ntrs.N250(), Spec{}, Variation{Width: -0.1}); err == nil {
+		t.Error("negative variation must fail")
+	}
+	if _, err := MonteCarlo(ntrs.N250(), Spec{}, Variation{Width: 0.5}); err == nil {
+		t.Error("huge variation must fail")
+	}
+	if _, err := MonteCarlo(ntrs.N250(), Spec{}, Variation{Samples: 5}); err == nil {
+		t.Error("tiny sample count must fail")
+	}
+	if _, err := MonteCarlo(ntrs.N250(), Spec{SignalDutyCycle: 2}, defaultVariation()); err == nil {
+		t.Error("bad spec must fail")
+	}
+}
+
+func TestPercentileHelper(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	if percentile(data, 0) != 1 || percentile(data, 1) != 5 {
+		t.Error("endpoints")
+	}
+	if percentile(data, 0.5) != 3 {
+		t.Error("median")
+	}
+	if got := percentile(data, 0.25); got != 2 {
+		t.Errorf("q1 = %v", got)
+	}
+	if !math.IsNaN(percentile(nil, 0.5)) {
+		t.Error("empty data must be NaN")
+	}
+}

@@ -1,0 +1,301 @@
+// Package rules generates complete interconnect design-rule decks — the
+// deliverable the paper argues circuit designers should receive instead of
+// non-self-consistent javg/jrms/jpeak limits (§2.1, §7).
+//
+// A deck covers, per metallization level of a technology:
+//
+//   - self-consistent maximum javg, jrms, and jpeak for signal lines
+//     (r = 0.1, the §4-validated effective duty cycle) and power lines
+//     (r = 1.0), following Eq. 13 with the quasi-2-D thermal model;
+//   - the self-consistent metal temperature at those limits;
+//   - the thermal healing length λ and the thermally-long threshold
+//     (5·λ), below which the rules are conservative (§3.2);
+//   - ESD line-width minima for a specified pulse current and duration
+//     (§6), for both the latent-damage and open-circuit criteria.
+//
+// Decks render as text (Deck.Format) and are directly comparable across
+// gap-fill dielectrics and metals — the comparisons behind Tables 2–4.
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/em"
+	"dsmtherm/internal/esd"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+// ErrInvalid reports out-of-domain deck parameters.
+var ErrInvalid = errors.New("rules: invalid parameters")
+
+// Spec configures deck generation.
+type Spec struct {
+	// SignalDutyCycle is the effective duty cycle for signal lines
+	// (default 0.1, per §4).
+	SignalDutyCycle float64
+	// J0 is the EM design-rule current density at Tref, A/m² (default
+	// 1.8 MA/cm², the Cu budget of Table 3).
+	J0 float64
+	// Tref is the reference chip temperature, K (default 100 °C).
+	Tref float64
+	// Model is the thermal model (default quasi-2-D, φ = 2.45).
+	Model *thermal.Model
+	// ESDPulseCurrent and ESDPulseWidth specify the §6 robustness target
+	// (defaults: 1 A, 200 ns). Zero current disables the ESD section.
+	ESDPulseCurrent float64
+	ESDPulseWidth   float64
+	// ReferenceLength is the line length used for the thermally-long
+	// check, m (default 2 mm).
+	ReferenceLength float64
+}
+
+func (s *Spec) defaults() {
+	if s.SignalDutyCycle == 0 {
+		s.SignalDutyCycle = 0.1
+	}
+	if s.J0 == 0 {
+		s.J0 = phys.MAPerCm2(1.8)
+	}
+	if s.Tref == 0 {
+		s.Tref = phys.CToK(100)
+	}
+	if s.Model == nil {
+		m := thermal.Quasi2D()
+		s.Model = &m
+	}
+	if s.ESDPulseWidth == 0 {
+		s.ESDPulseWidth = 200e-9
+	}
+	if s.ReferenceLength == 0 {
+		s.ReferenceLength = 2e-3
+	}
+}
+
+// Validate checks the spec.
+func (s *Spec) Validate() error {
+	s.defaults()
+	if s.SignalDutyCycle <= 0 || s.SignalDutyCycle > 1 {
+		return fmt.Errorf("%w: signal duty cycle %g", ErrInvalid, s.SignalDutyCycle)
+	}
+	if s.J0 <= 0 || s.Tref <= 0 || s.ReferenceLength <= 0 {
+		return fmt.Errorf("%w: non-positive j0/Tref/length", ErrInvalid)
+	}
+	if s.ESDPulseCurrent < 0 || s.ESDPulseWidth <= 0 {
+		return fmt.Errorf("%w: ESD pulse %g A / %g s", ErrInvalid, s.ESDPulseCurrent, s.ESDPulseWidth)
+	}
+	return nil
+}
+
+// LevelRule is the generated rule set for one metallization level.
+type LevelRule struct {
+	Level int
+	Class ntrs.LayerClass
+
+	// Signal-line limits (r = SignalDutyCycle), A/m².
+	SignalJpeak, SignalJrms, SignalJavg float64
+	// SignalTm is the self-consistent metal temperature at the signal
+	// limit, K.
+	SignalTm float64
+
+	// Power-line limits (r = 1; the three densities coincide), A/m².
+	PowerJ float64
+	// PowerTm is the self-consistent temperature at the power limit, K.
+	PowerTm float64
+
+	// HealingLength is λ (m); ThermallyLongAbove = 5·λ is the length
+	// beyond which the rules apply without end-cooling credit.
+	HealingLength      float64
+	ThermallyLongAbove float64
+	// ReferenceIsLong reports whether Spec.ReferenceLength is thermally
+	// long on this level.
+	ReferenceIsLong bool
+
+	// ESD line-width minima (m) for the Spec pulse: to avoid any melting
+	// (latent damage) and to avoid open circuit. Zero when disabled.
+	ESDWidthNoDamage, ESDWidthNoOpen float64
+
+	// BlechImmortalBelow is the length (m) under which a minimum-width
+	// segment carrying the signal limit's javg cannot fail by EM at all
+	// (Blech threshold). Zero when the metal has no transport data.
+	BlechImmortalBelow float64
+}
+
+// Deck is a full generated rule deck.
+type Deck struct {
+	Tech  *ntrs.Technology
+	Spec  Spec
+	Rules []LevelRule
+}
+
+// Generate builds the deck for every level of the technology.
+func Generate(tech *ntrs.Technology, spec Spec) (*Deck, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Deck{Tech: tech, Spec: spec}
+	for _, layer := range tech.Layers {
+		r, err := generateLevel(tech, layer, spec)
+		if err != nil {
+			return nil, fmt.Errorf("rules: %s M%d: %w", tech.Name, layer.Level, err)
+		}
+		d.Rules = append(d.Rules, r)
+	}
+	return d, nil
+}
+
+func generateLevel(tech *ntrs.Technology, layer ntrs.MetalLayer, spec Spec) (LevelRule, error) {
+	line, err := tech.Line(layer.Level, spec.ReferenceLength)
+	if err != nil {
+		return LevelRule{}, err
+	}
+	out := LevelRule{Level: layer.Level, Class: layer.Class}
+
+	signal, err := core.Solve(core.Problem{
+		Line: line, Model: *spec.Model, R: spec.SignalDutyCycle,
+		J0: spec.J0, Tref: spec.Tref,
+	})
+	if err != nil {
+		return LevelRule{}, err
+	}
+	out.SignalJpeak, out.SignalJrms, out.SignalJavg = signal.Jpeak, signal.Jrms, signal.Javg
+	out.SignalTm = signal.Tm
+
+	power, err := core.Solve(core.Problem{
+		Line: line, Model: *spec.Model, R: 1, J0: spec.J0, Tref: spec.Tref,
+	})
+	if err != nil {
+		return LevelRule{}, err
+	}
+	out.PowerJ = power.Jpeak
+	out.PowerTm = power.Tm
+
+	out.HealingLength = spec.Model.HealingLength(line)
+	out.ThermallyLongAbove = thermal.ThermallyLongFactor * out.HealingLength
+	out.ReferenceIsLong = spec.ReferenceLength >= out.ThermallyLongAbove
+
+	if tp, err := em.TransportFor(tech.Metal); err == nil {
+		if lmax, err := em.MaxImmortalLength(tech.Metal, tp, out.SignalJavg, spec.Tref); err == nil {
+			out.BlechImmortalBelow = lmax
+		}
+	}
+
+	if spec.ESDPulseCurrent > 0 {
+		var err error
+		out.ESDWidthNoDamage, err = esdWidth(tech, layer, spec, esd.MeltOnsetDensity)
+		if err != nil {
+			return LevelRule{}, err
+		}
+		out.ESDWidthNoOpen, err = esdWidth(tech, layer, spec, esd.CriticalDensity)
+		if err != nil {
+			return LevelRule{}, err
+		}
+	}
+	return out, nil
+}
+
+// esdMargin is the safety factor applied to the ESD width minima: the
+// fixed point below sits exactly on the failure threshold, and publishing
+// it verbatim would mean the published width *just* fails its own
+// verification.
+const esdMargin = 1.1
+
+// esdWidth solves for the line width at which the spec's pulse current
+// sits on the given failure threshold. The threshold density itself
+// depends on the width through the perimeter/area conduction-loss term
+// (wider lines cool relatively less), so the width is a fixed point:
+// W = I / (jthr(W)·t). The iteration is a contraction (jthr varies
+// sub-linearly with W) and converges in a few passes.
+func esdWidth(tech *ntrs.Technology, layer ntrs.MetalLayer, spec Spec,
+	threshold func(esd.Config, float64) (float64, error)) (float64, error) {
+	w := layer.Width
+	for i := 0; i < 12; i++ {
+		cfg := esd.Config{
+			Metal: tech.Metal,
+			Width: w,
+			Thick: layer.Thick,
+			T0:    spec.Tref,
+		}
+		jt, err := threshold(cfg, spec.ESDPulseWidth)
+		if err != nil {
+			return 0, err
+		}
+		wNew := spec.ESDPulseCurrent / (jt * layer.Thick)
+		if math.Abs(wNew-w) < 1e-3*w {
+			w = wNew
+			break
+		}
+		w = wNew
+	}
+	return esdMargin * w, nil
+}
+
+// ByLevel returns the rule for one level.
+func (d *Deck) ByLevel(level int) (LevelRule, error) {
+	for _, r := range d.Rules {
+		if r.Level == level {
+			return r, nil
+		}
+	}
+	return LevelRule{}, fmt.Errorf("%w: no level %d in deck", ErrInvalid, level)
+}
+
+// CheckSignal verifies a proposed signal-line operating point (jpeak at
+// the deck's signal duty cycle) on a level, returning the margin
+// limit/operating (> 1 is safe).
+func (d *Deck) CheckSignal(level int, jpeak float64) (float64, error) {
+	if jpeak <= 0 {
+		return 0, fmt.Errorf("%w: non-positive jpeak", ErrInvalid)
+	}
+	r, err := d.ByLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	return r.SignalJpeak / jpeak, nil
+}
+
+// Format renders the deck as an aligned text report.
+func (d *Deck) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "interconnect design-rule deck: %s\n", d.Tech.Name)
+	fmt.Fprintf(&b, "  j0 = %.2f MA/cm² at %.0f degC; signal r = %.2f; thermal model phi = %.2f\n",
+		phys.ToMAPerCm2(d.Spec.J0), phys.KToC(d.Spec.Tref), d.Spec.SignalDutyCycle, d.Spec.Model.Phi)
+	if d.Spec.ESDPulseCurrent > 0 {
+		fmt.Fprintf(&b, "  ESD target: %.2f A / %.0f ns\n", d.Spec.ESDPulseCurrent, d.Spec.ESDPulseWidth*1e9)
+	}
+	fmt.Fprintf(&b, "  all current densities MA/cm²; widths um; signal limits at r=%.2f\n\n", d.Spec.SignalDutyCycle)
+	fmt.Fprintf(&b, "%-4s %-12s %8s %8s %8s %8s %8s %8s %9s %9s %9s\n",
+		"lvl", "class", "sig-jpk", "sig-jrms", "sig-javg", "sig-Tm", "pwr-j", "pwr-Tm", "lambda", "blech-L", "ESD-Wmin")
+	for _, r := range d.Rules {
+		esdW := "-"
+		if r.ESDWidthNoDamage > 0 {
+			esdW = fmt.Sprintf("%.2f", phys.ToMicrons(r.ESDWidthNoDamage))
+		}
+		blech := "-"
+		if r.BlechImmortalBelow > 0 {
+			blech = fmt.Sprintf("%.0f", phys.ToMicrons(r.BlechImmortalBelow))
+		}
+		fmt.Fprintf(&b, "M%-3d %-12s %8.3g %8.3g %8.3g %8.1f %8.3g %8.1f %9.1f %9s %9s\n",
+			r.Level, r.Class,
+			phys.ToMAPerCm2(r.SignalJpeak), phys.ToMAPerCm2(r.SignalJrms), phys.ToMAPerCm2(r.SignalJavg),
+			phys.KToC(r.SignalTm),
+			phys.ToMAPerCm2(r.PowerJ), phys.KToC(r.PowerTm),
+			phys.ToMicrons(r.HealingLength), blech, esdW)
+	}
+	b.WriteString("\nnotes:\n")
+	b.WriteString("  - limits are self-consistent (Eq. 13): EM lifetime and self-heating are satisfied simultaneously\n")
+	b.WriteString("  - lines shorter than 5*lambda are thermally short; these rules are conservative for them\n")
+	b.WriteString("  - segments shorter than blech-L at the signal javg limit cannot fail by EM at all\n")
+	if d.Spec.ESDPulseCurrent > 0 {
+		b.WriteString("  - ESD-Wmin avoids ANY melting (latent damage); open-circuit widths are smaller\n")
+	}
+	return b.String()
+}

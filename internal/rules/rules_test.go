@@ -1,0 +1,202 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+)
+
+func defaultDeck(t *testing.T) *Deck {
+	t.Helper()
+	d, err := Generate(ntrs.N250(), Spec{ESDPulseCurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateCoversAllLevels(t *testing.T) {
+	for _, tech := range ntrs.Nodes() {
+		d, err := Generate(tech, Spec{})
+		if err != nil {
+			t.Fatalf("%s: %v", tech.Name, err)
+		}
+		if len(d.Rules) != tech.NumLevels() {
+			t.Errorf("%s: %d rules, want %d", tech.Name, len(d.Rules), tech.NumLevels())
+		}
+	}
+}
+
+func TestRuleInternalConsistency(t *testing.T) {
+	d := defaultDeck(t)
+	r := d.Spec.SignalDutyCycle
+	for _, lr := range d.Rules {
+		// Eqs. 4–5 identities at the limit.
+		if math.Abs(lr.SignalJavg-r*lr.SignalJpeak)/lr.SignalJavg > 1e-9 {
+			t.Errorf("M%d: javg != r*jpeak", lr.Level)
+		}
+		if math.Abs(lr.SignalJrms-math.Sqrt(r)*lr.SignalJpeak)/lr.SignalJrms > 1e-9 {
+			t.Errorf("M%d: jrms != sqrt(r)*jpeak", lr.Level)
+		}
+		// Signal lines allow more peak current than power lines.
+		if lr.SignalJpeak <= lr.PowerJ {
+			t.Errorf("M%d: signal jpeak %v <= power %v", lr.Level, lr.SignalJpeak, lr.PowerJ)
+		}
+		// Both operating points are above the reference temperature.
+		if lr.SignalTm <= d.Spec.Tref || lr.PowerTm <= d.Spec.Tref {
+			t.Errorf("M%d: Tm at the limit must exceed Tref", lr.Level)
+		}
+		// Thermal lengths are physically scaled.
+		if um := phys.ToMicrons(lr.HealingLength); um < 3 || um > 300 {
+			t.Errorf("M%d: lambda = %v um out of plausible band", lr.Level, um)
+		}
+		if lr.ThermallyLongAbove != 5*lr.HealingLength {
+			t.Errorf("M%d: thermally-long threshold mismatch", lr.Level)
+		}
+		// The ESD widths: damage-free requires a wider line than merely
+		// not-open.
+		if lr.ESDWidthNoDamage <= lr.ESDWidthNoOpen {
+			t.Errorf("M%d: ESD no-damage width %v should exceed no-open %v",
+				lr.Level, lr.ESDWidthNoDamage, lr.ESDWidthNoOpen)
+		}
+	}
+}
+
+func TestLowKTightensDeck(t *testing.T) {
+	ox, err := Generate(ntrs.N250(), Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := Generate(ntrs.N250().WithGapFill(&material.Polyimide), Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ox.Rules {
+		if i == 0 {
+			// M1's stack is pure ILD (no gap-fill below it): the swap
+			// must not loosen the rule, but cannot tighten it either.
+			if pi.Rules[i].SignalJpeak > ox.Rules[i].SignalJpeak*(1+1e-9) {
+				t.Error("M1: gap-fill swap must not loosen the rule")
+			}
+			continue
+		}
+		if pi.Rules[i].SignalJpeak >= ox.Rules[i].SignalJpeak {
+			t.Errorf("M%d: polyimide deck must be tighter", ox.Rules[i].Level)
+		}
+	}
+}
+
+func TestByLevelAndCheck(t *testing.T) {
+	d := defaultDeck(t)
+	r, err := d.ByLevel(5)
+	if err != nil || r.Level != 5 {
+		t.Fatalf("ByLevel: %v %v", r, err)
+	}
+	if _, err := d.ByLevel(99); err == nil {
+		t.Error("unknown level must fail")
+	}
+	margin, err := d.CheckSignal(5, r.SignalJpeak/2)
+	if err != nil || math.Abs(margin-2) > 1e-9 {
+		t.Errorf("CheckSignal margin = %v err %v", margin, err)
+	}
+	if _, err := d.CheckSignal(5, 0); err == nil {
+		t.Error("zero operating point must fail")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{SignalDutyCycle: -1},
+		{SignalDutyCycle: 2},
+		{J0: -1},
+		{ESDPulseCurrent: -1},
+		{ReferenceLength: -1},
+	}
+	for i, s := range bad {
+		if _, err := Generate(ntrs.N250(), s); err == nil {
+			t.Errorf("spec %d must fail", i)
+		}
+	}
+	broken := ntrs.N250()
+	broken.Vdd = 0
+	if _, err := Generate(broken, Spec{}); err == nil {
+		t.Error("invalid technology must fail")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	d := defaultDeck(t)
+	s := d.Format()
+	for _, want := range []string{"NTRS-0.25um", "M1", "M6", "sig-jpk", "ESD target", "lambda"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+	// Without ESD the column collapses to '-'.
+	noESD, err := Generate(ntrs.N250(), Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(noESD.Format(), "-") {
+		t.Error("disabled ESD should render '-'")
+	}
+}
+
+func TestDeckDefaultSpec(t *testing.T) {
+	d, err := Generate(ntrs.N100(), Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec.SignalDutyCycle != 0.1 {
+		t.Error("default signal duty cycle")
+	}
+	if phys.ToMAPerCm2(d.Spec.J0) != 1.8 {
+		t.Error("default j0")
+	}
+	if d.Spec.Model.Phi != 2.45 {
+		t.Error("default model")
+	}
+}
+
+func TestUpperLevelsHotterAtLimit(t *testing.T) {
+	// Within a node the top level sits on the thickest stack; at its
+	// signal limit it runs at least as hot as the bottom level at its
+	// own limit (both exhaust the same EM budget).
+	d, err := Generate(ntrs.N100(), Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rules[7].SignalTm < d.Rules[0].SignalTm-1e-9 {
+		t.Errorf("M8 limit temperature %v should be >= M1 %v",
+			d.Rules[7].SignalTm, d.Rules[0].SignalTm)
+	}
+}
+
+func TestBlechColumn(t *testing.T) {
+	d := defaultDeck(t)
+	for _, r := range d.Rules {
+		if r.BlechImmortalBelow <= 0 {
+			t.Errorf("M%d: missing Blech length", r.Level)
+		}
+		// Scale: tens of µm at MA/cm²-class javg limits.
+		if um := phys.ToMicrons(r.BlechImmortalBelow); um < 1 || um > 500 {
+			t.Errorf("M%d: blech length = %v µm implausible", r.Level, um)
+		}
+	}
+	if !strings.Contains(d.Format(), "blech-L") {
+		t.Error("Format missing the Blech column")
+	}
+	// Tungsten has no transport data: deck still generates, column empty.
+	w := ntrs.N250().WithMetal(&material.W)
+	dw, err := Generate(w, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.Rules[0].BlechImmortalBelow != 0 {
+		t.Error("W deck should have no Blech data")
+	}
+}

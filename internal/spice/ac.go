@@ -1,0 +1,189 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"dsmtherm/internal/mathx"
+)
+
+// AC small-signal analysis: linearize the circuit at its DC operating
+// point (MOSFETs become gm/gds conductance stamps), then solve the
+// frequency-domain MNA system (G + jωC)·x = b over a logarithmic sweep.
+// The designated source drives a unit phasor; every other independent
+// source is nulled (V → short, I → open), the standard AC convention.
+
+// ACResult holds a frequency sweep.
+type ACResult struct {
+	// Freqs are the analysis frequencies, Hz.
+	Freqs   []float64
+	volts   [][]complex128
+	nodeIdx map[string]int
+}
+
+// Voltage returns the complex node voltage across the sweep.
+func (r *ACResult) Voltage(node string) ([]complex128, error) {
+	if node == "0" || node == "gnd" || node == "GND" {
+		return make([]complex128, len(r.Freqs)), nil
+	}
+	i, ok := r.nodeIdx[node]
+	if !ok {
+		return nil, fmt.Errorf("spice: unknown node %q", node)
+	}
+	out := make([]complex128, len(r.Freqs))
+	for k := range r.Freqs {
+		out[k] = r.volts[k][i]
+	}
+	return out, nil
+}
+
+// Magnitude returns |V(node)| across the sweep.
+func (r *ACResult) Magnitude(node string) ([]float64, error) {
+	v, err := r.Voltage(node)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = cmplx.Abs(x)
+	}
+	return out, nil
+}
+
+// PhaseDeg returns the phase of V(node) in degrees.
+func (r *ACResult) PhaseDeg(node string) ([]float64, error) {
+	v, err := r.Voltage(node)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = cmplx.Phase(x) * 180 / math.Pi
+	}
+	return out, nil
+}
+
+// AC runs a logarithmic frequency sweep with the named source driving a
+// unit phasor. fStart and fStop bound the sweep (Hz); pointsPerDecade
+// sets its density (≥ 1).
+func (c *Circuit) AC(source string, fStart, fStop float64, pointsPerDecade int) (*ACResult, error) {
+	if fStart <= 0 || fStop < fStart {
+		return nil, fmt.Errorf("%w: AC window %g..%g", ErrBadCircuit, fStart, fStop)
+	}
+	if pointsPerDecade < 1 {
+		return nil, fmt.Errorf("%w: points per decade %d", ErrBadCircuit, pointsPerDecade)
+	}
+	srcIdx := -1
+	for i := range c.vsources {
+		if c.vsources[i].name == source {
+			srcIdx = i
+		}
+	}
+	if srcIdx < 0 {
+		return nil, fmt.Errorf("%w: AC source %q is not a voltage source", ErrBadCircuit, source)
+	}
+
+	// DC operating point for MOSFET linearization.
+	op, err := c.OperatingPoint()
+	if err != nil {
+		return nil, fmt.Errorf("spice: AC operating point: %w", err)
+	}
+	vAt := func(node int) float64 {
+		if node < 0 {
+			return 0
+		}
+		return op[node]
+	}
+
+	n := len(c.nodes)
+	dim := c.dim()
+	// Real (frequency-independent) part: resistors, gmin, source rows,
+	// MOSFET small-signal conductances.
+	gReal := mathx.NewDense(dim, dim)
+	c.assembleLinear(gReal, func(int) float64 { return 0 }, func(int) float64 { return 0 })
+	const h = 1e-7
+	for mi := range c.mosfets {
+		m := &c.mosfets[mi]
+		vd, vg, vs := vAt(m.d), vAt(m.g), vAt(m.s)
+		id0 := m.current(vd, vg, vs)
+		gd := (m.current(vd+h, vg, vs) - id0) / h
+		gg := (m.current(vd, vg+h, vs) - id0) / h
+		gs := (m.current(vd, vg, vs+h) - id0) / h
+		stamp := func(row, col int, g float64) {
+			if row >= 0 && col >= 0 {
+				gReal.Add(row, col, g)
+			}
+		}
+		stamp(m.d, m.d, gd)
+		stamp(m.d, m.g, gg)
+		stamp(m.d, m.s, gs)
+		stamp(m.s, m.d, -gd)
+		stamp(m.s, m.g, -gg)
+		stamp(m.s, m.s, -gs)
+	}
+
+	// Frequency grid.
+	decades := math.Log10(fStop / fStart)
+	nPts := int(math.Ceil(decades*float64(pointsPerDecade))) + 1
+	if nPts < 2 {
+		nPts = 2
+	}
+	res := &ACResult{nodeIdx: make(map[string]int, n)}
+	for name, i := range c.nodeIdx {
+		res.nodeIdx[name] = i
+	}
+
+	a := mathx.NewCDense(dim, dim)
+	b := make([]complex128, dim)
+	for k := 0; k < nPts; k++ {
+		f := fStart * math.Pow(10, decades*float64(k)/float64(nPts-1))
+		omega := 2 * math.Pi * f
+		a.Zero()
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				if v := gReal.At(i, j); v != 0 {
+					a.Set(i, j, complex(v, 0))
+				}
+			}
+		}
+		// Capacitors: jωC between nodes.
+		for ci := range c.capacitors {
+			cp := &c.capacitors[ci]
+			y := complex(0, omega*cp.c)
+			stampY(a, cp.a, cp.b, y)
+		}
+		// Inductors: branch row v_a − v_b − jωL·iL = 0.
+		for li := range c.inductors {
+			row := n + len(c.vsources) + li
+			a.Add(row, row, complex(0, -omega*c.inductors[li].l))
+		}
+		for i := range b {
+			b[i] = 0
+		}
+		// Unit drive on the designated source's branch row; all other
+		// sources stay at zero (their rows already enforce v = 0).
+		b[n+srcIdx] = 1
+		x, err := mathx.SolveCDense(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
+		}
+		res.Freqs = append(res.Freqs, f)
+		res.volts = append(res.volts, append([]complex128(nil), x[:n]...))
+	}
+	return res, nil
+}
+
+// stampY stamps a two-terminal admittance.
+func stampY(a *mathx.CDense, i, j int, y complex128) {
+	if i >= 0 {
+		a.Add(i, i, y)
+	}
+	if j >= 0 {
+		a.Add(j, j, y)
+	}
+	if i >= 0 && j >= 0 {
+		a.Add(i, j, -y)
+		a.Add(j, i, -y)
+	}
+}

@@ -1,0 +1,176 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// nearestFreq returns the sweep index closest to f.
+func nearestFreq(freqs []float64, f float64) int {
+	best, bd := 0, math.Inf(1)
+	for i, x := range freqs {
+		if d := math.Abs(math.Log(x / f)); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+func TestACLowPassPole(t *testing.T) {
+	// RC low-pass: |H| = 1/sqrt(2) at f = 1/(2πRC) with −45° phase.
+	c := New()
+	mustOK(t, c.V("vin", "in", "0", DC(0)))
+	mustOK(t, c.R("r", "in", "out", 1e3))
+	mustOK(t, c.C("c", "out", "0", 1e-9, 0))
+	f0 := 1 / (2 * math.Pi * 1e3 * 1e-9)
+	res, err := c.AC("vin", f0/100, f0*100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := res.Magnitude("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, _ := res.PhaseDeg("out")
+	k := nearestFreq(res.Freqs, f0)
+	if math.Abs(mag[k]-1/math.Sqrt2) > 0.02 {
+		t.Errorf("|H(f0)| = %v, want 0.707", mag[k])
+	}
+	if math.Abs(ph[k]+45) > 2 {
+		t.Errorf("phase(f0) = %v, want −45°", ph[k])
+	}
+	// Low-frequency passband ≈ 1; high-frequency rolloff −20 dB/decade.
+	if math.Abs(mag[0]-1) > 1e-3 {
+		t.Errorf("passband = %v", mag[0])
+	}
+	kHi := nearestFreq(res.Freqs, f0*10)
+	kHi2 := nearestFreq(res.Freqs, f0*100)
+	ratio := mag[kHi] / mag[kHi2]
+	if math.Abs(ratio-10) > 1 {
+		t.Errorf("rolloff ratio per decade = %v, want 10", ratio)
+	}
+}
+
+func TestACSeriesRLCResonance(t *testing.T) {
+	// Series RLC driven across the resistor: current peaks at
+	// f0 = 1/(2π√(LC)); the resistor voltage peaks there too.
+	const (
+		rv = 10.0
+		lv = 1e-6
+		cv = 1e-9
+	)
+	c := New()
+	mustOK(t, c.V("vin", "in", "0", DC(0)))
+	mustOK(t, c.L("l", "in", "a", lv, 0))
+	mustOK(t, c.C("c", "a", "b", cv, 0))
+	mustOK(t, c.R("r", "b", "0", rv))
+	f0 := 1 / (2 * math.Pi * math.Sqrt(lv*cv))
+	res, err := c.AC("vin", f0/30, f0*30, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, _ := res.Magnitude("b")
+	// Peak location.
+	peakIdx := 0
+	for i := range mag {
+		if mag[i] > mag[peakIdx] {
+			peakIdx = i
+		}
+	}
+	if d := math.Abs(math.Log(res.Freqs[peakIdx] / f0)); d > 0.1 {
+		t.Errorf("resonance at %v, want %v", res.Freqs[peakIdx], f0)
+	}
+	// At resonance the reactances cancel: |V(b)| ≈ 1 (all drive across R).
+	if math.Abs(mag[peakIdx]-1) > 0.02 {
+		t.Errorf("resonant |V(b)| = %v, want 1", mag[peakIdx])
+	}
+}
+
+func TestACCommonSourceGain(t *testing.T) {
+	// A MOS common-source stage biased in saturation: low-frequency gain
+	// ≈ gm·(RL ∥ ro); with a load capacitor the gain rolls off.
+	c := New()
+	mustOK(t, c.V("vdd", "vdd", "0", DC(2.5)))
+	mustOK(t, c.V("vin", "g", "0", DC(1.2)))
+	mustOK(t, c.R("rl", "vdd", "d", 10e3))
+	mustOK(t, c.MOSFET("m1", "d", "g", "0", MOSParams{KP: 1e-4, Vt: 0.5, Lambda: 0.02}))
+	mustOK(t, c.C("cl", "d", "0", 1e-12, 0))
+	res, err := c.AC("vin", 1e3, 1e9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := res.Magnitude("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gm at the bias point: KP·(Vgs−Vt) = 1e-4·0.7 = 7e-5 S (plus λ term).
+	// Expected |A| ≈ gm·(RL ∥ ro) ≈ 0.6–0.7 with ro from λ.
+	lowGain := mag[0]
+	if lowGain < 0.4 || lowGain > 1.0 {
+		t.Errorf("low-frequency gain = %v, want ≈0.65", lowGain)
+	}
+	// Pole at 1/(2π·R_out·CL) ≈ 17 MHz: gain at 1 GHz far below passband.
+	hi := mag[len(mag)-1]
+	if hi > lowGain/10 {
+		t.Errorf("high-frequency gain %v should be well below passband %v", hi, lowGain)
+	}
+}
+
+func TestACValidation(t *testing.T) {
+	c := New()
+	mustOK(t, c.V("vin", "a", "0", DC(1)))
+	mustOK(t, c.R("r", "a", "0", 1))
+	if _, err := c.AC("nope", 1, 10, 5); err == nil {
+		t.Error("unknown source must fail")
+	}
+	if _, err := c.AC("vin", -1, 10, 5); err == nil {
+		t.Error("negative start must fail")
+	}
+	if _, err := c.AC("vin", 10, 1, 5); err == nil {
+		t.Error("inverted window must fail")
+	}
+	if _, err := c.AC("vin", 1, 10, 0); err == nil {
+		t.Error("zero density must fail")
+	}
+	res, err := c.AC("vin", 1, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Voltage("ghost"); err == nil {
+		t.Error("unknown node must fail")
+	}
+	if g, err := res.Magnitude("gnd"); err != nil || g[0] != 0 {
+		t.Error("ground magnitude must be 0")
+	}
+}
+
+func TestACInterconnectLadderDelaylikeRolloff(t *testing.T) {
+	// A discretized interconnect behaves as a distributed low-pass: the
+	// far-end magnitude is monotone non-increasing with frequency.
+	c := New()
+	mustOK(t, c.V("vin", "in", "0", DC(0)))
+	mustOK(t, c.R("rd", "in", "n0", 500))
+	prev := "n0"
+	for i := 1; i <= 10; i++ {
+		cur := "n" + string(rune('0'+i))
+		if i == 10 {
+			cur = "far"
+		}
+		mustOK(t, c.R("rs"+cur, prev, cur, 12))
+		mustOK(t, c.C("cs"+cur, cur, "0", 85e-15, 0))
+		prev = cur
+	}
+	res, err := c.AC("vin", 1e6, 1e11, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, _ := res.Magnitude("far")
+	for i := 1; i < len(mag); i++ {
+		if mag[i] > mag[i-1]+1e-9 {
+			t.Fatalf("non-monotone rolloff at %v Hz", res.Freqs[i])
+		}
+	}
+	if mag[0] < 0.99 {
+		t.Errorf("DC transmission = %v, want ≈1", mag[0])
+	}
+}

@@ -1,0 +1,187 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInductorDCShort(t *testing.T) {
+	// At DC an inductor is a short: divider with L in the lower leg pulls
+	// the mid node to ground and carries V/R.
+	c := New()
+	mustOK(t, c.V("v1", "in", "0", DC(2)))
+	mustOK(t, c.R("r1", "in", "mid", 1000))
+	mustOK(t, c.L("l1", "mid", "0", 1e-9, 0))
+	op, err := c.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := op[c.nodeIdx["mid"]]; math.Abs(v) > 1e-6 {
+		t.Errorf("mid = %v, want 0 (inductor short)", v)
+	}
+	iL := op[len(c.nodes)+len(c.vsources)]
+	if math.Abs(iL-2e-3) > 1e-8 {
+		t.Errorf("inductor current = %v, want 2e-3", iL)
+	}
+}
+
+func TestRLRise(t *testing.T) {
+	// Series RL step: i(t) = (V/R)(1 − exp(−tR/L)), τ = 1 ns.
+	c := New()
+	mustOK(t, c.V("v1", "in", "0", DC(1)))
+	mustOK(t, c.R("r1", "in", "mid", 100))
+	mustOK(t, c.L("l1", "mid", "0", 100e-9, 0))
+	res, err := c.Transient(TranOpts{Stop: 5e-9, Step: 2e-12, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := res.Current("l1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tk := range res.Time {
+		want := 0.01 * (1 - math.Exp(-tk/1e-9))
+		if math.Abs(i[k]-want) > 2e-4*0.01+2e-5 {
+			t.Fatalf("i(%v) = %v, want %v", tk, i[k], want)
+		}
+	}
+}
+
+func TestLCOscillation(t *testing.T) {
+	// Ideal LC tank from a charged capacitor: ω = 1/sqrt(LC), energy
+	// rings between the elements. f0 = 1/(2π·sqrt(1e-9·1e-12)) ≈ 5.03 GHz.
+	c := New()
+	mustOK(t, c.C("c1", "top", "0", 1e-12, 1))
+	mustOK(t, c.L("l1", "top", "0", 1e-9, 0))
+	period := 2 * math.Pi * math.Sqrt(1e-9*1e-12)
+	res, err := c.Transient(TranOpts{Stop: 3 * period, Step: period / 400, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("top")
+	// Count zero crossings: 2 per period → 6 over 3 periods.
+	crossings := 0
+	for k := 1; k < len(v); k++ {
+		if (v[k-1] < 0) != (v[k] < 0) {
+			crossings++
+		}
+	}
+	if crossings < 5 || crossings > 7 {
+		t.Errorf("LC crossings = %d, want 6", crossings)
+	}
+	// Trapezoidal integration conserves LC amplitude well.
+	last := v[len(v)-1-50 : len(v)-1]
+	peak := 0.0
+	for _, x := range last {
+		peak = math.Max(peak, math.Abs(x))
+	}
+	if peak < 0.9 || peak > 1.05 {
+		t.Errorf("amplitude after 3 periods = %v, want ≈1", peak)
+	}
+}
+
+func TestRLCDampedFrequency(t *testing.T) {
+	// Series RLC: damped natural frequency ωd = sqrt(1/LC − (R/2L)²).
+	const (
+		lVal = 10e-9
+		cVal = 1e-12
+		rVal = 40.0
+	)
+	c := New()
+	mustOK(t, c.C("c1", "a", "0", cVal, 1))
+	mustOK(t, c.R("r1", "a", "b", rVal))
+	mustOK(t, c.L("l1", "b", "0", lVal, 0))
+	w0sq := 1 / (lVal * cVal)
+	alpha := rVal / (2 * lVal)
+	wd := math.Sqrt(w0sq - alpha*alpha)
+	period := 2 * math.Pi / wd
+	res, err := c.Transient(TranOpts{Stop: 4 * period, Step: period / 500, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("a")
+	// Measure the oscillation period from successive downward zero
+	// crossings.
+	var crossTimes []float64
+	for k := 1; k < len(v); k++ {
+		if v[k-1] >= 0 && v[k] < 0 {
+			crossTimes = append(crossTimes, res.Time[k])
+		}
+	}
+	if len(crossTimes) < 2 {
+		t.Fatalf("too few crossings: %d", len(crossTimes))
+	}
+	measured := crossTimes[1] - crossTimes[0]
+	if math.Abs(measured-period)/period > 0.02 {
+		t.Errorf("damped period = %v, want %v", measured, period)
+	}
+	// Amplitude decays by exp(−α·T) per period.
+	decay := math.Exp(-alpha * period)
+	peak1, peak2 := 0.0, 0.0
+	for k := 1; k < len(v); k++ {
+		tk := res.Time[k]
+		switch {
+		case tk < period:
+			peak1 = math.Max(peak1, math.Abs(v[k]))
+		case tk < 2*period:
+			peak2 = math.Max(peak2, math.Abs(v[k]))
+		}
+	}
+	if math.Abs(peak2/peak1-decay)/decay > 0.1 {
+		t.Errorf("decay per period = %v, want %v", peak2/peak1, decay)
+	}
+}
+
+func TestInductorInitialCurrent(t *testing.T) {
+	// UseIC honors the inductor's initial current: it free-wheels into a
+	// resistor and decays as i = i0·exp(−tR/L).
+	c := New()
+	mustOK(t, c.L("l1", "x", "0", 1e-6, 1e-3))
+	mustOK(t, c.R("r1", "x", "0", 100))
+	res, err := c.Transient(TranOpts{Stop: 50e-9, Step: 50e-12, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := res.Current("l1")
+	if math.Abs(i[0]-1e-3) > 2e-5 {
+		t.Errorf("initial current = %v, want 1e-3", i[0])
+	}
+	tau := 1e-6 / 100
+	for k, tk := range res.Time {
+		want := 1e-3 * math.Exp(-tk/tau)
+		if math.Abs(i[k]-want) > 3e-5 {
+			t.Fatalf("i(%v) = %v, want %v", tk, i[k], want)
+		}
+	}
+}
+
+func TestInductorValidation(t *testing.T) {
+	c := New()
+	if err := c.L("l1", "a", "b", 0, 0); err == nil {
+		t.Error("zero inductance must fail")
+	}
+	mustOK(t, c.L("l1", "a", "b", 1e-9, 0))
+	if err := c.L("l1", "a", "b", 1e-9, 0); err == nil {
+		t.Error("duplicate name must fail")
+	}
+}
+
+func TestCurrentLookupCoversInductors(t *testing.T) {
+	c := New()
+	mustOK(t, c.V("v1", "in", "0", DC(1)))
+	mustOK(t, c.R("r1", "in", "x", 10))
+	mustOK(t, c.L("l1", "x", "0", 1e-9, 0))
+	res, err := c.Transient(TranOpts{Stop: 1e-9, Step: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Current("l1"); err != nil {
+		t.Errorf("inductor current lookup: %v", err)
+	}
+	if _, err := res.Current("v1"); err != nil {
+		t.Errorf("source current lookup: %v", err)
+	}
+	if _, err := res.Current("r1"); err == nil {
+		t.Error("resistors have no branch current")
+	}
+}

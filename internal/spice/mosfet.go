@@ -1,0 +1,100 @@
+package spice
+
+import "fmt"
+
+// MOSParams is a level-1 (square-law / Shichman–Hodges) MOSFET model —
+// the standard hand-analysis model of the era, adequate for the §4 duty-
+// cycle and peak-current extraction where only the drive-current envelope
+// matters.
+type MOSParams struct {
+	// KP is the full transconductance factor k'·W/L in A/V² (device
+	// sizing folded in). Ids,sat = KP/2·(Vgs − Vt)².
+	KP float64
+	// Vt is the threshold voltage magnitude, volts (> 0 for both types).
+	Vt float64
+	// Lambda is the channel-length modulation, 1/V.
+	Lambda float64
+	// PMOS selects a p-channel device (source at the higher potential).
+	PMOS bool
+}
+
+// Validate checks the parameters.
+func (p MOSParams) Validate() error {
+	if p.KP <= 0 || p.Vt <= 0 || p.Lambda < 0 {
+		return fmt.Errorf("%w: MOS params %+v", ErrBadCircuit, p)
+	}
+	return nil
+}
+
+// Scaled returns a copy with the drive strength multiplied by s — the
+// repeater-sizing operation of Eq. (17) (widths of both devices scaled by
+// sopt).
+func (p MOSParams) Scaled(s float64) MOSParams {
+	p.KP *= s
+	return p
+}
+
+// SaturationCurrent returns Ids at Vgs = vdd, deep saturation (λ ignored).
+func (p MOSParams) SaturationCurrent(vdd float64) float64 {
+	ov := vdd - p.Vt
+	if ov <= 0 {
+		return 0
+	}
+	return p.KP / 2 * ov * ov
+}
+
+type mosfet struct {
+	name    string
+	d, g, s int
+	p       MOSParams
+}
+
+// MOSFET adds a three-terminal square-law transistor (drain, gate,
+// source); the bulk is tied to the source.
+func (c *Circuit) MOSFET(name, drain, gate, source string, p MOSParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := c.register("mosfet", name); err != nil {
+		return err
+	}
+	c.mosfets = append(c.mosfets, mosfet{name, c.node(drain), c.node(gate), c.node(source), p})
+	return nil
+}
+
+// current returns the conventional drain current (into the drain terminal)
+// at the given absolute terminal voltages. It is a pure continuous
+// function of its arguments; the Newton assembly differentiates it
+// numerically, which sidesteps the sign bookkeeping of the PMOS-reflected
+// and drain/source-swapped regions.
+func (m *mosfet) current(vd, vg, vs float64) float64 {
+	sign := 1.0
+	if m.p.PMOS {
+		vd, vg, vs = -vd, -vg, -vs
+		sign = -1
+	}
+	// The square-law device is symmetric: if vd < vs the physical source
+	// is the "drain" terminal and current reverses.
+	if vd < vs {
+		return sign * -m.nchan(vs, vg, vd)
+	}
+	return sign * m.nchan(vd, vg, vs)
+}
+
+// nchan is the n-channel square-law current for vd ≥ vs.
+func (m *mosfet) nchan(vd, vg, vs float64) float64 {
+	vgs := vg - vs
+	vds := vd - vs
+	ov := vgs - m.p.Vt
+	switch {
+	case ov <= 0:
+		// Cutoff: tiny leakage keeps the Jacobian nonsingular.
+		return gmin * vds
+	case vds < ov:
+		// Triode.
+		return m.p.KP*(ov-vds/2)*vds*(1+m.p.Lambda*vds) + gmin*vds
+	default:
+		// Saturation.
+		return m.p.KP/2*ov*ov*(1+m.p.Lambda*vds) + gmin*vds
+	}
+}

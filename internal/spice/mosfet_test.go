@@ -1,0 +1,176 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// n250NMOS is a minimum NMOS for a 2.5 V process: Isat ≈ 0.13 mA at
+// Vgs = 2.5 (KP·(2.5−0.5)²/2).
+func n250NMOS() MOSParams { return MOSParams{KP: 6.5e-5, Vt: 0.5, Lambda: 0.05} }
+func n250PMOS() MOSParams { return MOSParams{KP: 6.5e-5, Vt: 0.5, Lambda: 0.05, PMOS: true} }
+
+func TestMOSRegionCurrents(t *testing.T) {
+	m := mosfet{p: MOSParams{KP: 1e-4, Vt: 0.5}}
+	// Cutoff.
+	if i := m.current(1, 0.3, 0); math.Abs(i) > 1e-9 {
+		t.Errorf("cutoff current = %v", i)
+	}
+	// Saturation: Vgs = 1.5, ov = 1, Vds = 2 > ov → KP/2·1 = 5e-5.
+	if i := m.current(2, 1.5, 0); math.Abs(i-5e-5) > 1e-8 {
+		t.Errorf("saturation current = %v, want 5e-5", i)
+	}
+	// Triode: Vds = 0.1 ≪ ov: i ≈ KP·(ov − Vds/2)·Vds = 1e-4·0.95·0.1.
+	if i := m.current(0.1, 1.5, 0); math.Abs(i-9.5e-6) > 1e-7 {
+		t.Errorf("triode current = %v, want 9.5e-6", i)
+	}
+}
+
+func TestMOSSymmetry(t *testing.T) {
+	// Swapping drain and source must exactly reverse the current.
+	m := mosfet{p: MOSParams{KP: 1e-4, Vt: 0.5, Lambda: 0.02}}
+	i1 := m.current(1.7, 2.0, 0.2)
+	i2 := m.current(0.2, 2.0, 1.7)
+	if math.Abs(i1+i2) > 1e-12 {
+		t.Errorf("symmetry broken: %v vs %v", i1, i2)
+	}
+}
+
+func TestMOSContinuityAcrossRegions(t *testing.T) {
+	// The current must be continuous across triode/saturation and
+	// cutoff boundaries (Newton depends on it).
+	m := mosfet{p: MOSParams{KP: 1e-4, Vt: 0.5, Lambda: 0.05}}
+	for _, vg := range []float64{0.499, 0.5, 0.501, 1.5} {
+		prev := m.current(0, vg, 0)
+		for vd := 0.001; vd < 3; vd += 0.001 {
+			cur := m.current(vd, vg, 0)
+			if math.Abs(cur-prev) > 1e-6 {
+				t.Fatalf("jump at vg=%v vd=%v: %v → %v", vg, vd, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	n := mosfet{p: MOSParams{KP: 1e-4, Vt: 0.5}}
+	p := mosfet{p: MOSParams{KP: 1e-4, Vt: 0.5, PMOS: true}}
+	// A PMOS with all voltages negated carries the negated current.
+	in := n.current(1.5, 2.0, 0)
+	ip := p.current(-1.5, -2.0, 0)
+	if math.Abs(in+ip) > 1e-12 {
+		t.Errorf("PMOS mirror broken: %v vs %v", in, ip)
+	}
+}
+
+func TestSaturationCurrentHelper(t *testing.T) {
+	p := n250NMOS()
+	want := 6.5e-5 / 2 * 2 * 2 // KP/2·(2.5−0.5)²
+	if got := p.SaturationCurrent(2.5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Isat = %v, want %v", got, want)
+	}
+	if p.SaturationCurrent(0.3) != 0 {
+		t.Error("sub-threshold Isat must be 0")
+	}
+	s := p.Scaled(10)
+	if math.Abs(s.SaturationCurrent(2.5)-10*want) > 1e-9 {
+		t.Error("Scaled must multiply drive current")
+	}
+}
+
+// buildInverter wires a CMOS inverter: in → out, powered from vdd.
+func buildInverter(t *testing.T, c *Circuit, name, in, out, vdd string, size float64) {
+	t.Helper()
+	mustOK(t, c.MOSFET(name+"_n", out, in, "0", n250NMOS().Scaled(size)))
+	mustOK(t, c.MOSFET(name+"_p", out, in, vdd, n250PMOS().Scaled(size)))
+}
+
+func TestInverterDCTransfer(t *testing.T) {
+	// Sweep the input; the output must swing rail-to-rail and be
+	// monotonically decreasing.
+	prev := math.Inf(1)
+	for _, vin := range []float64{0, 0.5, 1.0, 1.25, 1.5, 2.0, 2.5} {
+		c := New()
+		mustOK(t, c.V("vdd", "vdd", "0", DC(2.5)))
+		mustOK(t, c.V("vin", "in", "0", DC(vin)))
+		buildInverter(t, c, "inv", "in", "out", "vdd", 1)
+		op, err := c.OperatingPoint()
+		if err != nil {
+			t.Fatalf("vin=%v: %v", vin, err)
+		}
+		vout := op[c.nodeIdx["out"]]
+		if vout > prev+1e-6 {
+			t.Errorf("transfer not monotone at vin=%v", vin)
+		}
+		prev = vout
+		if vin == 0 && math.Abs(vout-2.5) > 0.01 {
+			t.Errorf("vin=0: vout=%v, want 2.5", vout)
+		}
+		if vin == 2.5 && math.Abs(vout) > 0.01 {
+			t.Errorf("vin=2.5: vout=%v, want 0", vout)
+		}
+	}
+}
+
+func TestInverterTransient(t *testing.T) {
+	// An inverter driving a load capacitor: output must swing fully and
+	// the fall delay must be on the order of C·V/Isat.
+	c := New()
+	mustOK(t, c.V("vdd", "vdd", "0", DC(2.5)))
+	mustOK(t, c.V("vin", "in", "0", Pulse(0, 2.5, 1e-9, 50e-12, 50e-12, 4e-9, 10e-9)))
+	buildInverter(t, c, "inv", "in", "out", "vdd", 10)
+	mustOK(t, c.C("cl", "out", "0", 50e-15, 0))
+	res, err := c.Transient(TranOpts{Stop: 10e-9, Step: 5e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("out")
+	vmin, vmax := v[0], v[0]
+	for _, x := range v {
+		vmin = math.Min(vmin, x)
+		vmax = math.Max(vmax, x)
+	}
+	if vmax < 2.45 || vmin > 0.05 {
+		t.Errorf("output swing [%v, %v], want ≈[0, 2.5]", vmin, vmax)
+	}
+	// Supply current peak ≈ scaled Isat during the output rise.
+	i, _ := res.Current("vdd")
+	peak := 0.0
+	for _, x := range i {
+		peak = math.Max(peak, math.Abs(x))
+	}
+	isat := n250PMOS().Scaled(10).SaturationCurrent(2.5)
+	if peak < 0.5*isat || peak > 1.5*isat {
+		t.Errorf("supply current peak %v vs device Isat %v", peak, isat)
+	}
+}
+
+func TestRingOscillatorOscillates(t *testing.T) {
+	// A 3-stage ring with load caps must oscillate — an end-to-end
+	// nonlinear-transient smoke test.
+	c := New()
+	mustOK(t, c.V("vdd", "vdd", "0", DC(2.5)))
+	nodes := []string{"n1", "n2", "n3"}
+	for i := range nodes {
+		in := nodes[i]
+		out := nodes[(i+1)%3]
+		buildInverter(t, c, in+out, in, out, "vdd", 1)
+		mustOK(t, c.C("c"+in, in, "0", 5e-15, float64(i)*1.0)) // asymmetric ICs to kick it off
+	}
+	res, err := c.Transient(TranOpts{Stop: 30e-9, Step: 10e-12, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("n1")
+	// Count rail crossings in the second half (after settling).
+	crossings := 0
+	half := len(v) / 2
+	for k := half + 1; k < len(v); k++ {
+		if (v[k-1] < 1.25) != (v[k] < 1.25) {
+			crossings++
+		}
+	}
+	if crossings < 4 {
+		t.Errorf("ring oscillator produced %d crossings, want ≥ 4", crossings)
+	}
+}

@@ -1,0 +1,494 @@
+package spice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SPICE-format netlist parsing. The dialect is the classic Berkeley deck
+// subset this simulator can execute:
+//
+//	* title and comment lines        (* or ; anywhere)
+//	Rname n+ n- value
+//	Cname n+ n- value [IC=v0]
+//	Lname n+ n- value [IC=i0]
+//	Vname n+ n- DC v | PULSE(v1 v2 td tr tf pw per) | PWL(t1 v1 t2 v2 …)
+//	             | SIN(vo va freq [td [damp]])
+//	Iname n+ n- DC i | PULSE(...) | PWL(...) | SIN(...)
+//	Mname d g s NMOS|PMOS KP=.. VT=.. [LAMBDA=..] [M=scale]
+//	.tran tstep tstop [UIC]
+//	.ac dec pointsPerDecade fstart fstop SRCNAME
+//	.op
+//	.print v(node) i(element) …
+//	.end
+//
+// Values accept engineering suffixes (f p n u m k meg g t) and unit tails
+// (1kOhm, 10pF). The MOSFET card is three-terminal with explicit square-law
+// parameters — this simulator has no model-card library (documented
+// divergence from full SPICE). Continuation lines start with "+".
+
+// Probe names a signal requested by .print.
+type Probe struct {
+	// Kind is 'v' (node voltage) or 'i' (branch current).
+	Kind byte
+	// Name is the node or element name.
+	Name string
+}
+
+// TranSpec is a parsed .tran card.
+type TranSpec struct {
+	Step, Stop float64
+	UIC        bool
+}
+
+// ACSpec is a parsed .ac card. The dialect requires the driven source to
+// be named on the card (classic SPICE marks it with AC magnitude on the
+// source card instead; naming it here keeps source cards simple).
+type ACSpec struct {
+	PointsPerDecade int
+	FStart, FStop   float64
+	Source          string
+}
+
+// Deck is a parsed netlist.
+type Deck struct {
+	Title   string
+	Circuit *Circuit
+	Tran    *TranSpec
+	AC      *ACSpec
+	// WantOP records a .op card; spicesim prints the operating point.
+	WantOP bool
+	Prints []Probe
+}
+
+// Run executes the deck's transient analysis.
+func (d *Deck) Run() (*Result, error) {
+	if d.Tran == nil {
+		return nil, fmt.Errorf("%w: deck has no .tran card", ErrBadCircuit)
+	}
+	return d.Circuit.Transient(TranOpts{
+		Stop:  d.Tran.Stop,
+		Step:  d.Tran.Step,
+		UseIC: d.Tran.UIC,
+	})
+}
+
+// RunAC executes the deck's AC analysis.
+func (d *Deck) RunAC() (*ACResult, error) {
+	if d.AC == nil {
+		return nil, fmt.Errorf("%w: deck has no .ac card", ErrBadCircuit)
+	}
+	return d.Circuit.AC(d.AC.Source, d.AC.FStart, d.AC.FStop, d.AC.PointsPerDecade)
+}
+
+// suffixes maps SPICE engineering suffixes to multipliers. "meg" must be
+// matched before "m".
+var suffixes = []struct {
+	s string
+	m float64
+}{
+	{"meg", 1e6}, {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
+	{"m", 1e-3}, {"k", 1e3}, {"g", 1e9}, {"t", 1e12},
+}
+
+// ParseValue parses a SPICE number with optional engineering suffix and
+// unit tail: "10p", "1.5k", "2meg", "100nF", "4.7kOhm".
+func ParseValue(s string) (float64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, fmt.Errorf("spice: empty value")
+	}
+	// Split the leading numeric part.
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		if (c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' ||
+			(end > 0 && (c == 'e') && end+1 < len(s) && (s[end+1] == '+' || s[end+1] == '-' || (s[end+1] >= '0' && s[end+1] <= '9'))) {
+			if c == 'e' {
+				// consume exponent: e[+-]?digits
+				j := end + 1
+				if s[j] == '+' || s[j] == '-' {
+					j++
+				}
+				k := j
+				for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+					k++
+				}
+				if k > j {
+					end = k
+					continue
+				}
+				break
+			}
+			end++
+			continue
+		}
+		break
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("spice: bad value %q", s)
+	}
+	base, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("spice: bad value %q: %v", s, err)
+	}
+	tail := s[end:]
+	for _, sf := range suffixes {
+		if strings.HasPrefix(tail, sf.s) {
+			return base * sf.m, nil
+		}
+	}
+	// Bare unit tails (ohm, f, v, a, s, hz) without multiplier — but "f"
+	// alone is femto (handled above); anything unrecognized and nonempty
+	// that is purely alphabetic is treated as a unit and ignored.
+	for _, c := range tail {
+		if !(c >= 'a' && c <= 'z') {
+			return 0, fmt.Errorf("spice: bad value tail %q", s)
+		}
+	}
+	return base, nil
+}
+
+// ParseDeck parses a netlist. The first line is the title (SPICE
+// convention) unless it begins with a recognized card.
+func ParseDeck(r io.Reader) (*Deck, error) {
+	scanner := bufio.NewScanner(r)
+	var raw []string
+	for scanner.Scan() {
+		raw = append(raw, scanner.Text())
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	// Strip ';' comments, drop blanks, join '+' continuations. The first
+	// surviving line is the title (SPICE convention: line one is always
+	// the title, never a card).
+	var lines []string
+	var lineNos []int
+	titleSeen := false
+	d := &Deck{Circuit: New()}
+	for i, l := range raw {
+		if idx := strings.Index(l, ";"); idx >= 0 {
+			l = l[:idx]
+		}
+		t := strings.TrimSpace(l)
+		if t == "" {
+			continue
+		}
+		if !titleSeen {
+			d.Title = t
+			titleSeen = true
+			continue
+		}
+		if strings.HasPrefix(t, "+") {
+			if len(lines) == 0 {
+				return nil, fmt.Errorf("spice: line %d: continuation with nothing to continue", i+1)
+			}
+			lines[len(lines)-1] += " " + strings.TrimSpace(t[1:])
+			continue
+		}
+		lines = append(lines, t)
+		lineNos = append(lineNos, i+1)
+	}
+
+	for k := 0; k < len(lines); k++ {
+		line := lines[k]
+		no := lineNos[k]
+		if strings.HasPrefix(line, "*") {
+			continue
+		}
+		if err := d.parseLine(line); err != nil {
+			return nil, fmt.Errorf("spice: line %d: %w", no, err)
+		}
+		if strings.EqualFold(strings.Fields(line)[0], ".end") {
+			break
+		}
+	}
+	if d.Circuit.NumNodes() == 0 && len(d.Circuit.vsources) == 0 {
+		return nil, fmt.Errorf("%w: empty deck", ErrBadCircuit)
+	}
+	return d, nil
+}
+
+func (d *Deck) parseLine(line string) error {
+	fields := strings.Fields(line)
+	name := fields[0]
+	switch name[0] | 0x20 {
+	case '.':
+	case 'r':
+		if len(fields) != 4 {
+			return fmt.Errorf("resistor card needs 4 fields: %q", line)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		return d.Circuit.R(lower(name), lower(fields[1]), lower(fields[2]), v)
+	case 'c':
+		return d.parseReactive(fields, line, true)
+	case 'l':
+		return d.parseReactive(fields, line, false)
+	case 'v', 'i':
+		return d.parseSource(fields, line, name[0]|0x20 == 'v')
+	case 'm':
+		return d.parseMOS(fields, line)
+	}
+	// Dot cards.
+	switch strings.ToLower(name) {
+	case ".tran":
+		return d.parseTran(fields)
+	case ".ac":
+		return d.parseAC(fields)
+	case ".op":
+		d.WantOP = true
+		return nil
+	case ".print", ".plot":
+		return d.parsePrint(fields)
+	case ".end":
+		return nil
+	default:
+		return fmt.Errorf("unsupported card %q", name)
+	}
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+func (d *Deck) parseReactive(fields []string, line string, isCap bool) error {
+	if len(fields) < 4 || len(fields) > 5 {
+		return fmt.Errorf("card needs 4-5 fields: %q", line)
+	}
+	v, err := ParseValue(fields[3])
+	if err != nil {
+		return err
+	}
+	ic := 0.0
+	if len(fields) == 5 {
+		f := strings.ToLower(fields[4])
+		if !strings.HasPrefix(f, "ic=") {
+			return fmt.Errorf("unexpected field %q", fields[4])
+		}
+		ic, err = ParseValue(f[3:])
+		if err != nil {
+			return err
+		}
+	}
+	if isCap {
+		return d.Circuit.C(lower(fields[0]), lower(fields[1]), lower(fields[2]), v, ic)
+	}
+	return d.Circuit.L(lower(fields[0]), lower(fields[1]), lower(fields[2]), v, ic)
+}
+
+// parseSource handles V/I cards with DC/PULSE/PWL/SIN waveforms.
+func (d *Deck) parseSource(fields []string, line string, isV bool) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("source card needs nodes: %q", line)
+	}
+	name, a, b := lower(fields[0]), lower(fields[1]), lower(fields[2])
+	rest := strings.TrimSpace(line[len(fields[0])+len(fields[1])+len(fields[2])+3:])
+	// Re-derive rest robustly: join remaining fields.
+	rest = strings.Join(fields[3:], " ")
+	src, err := parseWaveformSpec(rest)
+	if err != nil {
+		return err
+	}
+	if isV {
+		return d.Circuit.V(name, a, b, src)
+	}
+	return d.Circuit.I(name, a, b, src)
+}
+
+// parseWaveformSpec parses "DC x", a bare value, "PULSE(...)", "PWL(...)",
+// or "SIN(...)".
+func parseWaveformSpec(s string) (SourceFunc, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return DC(0), nil
+	}
+	low := strings.ToLower(t)
+	switch {
+	case strings.HasPrefix(low, "dc"):
+		v, err := ParseValue(strings.TrimSpace(t[2:]))
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	case strings.HasPrefix(low, "pulse"):
+		args, err := parenArgs(t[5:])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 7 {
+			return nil, fmt.Errorf("PULSE needs 7 arguments, got %d", len(args))
+		}
+		return Pulse(args[0], args[1], args[2], args[3], args[4], args[5], args[6]), nil
+	case strings.HasPrefix(low, "pwl"):
+		args, err := parenArgs(t[3:])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 4 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("PWL needs an even number (>=4) of arguments")
+		}
+		ts := make([]float64, 0, len(args)/2)
+		vs := make([]float64, 0, len(args)/2)
+		for i := 0; i < len(args); i += 2 {
+			ts = append(ts, args[i])
+			vs = append(vs, args[i+1])
+		}
+		return PWL(ts, vs)
+	case strings.HasPrefix(low, "sin"):
+		args, err := parenArgs(t[3:])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 3 || len(args) > 5 {
+			return nil, fmt.Errorf("SIN needs 3-5 arguments")
+		}
+		td, damp := 0.0, 0.0
+		if len(args) >= 4 {
+			td = args[3]
+		}
+		if len(args) == 5 {
+			damp = args[4]
+		}
+		return Sin(args[0], args[1], args[2], td, damp), nil
+	default:
+		// Bare value = DC.
+		v, err := ParseValue(t)
+		if err != nil {
+			return nil, fmt.Errorf("unrecognized waveform %q", s)
+		}
+		return DC(v), nil
+	}
+}
+
+// parenArgs parses "( a b c )" (commas optional) into values.
+func parenArgs(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("expected parenthesized arguments, got %q", s)
+	}
+	body := strings.ReplaceAll(s[1:len(s)-1], ",", " ")
+	var out []float64
+	for _, f := range strings.Fields(body) {
+		v, err := ParseValue(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (d *Deck) parseMOS(fields []string, line string) error {
+	if len(fields) < 5 {
+		return fmt.Errorf("MOS card needs d g s TYPE: %q", line)
+	}
+	p := MOSParams{}
+	switch strings.ToUpper(fields[4]) {
+	case "NMOS":
+	case "PMOS":
+		p.PMOS = true
+	default:
+		return fmt.Errorf("MOS type must be NMOS or PMOS, got %q", fields[4])
+	}
+	scale := 1.0
+	for _, kv := range fields[5:] {
+		parts := strings.SplitN(strings.ToLower(kv), "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad MOS parameter %q", kv)
+		}
+		v, err := ParseValue(parts[1])
+		if err != nil {
+			return err
+		}
+		switch parts[0] {
+		case "kp":
+			p.KP = v
+		case "vt", "vto":
+			p.Vt = v
+		case "lambda":
+			p.Lambda = v
+		case "m":
+			scale = v
+		default:
+			return fmt.Errorf("unknown MOS parameter %q", parts[0])
+		}
+	}
+	p = p.Scaled(scale)
+	return d.Circuit.MOSFET(lower(fields[0]), lower(fields[1]), lower(fields[2]), lower(fields[3]), p)
+}
+
+func (d *Deck) parseTran(fields []string) error {
+	if len(fields) < 3 || len(fields) > 4 {
+		return fmt.Errorf(".tran needs tstep tstop [UIC]")
+	}
+	step, err := ParseValue(fields[1])
+	if err != nil {
+		return err
+	}
+	stop, err := ParseValue(fields[2])
+	if err != nil {
+		return err
+	}
+	t := &TranSpec{Step: step, Stop: stop}
+	if len(fields) == 4 {
+		if !strings.EqualFold(fields[3], "uic") {
+			return fmt.Errorf("unknown .tran option %q", fields[3])
+		}
+		t.UIC = true
+	}
+	if d.Tran != nil {
+		return fmt.Errorf("duplicate .tran card")
+	}
+	d.Tran = t
+	return nil
+}
+
+func (d *Deck) parseAC(fields []string) error {
+	if len(fields) != 6 || !strings.EqualFold(fields[1], "dec") {
+		return fmt.Errorf(".ac needs: .ac dec points fstart fstop source")
+	}
+	pts, err := ParseValue(fields[2])
+	if err != nil {
+		return err
+	}
+	fStart, err := ParseValue(fields[3])
+	if err != nil {
+		return err
+	}
+	fStop, err := ParseValue(fields[4])
+	if err != nil {
+		return err
+	}
+	if d.AC != nil {
+		return fmt.Errorf("duplicate .ac card")
+	}
+	d.AC = &ACSpec{
+		PointsPerDecade: int(pts),
+		FStart:          fStart,
+		FStop:           fStop,
+		Source:          lower(fields[5]),
+	}
+	return nil
+}
+
+func (d *Deck) parsePrint(fields []string) error {
+	for _, f := range fields[1:] {
+		low := strings.ToLower(f)
+		var kind byte
+		switch {
+		case strings.HasPrefix(low, "v(") && strings.HasSuffix(low, ")"):
+			kind = 'v'
+		case strings.HasPrefix(low, "i(") && strings.HasSuffix(low, ")"):
+			kind = 'i'
+		default:
+			return fmt.Errorf("bad probe %q (want v(node) or i(element))", f)
+		}
+		d.Prints = append(d.Prints, Probe{Kind: kind, Name: low[2 : len(low)-1]})
+	}
+	return nil
+}

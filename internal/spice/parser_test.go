@@ -1,0 +1,308 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"10":      10,
+		"1.5k":    1500,
+		"2meg":    2e6,
+		"10p":     1e-11,
+		"100n":    1e-7,
+		"4.7u":    4.7e-6,
+		"3m":      3e-3,
+		"1g":      1e9,
+		"2t":      2e12,
+		"5f":      5e-15,
+		"1e-9":    1e-9,
+		"2.5e3":   2500,
+		"-0.5":    -0.5,
+		"10pF":    1e-11,
+		"4.7kohm": 4700,
+		"1.2v":    1.2,
+	}
+	for s, want := range cases {
+		got, err := ParseValue(s)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", s, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want)+1e-30 {
+			t.Errorf("ParseValue(%q) = %v, want %v", s, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1.2.3", "10!"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+const rcDeck = `RC charge test
+* a 1k / 1n RC charged from 1 V
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1n IC=0
+.tran 5n 5u UIC
+.print v(out) i(v1)
+.end
+`
+
+func TestParseAndRunRCDeck(t *testing.T) {
+	d, err := ParseDeck(strings.NewReader(rcDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "RC charge test" {
+		t.Errorf("title = %q", d.Title)
+	}
+	if d.Tran == nil || !d.Tran.UIC || math.Abs(d.Tran.Stop-5e-6) > 1e-12 {
+		t.Fatalf("tran = %+v", d.Tran)
+	}
+	if len(d.Prints) != 2 || d.Prints[0].Kind != 'v' || d.Prints[1].Kind != 'i' {
+		t.Fatalf("prints = %+v", d.Prints)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Voltage("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tk := range res.Time {
+		want := 1 - math.Exp(-tk/1e-6)
+		if math.Abs(v[k]-want) > 5e-3 {
+			t.Fatalf("v(%v) = %v, want %v", tk, v[k], want)
+		}
+	}
+}
+
+func TestParsePulseAndContinuation(t *testing.T) {
+	deck := `pulse test
+V1 in 0 PULSE(0 2.5
++ 1n 0.1n 0.1n 2n 5n)
+R1 in 0 1k
+.tran 10p 6n
+`
+	d, err := ParseDeck(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("in")
+	// Find the plateau value within the pulse window.
+	var at2ns float64
+	for k, tk := range res.Time {
+		if tk >= 2e-9 {
+			at2ns = v[k]
+			break
+		}
+	}
+	if math.Abs(at2ns-2.5) > 1e-6 {
+		t.Errorf("pulse top = %v, want 2.5", at2ns)
+	}
+}
+
+func TestParsePWLAndSin(t *testing.T) {
+	deck := `sources
+V1 a 0 PWL(0 0 1u 1 2u 0)
+V2 b 0 SIN(0 1 1meg)
+R1 a 0 1k
+R2 b 0 1k
+.tran 10n 2u
+`
+	d, err := ParseDeck(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := res.Voltage("a")
+	vb, _ := res.Voltage("b")
+	// PWL midpoint.
+	for k, tk := range res.Time {
+		if math.Abs(tk-0.5e-6) < 5e-9 {
+			if math.Abs(va[k]-0.5) > 0.02 {
+				t.Errorf("PWL(0.5us) = %v, want 0.5", va[k])
+			}
+		}
+		// Sine quarter period: 0.25 µs at 1 MHz → +1.
+		if math.Abs(tk-0.25e-6) < 5e-9 {
+			if math.Abs(vb[k]-1) > 0.01 {
+				t.Errorf("SIN peak = %v, want 1", vb[k])
+			}
+		}
+	}
+}
+
+func TestParseMOSInverterDeck(t *testing.T) {
+	deck := `inverter
+Vdd vdd 0 DC 2.5
+Vin in 0 DC 0
+Mn out in 0 NMOS KP=6.5e-5 VT=0.5 LAMBDA=0.05
+Mp out in vdd PMOS KP=6.5e-5 VT=0.5 LAMBDA=0.05 M=2
+C1 out 0 10f
+.tran 1p 1n
+`
+	d, err := ParseDeck(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("out")
+	if math.Abs(v[len(v)-1]-2.5) > 0.01 {
+		t.Errorf("inverter(0) = %v, want 2.5", v[len(v)-1])
+	}
+}
+
+func TestParseInductorDeck(t *testing.T) {
+	deck := `rl
+V1 in 0 DC 1
+R1 in mid 100
+L1 mid 0 100n IC=0
+.tran 2p 5n UIC
+`
+	d, err := ParseDeck(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := res.Current("l1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := i[len(i)-1]
+	want := 0.01 * (1 - math.Exp(-5e-9/1e-9))
+	if math.Abs(last-want) > 3e-4 {
+		t.Errorf("RL current = %v, want %v", last, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"t\nR1 a b\n.tran 1n 1u\n",                        // short resistor card
+		"t\nR1 a b xyz\n.tran 1n 1u\n",                    // bad value
+		"t\nV1 a 0 PULSE(1 2)\n.tran 1n 1u\n",             // wrong arg count
+		"t\nQ1 a b c\n.tran 1n 1u\n",                      // unsupported element
+		"t\nM1 d g s XMOS KP=1 VT=1\n.tran 1n 1u\n",       // bad MOS type
+		"t\nM1 d g s NMOS KP=1 VT=1 FOO=2\n.tran 1n 1u\n", // bad MOS param
+		"t\nR1 a 0 1k\n.tran 1n\n",                        // short .tran
+		"t\nR1 a 0 1k\n.tran 1n 1u 1m\n",                  // bad .tran option
+		"t\nR1 a 0 1k\n.tran 1n 1u\n.tran 1n 1u\n",        // duplicate .tran
+		"t\nR1 a 0 1k\n.print x(a)\n.tran 1n 1u\n",        // bad probe
+		"t\nC1 a 0 1p FOO=1\n.tran 1n 1u\n",               // bad IC field
+		"t\n+ orphan continuation\nR1 a 0 1\n",            // orphan continuation
+	}
+	for i, deck := range bad {
+		if _, err := ParseDeck(strings.NewReader(deck)); err == nil {
+			t.Errorf("deck %d should fail to parse", i)
+		}
+	}
+}
+
+func TestDeckWithoutTranCannotRun(t *testing.T) {
+	d, err := ParseDeck(strings.NewReader("t\nR1 a 0 1k\nV1 a 0 DC 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err == nil {
+		t.Error("running without .tran must fail")
+	}
+}
+
+func TestCommentsAndSemicolons(t *testing.T) {
+	deck := `test
+* full-line comment
+V1 in 0 DC 1 ; trailing comment
+R1 in 0 1k
+.tran 1n 10n
+.end
+R9 ignored after end 1k
+`
+	d, err := ParseDeck(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Circuit.names["r9"] {
+		t.Error("cards after .end must be ignored")
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseACDeck(t *testing.T) {
+	deck := `rc ac
+V1 in 0 DC 0
+R1 in out 1k
+C1 out 0 1n
+.ac dec 20 1k 100meg V1
+.print v(out)
+`
+	d, err := ParseDeck(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AC == nil || d.AC.PointsPerDecade != 20 || d.AC.Source != "v1" {
+		t.Fatalf("AC spec = %+v", d.AC)
+	}
+	res, err := d.RunAC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := res.Magnitude("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pole at 159 kHz: passband ≈ 1, last point well down.
+	if math.Abs(mag[0]-1) > 1e-3 {
+		t.Errorf("passband = %v", mag[0])
+	}
+	if mag[len(mag)-1] > 0.01 {
+		t.Errorf("stopband = %v", mag[len(mag)-1])
+	}
+}
+
+func TestParseOPCard(t *testing.T) {
+	d, err := ParseDeck(strings.NewReader("t\nV1 a 0 DC 1\nR1 a 0 1k\n.op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.WantOP {
+		t.Error(".op not recorded")
+	}
+}
+
+func TestParseACErrors(t *testing.T) {
+	bad := []string{
+		"t\nR1 a 0 1\n.ac dec 10 1k\n",                                       // short
+		"t\nR1 a 0 1\n.ac lin 10 1k 1meg V1\n",                               // non-dec sweep
+		"t\nV1 a 0 DC 0\nR1 a 0 1\n.ac dec 10 1 10 V1\n.ac dec 10 1 10 V1\n", // duplicate
+	}
+	for i, s := range bad {
+		if _, err := ParseDeck(strings.NewReader(s)); err == nil {
+			t.Errorf("AC deck %d should fail", i)
+		}
+	}
+	// Running without .ac fails.
+	d, _ := ParseDeck(strings.NewReader("t\nV1 a 0 DC 1\nR1 a 0 1\n.tran 1n 1u\n"))
+	if _, err := d.RunAC(); err == nil {
+		t.Error("RunAC without .ac must fail")
+	}
+}

@@ -1,0 +1,97 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SourceFunc is a time-dependent source value (volts or amperes).
+type SourceFunc func(t float64) float64
+
+// DC returns a constant source.
+func DC(v float64) SourceFunc {
+	return func(float64) float64 { return v }
+}
+
+// Pulse returns a SPICE-style periodic pulse source:
+// value v1 before delay, then each period: rise to v2 over rise, hold for
+// width, fall back over fall, remain at v1 for the rest of the period.
+// period ≤ 0 makes the pulse one-shot.
+func Pulse(v1, v2, delay, rise, fall, width, period float64) SourceFunc {
+	return func(t float64) float64 {
+		t -= delay
+		if t < 0 {
+			return v1
+		}
+		if period > 0 {
+			t = math.Mod(t, period)
+		}
+		switch {
+		case t < rise:
+			if rise == 0 {
+				return v2
+			}
+			return v1 + (v2-v1)*t/rise
+		case t < rise+width:
+			return v2
+		case t < rise+width+fall:
+			if fall == 0 {
+				return v1
+			}
+			return v2 + (v1-v2)*(t-rise-width)/fall
+		default:
+			return v1
+		}
+	}
+}
+
+// Clock returns a 50 %-duty periodic pulse between 0 and vdd with the
+// given rise/fall time and period, starting low.
+func Clock(vdd, riseFall, period float64) SourceFunc {
+	width := period/2 - riseFall
+	if width < 0 {
+		width = 0
+	}
+	return Pulse(0, vdd, 0, riseFall, riseFall, width, period)
+}
+
+// PWL returns a piecewise-linear source through the (t, v) points; values
+// clamp to the end points outside the range. Times must be strictly
+// increasing.
+func PWL(ts, vs []float64) (SourceFunc, error) {
+	if len(ts) < 2 || len(ts) != len(vs) {
+		return nil, fmt.Errorf("%w: PWL needs >=2 equal-length points", ErrBadCircuit)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			return nil, fmt.Errorf("%w: PWL times not increasing at %d", ErrBadCircuit, i)
+		}
+	}
+	tsc := append([]float64(nil), ts...)
+	vsc := append([]float64(nil), vs...)
+	return func(t float64) float64 {
+		if t <= tsc[0] {
+			return vsc[0]
+		}
+		if t >= tsc[len(tsc)-1] {
+			return vsc[len(vsc)-1]
+		}
+		i := sort.SearchFloat64s(tsc, t)
+		u := (t - tsc[i-1]) / (tsc[i] - tsc[i-1])
+		return vsc[i-1] + u*(vsc[i]-vsc[i-1])
+	}, nil
+}
+
+// Sin returns a SPICE-style sinusoidal source:
+// v(t) = offset + amplitude·sin(2π·freq·(t − delay)) for t ≥ delay, and
+// the offset before. damping (1/s) applies an exponential decay envelope.
+func Sin(offset, amplitude, freq, delay, damping float64) SourceFunc {
+	return func(t float64) float64 {
+		if t < delay {
+			return offset
+		}
+		dt := t - delay
+		return offset + amplitude*math.Exp(-damping*dt)*math.Sin(2*math.Pi*freq*dt)
+	}
+}

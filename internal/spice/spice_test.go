@@ -1,0 +1,269 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDCVoltageDivider(t *testing.T) {
+	c := New()
+	mustOK(t, c.V("v1", "in", "0", DC(10)))
+	mustOK(t, c.R("r1", "in", "mid", 1000))
+	mustOK(t, c.R("r2", "mid", "0", 3000))
+	op, err := c.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmid := op[c.nodeIdx["mid"]]
+	if math.Abs(vmid-7.5) > 1e-6 {
+		t.Errorf("divider mid = %v, want 7.5", vmid)
+	}
+	// I(V) convention: a delivering source reads negative, −10/4000.
+	ib := op[len(c.nodes)+0]
+	if math.Abs(ib+2.5e-3) > 1e-9 {
+		t.Errorf("branch current = %v, want −2.5e-3", ib)
+	}
+}
+
+func TestDCCurrentSource(t *testing.T) {
+	// 1 mA into a 1 kΩ resistor: 1 V.
+	c := New()
+	mustOK(t, c.I("i1", "0", "out", DC(1e-3)))
+	mustOK(t, c.R("r1", "out", "0", 1000))
+	op, err := c.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := op[c.nodeIdx["out"]]
+	if math.Abs(v-1) > 1e-6 {
+		t.Errorf("v = %v, want 1", v)
+	}
+}
+
+func TestRCChargingMatchesAnalytic(t *testing.T) {
+	// Step into RC: v(t) = V·(1 − exp(−t/RC)), RC = 1 µs.
+	c := New()
+	mustOK(t, c.V("vin", "in", "0", DC(1)))
+	mustOK(t, c.R("r", "in", "out", 1000))
+	mustOK(t, c.C("c", "out", "0", 1e-9, 0))
+	res, err := c.Transient(TranOpts{Stop: 5e-6, Step: 5e-9, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Voltage("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tk := range res.Time {
+		want := 1 - math.Exp(-tk/1e-6)
+		if math.Abs(v[k]-want) > 2e-3 {
+			t.Fatalf("v(%v) = %v, want %v", tk, v[k], want)
+		}
+	}
+}
+
+func TestRCDischargeFromIC(t *testing.T) {
+	// Capacitor at 5 V discharging through R: v = 5·exp(−t/RC).
+	c := New()
+	mustOK(t, c.R("r", "out", "0", 1e4))
+	mustOK(t, c.C("c", "out", "0", 1e-12, 5))
+	res, err := c.Transient(TranOpts{Stop: 5e-8, Step: 5e-11, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("out")
+	for k, tk := range res.Time {
+		want := 5 * math.Exp(-tk/1e-8)
+		if math.Abs(v[k]-want) > 0.02 {
+			t.Fatalf("v(%v) = %v, want %v", tk, v[k], want)
+		}
+	}
+}
+
+func TestOperatingPointInitialisesTransient(t *testing.T) {
+	// Without UseIC the transient must start from the DC solution: a
+	// charged capacitor behind a divider shows no initial transient.
+	c := New()
+	mustOK(t, c.V("v1", "in", "0", DC(2)))
+	mustOK(t, c.R("r1", "in", "out", 1000))
+	mustOK(t, c.C("c1", "out", "0", 1e-12, 0))
+	res, err := c.Transient(TranOpts{Stop: 1e-8, Step: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Voltage("out")
+	for k := range v {
+		if math.Abs(v[k]-2) > 1e-6 {
+			t.Fatalf("steady state disturbed: v[%d] = %v", k, v[k])
+		}
+	}
+}
+
+func TestAmmeterReadsCapacitorCurrent(t *testing.T) {
+	// i = C·dv/dt for a ramp drive: 1 V/µs × 1 nF = 1 mA through the
+	// ammeter.
+	c := New()
+	ramp, err := PWL([]float64{0, 1e-6}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustOK(t, c.V("vin", "in", "0", ramp))
+	mustOK(t, c.Ammeter("am", "in", "top"))
+	mustOK(t, c.C("c", "top", "0", 1e-9, 0))
+	res, err := c.Transient(TranOpts{Stop: 0.9e-6, Step: 1e-9, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := res.Current("am")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the start-up region; mid-ramp must read +1 mA (current flows
+	// in → top).
+	mid := i[len(i)/2]
+	if math.Abs(mid-1e-3) > 2e-5 {
+		t.Errorf("ammeter mid-ramp = %v, want 1e-3", mid)
+	}
+}
+
+func TestSupplyCurrentSignConvention(t *testing.T) {
+	// A supply delivering power reads negative in the I(V) convention.
+	c := New()
+	mustOK(t, c.V("vdd", "p", "0", DC(1)))
+	mustOK(t, c.R("r", "p", "0", 100))
+	res, err := c.Transient(TranOpts{Stop: 1e-9, Step: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := res.Current("vdd")
+	if math.Abs(i[len(i)-1]+10e-3) > 1e-6 {
+		t.Errorf("I(vdd) = %v, want −10 mA", i[len(i)-1])
+	}
+}
+
+func TestPulseSourceShape(t *testing.T) {
+	p := Pulse(0, 1, 1e-9, 1e-9, 1e-9, 2e-9, 10e-9)
+	cases := map[float64]float64{
+		0:       0,
+		1.5e-9:  0.5, // mid-rise
+		2.5e-9:  1,   // top
+		4.5e-9:  0.5, // mid-fall
+		6e-9:    0,
+		11.5e-9: 0.5, // periodic repeat
+	}
+	for tt, want := range cases {
+		if got := p(tt); math.Abs(got-want) > 1e-9 {
+			t.Errorf("pulse(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestClockSource(t *testing.T) {
+	clk := Clock(2.5, 0.1e-9, 2e-9)
+	if clk(0) != 0 {
+		t.Error("clock starts low")
+	}
+	if math.Abs(clk(0.5e-9)-2.5) > 1e-9 {
+		t.Error("clock high at quarter period")
+	}
+}
+
+func TestPWLValidation(t *testing.T) {
+	if _, err := PWL([]float64{0}, []float64{1}); err == nil {
+		t.Error("single point must fail")
+	}
+	if _, err := PWL([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing times must fail")
+	}
+}
+
+func TestElementValidation(t *testing.T) {
+	c := New()
+	if err := c.R("", "a", "b", 1); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := c.R("r1", "a", "b", 0); err == nil {
+		t.Error("zero resistance must fail")
+	}
+	mustOK(t, c.R("r1", "a", "b", 1))
+	if err := c.R("r1", "a", "b", 1); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if err := c.C("c1", "a", "b", -1, 0); err == nil {
+		t.Error("negative capacitance must fail")
+	}
+	if err := c.V("v1", "a", "b", nil); err == nil {
+		t.Error("nil source must fail")
+	}
+	if err := c.MOSFET("m1", "d", "g", "s", MOSParams{}); err == nil {
+		t.Error("empty MOS params must fail")
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c := New()
+	mustOK(t, c.R("r1", "a", "0", 1))
+	if _, err := c.Transient(TranOpts{Stop: 0, Step: 1}); err == nil {
+		t.Error("zero stop must fail")
+	}
+	if _, err := c.Transient(TranOpts{Stop: 1, Step: 2}); err == nil {
+		t.Error("step > stop must fail")
+	}
+	empty := New()
+	if _, err := empty.Transient(TranOpts{Stop: 1, Step: 0.1}); err == nil {
+		t.Error("empty circuit must fail")
+	}
+	if _, err := empty.OperatingPoint(); err == nil {
+		t.Error("empty OP must fail")
+	}
+}
+
+func TestResultLookupErrors(t *testing.T) {
+	c := New()
+	mustOK(t, c.V("v1", "a", "0", DC(1)))
+	mustOK(t, c.R("r1", "a", "0", 1))
+	res, err := c.Transient(TranOpts{Stop: 1e-9, Step: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Voltage("nope"); err == nil {
+		t.Error("unknown node must fail")
+	}
+	if _, err := res.Current("nope"); err == nil {
+		t.Error("unknown source must fail")
+	}
+	if g, err := res.Voltage("gnd"); err != nil || g[0] != 0 {
+		t.Error("ground voltage must be 0")
+	}
+}
+
+func TestEnergyConservationRC(t *testing.T) {
+	// Charging a capacitor through a resistor from a DC source: at
+	// completion, energy delivered by the source ≈ CV², half stored and
+	// half dissipated.
+	c := New()
+	mustOK(t, c.V("vin", "in", "0", DC(1)))
+	mustOK(t, c.R("r", "in", "out", 100))
+	mustOK(t, c.C("c", "out", "0", 1e-9, 0))
+	res, err := c.Transient(TranOpts{Stop: 3e-6, Step: 1e-9, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := res.Current("vin")
+	e := 0.0
+	for k := 1; k < len(res.Time); k++ {
+		// Delivered power = −I(V)·V for the I(V) convention.
+		e += -0.5 * (i[k] + i[k-1]) * 1.0 * (res.Time[k] - res.Time[k-1])
+	}
+	want := 1e-9 * 1 * 1 // C·V²
+	if math.Abs(e-want)/want > 0.01 {
+		t.Errorf("delivered energy = %v, want %v", e, want)
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,523 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmtherm/internal/mathx"
+)
+
+// ErrNoConvergence is returned when Newton iteration fails at a timestep.
+var ErrNoConvergence = errors.New("spice: Newton iteration did not converge")
+
+// TranOpts configures a transient analysis.
+type TranOpts struct {
+	// Stop is the end time (s); Step the fixed timestep (s). Both must be
+	// positive.
+	Stop, Step float64
+	// UseIC starts from the capacitors' declared initial conditions with
+	// all node voltages at zero, instead of computing a DC operating
+	// point first.
+	UseIC bool
+	// MaxNewton caps Newton iterations per step (default 60).
+	MaxNewton int
+}
+
+// Result holds a transient trajectory.
+type Result struct {
+	Time []float64
+	// volts[k][i] is node i's voltage at Time[k].
+	volts [][]float64
+	// branch[k][j] is vsource j's current at Time[k], in the SPICE I(V)
+	// convention: the current flowing from the + terminal (a) through
+	// the source to the − terminal (b). A source delivering power reads
+	// negative; an Ammeter(a, b) reads positive for conventional current
+	// flowing a → b through it.
+	branch  [][]float64
+	nodeIdx map[string]int
+	srcIdx  map[string]int
+	indIdx  map[string]int
+	indCur  [][]float64 // indCur[k][j] is inductor j's a→b current at Time[k]
+}
+
+// Voltage returns the waveform of the named node (ground returns zeros).
+func (r *Result) Voltage(node string) ([]float64, error) {
+	if node == "0" || node == "gnd" || node == "GND" {
+		return make([]float64, len(r.Time)), nil
+	}
+	i, ok := r.nodeIdx[node]
+	if !ok {
+		return nil, fmt.Errorf("spice: unknown node %q", node)
+	}
+	out := make([]float64, len(r.Time))
+	for k := range r.Time {
+		out[k] = r.volts[k][i]
+	}
+	return out, nil
+}
+
+// Current returns the branch-current waveform of the named voltage source
+// (including ammeters) or inductor. For sources the SPICE I(V) convention
+// applies: the current flowing from terminal a through the element to
+// terminal b. A supply delivering power reads negative; an Ammeter(a, b)
+// reads positive for current flowing a → b.
+func (r *Result) Current(name string) ([]float64, error) {
+	if j, ok := r.srcIdx[name]; ok {
+		out := make([]float64, len(r.Time))
+		for k := range r.Time {
+			out[k] = r.branch[k][j]
+		}
+		return out, nil
+	}
+	if j, ok := r.indIdx[name]; ok {
+		out := make([]float64, len(r.Time))
+		for k := range r.Time {
+			out[k] = r.indCur[k][j]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("spice: unknown branch element %q", name)
+}
+
+// assembleLinear stamps every linear element (resistors, gmin, vsource
+// rows, capacitor companion conductances) into j. geq is 0 for a DC
+// operating point.
+func (c *Circuit) assembleLinear(j *mathx.Dense, geqOf func(capIdx int) float64, reqOf func(indIdx int) float64) {
+	n := len(c.nodes)
+	stamp2 := func(a, b int, g float64) {
+		if a >= 0 {
+			j.Add(a, a, g)
+		}
+		if b >= 0 {
+			j.Add(b, b, g)
+		}
+		if a >= 0 && b >= 0 {
+			j.Add(a, b, -g)
+			j.Add(b, a, -g)
+		}
+	}
+	for i := 0; i < n; i++ {
+		j.Add(i, i, gmin)
+	}
+	for _, r := range c.resistors {
+		stamp2(r.a, r.b, r.g)
+	}
+	for k := range c.capacitors {
+		if g := geqOf(k); g > 0 {
+			stamp2(c.capacitors[k].a, c.capacitors[k].b, g)
+		}
+	}
+	for vi := range c.vsources {
+		v := &c.vsources[vi]
+		row := n + vi
+		if v.a >= 0 {
+			j.Add(v.a, row, 1)
+			j.Add(row, v.a, 1)
+		}
+		if v.b >= 0 {
+			j.Add(v.b, row, -1)
+			j.Add(row, v.b, -1)
+		}
+	}
+	for li := range c.inductors {
+		ind := &c.inductors[li]
+		row := n + len(c.vsources) + li
+		if ind.a >= 0 {
+			j.Add(ind.a, row, 1)
+			j.Add(row, ind.a, 1)
+		}
+		if ind.b >= 0 {
+			j.Add(ind.b, row, -1)
+			j.Add(row, ind.b, -1)
+		}
+		j.Add(row, row, -reqOf(li))
+	}
+}
+
+// capState is the per-capacitor companion-model state.
+type capState struct {
+	v float64 // voltage at the last accepted step
+	i float64 // current at the last accepted step (trapezoidal memory)
+}
+
+// indState is the per-inductor companion-model state.
+type indState struct {
+	i float64 // branch current at the last accepted step
+	v float64 // branch voltage at the last accepted step (trapezoidal memory)
+}
+
+// residual computes F(x) for the full nonlinear system at time t with the
+// given capacitor companion parameters. x layout: node voltages then
+// vsource branch currents. F uses the "currents leaving the node sum to
+// zero" convention.
+func (c *Circuit) residual(x []float64, t float64, f []float64,
+	geq, ieq, req, veq []float64) {
+	n := len(c.nodes)
+	for i := range f {
+		f[i] = 0
+	}
+	vAt := func(node int) float64 {
+		if node < 0 {
+			return 0
+		}
+		return x[node]
+	}
+	addI := func(node int, i float64) {
+		if node >= 0 {
+			f[node] += i
+		}
+	}
+	for i := 0; i < n; i++ {
+		f[i] += gmin * x[i]
+	}
+	for _, r := range c.resistors {
+		i := r.g * (vAt(r.a) - vAt(r.b))
+		addI(r.a, i)
+		addI(r.b, -i)
+	}
+	for k := range c.capacitors {
+		cp := &c.capacitors[k]
+		if geq[k] <= 0 {
+			continue // DC: open
+		}
+		i := geq[k]*(vAt(cp.a)-vAt(cp.b)) - ieq[k]
+		addI(cp.a, i)
+		addI(cp.b, -i)
+	}
+	for vi := range c.vsources {
+		v := &c.vsources[vi]
+		// ib is the SPICE I(V) branch current: flowing from a through
+		// the source to b, so it leaves node a and enters node b.
+		ib := x[n+vi]
+		addI(v.a, ib)
+		addI(v.b, -ib)
+		f[n+vi] = vAt(v.a) - vAt(v.b) - v.e(t)
+	}
+	for _, s := range c.isources {
+		i := s.i(t)
+		addI(s.a, i)
+		addI(s.b, -i)
+	}
+	for li := range c.inductors {
+		ind := &c.inductors[li]
+		row := n + len(c.vsources) + li
+		iL := x[row]
+		addI(ind.a, iL)
+		addI(ind.b, -iL)
+		// Companion branch equation: v_a − v_b − Req·iL = Veq.
+		f[row] = vAt(ind.a) - vAt(ind.b) - req[li]*iL - veq[li]
+	}
+	for mi := range c.mosfets {
+		m := &c.mosfets[mi]
+		id := m.current(vAt(m.d), vAt(m.g), vAt(m.s))
+		addI(m.d, id)
+		addI(m.s, -id)
+	}
+}
+
+// jacobian assembles J = ∂F/∂x at x. Linear parts are stamped exactly;
+// MOSFETs are differenced numerically.
+func (c *Circuit) jacobian(x []float64, j *mathx.Dense, geq, req []float64) {
+	j.Zero()
+	c.assembleLinear(j, func(k int) float64 { return geq[k] }, func(k int) float64 { return req[k] })
+	vAt := func(node int) float64 {
+		if node < 0 {
+			return 0
+		}
+		return x[node]
+	}
+	const h = 1e-7
+	for mi := range c.mosfets {
+		m := &c.mosfets[mi]
+		vd, vg, vs := vAt(m.d), vAt(m.g), vAt(m.s)
+		id0 := m.current(vd, vg, vs)
+		gd := (m.current(vd+h, vg, vs) - id0) / h
+		gg := (m.current(vd, vg+h, vs) - id0) / h
+		gs := (m.current(vd, vg, vs+h) - id0) / h
+		stamp := func(row int, col int, g float64) {
+			if row >= 0 && col >= 0 {
+				j.Add(row, col, g)
+			}
+		}
+		stamp(m.d, m.d, gd)
+		stamp(m.d, m.g, gg)
+		stamp(m.d, m.s, gs)
+		stamp(m.s, m.d, -gd)
+		stamp(m.s, m.g, -gg)
+		stamp(m.s, m.s, -gs)
+	}
+}
+
+// newtonSolve drives F(x) = 0 from the initial guess in x (overwritten).
+func (c *Circuit) newtonSolve(x []float64, t float64, geq, ieq, req, veq []float64, maxIter int) error {
+	dim := len(x)
+	f := make([]float64, dim)
+	dx := make([]float64, dim)
+	j := mathx.NewDense(dim, dim)
+	for it := 0; it < maxIter; it++ {
+		c.residual(x, t, f, geq, ieq, req, veq)
+		c.jacobian(x, j, geq, req)
+		lu, err := mathx.FactorLU(j)
+		if err != nil {
+			return fmt.Errorf("spice: singular Jacobian at t=%g: %w", t, err)
+		}
+		lu.Solve(f, dx)
+		// Damped update: clamp node-voltage steps to 2 V to keep the
+		// square-law Newton inside its basin. Branch currents are left
+		// unclamped — they are linear unknowns and may legitimately be
+		// large.
+		nNodes := len(c.nodes)
+		maxStep := 0.0
+		for i := range x {
+			d := dx[i]
+			if i < nNodes {
+				if d > 2 {
+					d = 2
+				} else if d < -2 {
+					d = -2
+				}
+				if a := math.Abs(d); a > maxStep {
+					maxStep = a
+				}
+			}
+			x[i] -= d
+		}
+		if maxStep < 1e-9 {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w at t=%g", ErrNoConvergence, t)
+}
+
+// isLinear reports whether the circuit contains no nonlinear devices, in
+// which case each transient step is a single LU solve with a factorization
+// shared across steps.
+func (c *Circuit) isLinear() bool { return len(c.mosfets) == 0 }
+
+// OperatingPoint computes the DC solution at t = 0 with capacitors open.
+// It returns node voltages indexed like Nodes() followed by source branch
+// currents.
+func (c *Circuit) OperatingPoint() ([]float64, error) {
+	dim := c.dim()
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: empty circuit", ErrBadCircuit)
+	}
+	x := make([]float64, dim)
+	geq := make([]float64, len(c.capacitors))
+	ieq := make([]float64, len(c.capacitors))
+	req := make([]float64, len(c.inductors)) // 0: DC short
+	veq := make([]float64, len(c.inductors))
+	if err := c.newtonSolve(x, 0, geq, ieq, req, veq, 200); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// dim returns the MNA system size: node voltages, then voltage-source
+// branch currents, then inductor branch currents.
+func (c *Circuit) dim() int {
+	return len(c.nodes) + len(c.vsources) + len(c.inductors)
+}
+
+// Transient runs a fixed-step transient analysis: backward Euler for the
+// first step (to damp the start-up discontinuity), trapezoidal thereafter.
+func (c *Circuit) Transient(opts TranOpts) (*Result, error) {
+	if opts.Stop <= 0 || opts.Step <= 0 || opts.Step > opts.Stop {
+		return nil, fmt.Errorf("%w: bad transient window stop=%g step=%g", ErrBadCircuit, opts.Stop, opts.Step)
+	}
+	if opts.MaxNewton == 0 {
+		opts.MaxNewton = 60
+	}
+	n := len(c.nodes)
+	dim := c.dim()
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: empty circuit", ErrBadCircuit)
+	}
+
+	x := make([]float64, dim)
+	states := make([]capState, len(c.capacitors))
+	indStates := make([]indState, len(c.inductors))
+	if opts.UseIC {
+		for k := range c.capacitors {
+			states[k].v = c.capacitors[k].ic
+		}
+		for k := range c.inductors {
+			indStates[k].i = c.inductors[k].ic
+		}
+		// Consistent initialization: pin each capacitor at its IC voltage
+		// and each inductor at its IC current with stiff companions and
+		// solve, so the t = 0 snapshot reflects the declared initial
+		// conditions across the whole network.
+		geq0 := make([]float64, len(c.capacitors))
+		ieq0 := make([]float64, len(c.capacitors))
+		for k := range c.capacitors {
+			geq0[k] = c.capacitors[k].c / (opts.Step * 1e-3)
+			ieq0[k] = geq0[k] * c.capacitors[k].ic
+		}
+		req0 := make([]float64, len(c.inductors))
+		veq0 := make([]float64, len(c.inductors))
+		for k := range c.inductors {
+			req0[k] = c.inductors[k].l / (opts.Step * 1e-3)
+			veq0[k] = -req0[k] * c.inductors[k].ic
+		}
+		if err := c.newtonSolve(x, 0, geq0, ieq0, req0, veq0, 400); err != nil {
+			return nil, fmt.Errorf("spice: IC initialization: %w", err)
+		}
+	} else {
+		op, err := c.OperatingPoint()
+		if err != nil {
+			return nil, fmt.Errorf("spice: operating point: %w", err)
+		}
+		copy(x, op)
+		vAt := func(node int) float64 {
+			if node < 0 {
+				return 0
+			}
+			return op[node]
+		}
+		for k := range c.capacitors {
+			states[k].v = vAt(c.capacitors[k].a) - vAt(c.capacitors[k].b)
+		}
+		for k := range c.inductors {
+			// DC: inductor carries the OP branch current at zero drop.
+			indStates[k].i = op[n+len(c.vsources)+k]
+		}
+	}
+
+	res := &Result{
+		nodeIdx: make(map[string]int, n),
+		srcIdx:  make(map[string]int, len(c.vsources)),
+		indIdx:  make(map[string]int, len(c.inductors)),
+	}
+	for name, i := range c.nodeIdx {
+		res.nodeIdx[name] = i
+	}
+	for j := range c.vsources {
+		res.srcIdx[c.vsources[j].name] = j
+	}
+	for j := range c.inductors {
+		res.indIdx[c.inductors[j].name] = j
+	}
+	record := func(t float64) {
+		res.Time = append(res.Time, t)
+		res.volts = append(res.volts, append([]float64(nil), x[:n]...))
+		cur := make([]float64, len(c.vsources))
+		for j := range c.vsources {
+			cur[j] = x[n+j] // already in the I(V) convention
+		}
+		res.branch = append(res.branch, cur)
+		ic := make([]float64, len(c.inductors))
+		for j := range c.inductors {
+			ic[j] = x[n+len(c.vsources)+j]
+		}
+		res.indCur = append(res.indCur, ic)
+	}
+	record(0)
+
+	// Use uniform steps that exactly tile the window: the trapezoidal
+	// companion values (and the shared linear factorization) assume a
+	// fixed h, so a shortened final step would integrate with the wrong
+	// companion conductances.
+	nSteps := int(math.Ceil(opts.Stop/opts.Step - 1e-9))
+	if nSteps < 1 {
+		nSteps = 1
+	}
+	h := opts.Stop / float64(nSteps)
+	geq := make([]float64, len(c.capacitors))
+	ieq := make([]float64, len(c.capacitors))
+	req := make([]float64, len(c.inductors))
+	veq := make([]float64, len(c.inductors))
+
+	var sharedLU *mathx.LU
+	f := make([]float64, dim)
+	if c.isLinear() {
+		j := mathx.NewDense(dim, dim)
+		for k := range c.capacitors {
+			geq[k] = 2 * c.capacitors[k].c / h // trapezoidal value
+		}
+		for k := range c.inductors {
+			req[k] = 2 * c.inductors[k].l / h
+		}
+		c.assembleLinear(j, func(k int) float64 { return geq[k] }, func(k int) float64 { return req[k] })
+		lu, err := mathx.FactorLU(j)
+		if err != nil {
+			return nil, fmt.Errorf("spice: singular MNA matrix: %w", err)
+		}
+		sharedLU = lu
+	}
+
+	t := 0.0
+	for step := 0; step < nSteps; step++ {
+		trapezoidal := step > 0 || opts.UseIC == false
+		// First step after UseIC start uses backward Euler.
+		if opts.UseIC && step == 0 {
+			trapezoidal = false
+		}
+		for k := range c.capacitors {
+			cp := &c.capacitors[k]
+			if trapezoidal {
+				geq[k] = 2 * cp.c / h
+				ieq[k] = geq[k]*states[k].v + states[k].i
+			} else {
+				geq[k] = cp.c / h
+				ieq[k] = geq[k] * states[k].v
+			}
+		}
+		for k := range c.inductors {
+			ind := &c.inductors[k]
+			if trapezoidal {
+				req[k] = 2 * ind.l / h
+				veq[k] = -req[k]*indStates[k].i - indStates[k].v
+			} else {
+				req[k] = ind.l / h
+				veq[k] = -req[k] * indStates[k].i
+			}
+		}
+		tNext := t + h
+		if tNext > opts.Stop {
+			tNext = opts.Stop
+		}
+		if c.isLinear() && trapezoidal {
+			// One direct solve: J·x = b where b collects source and
+			// companion injections. Build b from the residual at x = 0:
+			// F(0) = −b.
+			zero := make([]float64, dim)
+			c.residual(zero, tNext, f, geq, ieq, req, veq)
+			for i := range f {
+				f[i] = -f[i]
+			}
+			sharedLU.Solve(f, x)
+		} else {
+			if err := c.newtonSolve(x, tNext, geq, ieq, req, veq, opts.MaxNewton); err != nil {
+				return nil, err
+			}
+		}
+		// Commit capacitor states.
+		vAt := func(node int) float64 {
+			if node < 0 {
+				return 0
+			}
+			return x[node]
+		}
+		for k := range c.capacitors {
+			cp := &c.capacitors[k]
+			vNew := vAt(cp.a) - vAt(cp.b)
+			iNew := geq[k]*(vNew-states[k].v) - func() float64 {
+				if trapezoidal {
+					return states[k].i
+				}
+				return 0
+			}()
+			states[k].v, states[k].i = vNew, iNew
+		}
+		for k := range c.inductors {
+			ind := &c.inductors[k]
+			indStates[k].i = x[n+len(c.vsources)+k]
+			indStates[k].v = vAt(ind.a) - vAt(ind.b)
+		}
+		t = tNext
+		record(t)
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package thermal
+
+import (
+	"math"
+
+	"dsmtherm/internal/geometry"
+)
+
+// ThermallyLongFactor is the L/λ ratio above which a line is treated as
+// thermally long: end cooling affects < 1.5 % of the peak temperature
+// (2/cosh(x) < 0.03 at x ≈ 2.5 per half-length, i.e. L ≳ 5λ).
+const ThermallyLongFactor = 5.0
+
+// HealingLength returns the characteristic thermal (healing) length λ of
+// the line (ref. [21], Schafft 1987):
+//
+//	λ² = Km · tm · Wm / (Weff / Σ(bᵢ/Kᵢ))
+//	   = Km · tm · Wm · Σ(bᵢ/Kᵢ) / Weff
+//
+// Heat carried axially along the metal competes with heat lost through the
+// dielectric; temperature disturbances at vias and line ends decay as
+// exp(−x/λ). The paper quotes λ in the 25–200 µm range; lines much longer
+// than λ are "thermally long" and reach the full Eq. (9) temperature rise
+// in their interior.
+func (m Model) HealingLength(l *geometry.Line) float64 {
+	g := m.EffectiveWidth(l) / l.Below.SeriesResistanceTerm() // W/(m·K) per unit length
+	return math.Sqrt(l.Metal.ThermalCond * l.Thick * l.Width / g)
+}
+
+// IsThermallyLong reports whether the line is long enough (L ≥ 5λ) for the
+// uniform-temperature analysis of §3 to be a worst-case-accurate model.
+func (m Model) IsThermallyLong(l *geometry.Line) bool {
+	return l.Length >= ThermallyLongFactor*m.HealingLength(l)
+}
+
+// Profile returns the steady-state temperature rise ΔT(x) along a line of
+// length L whose two ends are held at the reference temperature (ideal
+// heat-sinking vias), for a uniform dissipation that would produce a rise
+// of deltaTInf in an infinitely long line:
+//
+//	ΔT(x) = ΔT∞ · [1 − cosh((x − L/2)/λ) / cosh(L/(2λ))]
+//
+// x ∈ [0, L]. This is the 2-D conduction solution behind the paper's
+// thermally-long / thermally-short distinction.
+func (m Model) Profile(l *geometry.Line, deltaTInf float64, n int) (xs, dts []float64) {
+	if n < 2 {
+		n = 2
+	}
+	lambda := m.HealingLength(l)
+	xs = make([]float64, n)
+	dts = make([]float64, n)
+	den := math.Cosh(l.Length / (2 * lambda))
+	for i := 0; i < n; i++ {
+		x := l.Length * float64(i) / float64(n-1)
+		xs[i] = x
+		dts[i] = deltaTInf * (1 - math.Cosh((x-l.Length/2)/lambda)/den)
+	}
+	return xs, dts
+}
+
+// PeakFactor returns the ratio of the mid-line temperature rise to the
+// infinite-line rise: 1 − 1/cosh(L/2λ). It approaches 1 for thermally long
+// lines and 0 for very short ones.
+func (m Model) PeakFactor(l *geometry.Line) float64 {
+	lambda := m.HealingLength(l)
+	return 1 - 1/math.Cosh(l.Length/(2*lambda))
+}
+
+// AverageFactor returns the ratio of the length-averaged temperature rise
+// to the infinite-line rise: 1 − (2λ/L)·tanh(L/2λ). EM lifetime of the
+// whole line tracks a temperature between this average and the peak.
+func (m Model) AverageFactor(l *geometry.Line) float64 {
+	lambda := m.HealingLength(l)
+	u := l.Length / (2 * lambda)
+	return 1 - math.Tanh(u)/u
+}

@@ -1,0 +1,156 @@
+// Package thermal implements the analytic self-heating models of the
+// paper's §3: the quasi-1-D Bilotti thermal impedance (Eqs. 8–10), the
+// quasi-2-D heat-spreading generalization Weff = Wm + φ·tox (Eq. 14), the
+// series multi-layer conduction term for low-k gap-fill stacks (Eq. 15),
+// the thermal healing length and thermally-long/short classification
+// (Schafft, ref. [21]), and a hook for 3-D array thermal-coupling factors
+// extracted from the finite-difference solver (§5).
+//
+// The central quantity is the interconnect thermal impedance θ (K/W):
+//
+//	ΔT_self-heating = P · θ = I²rms · R(Tm) · θ                     (Eq. 8)
+//	θ = Σᵢ(bᵢ/Kᵢ) / (Weff · L)                                 (Eqs. 10, 15)
+//	Weff = Wm + φ·b                                               (Eq. 14)
+//
+// with φ = 0.88 in the Bilotti quasi-1-D model (±3 % for Wm/b ≥ 0.4) and
+// φ ≈ 2.45 extracted from 0.25 µm process measurements for narrow DSM
+// lines (§3.2). Expressed in current density (Eq. 9):
+//
+//	ΔT = j²rms · ρ(Tm) · tm · Wm · Σᵢ(bᵢ/Kᵢ) / Weff
+package thermal
+
+import (
+	"errors"
+	"math"
+
+	"dsmtherm/internal/geometry"
+)
+
+// Heat-spreading parameter values.
+const (
+	// PhiBilotti is the quasi-1-D value: Weff = Wm + 0.88·tox, accurate to
+	// within 3 % for Wm/b ≥ 0.4 (ref. [17]).
+	PhiBilotti = 0.88
+	// PhiDSM is the quasi-2-D value extracted in §3.2 from measured
+	// thermal impedances of 0.35 µm AlCu lines (standard-oxide process).
+	PhiDSM = 2.45
+	// BilottiValidityRatio is the smallest Wm/b for which the quasi-1-D
+	// model is quoted accurate to 3 %.
+	BilottiValidityRatio = 0.4
+)
+
+// ErrInvalid reports out-of-domain model parameters.
+var ErrInvalid = errors.New("thermal: invalid parameters")
+
+// Model computes thermal impedances of single lines. φ is the only state;
+// the zero value is invalid — use Quasi1D, Quasi2D, or NewModel.
+type Model struct {
+	// Phi is the heat-spreading parameter of Eq. (14).
+	Phi float64
+	// CouplingFactor scales the impedance for 3-D array thermal coupling
+	// (§5): 1 for an isolated line, > 1 when neighboring lines heat
+	// simultaneously. Zero is treated as 1.
+	CouplingFactor float64
+}
+
+// Quasi1D returns the Bilotti quasi-1-D model (φ = 0.88), the basis of the
+// paper's §3.1 analysis and of Figs. 2–3.
+func Quasi1D() Model { return Model{Phi: PhiBilotti} }
+
+// Quasi2D returns the measured DSM quasi-2-D model (φ = 2.45), used for the
+// §3.2 technology analysis (Tables 2–4).
+func Quasi2D() Model { return Model{Phi: PhiDSM} }
+
+// NewModel returns a model with an explicit φ (for φ-extraction and
+// ablation studies).
+func NewModel(phi float64) (Model, error) {
+	if phi < 0 || math.IsNaN(phi) {
+		return Model{}, ErrInvalid
+	}
+	return Model{Phi: phi}, nil
+}
+
+// WithCoupling returns a copy of the model whose impedance is scaled by
+// factor ≥ 1 (3-D array thermal coupling, Table 7).
+func (m Model) WithCoupling(factor float64) (Model, error) {
+	if factor < 1 || math.IsNaN(factor) {
+		return Model{}, ErrInvalid
+	}
+	m.CouplingFactor = factor
+	return m, nil
+}
+
+func (m Model) coupling() float64 {
+	if m.CouplingFactor == 0 {
+		return 1
+	}
+	return m.CouplingFactor
+}
+
+// EffectiveWidth returns Weff = Wm + φ·b (Eq. 14), where b is the total
+// stack thickness below the line.
+func (m Model) EffectiveWidth(l *geometry.Line) float64 {
+	return l.Width + m.Phi*l.Below.TotalThickness()
+}
+
+// Impedance returns the line-to-substrate thermal impedance θ in K/W
+// (Eqs. 10/15), including any 3-D coupling factor.
+func (m Model) Impedance(l *geometry.Line) float64 {
+	return m.coupling() * l.Below.SeriesResistanceTerm() / (m.EffectiveWidth(l) * l.Length)
+}
+
+// SelfHeatingCoeff returns the geometry part of Eq. (9):
+//
+//	ΔT = j²rms · ρ(Tm) · SelfHeatingCoeff
+//
+// in units of m²·K/W (so that j² [A²/m⁴] · ρ [Ω·m] · coeff gives kelvins).
+// It equals tm · Wm · Σ(bᵢ/Kᵢ) / Weff, scaled by the coupling factor, and
+// is independent of line length (thermally long lines).
+func (m Model) SelfHeatingCoeff(l *geometry.Line) float64 {
+	return m.coupling() * l.Thick * l.Width * l.Below.SeriesResistanceTerm() / m.EffectiveWidth(l)
+}
+
+// DeltaT returns the Eq. (9) self-heating temperature rise for RMS current
+// density jrms (A/m²) with the metal at temperature tm (kelvin). Note the
+// implicit dependence — ρ is evaluated at the metal temperature, which
+// itself includes the rise; the self-consistent solver (internal/core)
+// closes that loop.
+func (m Model) DeltaT(l *geometry.Line, jrms, tMetal float64) float64 {
+	return jrms * jrms * l.Metal.Resistivity(tMetal) * m.SelfHeatingCoeff(l)
+}
+
+// JrmsForDeltaT inverts Eq. (9): the RMS current density that produces the
+// given temperature rise with the metal at tMetal.
+func (m Model) JrmsForDeltaT(l *geometry.Line, deltaT, tMetal float64) float64 {
+	if deltaT <= 0 {
+		return 0
+	}
+	return math.Sqrt(deltaT / (l.Metal.Resistivity(tMetal) * m.SelfHeatingCoeff(l)))
+}
+
+// InBilottiValidity reports whether the line's Wm/b ratio is inside the
+// quoted 3 % accuracy range of the quasi-1-D model.
+func InBilottiValidity(l *geometry.Line) bool {
+	return l.WidthToStackRatio() >= BilottiValidityRatio
+}
+
+// PhiFromImpedance inverts Eqs. (10)+(14): given a measured (or simulated)
+// thermal impedance θ of a line, return the heat-spreading parameter φ
+// that reproduces it. This is the §3.2 extraction procedure that produced
+// φ = 2.45. It returns an error when θ is unphysically large (Weff would
+// be below Wm, i.e. φ < 0).
+func PhiFromImpedance(l *geometry.Line, theta float64) (float64, error) {
+	if theta <= 0 {
+		return 0, ErrInvalid
+	}
+	weff := l.Below.SeriesResistanceTerm() / (theta * l.Length)
+	b := l.Below.TotalThickness()
+	if b == 0 {
+		return 0, ErrInvalid
+	}
+	phi := (weff - l.Width) / b
+	if phi < 0 {
+		return 0, ErrInvalid
+	}
+	return phi, nil
+}

@@ -1,0 +1,209 @@
+// Package via models inter-level vias: the series resistance they add to
+// nets, their own EM current limits (vias are the classic EM weak spot —
+// the flux divergence the Blech analysis puts at "blocking boundaries"
+// lives here), the thermal conduction path a stacked via provides (the
+// heat-sinking terminations behind the paper's thermally-short-line
+// argument), and current crowding in multi-via arrays.
+package via
+
+import (
+	"errors"
+	"fmt"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/mathx"
+)
+
+// ErrInvalid reports out-of-domain parameters.
+var ErrInvalid = errors.New("via: invalid parameters")
+
+// Via is a single square via.
+type Via struct {
+	// Metal is the fill (W for the 0.25 µm era's tungsten plugs, Cu for
+	// dual damascene).
+	Metal *material.Metal
+	// Width is the square side, m.
+	Width float64
+	// Height is the dielectric thickness it crosses, m.
+	Height float64
+	// ContactResistance is the interface term added to the bulk
+	// resistance, Ω (typical plugs: 0.5–5 Ω).
+	ContactResistance float64
+}
+
+// Validate checks the via.
+func (v Via) Validate() error {
+	if v.Metal == nil {
+		return fmt.Errorf("%w: nil metal", ErrInvalid)
+	}
+	if v.Width <= 0 || v.Height <= 0 || v.ContactResistance < 0 {
+		return fmt.Errorf("%w: w=%g h=%g rc=%g", ErrInvalid, v.Width, v.Height, v.ContactResistance)
+	}
+	return nil
+}
+
+// Resistance returns the electrical resistance at metal temperature T:
+// bulk column plus the contact term.
+func (v Via) Resistance(tKelvin float64) (float64, error) {
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	return v.Metal.Resistivity(tKelvin)*v.Height/(v.Width*v.Width) + v.ContactResistance, nil
+}
+
+// MaxCurrent returns the EM current limit of the via: the current at
+// which its internal density reaches jmax (A/m²) — design decks typically
+// publish a per-via milliamp number derived exactly this way.
+func (v Via) MaxCurrent(jmax float64) (float64, error) {
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	if jmax <= 0 {
+		return 0, fmt.Errorf("%w: jmax %g", ErrInvalid, jmax)
+	}
+	return jmax * v.Width * v.Width, nil
+}
+
+// ThermalResistance returns the via column's conduction resistance
+// (K/W) — the heat-sinking path a stacked via offers a hot line.
+func (v Via) ThermalResistance() (float64, error) {
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	return v.Height / (v.Metal.ThermalCond * v.Width * v.Width), nil
+}
+
+// CountForCurrent returns the number of parallel vias needed to carry
+// current i (A) at per-via EM limit jmax, assuming ideal sharing. Real
+// arrays crowd (see ArrayCrowding), so callers should apply the crowding
+// factor on top.
+func CountForCurrent(v Via, i, jmax float64) (int, error) {
+	per, err := v.MaxCurrent(jmax)
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 {
+		return 0, fmt.Errorf("%w: negative current", ErrInvalid)
+	}
+	if i == 0 {
+		return 1, nil
+	}
+	n := int(i/per) + 1
+	if float64(n-1)*per >= i {
+		n--
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// Crowding is the current-sharing solution for a 1-D via array.
+type Crowding struct {
+	// Shares[i] is the fraction of the total current carried by via i
+	// (sums to 1).
+	Shares []float64
+	// MaxShare is the largest share — multiply the ideal per-via current
+	// by MaxShare·n to get the real worst-via stress.
+	MaxShare float64
+	// CrowdingFactor = MaxShare·n (1 for ideal sharing).
+	CrowdingFactor float64
+	// Resistance is the array's effective resistance, Ω.
+	Resistance float64
+}
+
+// ArrayCrowding solves the classic via-array ladder: n vias of resistance
+// rVia connect a top line (per-span resistance rTop between adjacent via
+// landings) to a bottom line (per-span rBottom). Current enters the top
+// line at via 0's side and exits the bottom line at via n−1's side — the
+// usual overlap geometry. The end vias crowd; the interior ones idle.
+func ArrayCrowding(n int, rVia, rTop, rBottom float64) (Crowding, error) {
+	if n < 1 {
+		return Crowding{}, fmt.Errorf("%w: n=%d", ErrInvalid, n)
+	}
+	if rVia <= 0 || rTop < 0 || rBottom < 0 {
+		return Crowding{}, fmt.Errorf("%w: rVia=%g rTop=%g rBottom=%g", ErrInvalid, rVia, rTop, rBottom)
+	}
+	if n == 1 {
+		return Crowding{Shares: []float64{1}, MaxShare: 1, CrowdingFactor: 1, Resistance: rVia}, nil
+	}
+	// Nodal analysis with unit current injected at top node 0 and
+	// extracted at bottom node n−1; ground the exit node.
+	// Unknowns: vt_0..vt_{n-1}, vb_0..vb_{n-2} (vb_{n-1} = 0).
+	dim := 2*n - 1
+	a := mathx.NewDense(dim, dim)
+	b := make([]float64, dim)
+	top := func(i int) int { return i }
+	bot := func(i int) int { // -1 for the grounded exit node
+		if i == n-1 {
+			return -1
+		}
+		return n + i
+	}
+	stamp := func(p, q int, g float64) {
+		if p >= 0 {
+			a.Add(p, p, g)
+		}
+		if q >= 0 {
+			a.Add(q, q, g)
+		}
+		if p >= 0 && q >= 0 {
+			a.Add(p, q, -g)
+			a.Add(q, p, -g)
+		}
+	}
+	gTop := 0.0
+	if rTop > 0 {
+		gTop = 1 / rTop
+	}
+	gBot := 0.0
+	if rBottom > 0 {
+		gBot = 1 / rBottom
+	}
+	gVia := 1 / rVia
+	for i := 0; i+1 < n; i++ {
+		if gTop > 0 {
+			stamp(top(i), top(i+1), gTop)
+		}
+		if gBot > 0 {
+			stamp(bot(i), bot(i+1), gBot)
+		}
+	}
+	// Zero-resistance line segments short the nodes; emulate with a very
+	// large conductance to keep the matrix regular.
+	const gShort = 1e12
+	if gTop == 0 {
+		for i := 0; i+1 < n; i++ {
+			stamp(top(i), top(i+1), gShort)
+		}
+	}
+	if gBot == 0 {
+		for i := 0; i+1 < n; i++ {
+			stamp(bot(i), bot(i+1), gShort)
+		}
+	}
+	for i := 0; i < n; i++ {
+		stamp(top(i), bot(i), gVia)
+	}
+	b[top(0)] = 1 // 1 A in
+	x, err := mathx.SolveDense(a, b)
+	if err != nil {
+		return Crowding{}, fmt.Errorf("via: crowding solve: %w", err)
+	}
+	vAt := func(idx int) float64 {
+		if idx < 0 {
+			return 0
+		}
+		return x[idx]
+	}
+	c := Crowding{Shares: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		c.Shares[i] = (vAt(top(i)) - vAt(bot(i))) * gVia
+		if c.Shares[i] > c.MaxShare {
+			c.MaxShare = c.Shares[i]
+		}
+	}
+	c.CrowdingFactor = c.MaxShare * float64(n)
+	c.Resistance = vAt(top(0)) // V at injection / 1 A, exit grounded
+	return c, nil
+}

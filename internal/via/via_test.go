@@ -1,0 +1,197 @@
+package via
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+func wPlug() Via {
+	return Via{
+		Metal:             &material.W,
+		Width:             phys.Microns(0.3),
+		Height:            phys.Microns(0.7),
+		ContactResistance: 1.0,
+	}
+}
+
+func TestViaResistance(t *testing.T) {
+	v := wPlug()
+	r, err := v.Resistance(material.Tref100C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk: 1.4e-7·0.7e-6/9e-14 ≈ 1.09 Ω, plus 1 Ω contact ≈ 2.1 Ω —
+	// squarely in the published tungsten-plug range (1–5 Ω).
+	if r < 1.5 || r > 4 {
+		t.Errorf("plug resistance = %v Ω, want 1.5–4", r)
+	}
+	// Hotter plug is more resistive.
+	rHot, _ := v.Resistance(material.Tref100C + 100)
+	if rHot <= r {
+		t.Error("resistance must rise with temperature")
+	}
+}
+
+func TestViaValidation(t *testing.T) {
+	bad := []Via{
+		{},
+		{Metal: &material.W, Width: -1, Height: 1e-6},
+		{Metal: &material.W, Width: 1e-6, Height: 0},
+		{Metal: &material.W, Width: 1e-6, Height: 1e-6, ContactResistance: -1},
+	}
+	for i, v := range bad {
+		if _, err := v.Resistance(400); err == nil {
+			t.Errorf("via %d must not validate", i)
+		}
+	}
+}
+
+func TestMaxCurrentAndCount(t *testing.T) {
+	v := wPlug()
+	jmax := phys.MAPerCm2(1)
+	per, err := v.MaxCurrent(jmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.09 µm² at 1 MA/cm² = 0.9 mA.
+	if math.Abs(per-0.9e-3) > 1e-6 {
+		t.Errorf("per-via limit = %v, want 0.9 mA", per)
+	}
+	n, err := CountForCurrent(v, 5e-3, jmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 { // 5/0.9 = 5.55 → 6
+		t.Errorf("count = %d, want 6", n)
+	}
+	// Exact multiples don't round up unnecessarily.
+	n2, _ := CountForCurrent(v, 1.8e-3, jmax)
+	if n2 != 2 {
+		t.Errorf("count for exact 2x = %d, want 2", n2)
+	}
+	if n0, _ := CountForCurrent(v, 0, jmax); n0 != 1 {
+		t.Error("zero current still needs one via")
+	}
+	if _, err := CountForCurrent(v, -1, jmax); err == nil {
+		t.Error("negative current must fail")
+	}
+	if _, err := v.MaxCurrent(0); err == nil {
+		t.Error("zero jmax must fail")
+	}
+}
+
+func TestThermalResistance(t *testing.T) {
+	v := wPlug()
+	rth, err := v.ThermalResistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.7e-6/(170·9e-14) ≈ 4.6e4 K/W per via — thousands of times better
+	// than the surrounding oxide column of the same footprint.
+	if rth < 1e4 || rth > 1e5 {
+		t.Errorf("thermal resistance = %v K/W", rth)
+	}
+	oxideColumn := v.Height / (material.Oxide.ThermalCond * v.Width * v.Width)
+	if rth >= oxideColumn/50 {
+		t.Errorf("via (%v) should conduct ≫ oxide column (%v)", rth, oxideColumn)
+	}
+}
+
+func TestCrowdingSingleVia(t *testing.T) {
+	c, err := ArrayCrowding(1, 2.0, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shares[0] != 1 || c.CrowdingFactor != 1 || c.Resistance != 2.0 {
+		t.Errorf("single via: %+v", c)
+	}
+}
+
+func TestCrowdingIdealSharing(t *testing.T) {
+	// Zero line resistance: perfect sharing, R = rv/n.
+	n := 5
+	c, err := ArrayCrowding(n, 2.0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range c.Shares {
+		if math.Abs(s-1.0/float64(n)) > 1e-6 {
+			t.Errorf("share[%d] = %v, want %v", i, s, 1.0/float64(n))
+		}
+	}
+	if math.Abs(c.CrowdingFactor-1) > 1e-5 {
+		t.Errorf("crowding factor = %v, want 1", c.CrowdingFactor)
+	}
+	if math.Abs(c.Resistance-0.4) > 1e-5 {
+		t.Errorf("array R = %v, want 0.4", c.Resistance)
+	}
+}
+
+func TestCrowdingEndViasDominate(t *testing.T) {
+	// Resistive lines: the entry/exit-side vias carry more than interior
+	// ones, shares sum to 1, and crowding grows with line resistance.
+	c, err := ArrayCrowding(6, 1.0, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range c.Shares {
+		sum += s
+		if s <= 0 {
+			t.Errorf("share %v must be positive", s)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	// Symmetric feed (in at top-0, out at bottom-5): end vias tie, the
+	// interior sags.
+	if math.Abs(c.Shares[0]-c.Shares[5]) > 1e-9 {
+		t.Errorf("end shares differ: %v vs %v", c.Shares[0], c.Shares[5])
+	}
+	mid := c.Shares[2]
+	if !(c.Shares[0] > mid) {
+		t.Errorf("end share %v should exceed middle %v", c.Shares[0], mid)
+	}
+	if c.CrowdingFactor <= 1 {
+		t.Errorf("crowding factor = %v, want > 1", c.CrowdingFactor)
+	}
+	// More resistive lines crowd harder.
+	c2, _ := ArrayCrowding(6, 1.0, 2.0, 2.0)
+	if c2.CrowdingFactor <= c.CrowdingFactor {
+		t.Errorf("crowding should grow with line resistance: %v vs %v",
+			c2.CrowdingFactor, c.CrowdingFactor)
+	}
+}
+
+func TestCrowdingResistanceBounds(t *testing.T) {
+	// Array resistance lies between the ideal parallel value and a single
+	// via plus full line detour.
+	n := 4
+	rv, rl := 2.0, 0.3
+	c, err := ArrayCrowding(n, rv, rl, rl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Resistance <= rv/float64(n) {
+		t.Errorf("R = %v below ideal parallel %v", c.Resistance, rv/float64(n))
+	}
+	if c.Resistance >= rv+float64(n-1)*2*rl {
+		t.Errorf("R = %v above the single-via detour bound", c.Resistance)
+	}
+}
+
+func TestCrowdingValidation(t *testing.T) {
+	if _, err := ArrayCrowding(0, 1, 0, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := ArrayCrowding(3, 0, 0, 0); err == nil {
+		t.Error("zero via resistance must fail")
+	}
+	if _, err := ArrayCrowding(3, 1, -1, 0); err == nil {
+		t.Error("negative line resistance must fail")
+	}
+}

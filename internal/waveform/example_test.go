@@ -1,0 +1,44 @@
+package waveform_test
+
+import (
+	"fmt"
+
+	"dsmtherm/internal/waveform"
+)
+
+// ExampleEffectiveDutyCycle demonstrates Hunter's reduction of arbitrary
+// waveforms to a single duty cycle: for an ideal unipolar pulse it
+// recovers r exactly (the Eq. 4–5 algebra), and it is what the paper's §4
+// SPICE waveforms reduce to (0.12 ± 0.01).
+func ExampleEffectiveDutyCycle() {
+	pulse, err := waveform.NewUnipolarPulse(10e-3, 1e-9, 0.12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("javg/jpeak  = %.2f (Eq. 4: r)\n", pulse.Avg()/pulse.Peak())
+	fmt.Printf("jrms/jpeak  = %.3f (Eq. 5: sqrt r)\n", pulse.RMS()/pulse.Peak())
+	fmt.Printf("reff        = %.2f\n", waveform.EffectiveDutyCycle(pulse))
+	// Output:
+	// javg/jpeak  = 0.12 (Eq. 4: r)
+	// jrms/jpeak  = 0.346 (Eq. 5: sqrt r)
+	// reff        = 0.12
+}
+
+// ExampleSampled reduces a simulated (sampled) current waveform to the
+// statistics the design rules consume.
+func ExampleSampled() {
+	// A crude triangular charge/discharge pair over one 1 ns period.
+	ts := []float64{0, 0.05e-9, 0.1e-9, 0.5e-9, 0.55e-9, 0.6e-9, 1e-9}
+	is := []float64{0, 8e-3, 0, 0, -8e-3, 0, 0}
+	w, err := waveform.NewSampled(ts, is)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peak  = %.1f mA\n", w.Peak()*1e3)
+	fmt.Printf("|avg| = %.2f mA (signed avg %.2f: bipolar)\n", w.AbsAvg()*1e3, w.Avg()*1e3)
+	fmt.Printf("reff  = %.3f\n", waveform.EffectiveDutyCycle(w))
+	// Output:
+	// peak  = 8.0 mA
+	// |avg| = 0.80 mA (signed avg 0.00: bipolar)
+	// reff  = 0.150
+}

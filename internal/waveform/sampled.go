@@ -1,0 +1,179 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sampled is one period of a waveform given by time-ordered samples, as
+// produced by the transient circuit simulator. Values between samples are
+// linearly interpolated; the waveform is treated as periodic with period
+// equal to the sampled span.
+//
+// This is the bridge from §4's SPICE runs to §3's design rules: simulate a
+// buffered interconnect, wrap the branch current in a Sampled, and read off
+// Peak/RMS/EffectiveDutyCycle.
+type Sampled struct {
+	ts, vs []float64
+	t0     float64 // first sample time (internally shifted to 0)
+}
+
+// NewSampled builds a sampled waveform from parallel slices. Times must be
+// strictly increasing with at least two samples. The input slices are
+// copied.
+func NewSampled(ts, vs []float64) (*Sampled, error) {
+	if len(ts) < 2 || len(ts) != len(vs) {
+		return nil, fmt.Errorf("waveform: NewSampled needs >=2 equal-length samples, got %d, %d", len(ts), len(vs))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			return nil, fmt.Errorf("waveform: sample times not strictly increasing at index %d", i)
+		}
+	}
+	s := &Sampled{
+		ts: make([]float64, len(ts)),
+		vs: append([]float64(nil), vs...),
+		t0: ts[0],
+	}
+	for i, t := range ts {
+		s.ts[i] = t - ts[0]
+	}
+	return s, nil
+}
+
+// Period implements Waveform.
+func (s *Sampled) Period() float64 { return s.ts[len(s.ts)-1] }
+
+// At implements Waveform (linear interpolation, periodic extension).
+func (s *Sampled) At(t float64) float64 {
+	p := s.Period()
+	t = math.Mod(t, p)
+	if t < 0 {
+		t += p
+	}
+	i := sort.SearchFloat64s(s.ts, t)
+	if i == 0 {
+		return s.vs[0]
+	}
+	if i >= len(s.ts) {
+		return s.vs[len(s.vs)-1]
+	}
+	t0, t1 := s.ts[i-1], s.ts[i]
+	v0, v1 := s.vs[i-1], s.vs[i]
+	u := (t - t0) / (t1 - t0)
+	return v0 + u*(v1-v0)
+}
+
+// Peak implements Waveform. For piecewise-linear data the extremum is at a
+// sample point.
+func (s *Sampled) Peak() float64 {
+	m := 0.0
+	for _, v := range s.vs {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Avg implements Waveform via exact trapezoidal integration of the
+// piecewise-linear interpolant.
+func (s *Sampled) Avg() float64 {
+	sum := 0.0
+	for i := 1; i < len(s.ts); i++ {
+		sum += 0.5 * (s.vs[i] + s.vs[i-1]) * (s.ts[i] - s.ts[i-1])
+	}
+	return sum / s.Period()
+}
+
+// AbsAvg implements Waveform. Segments that cross zero are split at the
+// crossing so the integral of |v| is exact for the interpolant.
+func (s *Sampled) AbsAvg() float64 {
+	sum := 0.0
+	for i := 1; i < len(s.ts); i++ {
+		dt := s.ts[i] - s.ts[i-1]
+		v0, v1 := s.vs[i-1], s.vs[i]
+		if v0*v1 >= 0 {
+			sum += 0.5 * math.Abs(v0+v1) * dt
+			continue
+		}
+		// Zero crossing at fraction u.
+		u := v0 / (v0 - v1)
+		sum += 0.5*math.Abs(v0)*u*dt + 0.5*math.Abs(v1)*(1-u)*dt
+	}
+	return sum / s.Period()
+}
+
+// RMS implements Waveform. For a linear segment from v0 to v1 the integral
+// of v² is dt·(v0² + v0·v1 + v1²)/3, which is exact.
+func (s *Sampled) RMS() float64 {
+	sum := 0.0
+	for i := 1; i < len(s.ts); i++ {
+		dt := s.ts[i] - s.ts[i-1]
+		v0, v1 := s.vs[i-1], s.vs[i]
+		sum += dt * (v0*v0 + v0*v1 + v1*v1) / 3
+	}
+	return math.Sqrt(sum / s.Period())
+}
+
+// Samples returns copies of the sample times (shifted to start at 0) and
+// values.
+func (s *Sampled) Samples() (ts, vs []float64) {
+	return append([]float64(nil), s.ts...), append([]float64(nil), s.vs...)
+}
+
+// RiseTime returns the 10 %–90 % rise time of the first excursion of the
+// waveform toward its positive peak, or 0 if the waveform never rises
+// through those thresholds. It is the metric behind the paper's
+// "relative slew rate ... almost constant across all metal layers"
+// observation (§4.1).
+func (s *Sampled) RiseTime() float64 {
+	peak := 0.0
+	for _, v := range s.vs {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak <= 0 {
+		return 0
+	}
+	lo, hi := 0.1*peak, 0.9*peak
+	tLo, tHi := -1.0, -1.0
+	for i := 1; i < len(s.ts); i++ {
+		v0, v1 := s.vs[i-1], s.vs[i]
+		if tLo < 0 && v0 < lo && v1 >= lo {
+			u := (lo - v0) / (v1 - v0)
+			tLo = s.ts[i-1] + u*(s.ts[i]-s.ts[i-1])
+		}
+		if tLo >= 0 && v0 < hi && v1 >= hi {
+			u := (hi - v0) / (v1 - v0)
+			tHi = s.ts[i-1] + u*(s.ts[i]-s.ts[i-1])
+			break
+		}
+	}
+	if tLo < 0 || tHi < 0 {
+		return 0
+	}
+	return tHi - tLo
+}
+
+// Resample returns a new Sampled waveform with n uniformly spaced samples
+// across the period. Useful for fixed-grid comparisons of simulator
+// outputs with different adaptive step histories.
+func (s *Sampled) Resample(n int) (*Sampled, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("waveform: Resample needs n >= 2")
+	}
+	p := s.Period()
+	ts := make([]float64, n)
+	vs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = p * float64(i) / float64(n-1)
+		vs[i] = s.At(ts[i])
+	}
+	// The final point is exactly the period boundary; At wraps it to 0, so
+	// take the raw final sample instead.
+	vs[n-1] = s.vs[len(s.vs)-1]
+	return NewSampled(ts, vs)
+}

@@ -1,0 +1,169 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func sineSamples(n int) ([]float64, []float64) {
+	ts := make([]float64, n)
+	vs := make([]float64, n)
+	for i := range ts {
+		ts[i] = float64(i) / float64(n-1)
+		vs[i] = math.Sin(2 * math.Pi * ts[i])
+	}
+	return ts, vs
+}
+
+func TestSampledSineStats(t *testing.T) {
+	ts, vs := sineSamples(20001)
+	s, err := NewSampled(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Period(), 1, eps) {
+		t.Error("period")
+	}
+	if !almost(s.Avg(), 0, 1e-9) {
+		t.Errorf("sine avg = %v", s.Avg())
+	}
+	if !almost(s.AbsAvg(), 2/math.Pi, 1e-6) {
+		t.Errorf("sine |avg| = %v, want %v", s.AbsAvg(), 2/math.Pi)
+	}
+	if !almost(s.RMS(), 1/math.Sqrt2, 1e-6) {
+		t.Errorf("sine rms = %v, want %v", s.RMS(), 1/math.Sqrt2)
+	}
+	if !almost(s.Peak(), 1, 1e-6) {
+		t.Errorf("sine peak = %v", s.Peak())
+	}
+	// Effective duty cycle of a sine: (2/π)²/(1/2) = 8/π² ≈ 0.811.
+	if !almost(EffectiveDutyCycle(s), 8/(math.Pi*math.Pi), 1e-5) {
+		t.Errorf("sine reff = %v", EffectiveDutyCycle(s))
+	}
+}
+
+func TestSampledValidation(t *testing.T) {
+	if _, err := NewSampled([]float64{0}, []float64{1}); err == nil {
+		t.Error("single sample must fail")
+	}
+	if _, err := NewSampled([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing times must fail")
+	}
+	if _, err := NewSampled([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestSampledTimeShiftInvariance(t *testing.T) {
+	// A waveform starting at t0 ≠ 0 must produce the same statistics.
+	ts := []float64{5, 5.25, 5.5, 5.75, 6}
+	vs := []float64{0, 1, 0, -1, 0}
+	s, err := NewSampled(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts0 := []float64{0, 0.25, 0.5, 0.75, 1}
+	s0, err := NewSampled(ts0, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.RMS(), s0.RMS(), eps) || !almost(s.Avg(), s0.Avg(), eps) {
+		t.Error("time shift changed statistics")
+	}
+}
+
+func TestSampledAtInterpolation(t *testing.T) {
+	s, _ := NewSampled([]float64{0, 1, 2}, []float64{0, 10, 0})
+	if !almost(s.At(0.5), 5, eps) {
+		t.Errorf("At(0.5) = %v", s.At(0.5))
+	}
+	if !almost(s.At(1.5), 5, eps) {
+		t.Errorf("At(1.5) = %v", s.At(1.5))
+	}
+	// Periodic wrap.
+	if !almost(s.At(2.5), 5, eps) {
+		t.Errorf("At(2.5) = %v", s.At(2.5))
+	}
+	if !almost(s.At(-0.5), 5, eps) {
+		t.Errorf("At(-0.5) = %v", s.At(-0.5))
+	}
+}
+
+func TestSampledAbsAvgCrossing(t *testing.T) {
+	// Triangle from +1 to −1 over [0, 1]: avg 0, |avg| exact 0.5.
+	s, _ := NewSampled([]float64{0, 1}, []float64{1, -1})
+	if !almost(s.Avg(), 0, eps) {
+		t.Errorf("avg = %v", s.Avg())
+	}
+	if !almost(s.AbsAvg(), 0.5, eps) {
+		t.Errorf("|avg| = %v, want 0.5", s.AbsAvg())
+	}
+	// RMS of a linear ramp 1→−1: sqrt(∫v²) = sqrt(1/3).
+	if !almost(s.RMS(), math.Sqrt(1.0/3), eps) {
+		t.Errorf("rms = %v", s.RMS())
+	}
+}
+
+func TestSampledMatchesClosedFormPulse(t *testing.T) {
+	// Densely sample a trapezoid; the Sampled statistics must agree with
+	// the closed forms.
+	tr, _ := NewTrapezoid(2, 1, 0.05, 0.2, 0.1)
+	n := 100001
+	ts := make([]float64, n)
+	vs := make([]float64, n)
+	for i := range ts {
+		ts[i] = float64(i) / float64(n-1)
+		vs[i] = tr.At(ts[i])
+	}
+	s, err := NewSampled(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Avg(), tr.Avg(), 1e-6) {
+		t.Errorf("avg %v vs %v", s.Avg(), tr.Avg())
+	}
+	if !almost(s.RMS(), tr.RMS(), 1e-6) {
+		t.Errorf("rms %v vs %v", s.RMS(), tr.RMS())
+	}
+	if !almost(EffectiveDutyCycle(s), EffectiveDutyCycle(tr), 1e-5) {
+		t.Errorf("reff %v vs %v", EffectiveDutyCycle(s), EffectiveDutyCycle(tr))
+	}
+}
+
+func TestRiseTime(t *testing.T) {
+	// Linear ramp 0→1 over [0, 1] then flat: 10–90 % rise time = 0.8.
+	s, _ := NewSampled([]float64{0, 1, 2}, []float64{0, 1, 1})
+	if rt := s.RiseTime(); !almost(rt, 0.8, 1e-9) {
+		t.Errorf("rise time = %v, want 0.8", rt)
+	}
+	// All-negative waveform has no positive rise.
+	neg, _ := NewSampled([]float64{0, 1}, []float64{-1, -2})
+	if neg.RiseTime() != 0 {
+		t.Error("negative waveform rise time should be 0")
+	}
+}
+
+func TestResample(t *testing.T) {
+	ts, vs := sineSamples(5001)
+	s, _ := NewSampled(ts, vs)
+	r, err := s.Resample(501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.RMS(), s.RMS(), 1e-4) {
+		t.Errorf("resampled RMS %v vs %v", r.RMS(), s.RMS())
+	}
+	if _, err := s.Resample(1); err == nil {
+		t.Error("Resample(1) must fail")
+	}
+}
+
+func TestSamplesCopy(t *testing.T) {
+	s, _ := NewSampled([]float64{0, 1}, []float64{2, 3})
+	ts, vs := s.Samples()
+	ts[0], vs[0] = 99, 99
+	ts2, vs2 := s.Samples()
+	if ts2[0] == 99 || vs2[0] == 99 {
+		t.Error("Samples must return copies")
+	}
+}

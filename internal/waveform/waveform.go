@@ -1,0 +1,261 @@
+// Package waveform models the periodic current waveforms that drive both
+// failure mechanisms of the paper: electromigration (through the average
+// current density) and self-heating (through the RMS current density).
+//
+// Section 2.1 defines three densities for a periodic waveform j(t) with
+// period T:
+//
+//	jpeak = max |j(t)|
+//	javg  = (1/T) ∫ j(t) dt
+//	jrms  = sqrt( (1/T) ∫ j(t)² dt )
+//
+// and, for a unipolar rectangular pulse of duty cycle r (Fig. 1),
+//
+//	javg = r·jpeak      (Eq. 4)
+//	jrms = √r·jpeak     (Eq. 5)
+//
+// Hunter's effective duty cycle generalizes r to arbitrary waveforms as
+// reff = javg²/jrms² (so that Eq. 6's unipolar algebra carries over); the
+// paper uses it in §4 to reduce SPICE waveforms to a single number
+// (0.12 ± 0.01 for optimally buffered lines). For bidirectional signal
+// currents EM stress follows |javg| of each polarity with substantial
+// recovery, so the unipolar rules are lower bounds (§4.1); the Waveform
+// interface exposes both signed and absolute averages to support that
+// analysis.
+package waveform
+
+import (
+	"errors"
+	"math"
+)
+
+// Waveform is one period of a periodic current (or current-density)
+// waveform. Implementations must be deterministic and side-effect free.
+//
+// The same types serve for absolute currents (amperes) and current
+// densities (A/m²); the library documents per-call which is meant.
+type Waveform interface {
+	// Period returns the waveform period in seconds.
+	Period() float64
+	// At returns the instantaneous value at time t ∈ [0, Period).
+	At(t float64) float64
+	// Peak returns max over the period of |j(t)|.
+	Peak() float64
+	// Avg returns the signed mean over one period.
+	Avg() float64
+	// AbsAvg returns the mean of |j(t)| over one period. For unipolar
+	// waveforms AbsAvg == |Avg|; for bipolar signal currents it is the
+	// quantity EM recovery models start from.
+	AbsAvg() float64
+	// RMS returns the root-mean-square over one period.
+	RMS() float64
+}
+
+// ErrInvalid is returned by constructors for out-of-domain parameters.
+var ErrInvalid = errors.New("waveform: invalid parameters")
+
+// EffectiveDutyCycle returns Hunter's effective duty cycle
+// reff = javg²/jrms², using the absolute average so that bipolar waveforms
+// produce the worst-case (heating-consistent) value. It returns 0 for a
+// waveform with zero RMS.
+func EffectiveDutyCycle(w Waveform) float64 {
+	rms := w.RMS()
+	if rms == 0 {
+		return 0
+	}
+	a := w.AbsAvg()
+	return a * a / (rms * rms)
+}
+
+// CrestFactor returns jpeak/jrms (∞ for a zero waveform). For a unipolar
+// pulse it equals 1/√r.
+func CrestFactor(w Waveform) float64 {
+	rms := w.RMS()
+	if rms == 0 {
+		return math.Inf(1)
+	}
+	return w.Peak() / rms
+}
+
+// DC is a constant waveform — the power-line limit (r = 1) of the paper's
+// analysis.
+type DC struct {
+	// Value is the constant level.
+	Value float64
+	// T is the nominal period used for reporting; it does not affect the
+	// statistics. Defaults to 1 s when zero.
+	T float64
+}
+
+// Period implements Waveform.
+func (d DC) Period() float64 {
+	if d.T <= 0 {
+		return 1
+	}
+	return d.T
+}
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return d.Value }
+
+// Peak implements Waveform.
+func (d DC) Peak() float64 { return math.Abs(d.Value) }
+
+// Avg implements Waveform.
+func (d DC) Avg() float64 { return d.Value }
+
+// AbsAvg implements Waveform.
+func (d DC) AbsAvg() float64 { return math.Abs(d.Value) }
+
+// RMS implements Waveform.
+func (d DC) RMS() float64 { return math.Abs(d.Value) }
+
+// UnipolarPulse is the Fig. 1 waveform: amplitude Amplitude for the first
+// r·T of each period, zero for the rest.
+type UnipolarPulse struct {
+	Amplitude float64
+	T         float64 // period, s
+	R         float64 // duty cycle ∈ (0, 1]
+}
+
+// NewUnipolarPulse validates and constructs a unipolar pulse.
+func NewUnipolarPulse(amplitude, period, dutyCycle float64) (UnipolarPulse, error) {
+	if period <= 0 || dutyCycle <= 0 || dutyCycle > 1 {
+		return UnipolarPulse{}, ErrInvalid
+	}
+	return UnipolarPulse{Amplitude: amplitude, T: period, R: dutyCycle}, nil
+}
+
+// Period implements Waveform.
+func (u UnipolarPulse) Period() float64 { return u.T }
+
+// At implements Waveform.
+func (u UnipolarPulse) At(t float64) float64 {
+	t = math.Mod(t, u.T)
+	if t < 0 {
+		t += u.T
+	}
+	if t < u.R*u.T {
+		return u.Amplitude
+	}
+	return 0
+}
+
+// Peak implements Waveform.
+func (u UnipolarPulse) Peak() float64 { return math.Abs(u.Amplitude) }
+
+// Avg implements Waveform (Eq. 4: javg = r·jpeak, with sign).
+func (u UnipolarPulse) Avg() float64 { return u.R * u.Amplitude }
+
+// AbsAvg implements Waveform.
+func (u UnipolarPulse) AbsAvg() float64 { return u.R * math.Abs(u.Amplitude) }
+
+// RMS implements Waveform (Eq. 5: jrms = √r·jpeak).
+func (u UnipolarPulse) RMS() float64 { return math.Sqrt(u.R) * math.Abs(u.Amplitude) }
+
+// BipolarPulse is the signal-line idealization: +Amplitude for rT/2,
+// −Amplitude for another rT/2, zero otherwise — a charge/discharge pair per
+// clock period. Its signed average is zero while its RMS matches a
+// unipolar pulse of the same total on-time.
+type BipolarPulse struct {
+	Amplitude float64
+	T         float64
+	R         float64 // total on-time fraction (both polarities combined)
+}
+
+// NewBipolarPulse validates and constructs a bipolar pulse.
+func NewBipolarPulse(amplitude, period, dutyCycle float64) (BipolarPulse, error) {
+	if period <= 0 || dutyCycle <= 0 || dutyCycle > 1 {
+		return BipolarPulse{}, ErrInvalid
+	}
+	return BipolarPulse{Amplitude: amplitude, T: period, R: dutyCycle}, nil
+}
+
+// Period implements Waveform.
+func (b BipolarPulse) Period() float64 { return b.T }
+
+// At implements Waveform.
+func (b BipolarPulse) At(t float64) float64 {
+	t = math.Mod(t, b.T)
+	if t < 0 {
+		t += b.T
+	}
+	half := b.R * b.T / 2
+	switch {
+	case t < half:
+		return b.Amplitude
+	case t < b.T/2:
+		return 0
+	case t < b.T/2+half:
+		return -b.Amplitude
+	default:
+		return 0
+	}
+}
+
+// Peak implements Waveform.
+func (b BipolarPulse) Peak() float64 { return math.Abs(b.Amplitude) }
+
+// Avg implements Waveform: the polarities cancel.
+func (b BipolarPulse) Avg() float64 { return 0 }
+
+// AbsAvg implements Waveform.
+func (b BipolarPulse) AbsAvg() float64 { return b.R * math.Abs(b.Amplitude) }
+
+// RMS implements Waveform.
+func (b BipolarPulse) RMS() float64 { return math.Sqrt(b.R) * math.Abs(b.Amplitude) }
+
+// Trapezoid is a unipolar trapezoidal pulse with linear rise and fall —
+// the shape driver output currents approximate. Rise and Fall are the
+// 0–100 % edge times; Width is the flat-top duration.
+type Trapezoid struct {
+	Amplitude         float64
+	T                 float64
+	Rise, Width, Fall float64
+}
+
+// NewTrapezoid validates and constructs a trapezoidal pulse.
+func NewTrapezoid(amplitude, period, rise, width, fall float64) (Trapezoid, error) {
+	if period <= 0 || rise < 0 || width < 0 || fall < 0 || rise+width+fall > period || rise+width+fall == 0 {
+		return Trapezoid{}, ErrInvalid
+	}
+	return Trapezoid{Amplitude: amplitude, T: period, Rise: rise, Width: width, Fall: fall}, nil
+}
+
+// Period implements Waveform.
+func (tr Trapezoid) Period() float64 { return tr.T }
+
+// At implements Waveform.
+func (tr Trapezoid) At(t float64) float64 {
+	t = math.Mod(t, tr.T)
+	if t < 0 {
+		t += tr.T
+	}
+	switch {
+	case t < tr.Rise:
+		return tr.Amplitude * t / tr.Rise
+	case t < tr.Rise+tr.Width:
+		return tr.Amplitude
+	case t < tr.Rise+tr.Width+tr.Fall:
+		return tr.Amplitude * (1 - (t-tr.Rise-tr.Width)/tr.Fall)
+	default:
+		return 0
+	}
+}
+
+// Peak implements Waveform.
+func (tr Trapezoid) Peak() float64 { return math.Abs(tr.Amplitude) }
+
+// Avg implements Waveform: area = A·(Width + (Rise+Fall)/2).
+func (tr Trapezoid) Avg() float64 {
+	return tr.Amplitude * (tr.Width + 0.5*(tr.Rise+tr.Fall)) / tr.T
+}
+
+// AbsAvg implements Waveform.
+func (tr Trapezoid) AbsAvg() float64 { return math.Abs(tr.Avg()) }
+
+// RMS implements Waveform. Each linear edge contributes A²·t/3 to ∫j².
+func (tr Trapezoid) RMS() float64 {
+	sq := tr.Amplitude * tr.Amplitude * (tr.Width + (tr.Rise+tr.Fall)/3)
+	return math.Sqrt(sq / tr.T)
+}

@@ -1,0 +1,218 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// numericStats integrates a Waveform by brute-force sampling, as an oracle
+// for the closed-form implementations.
+func numericStats(w Waveform, n int) (avg, absAvg, rms float64) {
+	p := w.Period()
+	dt := p / float64(n)
+	var s, sa, sq float64
+	for i := 0; i < n; i++ {
+		v := w.At((float64(i) + 0.5) * dt)
+		s += v
+		sa += math.Abs(v)
+		sq += v * v
+	}
+	return s / float64(n), sa / float64(n), math.Sqrt(sq / float64(n))
+}
+
+func TestUnipolarEq4Eq5(t *testing.T) {
+	// Eq. 4 and Eq. 5 exactly, for a sweep of duty cycles.
+	for _, r := range []float64{1e-4, 1e-3, 0.01, 0.1, 0.5, 1} {
+		u, err := NewUnipolarPulse(2.5, 1e-9, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(u.Avg(), r*2.5, eps) {
+			t.Errorf("r=%v: javg = %v, want %v", r, u.Avg(), r*2.5)
+		}
+		if !almost(u.RMS(), math.Sqrt(r)*2.5, eps) {
+			t.Errorf("r=%v: jrms = %v, want %v", r, u.RMS(), math.Sqrt(r)*2.5)
+		}
+		if u.Peak() != 2.5 {
+			t.Errorf("r=%v: peak", r)
+		}
+		// Eq. 6 companion identity: javg² = r·jrms².
+		if !almost(u.Avg()*u.Avg(), r*u.RMS()*u.RMS(), 1e-10) {
+			t.Errorf("r=%v: javg² ≠ r·jrms²", r)
+		}
+	}
+}
+
+func TestUnipolarAtShape(t *testing.T) {
+	u, _ := NewUnipolarPulse(1, 10, 0.3)
+	if u.At(1) != 1 || u.At(2.9) != 1 {
+		t.Error("on-phase should be 1")
+	}
+	if u.At(3.1) != 0 || u.At(9.9) != 0 {
+		t.Error("off-phase should be 0")
+	}
+	// Periodic extension, including negative times.
+	if u.At(11) != 1 || u.At(-9) != 1 || u.At(-5) != 0 {
+		t.Error("periodic extension broken")
+	}
+}
+
+func TestUnipolarValidation(t *testing.T) {
+	bad := [][3]float64{{1, 0, 0.5}, {1, -1, 0.5}, {1, 1, 0}, {1, 1, 1.5}, {1, 1, -0.1}}
+	for _, c := range bad {
+		if _, err := NewUnipolarPulse(c[0], c[1], c[2]); err != ErrInvalid {
+			t.Errorf("NewUnipolarPulse(%v): want ErrInvalid, got %v", c, err)
+		}
+	}
+}
+
+func TestDC(t *testing.T) {
+	d := DC{Value: -3}
+	if d.Peak() != 3 || d.Avg() != -3 || d.AbsAvg() != 3 || d.RMS() != 3 {
+		t.Error("DC stats")
+	}
+	if d.Period() != 1 {
+		t.Error("DC default period")
+	}
+	if (DC{Value: 1, T: 5}).Period() != 5 {
+		t.Error("DC explicit period")
+	}
+	if EffectiveDutyCycle(d) != 1 {
+		t.Error("DC effective duty cycle must be 1")
+	}
+	if EffectiveDutyCycle(DC{Value: 0}) != 0 {
+		t.Error("zero waveform duty cycle")
+	}
+}
+
+func TestBipolar(t *testing.T) {
+	b, err := NewBipolarPulse(2, 1e-9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Avg() != 0 {
+		t.Error("bipolar signed average must be 0")
+	}
+	if !almost(b.AbsAvg(), 0.2*2, eps) {
+		t.Errorf("bipolar AbsAvg = %v", b.AbsAvg())
+	}
+	if !almost(b.RMS(), math.Sqrt(0.2)*2, eps) {
+		t.Errorf("bipolar RMS = %v", b.RMS())
+	}
+	// Oracle check of the closed forms against numeric integration.
+	avg, absAvg, rms := numericStats(b, 200000)
+	if !almost(avg, 0, 1e-4) || !almost(absAvg, b.AbsAvg(), 1e-4) || !almost(rms, b.RMS(), 1e-4) {
+		t.Errorf("bipolar numeric mismatch: %v %v %v", avg, absAvg, rms)
+	}
+}
+
+func TestTrapezoidStats(t *testing.T) {
+	tr, err := NewTrapezoid(1.5, 10, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, absAvg, rms := numericStats(tr, 400000)
+	if !almost(tr.Avg(), avg, 1e-4) {
+		t.Errorf("trapezoid Avg %v vs numeric %v", tr.Avg(), avg)
+	}
+	if !almost(tr.AbsAvg(), absAvg, 1e-4) {
+		t.Errorf("trapezoid AbsAvg %v vs numeric %v", tr.AbsAvg(), absAvg)
+	}
+	if !almost(tr.RMS(), rms, 1e-4) {
+		t.Errorf("trapezoid RMS %v vs numeric %v", tr.RMS(), rms)
+	}
+}
+
+func TestTrapezoidDegeneratesToRect(t *testing.T) {
+	// Zero-width edges: must match the unipolar pulse algebra.
+	tr, err := NewTrapezoid(2, 10, 0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := NewUnipolarPulse(2, 10, 0.3)
+	if !almost(tr.Avg(), u.Avg(), eps) || !almost(tr.RMS(), u.RMS(), eps) {
+		t.Errorf("degenerate trapezoid: avg %v rms %v", tr.Avg(), tr.RMS())
+	}
+}
+
+func TestTrapezoidValidation(t *testing.T) {
+	if _, err := NewTrapezoid(1, 1, 0.5, 0.5, 0.5); err != ErrInvalid {
+		t.Error("edges exceeding period must fail")
+	}
+	if _, err := NewTrapezoid(1, 1, 0, 0, 0); err != ErrInvalid {
+		t.Error("zero-duration pulse must fail")
+	}
+	if _, err := NewTrapezoid(1, 0, 0, 0.1, 0); err != ErrInvalid {
+		t.Error("zero period must fail")
+	}
+}
+
+// Waveform invariants that every implementation must satisfy:
+// |Avg| ≤ AbsAvg ≤ RMS ≤ Peak, and EffectiveDutyCycle ∈ [0, 1].
+func TestInvariantsAcrossImplementations(t *testing.T) {
+	prop := func(ampRaw, rRaw uint32) bool {
+		amp := 0.1 + float64(ampRaw%1000)/100
+		r := math.Max(1e-4, float64(rRaw%10000)/10000)
+		ws := []Waveform{DC{Value: amp}}
+		if u, err := NewUnipolarPulse(amp, 1e-9, r); err == nil {
+			ws = append(ws, u)
+		}
+		if b, err := NewBipolarPulse(amp, 1e-9, r); err == nil {
+			ws = append(ws, b)
+		}
+		if tr, err := NewTrapezoid(amp, 1, 0.1*r, 0.5*r, 0.2*r); err == nil {
+			ws = append(ws, tr)
+		}
+		for _, w := range ws {
+			const tol = 1e-9
+			if math.Abs(w.Avg()) > w.AbsAvg()+tol {
+				return false
+			}
+			if w.AbsAvg() > w.RMS()+tol {
+				return false
+			}
+			if w.RMS() > w.Peak()+tol {
+				return false
+			}
+			reff := EffectiveDutyCycle(w)
+			if reff < 0 || reff > 1+tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveDutyCycleRecoversR(t *testing.T) {
+	// For ideal unipolar and bipolar pulses reff must equal r exactly.
+	for _, r := range []float64{0.01, 0.1, 0.12, 0.5, 1} {
+		u, _ := NewUnipolarPulse(3, 1, r)
+		if !almost(EffectiveDutyCycle(u), r, 1e-12) {
+			t.Errorf("unipolar reff(%v) = %v", r, EffectiveDutyCycle(u))
+		}
+		if r < 1 {
+			b, _ := NewBipolarPulse(3, 1, r)
+			if !almost(EffectiveDutyCycle(b), r, 1e-12) {
+				t.Errorf("bipolar reff(%v) = %v", r, EffectiveDutyCycle(b))
+			}
+		}
+	}
+}
+
+func TestCrestFactor(t *testing.T) {
+	u, _ := NewUnipolarPulse(1, 1, 0.25)
+	if !almost(CrestFactor(u), 2, eps) {
+		t.Errorf("crest factor = %v, want 2", CrestFactor(u))
+	}
+	if !math.IsInf(CrestFactor(DC{Value: 0}), 1) {
+		t.Error("zero waveform crest factor should be +Inf")
+	}
+}
