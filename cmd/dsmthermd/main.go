@@ -1,0 +1,61 @@
+// Command dsmthermd is the long-running signoff service over the
+// dsmtherm library: an HTTP/JSON daemon serving self-consistent design
+// rules (Eq. 13), duty-cycle sweeps, batch netlist signoff, and
+// technology inspection, with a solve cache, a bounded worker pool, and
+// a /metrics endpoint.
+//
+//	dsmthermd -addr :8080 -workers 8 -cache 4096 -timeout 30s
+//
+// The daemon drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsmtherm/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 4096, "solve/deck cache capacity, entries (negative disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cache, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmthermd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, cache int, timeout, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Workers:        workers,
+		CacheEntries:   cache,
+		RequestTimeout: timeout,
+		DrainTimeout:   drain,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("dsmthermd: serving on %s (workers=%d cache=%d entries, timeout=%s)",
+		ln.Addr(), srv.Pool().Size(), srv.Cache().Capacity(), timeout)
+	err = srv.Run(ctx, ln)
+	if err == nil {
+		log.Printf("dsmthermd: drained, bye")
+	}
+	return err
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dsmtherm/internal/geometry"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+// TestErrorWrapping pins the package's error contract: every validation
+// failure is matchable with errors.Is against core.ErrInvalid, nested
+// causes stay matchable through the wrap, and solver failures carry
+// ErrNoSolution — the properties the server layer relies on to map
+// library errors to HTTP status codes.
+func TestErrorWrapping(t *testing.T) {
+	good := Problem{
+		Line: &geometry.Line{
+			Metal:  &material.Cu,
+			Width:  phys.Microns(3),
+			Thick:  phys.Microns(0.5),
+			Length: phys.Microns(1000),
+			Below:  geometry.Stack{{Material: &material.Oxide, Thickness: phys.Microns(3)}},
+		},
+		Model: thermal.Quasi2D(),
+		R:     0.1,
+		J0:    phys.MAPerCm2(0.6),
+	}
+
+	t.Run("invalid line wraps both sentinels", func(t *testing.T) {
+		p := good
+		bad := *good.Line
+		bad.Width = -1
+		p.Line = &bad
+		_, err := Solve(p)
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("want core.ErrInvalid, got %v", err)
+		}
+		if !errors.Is(err, geometry.ErrInvalid) {
+			t.Errorf("nested geometry.ErrInvalid not matchable through wrap: %v", err)
+		}
+	})
+
+	t.Run("validation failures all wrap ErrInvalid", func(t *testing.T) {
+		mutations := []func(*Problem){
+			func(p *Problem) { p.Line = nil },
+			func(p *Problem) { p.R = 0 },
+			func(p *Problem) { p.R = 1.5 },
+			func(p *Problem) { p.J0 = 0 },
+			func(p *Problem) { p.Tref = -1 },
+		}
+		for i, mut := range mutations {
+			p := good
+			mut(&p)
+			if _, err := Solve(p); !errors.Is(err, ErrInvalid) {
+				t.Errorf("mutation %d: want ErrInvalid, got %v", i, err)
+			}
+		}
+	})
+
+	t.Run("sweep wrap preserves sentinel", func(t *testing.T) {
+		if _, err := SweepDutyCycle(good, []float64{0.1, -1}); !errors.Is(err, ErrInvalid) {
+			t.Errorf("sweep at bad r: want ErrInvalid through the wrap, got %v", err)
+		}
+		p := good
+		p.J0 = phys.MAPerCm2(1e9) // absurd EM budget: no root below ceiling
+		if _, err := SweepDutyCycle(p, []float64{0.5}); !errors.Is(err, ErrNoSolution) {
+			t.Errorf("sweep at absurd j0: want ErrNoSolution through the wrap, got %v", err)
+		}
+	})
+}

@@ -80,7 +80,7 @@ func (p *Problem) Validate() error {
 		return fmt.Errorf("%w: nil line", ErrInvalid)
 	}
 	if err := p.Line.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalid, err)
+		return fmt.Errorf("%w: %w", ErrInvalid, err)
 	}
 	if p.R <= 0 || p.R > 1 {
 		return fmt.Errorf("%w: duty cycle %g outside (0,1]", ErrInvalid, p.R)
@@ -182,7 +182,7 @@ func SolveCoeff(p CoeffProblem) (Solution, error) {
 	}
 	tm, err := mathx.Brent(g, lo, hi, 1e-9)
 	if err != nil {
-		return Solution{}, fmt.Errorf("core: root search failed: %w", err)
+		return Solution{}, fmt.Errorf("%w: root search: %w", ErrNoSolution, err)
 	}
 	jrms := math.Sqrt(p.heatLimitedJrmsSq(tm))
 	sol := Solution{

@@ -1,0 +1,77 @@
+package netcheck
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CheckConcurrent is Check with the per-segment work fanned across up to
+// workers goroutines — the serving-path entry point, where one signoff
+// request may carry thousands of segments. The output is deterministic
+// and identical to Check's: findings are gathered in segment input order
+// before the report's verdict sort, and when segments fail their checks
+// the error reported is the lowest-index one — exactly the error the
+// serial path stops at. workers <= 0 selects GOMAXPROCS. Cancelling ctx
+// abandons unstarted segments and returns ctx.Err().
+func CheckConcurrent(ctx context.Context, cfg Config, segments []*Segment, workers int) (*Report, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	perNet := map[string]int{}
+	for _, s := range segments {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		perNet[s.Net]++
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(segments) {
+		workers = len(segments)
+	}
+	if workers <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return Check(cfg, segments)
+	}
+
+	findings := make([]Finding, len(segments))
+	errs := make([]error, len(segments))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segments) || ctx.Err() != nil {
+					return
+				}
+				s := segments[i]
+				f, err := checkSegment(cfg, s, perNet[s.Net])
+				if err != nil {
+					errs[i] = fmt.Errorf("netcheck: %s/%s: %w", s.Net, s.Name, err)
+					continue
+				}
+				findings[i] = f
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return assembleReport(cfg, findings), nil
+}

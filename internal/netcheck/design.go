@@ -53,15 +53,21 @@ type DesignFile struct {
 	Segments []SegmentSpec `json:"segments"`
 }
 
-// LoadDesign parses a design file and materializes the deck and segments
-// it describes.
-func LoadDesign(r io.Reader) (*rules.Deck, []*Segment, error) {
+// ParseDesign decodes (strictly — unknown fields are errors) a design
+// file without materializing anything.
+func ParseDesign(r io.Reader) (*DesignFile, error) {
 	var df DesignFile
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&df); err != nil {
-		return nil, nil, fmt.Errorf("netcheck: design file: %w", err)
+		return nil, fmt.Errorf("%w: design file: %v", ErrInvalid, err)
 	}
+	return &df, nil
+}
+
+// Tech materializes the technology the design file selects (node plus
+// any gap-fill / metal substitution).
+func (df *DesignFile) Tech() (*ntrs.Technology, error) {
 	var tech *ntrs.Technology
 	switch df.Node {
 	case "0.25", "250":
@@ -69,38 +75,68 @@ func LoadDesign(r io.Reader) (*rules.Deck, []*Segment, error) {
 	case "0.10", "0.1", "100":
 		tech = ntrs.N100()
 	default:
-		return nil, nil, fmt.Errorf("%w: unknown node %q", ErrInvalid, df.Node)
+		return nil, fmt.Errorf("%w: unknown node %q", ErrInvalid, df.Node)
 	}
 	if df.Gap != "" {
 		d, err := material.DielectricByName(df.Gap)
 		if err != nil {
-			return nil, nil, err
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 		}
 		tech = tech.WithGapFill(d)
 	}
 	if df.Metal != "" {
 		m, err := material.MetalByName(df.Metal)
 		if err != nil {
-			return nil, nil, err
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 		}
 		tech = tech.WithMetal(m)
 	}
+	return tech, nil
+}
+
+// Spec returns the rule-deck spec the design file implies. It is a pure
+// function of the file, so services can key deck caches on
+// (Node, Gap, Metal, J0MA) and reuse decks across requests.
+func (df *DesignFile) Spec() rules.Spec {
 	j0 := df.J0MA
 	if j0 == 0 {
 		j0 = 1.8
 	}
-	deck, err := rules.Generate(tech, rules.Spec{J0: phys.MAPerCm2(j0)})
-	if err != nil {
-		return nil, nil, err
-	}
+	return rules.Spec{J0: phys.MAPerCm2(j0)}
+}
 
+// MaterializeSegments builds the design's segments against tech (which
+// must be the technology the deck was generated for).
+func (df *DesignFile) MaterializeSegments(tech *ntrs.Technology) ([]*Segment, error) {
 	var segs []*Segment
 	for i, ss := range df.Segments {
 		seg, err := materializeSegment(tech, ss)
 		if err != nil {
-			return nil, nil, fmt.Errorf("netcheck: segment %d (%s/%s): %w", i, ss.Net, ss.Name, err)
+			return nil, fmt.Errorf("netcheck: segment %d (%s/%s): %w", i, ss.Net, ss.Name, err)
 		}
 		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+// LoadDesign parses a design file and materializes the deck and segments
+// it describes.
+func LoadDesign(r io.Reader) (*rules.Deck, []*Segment, error) {
+	df, err := ParseDesign(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	tech, err := df.Tech()
+	if err != nil {
+		return nil, nil, err
+	}
+	deck, err := rules.Generate(tech, df.Spec())
+	if err != nil {
+		return nil, nil, err
+	}
+	segs, err := df.MaterializeSegments(tech)
+	if err != nil {
+		return nil, nil, err
 	}
 	return deck, segs, nil
 }

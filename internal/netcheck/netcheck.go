@@ -194,15 +194,26 @@ func Check(cfg Config, segments []*Segment) (*Report, error) {
 		}
 		perNet[s.Net]++
 	}
-	rep := &Report{ByNet: map[string]Verdict{}, Tref: cfg.Deck.Spec.Tref}
+	findings := make([]Finding, 0, len(segments))
 	for _, s := range segments {
 		f, err := checkSegment(cfg, s, perNet[s.Net])
 		if err != nil {
 			return nil, fmt.Errorf("netcheck: %s/%s: %w", s.Net, s.Name, err)
 		}
-		rep.Findings = append(rep.Findings, f)
-		if v, ok := rep.ByNet[s.Net]; !ok || f.Verdict > v {
-			rep.ByNet[s.Net] = f.Verdict
+		findings = append(findings, f)
+	}
+	return assembleReport(cfg, findings), nil
+}
+
+// assembleReport builds the Report from findings listed in segment input
+// order: the per-net worst verdicts, then the worst-first stable sort.
+// Both Check and CheckConcurrent funnel through it, so their output is
+// identical for the same design.
+func assembleReport(cfg Config, findings []Finding) *Report {
+	rep := &Report{Findings: findings, ByNet: map[string]Verdict{}, Tref: cfg.Deck.Spec.Tref}
+	for _, f := range rep.Findings {
+		if v, ok := rep.ByNet[f.Segment.Net]; !ok || f.Verdict > v {
+			rep.ByNet[f.Segment.Net] = f.Verdict
 		}
 	}
 	sort.SliceStable(rep.Findings, func(i, j int) bool {
@@ -211,7 +222,7 @@ func Check(cfg Config, segments []*Segment) (*Report, error) {
 		}
 		return rep.Findings[i].Margin < rep.Findings[j].Margin
 	})
-	return rep, nil
+	return rep
 }
 
 func checkSegment(cfg Config, s *Segment, netSegments int) (Finding, error) {

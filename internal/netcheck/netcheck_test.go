@@ -11,7 +11,7 @@ import (
 	"dsmtherm/internal/waveform"
 )
 
-func testDeck(t *testing.T) *rules.Deck {
+func testDeck(t testing.TB) *rules.Deck {
 	t.Helper()
 	d, err := rules.Generate(ntrs.N250(), rules.Spec{J0: phys.MAPerCm2(1.8)})
 	if err != nil {
@@ -22,7 +22,7 @@ func testDeck(t *testing.T) *rules.Deck {
 
 // seg builds a segment carrying a bipolar signal current with the given
 // peak density (MA/cm²) on a minimum-width line of the level.
-func seg(t *testing.T, deck *rules.Deck, net, name string, level int, jPeakMA, lengthUm float64) *Segment {
+func seg(t testing.TB, deck *rules.Deck, net, name string, level int, jPeakMA, lengthUm float64) *Segment {
 	t.Helper()
 	layer, err := deck.Tech.Layer(level)
 	if err != nil {

@@ -1,0 +1,51 @@
+package rules
+
+import (
+	"errors"
+	"testing"
+
+	"dsmtherm/internal/ntrs"
+)
+
+// TestErrorWrapping pins the package's error contract: spec, technology
+// and level failures are all matchable with errors.Is against
+// rules.ErrInvalid — the property the server layer relies on to map
+// library errors to HTTP status codes.
+func TestErrorWrapping(t *testing.T) {
+	tech := ntrs.N250()
+
+	t.Run("bad spec", func(t *testing.T) {
+		if _, err := Generate(tech, Spec{SignalDutyCycle: -1}); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Generate bad spec: want ErrInvalid, got %v", err)
+		}
+		if _, err := GenerateLevel(tech, 1, Spec{SignalDutyCycle: 2}); !errors.Is(err, ErrInvalid) {
+			t.Errorf("GenerateLevel bad spec: want ErrInvalid, got %v", err)
+		}
+	})
+
+	t.Run("bad technology wraps ErrInvalid", func(t *testing.T) {
+		bad := &ntrs.Technology{Name: "broken"}
+		if _, err := Generate(bad, Spec{}); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Generate bad tech: want ErrInvalid, got %v", err)
+		}
+		if _, err := GenerateLevel(bad, 1, Spec{}); !errors.Is(err, ErrInvalid) {
+			t.Errorf("GenerateLevel bad tech: want ErrInvalid, got %v", err)
+		}
+	})
+
+	t.Run("bad level", func(t *testing.T) {
+		if _, err := GenerateLevel(tech, 99, Spec{}); !errors.Is(err, ErrInvalid) {
+			t.Errorf("GenerateLevel bad level: want ErrInvalid, got %v", err)
+		}
+		d, err := Generate(tech, Spec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.ByLevel(99); !errors.Is(err, ErrInvalid) {
+			t.Errorf("ByLevel: want ErrInvalid, got %v", err)
+		}
+		if _, err := d.CheckSignal(1, -1); !errors.Is(err, ErrInvalid) {
+			t.Errorf("CheckSignal: want ErrInvalid, got %v", err)
+		}
+	})
+}

@@ -139,7 +139,7 @@ func Generate(tech *ntrs.Technology, spec Spec) (*Deck, error) {
 		return nil, err
 	}
 	if err := tech.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrInvalid, err)
 	}
 	d := &Deck{Tech: tech, Spec: spec}
 	for _, layer := range tech.Layers {
@@ -150,6 +150,27 @@ func Generate(tech *ntrs.Technology, spec Spec) (*Deck, error) {
 		d.Rules = append(d.Rules, r)
 	}
 	return d, nil
+}
+
+// GenerateLevel builds the rule for a single metallization level without
+// generating the whole deck — the entry point long-running services use
+// to answer one-level queries cheaply.
+func GenerateLevel(tech *ntrs.Technology, level int, spec Spec) (LevelRule, error) {
+	if err := spec.Validate(); err != nil {
+		return LevelRule{}, err
+	}
+	if err := tech.Validate(); err != nil {
+		return LevelRule{}, fmt.Errorf("%w: %w", ErrInvalid, err)
+	}
+	layer, err := tech.Layer(level)
+	if err != nil {
+		return LevelRule{}, fmt.Errorf("%w: %w", ErrInvalid, err)
+	}
+	r, err := generateLevel(tech, *layer, spec)
+	if err != nil {
+		return LevelRule{}, fmt.Errorf("rules: %s M%d: %w", tech.Name, level, err)
+	}
+	return r, nil
 }
 
 func generateLevel(tech *ntrs.Technology, layer ntrs.MetalLayer, spec Spec) (LevelRule, error) {

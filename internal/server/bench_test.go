@@ -1,0 +1,97 @@
+package server
+
+// Serving-path benchmarks: the cache and the end-to-end /v1/rules
+// handler, cold vs. hot. Run with:
+//
+//	go test -bench=. -benchmem ./internal/server/
+//
+// BenchmarkServerRulesCached is the headline serving number — the cost
+// of answering a rules query when the nonlinear solve is amortized away.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchServer(b *testing.B, cacheEntries int) *httptest.Server {
+	b.Helper()
+	s := New(Config{Workers: 4, CacheEntries: cacheEntries})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func doRules(b *testing.B, ts *httptest.Server, body string) {
+	b.Helper()
+	resp, err := http.Post(ts.URL+"/v1/rules", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// BenchmarkServerRulesCached serves one identical rules query repeatedly:
+// after the first iteration every solve is a cache hit.
+func BenchmarkServerRulesCached(b *testing.B) {
+	ts := benchServer(b, 1024)
+	body := `{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`
+	doRules(b, ts, body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doRules(b, ts, body)
+	}
+}
+
+// BenchmarkServerRulesUncached disables the cache: every request pays the
+// nonlinear solve and the deck-row generation. The gap to the cached
+// benchmark is what the cache buys on the serving path.
+func BenchmarkServerRulesUncached(b *testing.B) {
+	ts := benchServer(b, -1)
+	body := `{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doRules(b, ts, body)
+	}
+}
+
+// BenchmarkCacheGetHit measures the raw shard-lock + LRU-promote cost.
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := NewCache(4096)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("solve|0.25|||5|r%d", i)
+		c.Add(keys[i], solveResult{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkCacheGetHitParallel exercises shard-level contention.
+func BenchmarkCacheGetHitParallel(b *testing.B) {
+	c := NewCache(4096)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("solve|0.25|||5|r%d", i)
+		c.Add(keys[i], solveResult{})
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, ok := c.Get(keys[i%len(keys)]); !ok {
+				b.Fatal("unexpected miss")
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a sharded, size-bounded LRU keyed on canonicalized solve
+// inputs. Deck generation and core.Solve are deterministic functions of
+// their inputs, so a hit can skip the nonlinear solve (or a whole deck
+// build) entirely; sharding keeps lock contention off the serving path
+// when many requests land on different keys at once.
+type Cache struct {
+	shards []*cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	evicts atomic.Uint64
+}
+
+// cacheShards is the fixed shard count; a power of two so the hash can
+// mask instead of mod.
+const cacheShards = 16
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache builds a cache bounded to capacity entries in total (rounded
+// up to the shard count). capacity <= 0 disables caching: Get always
+// misses and Add drops.
+func NewCache(capacity int) *Cache {
+	c := &Cache{}
+	if capacity <= 0 {
+		return c
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	c.shards = make([]*cacheShard, cacheShards)
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap: per,
+			lru: list.New(),
+			m:   make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined to keep key → shard routing
+// allocation-free.
+func fnv1a(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return c.shards[fnv1a(key)&(cacheShards-1)]
+}
+
+// Get returns the cached value for key, promoting it to most-recent.
+func (c *Cache) Get(key string) (any, bool) {
+	if len(c.shards) == 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add inserts (or refreshes) a key, evicting the least-recent entry of
+// the key's shard when the shard is full.
+func (c *Cache) Add(key string, val any) {
+	if len(c.shards) == 0 {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.lru.PushFront(&cacheEntry{key: key, val: val})
+	if s.lru.Len() > s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+		c.evicts.Add(1)
+	}
+}
+
+// Len returns the total entry count across shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total bound (0 when disabled).
+func (c *Cache) Capacity() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.cap
+	}
+	return n
+}
+
+// CacheStats is the cache section of the /metrics document.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicts.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.Capacity(),
+	}
+}

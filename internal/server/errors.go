@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/netcheck"
+	"dsmtherm/internal/rules"
+	"dsmtherm/internal/thermal"
+)
+
+// ErrBadRequest marks request-shape problems detected by the server
+// itself (unknown node, malformed JSON, missing fields) — everything the
+// client can fix by changing the request.
+var ErrBadRequest = errors.New("server: bad request")
+
+// apiError is the structured JSON error body every non-2xx response
+// carries.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// classify maps an error to (HTTP status, machine-readable code). The
+// library packages all wrap their sentinels (core.ErrInvalid,
+// rules.ErrInvalid, netcheck.ErrInvalid, thermal.ErrInvalid), so the
+// mapping is an errors.Is chain, not string matching.
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, core.ErrInvalid),
+		errors.Is(err, rules.ErrInvalid),
+		errors.Is(err, netcheck.ErrInvalid),
+		errors.Is(err, thermal.ErrInvalid):
+		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, core.ErrNoSolution):
+		// A well-formed problem with no self-consistent operating point:
+		// semantically unprocessable, not malformed.
+		return http.StatusUnprocessableEntity, "no_solution"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is moot but keeps logs honest.
+		return http.StatusServiceUnavailable, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// writeError renders err as a structured JSON error response.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := classify(err)
+	var body apiError
+	body.Error.Code = code
+	body.Error.Message = err.Error()
+	writeJSON(w, status, body)
+}
+
+// badRequestf builds an ErrBadRequest-wrapped error.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}

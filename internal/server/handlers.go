@@ -1,0 +1,445 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/netcheck"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/rules"
+)
+
+// decodeJSON strictly decodes a request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: body: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// RulesRequest asks for the self-consistent operating limits of one
+// metallization level at one duty cycle. Units are designer-friendly:
+// current densities MA/cm², lengths µm, temperatures °C.
+type RulesRequest struct {
+	Node      string  `json:"node"`                // "0.25" (default) or "0.10"
+	Level     int     `json:"level"`               // metallization level, 1-based
+	DutyCycle float64 `json:"dutyCycle,omitempty"` // default 0.1 (§4 signal reff)
+	J0MA      float64 `json:"j0MA,omitempty"`      // EM budget at Tref; default 1.8
+	Gap       string  `json:"gap,omitempty"`       // gap-fill dielectric swap
+	Metal     string  `json:"metal,omitempty"`     // metal swap
+	TrefC     float64 `json:"trefC,omitempty"`     // default 100
+	LengthUm  float64 `json:"lengthUm,omitempty"`  // default 2000 (thermally long)
+}
+
+// SolveJSON is one self-consistent solution in report units.
+type SolveJSON struct {
+	TmC           float64 `json:"tmC"`
+	DeltaT        float64 `json:"deltaT"`
+	JpeakMA       float64 `json:"jpeakMA"`
+	JrmsMA        float64 `json:"jrmsMA"`
+	JavgMA        float64 `json:"javgMA"`
+	EMOnlyJpeakMA float64 `json:"emOnlyJpeakMA"`
+	Derating      float64 `json:"derating"`
+}
+
+func solveJSON(sol core.Solution) SolveJSON {
+	return SolveJSON{
+		TmC:           phys.KToC(sol.Tm),
+		DeltaT:        sol.DeltaT,
+		JpeakMA:       phys.ToMAPerCm2(sol.Jpeak),
+		JrmsMA:        phys.ToMAPerCm2(sol.Jrms),
+		JavgMA:        phys.ToMAPerCm2(sol.Javg),
+		EMOnlyJpeakMA: phys.ToMAPerCm2(sol.EMOnlyJpeak),
+		Derating:      sol.DeratingVsNaive,
+	}
+}
+
+// LevelRuleJSON is a deck row in report units.
+type LevelRuleJSON struct {
+	Level                int     `json:"level"`
+	Class                string  `json:"class"`
+	SignalJpeakMA        float64 `json:"signalJpeakMA"`
+	SignalJrmsMA         float64 `json:"signalJrmsMA"`
+	SignalJavgMA         float64 `json:"signalJavgMA"`
+	SignalTmC            float64 `json:"signalTmC"`
+	PowerJMA             float64 `json:"powerJMA"`
+	PowerTmC             float64 `json:"powerTmC"`
+	HealingLengthUm      float64 `json:"healingLengthUm"`
+	ThermallyLongAboveUm float64 `json:"thermallyLongAboveUm"`
+	BlechImmortalBelowUm float64 `json:"blechImmortalBelowUm,omitempty"`
+	ESDWidthNoDamageUm   float64 `json:"esdWidthNoDamageUm,omitempty"`
+	ESDWidthNoOpenUm     float64 `json:"esdWidthNoOpenUm,omitempty"`
+}
+
+func levelRuleJSON(r rules.LevelRule) LevelRuleJSON {
+	return LevelRuleJSON{
+		Level:                r.Level,
+		Class:                r.Class.String(),
+		SignalJpeakMA:        phys.ToMAPerCm2(r.SignalJpeak),
+		SignalJrmsMA:         phys.ToMAPerCm2(r.SignalJrms),
+		SignalJavgMA:         phys.ToMAPerCm2(r.SignalJavg),
+		SignalTmC:            phys.KToC(r.SignalTm),
+		PowerJMA:             phys.ToMAPerCm2(r.PowerJ),
+		PowerTmC:             phys.KToC(r.PowerTm),
+		HealingLengthUm:      phys.ToMicrons(r.HealingLength),
+		ThermallyLongAboveUm: phys.ToMicrons(r.ThermallyLongAbove),
+		BlechImmortalBelowUm: phys.ToMicrons(r.BlechImmortalBelow),
+		ESDWidthNoDamageUm:   phys.ToMicrons(r.ESDWidthNoDamage),
+		ESDWidthNoOpenUm:     phys.ToMicrons(r.ESDWidthNoOpen),
+	}
+}
+
+// RulesResponse carries the solve at the requested duty cycle plus the
+// standard deck row for the level.
+type RulesResponse struct {
+	Node      string        `json:"node"`
+	Level     int           `json:"level"`
+	DutyCycle float64       `json:"dutyCycle"`
+	J0MA      float64       `json:"j0MA"`
+	Solve     SolveJSON     `json:"solve"`
+	Rule      LevelRuleJSON `json:"rule"`
+	// Cached reports whether the solve was answered from the cache.
+	Cached bool `json:"cached"`
+}
+
+func (req *RulesRequest) defaults() {
+	if req.Node == "" {
+		req.Node = "0.25"
+	}
+	if req.DutyCycle == 0 {
+		req.DutyCycle = 0.1
+	}
+	if req.J0MA == 0 {
+		req.J0MA = 1.8
+	}
+	if req.TrefC == 0 {
+		req.TrefC = 100
+	}
+	if req.LengthUm == 0 {
+		req.LengthUm = 2000
+	}
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	var req RulesRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	req.defaults()
+	tech, err := resolveTech(req.Node, req.Gap, req.Metal)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	line, err := tech.Line(req.Level, phys.Microns(req.LengthUm))
+	if err != nil {
+		writeError(w, badRequestf("%v", err))
+		return
+	}
+	spec := rules.Spec{J0: phys.MAPerCm2(req.J0MA), Tref: phys.CToK(req.TrefC)}
+	if err := spec.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	sol, hit, err := s.solveCached(
+		solveKey(req.Node, req.Gap, req.Metal, req.Level, line.Length,
+			req.DutyCycle, req.J0MA, req.TrefC),
+		core.Problem{
+			Line:  line,
+			Model: *spec.Model,
+			R:     req.DutyCycle,
+			J0:    phys.MAPerCm2(req.J0MA),
+			Tref:  phys.CToK(req.TrefC),
+		})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rule, err := s.levelRuleCached(
+		levelRuleKey(req.Node, req.Gap, req.Metal, req.Level, req.J0MA),
+		tech, req.Level, spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RulesResponse{
+		Node:      req.Node,
+		Level:     req.Level,
+		DutyCycle: req.DutyCycle,
+		J0MA:      req.J0MA,
+		Solve:     solveJSON(sol),
+		Rule:      levelRuleJSON(rule),
+		Cached:    hit,
+	})
+}
+
+// SweepRequest asks for a duty-cycle sweep on one level — the Fig. 2/3
+// horizontal axis, fanned across the worker pool.
+type SweepRequest struct {
+	Node     string  `json:"node"`
+	Level    int     `json:"level"`
+	J0MA     float64 `json:"j0MA,omitempty"`
+	Gap      string  `json:"gap,omitempty"`
+	Metal    string  `json:"metal,omitempty"`
+	TrefC    float64 `json:"trefC,omitempty"`
+	LengthUm float64 `json:"lengthUm,omitempty"`
+	// Points selects the log-spaced 1e-4…1 grid size (default 13);
+	// DutyCycles, when non-empty, overrides the grid entirely.
+	Points     int       `json:"points,omitempty"`
+	DutyCycles []float64 `json:"dutyCycles,omitempty"`
+}
+
+// SweepPointJSON is one sweep result row.
+type SweepPointJSON struct {
+	R float64 `json:"r"`
+	SolveJSON
+}
+
+// SweepResponse returns points in request order.
+type SweepResponse struct {
+	Node   string           `json:"node"`
+	Level  int              `json:"level"`
+	J0MA   float64          `json:"j0MA"`
+	Points []SweepPointJSON `json:"points"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Node == "" {
+		req.Node = "0.25"
+	}
+	if req.J0MA == 0 {
+		req.J0MA = 1.8
+	}
+	if req.TrefC == 0 {
+		req.TrefC = 100
+	}
+	if req.LengthUm == 0 {
+		req.LengthUm = 2000
+	}
+	if req.Points == 0 {
+		req.Points = 13
+	}
+	tech, err := resolveTech(req.Node, req.Gap, req.Metal)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	line, err := tech.Line(req.Level, phys.Microns(req.LengthUm))
+	if err != nil {
+		writeError(w, badRequestf("%v", err))
+		return
+	}
+	rs := req.DutyCycles
+	if len(rs) == 0 {
+		rs = core.Fig2DutyCycles(req.Points)
+	}
+	if len(rs) > s.cfg.MaxSweepPoints {
+		writeError(w, badRequestf("%d sweep points exceeds limit %d", len(rs), s.cfg.MaxSweepPoints))
+		return
+	}
+	spec := rules.Spec{J0: phys.MAPerCm2(req.J0MA), Tref: phys.CToK(req.TrefC)}
+	if err := spec.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+
+	points := make([]SweepPointJSON, len(rs))
+	err = s.pool.ForEach(r.Context(), len(rs), func(ctx context.Context, i int) error {
+		duty := rs[i]
+		sol, _, err := s.solveCached(
+			solveKey(req.Node, req.Gap, req.Metal, req.Level, line.Length,
+				duty, req.J0MA, req.TrefC),
+			core.Problem{
+				Line:  line,
+				Model: *spec.Model,
+				R:     duty,
+				J0:    phys.MAPerCm2(req.J0MA),
+				Tref:  phys.CToK(req.TrefC),
+			})
+		if err != nil {
+			return fmt.Errorf("sweep at r=%g: %w", duty, err)
+		}
+		points[i] = SweepPointJSON{R: duty, SolveJSON: solveJSON(sol)}
+		s.metrics.SweepPoints.Add(1)
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{
+		Node: req.Node, Level: req.Level, J0MA: req.J0MA, Points: points,
+	})
+}
+
+// FindingJSON is one netcheck finding in report units.
+type FindingJSON struct {
+	Net            string  `json:"net"`
+	Segment        string  `json:"segment"`
+	Level          int     `json:"level"`
+	JpeakMA        float64 `json:"jpeakMA"`
+	JrmsMA         float64 `json:"jrmsMA"`
+	JavgMA         float64 `json:"javgMA"`
+	Reff           float64 `json:"reff"`
+	LimitMA        float64 `json:"limitMA"`
+	Margin         float64 `json:"margin"`
+	TmC            float64 `json:"tmC"`
+	ThermallyShort bool    `json:"thermallyShort,omitempty"`
+	BlechImmortal  bool    `json:"blechImmortal,omitempty"`
+	Verdict        string  `json:"verdict"`
+}
+
+// NetcheckResponse is the batch signoff result, findings worst-first
+// (the netcheck report order).
+type NetcheckResponse struct {
+	Worst      string            `json:"worst"`
+	ByNet      map[string]string `json:"byNet"`
+	Findings   []FindingJSON     `json:"findings"`
+	Segments   int               `json:"segments"`
+	DeckCached bool              `json:"deckCached"`
+}
+
+func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
+	df, err := netcheck.ParseDesign(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tech, err := df.Tech()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	deck, deckHit, err := s.deckCached(deckKey(df.Node, df.Gap, df.Metal, df.J0MA), tech, df.Spec())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	segs, err := df.MaterializeSegments(deck.Tech)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rep, err := netcheck.CheckConcurrent(r.Context(), netcheck.Config{Deck: deck}, segs, s.pool.Size())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.SegsChecked.Add(uint64(len(segs)))
+
+	resp := NetcheckResponse{
+		Worst:      rep.Worst().String(),
+		ByNet:      make(map[string]string, len(rep.ByNet)),
+		Findings:   make([]FindingJSON, 0, len(rep.Findings)),
+		Segments:   len(segs),
+		DeckCached: deckHit,
+	}
+	for net, v := range rep.ByNet {
+		resp.ByNet[net] = v.String()
+	}
+	for _, f := range rep.Findings {
+		resp.Findings = append(resp.Findings, FindingJSON{
+			Net:            f.Segment.Net,
+			Segment:        f.Segment.Name,
+			Level:          f.Segment.Level,
+			JpeakMA:        phys.ToMAPerCm2(f.Jpeak),
+			JrmsMA:         phys.ToMAPerCm2(f.Jrms),
+			JavgMA:         phys.ToMAPerCm2(f.Javg),
+			Reff:           f.Reff,
+			LimitMA:        phys.ToMAPerCm2(f.Limit),
+			Margin:         f.Margin,
+			TmC:            phys.KToC(f.Tm),
+			ThermallyShort: f.ThermallyShort,
+			BlechImmortal:  f.BlechImmortal,
+			Verdict:        f.Verdict.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// TechLayerJSON is one metallization level of the tech response.
+type TechLayerJSON struct {
+	Level           int     `json:"level"`
+	Class           string  `json:"class"`
+	WidthUm         float64 `json:"widthUm"`
+	ThickUm         float64 `json:"thickUm"`
+	PitchUm         float64 `json:"pitchUm"`
+	ILDUm           float64 `json:"ildUm"`
+	SheetOhmsPerSq  float64 `json:"sheetOhmsPerSq"`
+	AspectRatio     float64 `json:"aspectRatio"`
+	HealingLengthUm float64 `json:"healingLengthUm"`
+}
+
+// TechResponse describes one technology.
+type TechResponse struct {
+	Name      string          `json:"name"`
+	FeatureUm float64         `json:"featureUm"`
+	Vdd       float64         `json:"vdd"`
+	ClockMHz  float64         `json:"clockMHz"`
+	Metal     string          `json:"metal"`
+	ILD       string          `json:"ild"`
+	Gap       string          `json:"gap"`
+	Layers    []TechLayerJSON `json:"layers"`
+}
+
+func (s *Server) handleTech(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	tech, err := resolveTech(q.Get("node"), q.Get("gap"), q.Get("metal"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := TechResponse{
+		Name:      tech.Name,
+		FeatureUm: phys.ToMicrons(tech.Feature),
+		Vdd:       tech.Vdd,
+		ClockMHz:  tech.Clock / 1e6,
+		Metal:     tech.Metal.Name,
+		ILD:       tech.ILD.Name,
+		Gap:       tech.Gap.Name,
+	}
+	model := rules.Spec{}
+	if err := model.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	for _, l := range tech.Layers {
+		line, err := tech.Line(l.Level, model.ReferenceLength)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Layers = append(resp.Layers, TechLayerJSON{
+			Level:           l.Level,
+			Class:           l.Class.String(),
+			WidthUm:         phys.ToMicrons(l.Width),
+			ThickUm:         phys.ToMicrons(l.Thick),
+			PitchUm:         phys.ToMicrons(l.Pitch),
+			ILDUm:           phys.ToMicrons(l.ILD),
+			SheetOhmsPerSq:  tech.Metal.SheetResistance(l.Thick, material.Tref100C),
+			AspectRatio:     l.AspectRatio(),
+			HealingLengthUm: phys.ToMicrons(model.Model.HealingLength(line)),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}

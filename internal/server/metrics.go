@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's observability surface: expvar-style atomic
+// counters, exported as one JSON document on GET /metrics. Everything is
+// monotonic except the in-flight gauge, so scrapers can rate() the
+// counters without resets.
+type Metrics struct {
+	start    time.Time
+	inFlight atomic.Int64
+
+	mu        sync.RWMutex
+	endpoints map[string]*EndpointStats
+
+	// Solver counters: every core.Solve the service runs (cache misses)
+	// vs. solves answered from the cache, plus solves that ended in
+	// ErrNoSolution (thermal runaway / exhausted EM budget).
+	Solves       atomic.Uint64
+	SolveCached  atomic.Uint64
+	SolveNanos   atomic.Uint64
+	NoSolution   atomic.Uint64
+	SegsChecked  atomic.Uint64
+	SweepPoints  atomic.Uint64
+	DecksBuilt   atomic.Uint64
+	DeckCacheHit atomic.Uint64
+}
+
+// EndpointStats aggregates one route's traffic.
+type EndpointStats struct {
+	Requests   atomic.Uint64
+	Errors     atomic.Uint64 // responses with status >= 400
+	TotalNanos atomic.Uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*EndpointStats)}
+}
+
+// Endpoint returns (creating if needed) the stats bucket for a route.
+func (m *Metrics) Endpoint(route string) *EndpointStats {
+	m.mu.RLock()
+	es := m.endpoints[route]
+	m.mu.RUnlock()
+	if es != nil {
+		return es
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if es = m.endpoints[route]; es == nil {
+		es = &EndpointStats{}
+		m.endpoints[route] = es
+	}
+	return es
+}
+
+// ObserveSolve records one solver invocation.
+func (m *Metrics) ObserveSolve(d time.Duration, err error) {
+	m.Solves.Add(1)
+	m.SolveNanos.Add(uint64(d.Nanoseconds()))
+	if err != nil {
+		m.NoSolution.Add(1)
+	}
+}
+
+// endpointSnapshot is the JSON shape of one route's stats.
+type endpointSnapshot struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	AvgLatencyMs float64 `json:"avgLatencyMs"`
+}
+
+// Snapshot is the JSON document served on /metrics.
+type Snapshot struct {
+	UptimeSec float64                     `json:"uptimeSec"`
+	InFlight  int64                       `json:"inFlight"`
+	Endpoints map[string]endpointSnapshot `json:"endpoints"`
+	Cache     CacheStats                  `json:"cache"`
+	Solver    solverSnapshot              `json:"solver"`
+	Netcheck  netcheckSnapshot            `json:"netcheck"`
+}
+
+type solverSnapshot struct {
+	Solves       uint64  `json:"solves"`
+	CacheHits    uint64  `json:"cacheHits"`
+	NoSolution   uint64  `json:"noSolution"`
+	AvgSolveUs   float64 `json:"avgSolveUs"`
+	SweepPoints  uint64  `json:"sweepPoints"`
+	DecksBuilt   uint64  `json:"decksBuilt"`
+	DeckCacheHit uint64  `json:"deckCacheHits"`
+}
+
+type netcheckSnapshot struct {
+	SegmentsChecked uint64 `json:"segmentsChecked"`
+}
+
+// SnapshotNow collects the current counter values.
+func (m *Metrics) SnapshotNow(cache *Cache) Snapshot {
+	s := Snapshot{
+		UptimeSec: time.Since(m.start).Seconds(),
+		InFlight:  m.inFlight.Load(),
+		Endpoints: make(map[string]endpointSnapshot),
+	}
+	m.mu.RLock()
+	routes := make([]string, 0, len(m.endpoints))
+	for r := range m.endpoints {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		es := m.endpoints[r]
+		n := es.Requests.Load()
+		snap := endpointSnapshot{Requests: n, Errors: es.Errors.Load()}
+		if n > 0 {
+			snap.AvgLatencyMs = float64(es.TotalNanos.Load()) / float64(n) / 1e6
+		}
+		s.Endpoints[r] = snap
+	}
+	m.mu.RUnlock()
+	if cache != nil {
+		s.Cache = cache.Stats()
+	}
+	s.Solver = solverSnapshot{
+		Solves:       m.Solves.Load(),
+		CacheHits:    m.SolveCached.Load(),
+		NoSolution:   m.NoSolution.Load(),
+		SweepPoints:  m.SweepPoints.Load(),
+		DecksBuilt:   m.DecksBuilt.Load(),
+		DeckCacheHit: m.DeckCacheHit.Load(),
+	}
+	if n := m.Solves.Load(); n > 0 {
+		s.Solver.AvgSolveUs = float64(m.SolveNanos.Load()) / float64(n) / 1e3
+	}
+	s.Netcheck = netcheckSnapshot{SegmentsChecked: m.SegsChecked.Load()}
+	return s
+}
+
+// instrument wraps a handler with request counting, latency accounting
+// and the in-flight gauge.
+func (m *Metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	es := m.Endpoint(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		m.inFlight.Add(-1)
+		es.Requests.Add(1)
+		es.TotalNanos.Add(uint64(time.Since(start).Nanoseconds()))
+		if sw.status >= 400 {
+			es.Errors.Add(1)
+		}
+	}
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

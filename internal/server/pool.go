@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool is a counting-semaphore worker pool shared by all requests: it
+// bounds the total solver concurrency of the daemon regardless of how
+// many requests are in flight, so a burst of wide sweeps cannot fork an
+// unbounded number of goroutines.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool builds a pool admitting n concurrent tasks (n >= 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size returns the concurrency bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// ForEach runs fn(0..n-1) across the pool, blocking until every started
+// task finishes. The first task error cancels the derived context,
+// stops new tasks from being scheduled, and is returned; if the caller's
+// ctx is cancelled first, unscheduled indices are abandoned and the
+// cancellation error is returned. Tasks observe cancellation through the
+// ctx they receive.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	var wg sync.WaitGroup
+loop:
+	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			break loop
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			if err := fn(ctx, i); err != nil {
+				cancel(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForEachRunsAll(t *testing.T) {
+	p := NewPool(4)
+	var ran [100]atomic.Bool
+	err := p.ForEach(context.Background(), len(ran), func(ctx context.Context, i int) error {
+		ran[i].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const n = 3
+	p := NewPool(n)
+	var cur, peak atomic.Int64
+	err := p.ForEach(context.Background(), 50, func(ctx context.Context, i int) error {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk := peak.Load(); pk > n {
+		t.Errorf("observed %d concurrent tasks, pool bound %d", pk, n)
+	}
+}
+
+func TestPoolForEachError(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	var after atomic.Int64
+	err := p.ForEach(context.Background(), 1000, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		after.Add(1)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if n := after.Load(); n > 900 {
+		t.Errorf("error did not stop scheduling: %d tasks ran", n)
+	}
+}
+
+func TestPoolForEachCancel(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.ForEach(ctx, 10, func(ctx context.Context, i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

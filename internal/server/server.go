@@ -1,0 +1,299 @@
+// Package server is the long-running serving layer over the dsmtherm
+// library: an HTTP/JSON daemon exposing self-consistent design rules
+// (Eq. 13), duty-cycle sweeps, and batch netlist signoff as a service.
+//
+// The one-shot CLIs rebuild the rules deck and re-solve the nonlinear
+// self-consistent equation from scratch on every invocation; the server
+// amortizes that work across requests with a sharded LRU keyed on
+// canonicalized solve inputs (deck generation and core.Solve are
+// deterministic, so a hit skips the solve entirely), bounds solver
+// concurrency with a shared worker pool, and exports request, cache and
+// solver counters on /metrics.
+//
+// Routes:
+//
+//	POST /v1/rules    — self-consistent limits for one node/level/duty cycle
+//	POST /v1/sweep    — duty-cycle sweep fanned across the worker pool
+//	POST /v1/netcheck — batch signoff of a netcheck design JSON
+//	GET  /v1/tech     — technology inspection
+//	GET  /metrics     — counters (JSON)
+//	GET  /healthz     — liveness
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/rules"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers bounds concurrent solver tasks across all requests
+	// (default GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the solve/deck cache (default 4096; negative
+	// disables caching).
+	CacheEntries int
+	// RequestTimeout caps one request's work (default 30s).
+	RequestTimeout time.Duration
+	// DrainTimeout caps graceful-shutdown draining (default 15s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxSweepPoints caps one sweep request's fan-out (default 4096).
+	MaxSweepPoints int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
+}
+
+// Server holds the shared state behind the handlers.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// testHookStarted, when set (tests only), is called once a request
+	// is past metrics accounting — it lets shutdown tests hold a request
+	// in flight deterministically.
+	testHookStarted func(route string)
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers),
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: NewMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/rules", s.handleRules)
+	s.route("POST /v1/sweep", s.handleSweep)
+	s.route("POST /v1/netcheck", s.handleNetcheck)
+	s.route("GET /v1/tech", s.handleTech)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	routeName := pattern[strings.IndexByte(pattern, ' ')+1:]
+	s.mux.HandleFunc(pattern, s.metrics.instrument(routeName, func(w http.ResponseWriter, r *http.Request) {
+		if s.testHookStarted != nil {
+			s.testHookStarted(routeName)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	}))
+}
+
+// Handler returns the daemon's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counter registry (tests and the daemon banner).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the solve cache (tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Pool exposes the worker pool (the daemon banner).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Run serves on ln until ctx is cancelled, then shuts down gracefully,
+// draining in-flight requests for up to Config.DrainTimeout. It returns
+// nil after a clean drain.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	<-errc // http.ErrServerClosed
+	return nil
+}
+
+// resolveTech maps request-level technology selectors to a Technology.
+func resolveTech(node, gap, metal string) (*ntrs.Technology, error) {
+	var tech *ntrs.Technology
+	switch node {
+	case "", "0.25", "250":
+		tech = ntrs.N250()
+	case "0.10", "0.1", "100":
+		tech = ntrs.N100()
+	default:
+		return nil, badRequestf("unknown node %q (want 0.25 or 0.10)", node)
+	}
+	if gap != "" {
+		d, err := material.DielectricByName(gap)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		tech = tech.WithGapFill(d)
+	}
+	if metal != "" {
+		m, err := material.MetalByName(metal)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		tech = tech.WithMetal(m)
+	}
+	return tech, nil
+}
+
+// Canonical cache keys. Floats are rendered with strconv 'x' (hex, exact
+// round-trip), so two requests hit the same entry iff their solve inputs
+// are bit-identical — no tolerance guessing, no false sharing.
+func keyFloat(b *strings.Builder, x float64) {
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(x, 'x', -1, 64))
+}
+
+// solveKey canonicalizes one self-consistent solve on a technology level.
+func solveKey(node, gap, metal string, level int, lengthM, r, j0, tref float64) string {
+	var b strings.Builder
+	b.WriteString("solve|")
+	b.WriteString(node)
+	b.WriteByte('|')
+	b.WriteString(gap)
+	b.WriteByte('|')
+	b.WriteString(metal)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(level))
+	keyFloat(&b, lengthM)
+	keyFloat(&b, r)
+	keyFloat(&b, j0)
+	keyFloat(&b, tref)
+	return b.String()
+}
+
+// levelRuleKey canonicalizes one deck-level rule generation.
+func levelRuleKey(node, gap, metal string, level int, j0 float64) string {
+	var b strings.Builder
+	b.WriteString("rule|")
+	b.WriteString(node)
+	b.WriteByte('|')
+	b.WriteString(gap)
+	b.WriteByte('|')
+	b.WriteString(metal)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(level))
+	keyFloat(&b, j0)
+	return b.String()
+}
+
+// deckKey canonicalizes a whole-deck generation (netcheck path).
+func deckKey(node, gap, metal string, j0MA float64) string {
+	var b strings.Builder
+	b.WriteString("deck|")
+	b.WriteString(node)
+	b.WriteByte('|')
+	b.WriteString(gap)
+	b.WriteByte('|')
+	b.WriteString(metal)
+	keyFloat(&b, j0MA)
+	return b.String()
+}
+
+// solveResult is what the cache stores for a solve key: the outcome,
+// success or not. Solves are deterministic, so remembering failures
+// (ErrNoSolution, validation errors) is as sound as remembering
+// solutions and shields the solver from repeated doomed requests.
+type solveResult struct {
+	sol core.Solution
+	err error
+}
+
+// solveCached runs core.Solve through the cache.
+func (s *Server) solveCached(key string, p core.Problem) (core.Solution, bool, error) {
+	if v, ok := s.cache.Get(key); ok {
+		res := v.(solveResult)
+		s.metrics.SolveCached.Add(1)
+		return res.sol, true, res.err
+	}
+	start := time.Now()
+	sol, err := core.Solve(p)
+	s.metrics.ObserveSolve(time.Since(start), err)
+	s.cache.Add(key, solveResult{sol: sol, err: err})
+	return sol, false, err
+}
+
+// levelRuleCached runs rules.GenerateLevel through the cache.
+func (s *Server) levelRuleCached(key string, tech *ntrs.Technology, level int, spec rules.Spec) (rules.LevelRule, error) {
+	if v, ok := s.cache.Get(key); ok {
+		s.metrics.DeckCacheHit.Add(1)
+		res := v.(levelRuleResult)
+		return res.rule, res.err
+	}
+	rule, err := rules.GenerateLevel(tech, level, spec)
+	s.metrics.DecksBuilt.Add(1)
+	s.cache.Add(key, levelRuleResult{rule: rule, err: err})
+	return rule, err
+}
+
+type levelRuleResult struct {
+	rule rules.LevelRule
+	err  error
+}
+
+// deckCached runs rules.Generate through the cache.
+func (s *Server) deckCached(key string, tech *ntrs.Technology, spec rules.Spec) (*rules.Deck, bool, error) {
+	if v, ok := s.cache.Get(key); ok {
+		s.metrics.DeckCacheHit.Add(1)
+		res := v.(deckResult)
+		return res.deck, true, res.err
+	}
+	deck, err := rules.Generate(tech, spec)
+	s.metrics.DecksBuilt.Add(1)
+	s.cache.Add(key, deckResult{deck: deck, err: err})
+	return deck, false, err
+}
+
+type deckResult struct {
+	deck *rules.Deck
+	err  error
+}

@@ -1,0 +1,400 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 4, CacheEntries: 256})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(b, v); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, b)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, body := postJSON(t, ts.URL+"/v1/rules", `{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp RulesResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Error("first request should not be a cache hit")
+	}
+	// Physics sanity: the self-consistent limit sits above Tref and below
+	// the naive EM-only rule.
+	if resp.Solve.TmC <= 100 {
+		t.Errorf("Tm %.1f °C should exceed the 100 °C reference", resp.Solve.TmC)
+	}
+	if resp.Solve.Derating <= 0 || resp.Solve.Derating > 1 {
+		t.Errorf("derating %v outside (0,1]", resp.Solve.Derating)
+	}
+	if resp.Solve.JpeakMA <= 0 || resp.Solve.JpeakMA > resp.Solve.EMOnlyJpeakMA {
+		t.Errorf("jpeak %v not in (0, naive %v]", resp.Solve.JpeakMA, resp.Solve.EMOnlyJpeakMA)
+	}
+	// Deck row rides along and matches the level.
+	if resp.Rule.Level != 5 || resp.Rule.SignalJpeakMA <= 0 || resp.Rule.HealingLengthUm <= 0 {
+		t.Errorf("deck rule malformed: %+v", resp.Rule)
+	}
+	// The signal rule at the default duty cycle is the same solve.
+	if diff := resp.Rule.SignalJpeakMA - resp.Solve.JpeakMA; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("deck signal jpeak %v != solve jpeak %v", resp.Rule.SignalJpeakMA, resp.Solve.JpeakMA)
+	}
+}
+
+// TestRulesCacheHitViaMetrics is the acceptance check: a repeated
+// identical /v1/rules request is answered from the cache, observable on
+// /metrics.
+func TestRulesCacheHitViaMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := `{"node":"0.10","level":7,"dutyCycle":0.2,"j0MA":1.0}`
+
+	var before Snapshot
+	getJSON(t, ts.URL+"/metrics", &before)
+
+	status, body := postJSON(t, ts.URL+"/v1/rules", req)
+	if status != http.StatusOK {
+		t.Fatalf("first request: %d %s", status, body)
+	}
+	var first RulesResponse
+	json.Unmarshal(body, &first)
+	if first.Cached {
+		t.Fatal("first request must miss")
+	}
+
+	status, body = postJSON(t, ts.URL+"/v1/rules", req)
+	if status != http.StatusOK {
+		t.Fatalf("second request: %d %s", status, body)
+	}
+	var second RulesResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("identical second request should be a cache hit")
+	}
+	if second.Solve != first.Solve {
+		t.Errorf("cached solve differs: %+v vs %+v", second.Solve, first.Solve)
+	}
+
+	var after Snapshot
+	getJSON(t, ts.URL+"/metrics", &after)
+	if after.Cache.Hits <= before.Cache.Hits {
+		t.Errorf("cache hits did not advance: before %d after %d", before.Cache.Hits, after.Cache.Hits)
+	}
+	if after.Solver.CacheHits == 0 {
+		t.Error("solver cacheHits counter did not advance")
+	}
+	if after.Solver.Solves != before.Solver.Solves+1 {
+		t.Errorf("want exactly one real solve, got %d -> %d", before.Solver.Solves, after.Solver.Solves)
+	}
+	ep, ok := after.Endpoints["/v1/rules"]
+	if !ok || ep.Requests < 2 {
+		t.Errorf("endpoint stats missing or low: %+v", after.Endpoints)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, body := postJSON(t, ts.URL+"/v1/sweep", `{"node":"0.25","level":5,"j0MA":0.6,"points":9}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 9 {
+		t.Fatalf("want 9 points, got %d", len(resp.Points))
+	}
+	// Ordering is the request grid (ascending r), and jpeak decreases
+	// with duty cycle while jrms-at-limit grows toward the DC limit.
+	for i := 1; i < len(resp.Points); i++ {
+		if resp.Points[i].R <= resp.Points[i-1].R {
+			t.Fatalf("points out of order: r[%d]=%g <= r[%d]=%g", i, resp.Points[i].R, i-1, resp.Points[i-1].R)
+		}
+		if resp.Points[i].JpeakMA >= resp.Points[i-1].JpeakMA {
+			t.Errorf("jpeak should fall with r: %v -> %v", resp.Points[i-1].JpeakMA, resp.Points[i].JpeakMA)
+		}
+	}
+	// Explicit duty cycles round-trip in order.
+	status, body = postJSON(t, ts.URL+"/v1/sweep", `{"level":5,"dutyCycles":[0.5,0.1,1]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{resp.Points[0].R, resp.Points[1].R, resp.Points[2].R}
+	if got[0] != 0.5 || got[1] != 0.1 || got[2] != 1 {
+		t.Errorf("explicit duty cycles reordered: %v", got)
+	}
+}
+
+func TestNetcheckEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	design := `{
+		"node": "0.25",
+		"segments": [
+			{"net":"clk","name":"s1","level":5,"widthMultiple":1,"lengthUm":3000,
+			 "waveform":{"kind":"bipolar","peakMA":1.0,"dutyCycle":0.12}},
+			{"net":"abuse","name":"hot","level":5,"widthMultiple":1,"lengthUm":3000,
+			 "waveform":{"kind":"bipolar","peakMA":60,"dutyCycle":0.12}}
+		]
+	}`
+	status, body := postJSON(t, ts.URL+"/v1/netcheck", design)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp NetcheckResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Worst != "FAIL" || resp.Segments != 2 {
+		t.Fatalf("unexpected outcome: %+v", resp)
+	}
+	if resp.ByNet["abuse"] != "FAIL" || resp.ByNet["clk"] != "PASS" {
+		t.Errorf("per-net verdicts wrong: %v", resp.ByNet)
+	}
+	// Report order is worst-first.
+	if resp.Findings[0].Verdict != "FAIL" || resp.Findings[0].Net != "abuse" {
+		t.Errorf("worst finding not first: %+v", resp.Findings[0])
+	}
+	if resp.DeckCached {
+		t.Error("first netcheck should build the deck")
+	}
+	// Same design again: the deck comes from the cache.
+	status, body = postJSON(t, ts.URL+"/v1/netcheck", design)
+	if status != http.StatusOK {
+		t.Fatalf("second status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.DeckCached {
+		t.Error("second netcheck should reuse the cached deck")
+	}
+}
+
+func TestTechEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var resp TechResponse
+	if status := getJSON(t, ts.URL+"/v1/tech?node=0.10&gap=HSQ", &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if !strings.HasPrefix(resp.Name, "NTRS-0.10um") || len(resp.Layers) != 8 || resp.Gap != "HSQ" {
+		t.Fatalf("unexpected tech: %+v", resp)
+	}
+	for _, l := range resp.Layers {
+		if l.WidthUm <= 0 || l.SheetOhmsPerSq <= 0 || l.HealingLengthUm <= 0 {
+			t.Errorf("layer %d malformed: %+v", l.Level, l)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var resp map[string]any
+	if status := getJSON(t, ts.URL+"/healthz", &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if resp["status"] != "ok" {
+		t.Errorf("health %v", resp)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, url, body string
+		wantStatus      int
+		wantCode        string
+	}{
+		{"bad json", "/v1/rules", `{"node":`, http.StatusBadRequest, "invalid_request"},
+		{"unknown field", "/v1/rules", `{"nodule":"0.25"}`, http.StatusBadRequest, "invalid_request"},
+		{"unknown node", "/v1/rules", `{"node":"0.07","level":1}`, http.StatusBadRequest, "invalid_request"},
+		{"bad level", "/v1/rules", `{"node":"0.25","level":42}`, http.StatusBadRequest, "invalid_request"},
+		{"bad duty cycle", "/v1/rules", `{"node":"0.25","level":5,"dutyCycle":7}`, http.StatusBadRequest, "invalid_request"},
+		{"bad metal", "/v1/rules", `{"node":"0.25","level":5,"metal":"unobtainium"}`, http.StatusBadRequest, "invalid_request"},
+		{"no solution", "/v1/rules", `{"node":"0.25","level":5,"j0MA":1e9}`, http.StatusUnprocessableEntity, "no_solution"},
+		{"netcheck bad node", "/v1/netcheck", `{"node":"1.21","segments":[]}`, http.StatusBadRequest, "invalid_request"},
+		{"sweep bad r", "/v1/sweep", `{"level":5,"dutyCycles":[0.5,-2]}`, http.StatusBadRequest, "invalid_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := postJSON(t, ts.URL+tc.url, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status %d want %d: %s", status, tc.wantStatus, body)
+			}
+			var e apiError
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body not JSON: %s", body)
+			}
+			if e.Error.Code != tc.wantCode {
+				t.Errorf("code %q want %q (message %q)", e.Error.Code, tc.wantCode, e.Error.Message)
+			}
+			if e.Error.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+
+	// Method mismatch: GET on a POST route.
+	resp, err := http.Get(ts.URL + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/rules: %d want 405", resp.StatusCode)
+	}
+}
+
+func TestErrorsCountedInMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/rules", `{"node":"0.07"}`)
+	var snap Snapshot
+	getJSON(t, ts.URL+"/metrics", &snap)
+	if ep := snap.Endpoints["/v1/rules"]; ep.Errors == 0 {
+		t.Errorf("error not counted: %+v", ep)
+	}
+}
+
+// TestGracefulShutdownDrains covers the daemon's drain semantics: with a
+// request held in flight, cancelling the run context (what SIGINT/SIGTERM
+// do in cmd/dsmthermd) must let the request finish with 200 before Run
+// returns.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := New(Config{Workers: 2, DrainTimeout: 5 * time.Second})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	s.testHookStarted = func(route string) {
+		if route == "/healthz" && !once {
+			once = true
+			close(started)
+			<-release
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx, ln) }()
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+
+	<-started // request is in flight
+	cancel()  // "SIGTERM"
+
+	select {
+	case err := <-runDone:
+		t.Fatalf("Run returned before draining the in-flight request: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if status := <-reqDone; status != http.StatusOK {
+		t.Fatalf("in-flight request got %d, want 200", status)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+}
+
+// TestRequestBodyLimit verifies oversized bodies are rejected, not read.
+func TestRequestBodyLimit(t *testing.T) {
+	s := New(Config{MaxBodyBytes: 512})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	big := fmt.Sprintf(`{"node":"0.25","level":5,"gap":%q}`, strings.Repeat("x", 2048))
+	status, _ := postJSON(t, ts.URL+"/v1/rules", big)
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", status)
+	}
+}
+
+// TestSweepPointLimit verifies the fan-out bound.
+func TestSweepPointLimit(t *testing.T) {
+	s := New(Config{MaxSweepPoints: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var buf bytes.Buffer
+	buf.WriteString(`{"level":5,"dutyCycles":[`)
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%g", 0.1+float64(i)*0.1)
+	}
+	buf.WriteString(`]}`)
+	status, body := postJSON(t, ts.URL+"/v1/sweep", buf.String())
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d want 400: %s", status, body)
+	}
+}
