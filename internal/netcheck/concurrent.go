@@ -8,15 +8,26 @@ import (
 	"sync/atomic"
 )
 
-// CheckConcurrent is Check with the per-segment work fanned across up to
-// workers goroutines — the serving-path entry point, where one signoff
-// request may carry thousands of segments. The output is deterministic
-// and identical to Check's: findings are gathered in segment input order
+// ForEachFunc schedules fn(ctx, i) for every i in [0, n) and blocks
+// until all started tasks finish, returning the first scheduling or
+// task error (nil otherwise). It is the scheduling contract CheckWith
+// delegates fan-out to; a server worker pool's ForEach method satisfies
+// it, which lets batch signoff share one global concurrency bound with
+// every other solver consumer in the process.
+type ForEachFunc func(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error
+
+// CheckWith is Check with the per-segment work fanned out through run —
+// the serving-path entry point, where one signoff request may carry
+// thousands of segments and the caller owns the concurrency budget.
+// The output is deterministic and identical to Check's regardless of
+// how run schedules tasks: findings are gathered in segment input order
 // before the report's verdict sort, and when segments fail their checks
 // the error reported is the lowest-index one — exactly the error the
-// serial path stops at. workers <= 0 selects GOMAXPROCS. Cancelling ctx
-// abandons unstarted segments and returns ctx.Err().
-func CheckConcurrent(ctx context.Context, cfg Config, segments []*Segment, workers int) (*Report, error) {
+// serial path stops at. Per-segment check failures never propagate
+// through run (tasks return nil for them), so run only fails on
+// cancellation; cancelling ctx abandons unstarted segments and returns
+// the cancellation error.
+func CheckWith(ctx context.Context, cfg Config, segments []*Segment, run ForEachFunc) (*Report, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
@@ -27,44 +38,24 @@ func CheckConcurrent(ctx context.Context, cfg Config, segments []*Segment, worke
 		}
 		perNet[s.Net]++
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(segments) {
-		workers = len(segments)
-	}
-	if workers <= 1 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return Check(cfg, segments)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	findings := make([]Finding, len(segments))
 	errs := make([]error, len(segments))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(segments) || ctx.Err() != nil {
-					return
-				}
-				s := segments[i]
-				f, err := checkSegment(cfg, s, perNet[s.Net])
-				if err != nil {
-					errs[i] = fmt.Errorf("netcheck: %s/%s: %w", s.Net, s.Name, err)
-					continue
-				}
-				findings[i] = f
-			}
-		}()
+	if err := run(ctx, len(segments), func(_ context.Context, i int) error {
+		s := segments[i]
+		f, err := checkSegment(cfg, s, perNet[s.Net])
+		if err != nil {
+			errs[i] = fmt.Errorf("netcheck: %s/%s: %w", s.Net, s.Name, err)
+			return nil
+		}
+		findings[i] = f
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -74,4 +65,62 @@ func CheckConcurrent(ctx context.Context, cfg Config, segments []*Segment, worke
 		}
 	}
 	return assembleReport(cfg, findings), nil
+}
+
+// CheckConcurrent is CheckWith driving its own bounded worker set — the
+// standalone entry point for callers without a shared pool. workers <= 0
+// selects GOMAXPROCS. The determinism guarantees are CheckWith's.
+func CheckConcurrent(ctx context.Context, cfg Config, segments []*Segment, workers int) (*Report, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(segments) {
+		workers = len(segments)
+	}
+	if workers <= 1 {
+		if err := cfg.defaults(); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return Check(cfg, segments)
+	}
+	return CheckWith(ctx, cfg, segments, boundedRunner(workers))
+}
+
+// boundedRunner is a self-contained ForEachFunc: up to workers
+// goroutines pull indices from an atomic counter. A task error cancels
+// the derived context and wins the return value (CheckWith's tasks only
+// fail via cancellation, so the lowest-index error rule is unaffected).
+func boundedRunner(workers int) ForEachFunc {
+	return func(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+		ctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || ctx.Err() != nil {
+						return
+					}
+					if err := fn(ctx, i); err != nil {
+						cancel(err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		return nil
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dsmtherm/internal/waveform"
@@ -62,6 +64,103 @@ func TestCheckConcurrentErrorMatchesSerial(t *testing.T) {
 	}
 	if serialErr.Error() != concErr.Error() {
 		t.Errorf("error mismatch:\nserial:     %v\nconcurrent: %v", serialErr, concErr)
+	}
+}
+
+// TestCheckWithMatchesSerial pins CheckWith's determinism contract for
+// caller-supplied schedulers of any shape (a server worker pool, a
+// serial loop, goroutine-per-task).
+func TestCheckWithMatchesSerial(t *testing.T) {
+	cfg, segs := mixedDesign(t, 60)
+	serial, err := Check(cfg, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := map[string]ForEachFunc{
+		"serial": func(ctx context.Context, n int, fn func(context.Context, int) error) error {
+			for i := 0; i < n; i++ {
+				if err := fn(ctx, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"goroutine-per-task": func(ctx context.Context, n int, fn func(context.Context, int) error) error {
+			var wg sync.WaitGroup
+			errs := make([]error, n)
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					errs[i] = fn(ctx, i)
+				}(i)
+			}
+			wg.Wait()
+			return errors.Join(errs...)
+		},
+		"bounded3": boundedRunner(3),
+	}
+	for name, run := range runners {
+		rep, err := CheckWith(context.Background(), cfg, segs, run)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(serial, rep) {
+			t.Errorf("%s: CheckWith report differs from serial\nserial:\n%s\ngot:\n%s",
+				name, serial.Format(), rep.Format())
+		}
+	}
+}
+
+// TestCheckWithSchedulesEverySegment pins that all per-segment work is
+// routed through the supplied scheduler — the property the serving
+// layer relies on to share one global concurrency bound.
+func TestCheckWithSchedulesEverySegment(t *testing.T) {
+	cfg, segs := mixedDesign(t, 23)
+	var scheduled atomic.Int64
+	counting := func(ctx context.Context, n int, fn func(context.Context, int) error) error {
+		if n != len(segs) {
+			t.Errorf("scheduler asked for %d tasks, want %d", n, len(segs))
+		}
+		for i := 0; i < n; i++ {
+			scheduled.Add(1)
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := CheckWith(context.Background(), cfg, segs, counting); err != nil {
+		t.Fatal(err)
+	}
+	if got := scheduled.Load(); got != int64(len(segs)) {
+		t.Errorf("%d segments scheduled, want %d", got, len(segs))
+	}
+}
+
+func TestCheckWithErrorMatchesSerial(t *testing.T) {
+	cfg, segs := mixedDesign(t, 24)
+	segs[5].Level = 99
+	segs[17].Level = 98
+	_, serialErr := Check(cfg, segs)
+	if serialErr == nil {
+		t.Fatal("expected serial error")
+	}
+	_, withErr := CheckWith(context.Background(), cfg, segs, boundedRunner(4))
+	if withErr == nil {
+		t.Fatal("expected CheckWith error")
+	}
+	if serialErr.Error() != withErr.Error() {
+		t.Errorf("error mismatch:\nserial:    %v\nCheckWith: %v", serialErr, withErr)
+	}
+}
+
+func TestCheckWithCancellation(t *testing.T) {
+	cfg, segs := mixedDesign(t, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CheckWith(ctx, cfg, segs, boundedRunner(4)); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
 	}
 }
 

@@ -163,7 +163,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rule, err := s.levelRuleCached(
-		levelRuleKey(req.Node, req.Gap, req.Metal, req.Level, req.J0MA),
+		levelRuleKey(req.Node, req.Gap, req.Metal, req.Level, req.J0MA, req.TrefC),
 		tech, req.Level, spec)
 	if err != nil {
 		writeError(w, err)
@@ -332,7 +332,10 @@ func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rep, err := netcheck.CheckConcurrent(r.Context(), netcheck.Config{Deck: deck}, segs, s.pool.Size())
+	// Per-segment work goes through the shared pool, not a private
+	// worker set: netcheck solves count against the same global
+	// concurrency bound as sweep fan-out.
+	rep, err := netcheck.CheckWith(r.Context(), netcheck.Config{Deck: deck}, segs, s.pool.ForEach)
 	if err != nil {
 		writeError(w, err)
 		return

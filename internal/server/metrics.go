@@ -2,11 +2,14 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dsmtherm/internal/core"
 )
 
 // Metrics is the daemon's observability surface: expvar-style atomic
@@ -21,12 +24,16 @@ type Metrics struct {
 	endpoints map[string]*EndpointStats
 
 	// Solver counters: every core.Solve the service runs (cache misses)
-	// vs. solves answered from the cache, plus solves that ended in
-	// ErrNoSolution (thermal runaway / exhausted EM budget).
+	// vs. solves answered from the cache. NoSolution counts only
+	// core.ErrNoSolution outcomes (thermal runaway / exhausted EM
+	// budget); other solver errors — bad problems — land in
+	// SolveInvalid, so the runaway signal is not polluted by bad
+	// requests.
 	Solves       atomic.Uint64
 	SolveCached  atomic.Uint64
 	SolveNanos   atomic.Uint64
 	NoSolution   atomic.Uint64
+	SolveInvalid atomic.Uint64
 	SegsChecked  atomic.Uint64
 	SweepPoints  atomic.Uint64
 	DecksBuilt   atomic.Uint64
@@ -66,8 +73,12 @@ func (m *Metrics) Endpoint(route string) *EndpointStats {
 func (m *Metrics) ObserveSolve(d time.Duration, err error) {
 	m.Solves.Add(1)
 	m.SolveNanos.Add(uint64(d.Nanoseconds()))
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrNoSolution):
 		m.NoSolution.Add(1)
+	default:
+		m.SolveInvalid.Add(1)
 	}
 }
 
@@ -92,6 +103,7 @@ type solverSnapshot struct {
 	Solves       uint64  `json:"solves"`
 	CacheHits    uint64  `json:"cacheHits"`
 	NoSolution   uint64  `json:"noSolution"`
+	Invalid      uint64  `json:"invalid"`
 	AvgSolveUs   float64 `json:"avgSolveUs"`
 	SweepPoints  uint64  `json:"sweepPoints"`
 	DecksBuilt   uint64  `json:"decksBuilt"`
@@ -132,6 +144,7 @@ func (m *Metrics) SnapshotNow(cache *Cache) Snapshot {
 		Solves:       m.Solves.Load(),
 		CacheHits:    m.SolveCached.Load(),
 		NoSolution:   m.NoSolution.Load(),
+		Invalid:      m.SolveInvalid.Load(),
 		SweepPoints:  m.SweepPoints.Load(),
 		DecksBuilt:   m.DecksBuilt.Load(),
 		DeckCacheHit: m.DeckCacheHit.Load(),
@@ -151,13 +164,19 @@ func (m *Metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc 
 		start := time.Now()
 		m.inFlight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler (recovered per connection by
+		// net/http) still decrements the gauge and counts the request —
+		// an inline decrement would leak in-flight forever on a
+		// long-running daemon.
+		defer func() {
+			m.inFlight.Add(-1)
+			es.Requests.Add(1)
+			es.TotalNanos.Add(uint64(time.Since(start).Nanoseconds()))
+			if sw.status >= 400 {
+				es.Errors.Add(1)
+			}
+		}()
 		h(sw, r)
-		m.inFlight.Add(-1)
-		es.Requests.Add(1)
-		es.TotalNanos.Add(uint64(time.Since(start).Nanoseconds()))
-		if sw.status >= 400 {
-			es.Errors.Add(1)
-		}
 	}
 }
 

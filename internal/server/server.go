@@ -211,8 +211,12 @@ func solveKey(node, gap, metal string, level int, lengthM, r, j0, tref float64) 
 	return b.String()
 }
 
-// levelRuleKey canonicalizes one deck-level rule generation.
-func levelRuleKey(node, gap, metal string, level int, j0 float64) string {
+// levelRuleKey canonicalizes one deck-level rule generation. Every Spec
+// field the generated rule depends on (J0 and Tref — signal/power
+// limits, Tm, Blech length and ESD widths all shift with Tref) must be
+// part of the key, or requests differing only in that field would
+// silently share a row.
+func levelRuleKey(node, gap, metal string, level int, j0, tref float64) string {
 	var b strings.Builder
 	b.WriteString("rule|")
 	b.WriteString(node)
@@ -223,6 +227,7 @@ func levelRuleKey(node, gap, metal string, level int, j0 float64) string {
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(level))
 	keyFloat(&b, j0)
+	keyFloat(&b, tref)
 	return b.String()
 }
 

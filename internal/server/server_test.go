@@ -141,6 +141,40 @@ func TestRulesCacheHitViaMetrics(t *testing.T) {
 	}
 }
 
+// TestRulesTrefDistinctCacheKeys guards the rule-cache key scheme: two
+// requests differing only in trefC must not collide on one cached deck
+// row (the generated rule depends on Spec.Tref — signal/power limits,
+// Tm, Blech length and ESD widths all shift with it).
+func TestRulesTrefDistinctCacheKeys(t *testing.T) {
+	_, ts := newTestServer(t)
+	rules := func(trefC float64) RulesResponse {
+		t.Helper()
+		body := fmt.Sprintf(`{"node":"0.25","level":5,"trefC":%g}`, trefC)
+		status, b := postJSON(t, ts.URL+"/v1/rules", body)
+		if status != http.StatusOK {
+			t.Fatalf("trefC=%g: status %d: %s", trefC, status, b)
+		}
+		var resp RulesResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	hot := rules(100)
+	cold := rules(50) // same request except trefC — must not hit hot's entry
+	if cold.Rule == hot.Rule {
+		t.Fatalf("rule row identical across trefC 100 vs 50 — cache key collision: %+v", hot.Rule)
+	}
+	if cold.Rule.SignalTmC >= hot.Rule.SignalTmC {
+		t.Errorf("signal Tm at trefC=50 (%.1f) should sit below trefC=100 (%.1f)",
+			cold.Rule.SignalTmC, hot.Rule.SignalTmC)
+	}
+	// And the cached second read of each must return its own row.
+	if again := rules(50); again.Rule != cold.Rule {
+		t.Errorf("repeated trefC=50 request returned a different row: %+v vs %+v", again.Rule, cold.Rule)
+	}
+}
+
 func TestSweepEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)
 	status, body := postJSON(t, ts.URL+"/v1/sweep", `{"node":"0.25","level":5,"j0MA":0.6,"points":9}`)
