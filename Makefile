@@ -1,0 +1,29 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race fuzz-smoke verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with real concurrency: the
+# serving layer (pool, admission, cache, chaos suite), batch signoff,
+# and the fault-injection registry.
+race:
+	$(GO) test -race ./internal/server ./internal/netcheck ./internal/faultinject
+
+# Short fuzz smokes: enough to catch a freshly introduced panic or
+# key-encoder collision without turning CI into a fuzz farm.
+fuzz-smoke:
+	$(GO) test ./internal/netcheck -run '^$$' -fuzz FuzzParseDesign -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzSolveKeyEncoder -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDeckKeyEncoder -fuzztime $(FUZZTIME)
+
+verify: build vet test race fuzz-smoke
+	@echo "verify: all gates passed"

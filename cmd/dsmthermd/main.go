@@ -1,12 +1,15 @@
 // Command dsmthermd is the long-running signoff service over the
 // dsmtherm library: an HTTP/JSON daemon serving self-consistent design
 // rules (Eq. 13), duty-cycle sweeps, batch netlist signoff, and
-// technology inspection, with a solve cache, a bounded worker pool, and
-// a /metrics endpoint.
+// technology inspection, with a solve cache, a bounded worker pool,
+// admission control, and a /metrics endpoint.
 //
-//	dsmthermd -addr :8080 -workers 8 -cache 4096 -timeout 30s
+//	dsmthermd -addr :8080 -workers 8 -cache 4096 -timeout 30s \
+//	          -admit 16 -queue-depth 64 -queue-wait 2s \
+//	          -route-timeout /v1/netcheck=2m -route-timeout /v1/rules=5s
 //
-// The daemon drains in-flight requests on SIGINT/SIGTERM before exiting.
+// The daemon drains in-flight requests on SIGINT/SIGTERM before exiting;
+// requests arriving during the drain get a structured 503.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,30 +33,56 @@ func main() {
 	cache := flag.Int("cache", 4096, "solve/deck cache capacity, entries (negative disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	admit := flag.Int("admit", 0, "max concurrent solver-bearing requests (0 = 2x workers)")
+	queueDepth := flag.Int("queue-depth", 0, "admission wait-queue depth before 429 (0 = 4x admit, negative = no queue)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request waits for admission before 503")
+	routeTimeouts := make(map[string]time.Duration)
+	flag.Func("route-timeout", "per-route timeout override as route=duration, e.g. /v1/netcheck=2m (repeatable)", func(v string) error {
+		route, durStr, ok := strings.Cut(v, "=")
+		if !ok || route == "" {
+			return fmt.Errorf("want route=duration, got %q", v)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return fmt.Errorf("bad duration in %q: %v", v, err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("non-positive timeout in %q", v)
+		}
+		routeTimeouts[route] = d
+		return nil
+	})
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cache, *timeout, *drain); err != nil {
+	cfg := server.Config{
+		Workers:          *workers,
+		CacheEntries:     *cache,
+		RequestTimeout:   *timeout,
+		EndpointTimeouts: routeTimeouts,
+		DrainTimeout:     *drain,
+		AdmitConcurrent:  *admit,
+		QueueDepth:       *queueDepth,
+		QueueWait:        *queueWait,
+	}
+	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmthermd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cache int, timeout, drain time.Duration) error {
+func run(addr string, cfg server.Config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := server.New(server.Config{
-		Workers:        workers,
-		CacheEntries:   cache,
-		RequestTimeout: timeout,
-		DrainTimeout:   drain,
-	})
+	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("dsmthermd: serving on %s (workers=%d cache=%d entries, timeout=%s)",
-		ln.Addr(), srv.Pool().Size(), srv.Cache().Capacity(), timeout)
+	adm := srv.Admission()
+	log.Printf("dsmthermd: serving on %s (workers=%d cache=%d entries, timeout=%s, admit=%d queue=%d/%s)",
+		ln.Addr(), srv.Pool().Size(), srv.Cache().Capacity(), cfg.RequestTimeout,
+		adm.Slots(), adm.QueueDepth(), adm.MaxWait())
 	err = srv.Run(ctx, ln)
 	if err == nil {
 		log.Printf("dsmthermd: drained, bye")

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dsmtherm/internal/faultinject"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+	"dsmtherm/internal/thermal"
+)
+
+func testProblem(t *testing.T) Problem {
+	t.Helper()
+	tech := ntrs.N250()
+	line, err := tech.Line(5, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Problem{
+		Line:  line,
+		Model: thermal.Quasi2D(),
+		R:     0.1,
+		J0:    phys.MAPerCm2(1.8),
+		Tref:  phys.CToK(100),
+	}
+}
+
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	p := testProblem(t)
+	want, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SolveCtx diverged from Solve: %+v vs %+v", got, want)
+	}
+}
+
+func TestSolveCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveCtx(ctx, testProblem(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestSolveCtxStopsWithinOneIteration is the acceptance bound: with every
+// residual evaluation stalled by fault injection, cancelling the context
+// mid-solve must end the solve at the next iteration boundary — within
+// one (stalled) iteration — rather than running the root search dry.
+func TestSolveCtxStopsWithinOneIteration(t *testing.T) {
+	const perIter = 50 * time.Millisecond
+	defer faultinject.Set(faultinject.SiteCoreSolveIter, faultinject.Sleep(perIter))()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelAfter := 2 * perIter
+	go func() {
+		time.Sleep(cancelAfter)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err := SolveCtx(ctx, testProblem(t))
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The budget: the time until cancel plus at most one more stalled
+	// iteration (the Sleep hook itself aborts on cancellation, so in
+	// practice the return is immediate), with slack for scheduling. A
+	// full solve at 50 ms/eval would take seconds.
+	if limit := cancelAfter + perIter + 250*time.Millisecond; elapsed > limit {
+		t.Fatalf("solve kept running %v after cancellation (limit %v)", elapsed, limit)
+	}
+	if faultinject.Count(faultinject.SiteCoreSolveIter) == 0 {
+		t.Fatal("stall site never fired — test exercised nothing")
+	}
+}
+
+func TestSolveCtxInjectedTransientError(t *testing.T) {
+	boom := errors.New("injected solver fault")
+	remove := faultinject.Set(faultinject.SiteCoreSolve, faultinject.FailFirst(1, boom))
+	defer remove()
+
+	p := testProblem(t)
+	if _, err := SolveCtx(context.Background(), p); !errors.Is(err, boom) {
+		t.Fatalf("first solve should carry the injected fault, got %v", err)
+	}
+	// The fault was transient: the next solve succeeds.
+	if _, err := SolveCtx(context.Background(), p); err != nil {
+		t.Fatalf("second solve should pass, got %v", err)
+	}
+}
+
+func TestSweepDutyCycleCtxCancelsBetweenPoints(t *testing.T) {
+	p := testProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SweepDutyCycleCtx(ctx, p, Fig2DutyCycles(13))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := SweepJ0Ctx(ctx, p, []float64{p.J0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SweepJ0Ctx: want context.Canceled, got %v", err)
+	}
+}
+
+func TestSolveFiniteLengthCtxMatchesAndCancels(t *testing.T) {
+	p := testProblem(t)
+	p.Line.Length = 20e-6 // thermally short
+	want, err := SolveFiniteLength(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveFiniteLengthCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("ctx variant diverged: %+v vs %+v", got, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveFiniteLengthCtx(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -21,6 +22,12 @@ import (
 // the same order ... hence the thermal problem is not as severe" for
 // inter-block wiring.
 func SolveFiniteLength(p Problem) (Solution, error) {
+	return SolveFiniteLengthCtx(context.Background(), p)
+}
+
+// SolveFiniteLengthCtx is SolveFiniteLength with cancellation checked
+// between root-search iterations (see SolveCoeffCtx).
+func SolveFiniteLengthCtx(ctx context.Context, p Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -30,7 +37,7 @@ func SolveFiniteLength(p Problem) (Solution, error) {
 	}
 	cp := p.Coeff()
 	cp.Coeff *= pf
-	return SolveCoeff(cp)
+	return SolveCoeffCtx(ctx, cp)
 }
 
 // LengthRelaxation returns the jpeak gain of the finite-length rule over

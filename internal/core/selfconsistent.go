@@ -25,10 +25,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"dsmtherm/internal/faultinject"
 	"dsmtherm/internal/geometry"
 	"dsmtherm/internal/material"
 	"dsmtherm/internal/mathx"
@@ -165,23 +167,44 @@ func (p *CoeffProblem) emLimitedJrmsSq(tm float64) float64 {
 // SolveCoeff computes the self-consistent solution of Eq. (13) in
 // coefficient form.
 func SolveCoeff(p CoeffProblem) (Solution, error) {
+	return SolveCoeffCtx(context.Background(), p)
+}
+
+// SolveCoeffCtx is SolveCoeff with cancellation checked between root-search
+// iterations: when ctx ends mid-solve, the solve returns ctx's error within
+// one iteration instead of running to convergence. This is what lets a
+// serving layer reclaim a worker slot promptly after a client disconnect
+// or deadline.
+func SolveCoeffCtx(ctx context.Context, p CoeffProblem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
+	}
+	if err := faultinject.Inject(ctx, faultinject.SiteCoreSolve); err != nil {
+		return Solution{}, fmt.Errorf("core: solve: %w", err)
 	}
 	tref := p.tref()
 	// g(Tm) = heat-limited j²rms − EM-limited j²rms. g(Tref) < 0 (zero
 	// heating budget, positive EM budget); g grows without bound, so a
-	// unique crossing exists.
+	// unique crossing exists. The fault-injection site lets tests stall
+	// individual iterations (its error cannot surface through the scalar
+	// residual; BrentCtx's per-iteration ctx check reports cancellation).
 	g := func(tm float64) float64 {
+		_ = faultinject.Inject(ctx, faultinject.SiteCoreSolveIter)
 		return p.heatLimitedJrmsSq(tm) - p.emLimitedJrmsSq(tm)
 	}
 	lo := tref * (1 + 1e-12)
 	hi := tref + TCeilingAboveRef
 	if g(hi) < 0 {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, fmt.Errorf("core: solve: %w", err)
+		}
 		return Solution{}, ErrNoSolution
 	}
-	tm, err := mathx.Brent(g, lo, hi, 1e-9)
+	tm, err := mathx.BrentCtx(ctx, g, lo, hi, 1e-9)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Solution{}, fmt.Errorf("core: solve: %w", ctxErr)
+		}
 		return Solution{}, fmt.Errorf("%w: root search: %w", ErrNoSolution, err)
 	}
 	jrms := math.Sqrt(p.heatLimitedJrmsSq(tm))
@@ -211,10 +234,16 @@ func (p *Problem) Coeff() CoeffProblem {
 
 // Solve computes the self-consistent solution of Eq. (13).
 func Solve(p Problem) (Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve with cancellation checked between root-search
+// iterations (see SolveCoeffCtx).
+func SolveCtx(ctx context.Context, p Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	return SolveCoeff(p.Coeff())
+	return SolveCoeffCtx(ctx, p.Coeff())
 }
 
 // PaperLifetimePenalty is the §3.1 lifetime estimate for a design that

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dsmtherm/internal/mathx"
@@ -17,11 +18,17 @@ type SweepPoint struct {
 // SweepDutyCycle solves the problem across the given duty cycles,
 // reproducing the Figs. 2–3 horizontal axis. Each r must be in (0, 1].
 func SweepDutyCycle(p Problem, rs []float64) ([]SweepPoint, error) {
+	return SweepDutyCycleCtx(context.Background(), p, rs)
+}
+
+// SweepDutyCycleCtx is SweepDutyCycle with cancellation checked between
+// sweep points and between root-search iterations within each point.
+func SweepDutyCycleCtx(ctx context.Context, p Problem, rs []float64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(rs))
 	for _, r := range rs {
 		q := p
 		q.R = r
-		sol, err := Solve(q)
+		sol, err := SolveCtx(ctx, q)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep at r=%g: %w", r, err)
 		}
@@ -33,11 +40,17 @@ func SweepDutyCycle(p Problem, rs []float64) ([]SweepPoint, error) {
 // SweepJ0 solves the problem across design-rule current densities (the
 // Fig. 3 family parameter). Each j0 is in A/m².
 func SweepJ0(p Problem, j0s []float64) ([]SweepPoint, error) {
+	return SweepJ0Ctx(context.Background(), p, j0s)
+}
+
+// SweepJ0Ctx is SweepJ0 with cancellation checked between sweep points
+// and between root-search iterations within each point.
+func SweepJ0Ctx(ctx context.Context, p Problem, j0s []float64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(j0s))
 	for _, j0 := range j0s {
 		q := p
 		q.J0 = j0
-		sol, err := Solve(q)
+		sol, err := SolveCtx(ctx, q)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep at j0=%g: %w", j0, err)
 		}

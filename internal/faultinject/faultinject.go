@@ -1,0 +1,186 @@
+// Package faultinject provides named fault-injection sites for tests.
+//
+// Production code calls Inject (or drops through a helper like a stall
+// hook) at well-known sites — solver iterations, cache shards, netcheck
+// segments — and tests register hooks at those sites to provoke the
+// failure modes a long-running signoff daemon must survive: solver
+// stalls, cache-shard contention, transient per-segment errors.
+//
+// The package is hook-gated rather than build-tag-gated so the exact
+// binary under test is the binary that ships: with no hooks registered,
+// Inject is a single atomic load and a nil return. Registration is meant
+// for tests only; hooks are global to the process, so tests that install
+// them must remove them (use the cancel func returned by Set, typically
+// via t.Cleanup) and must not run in parallel with tests that rely on a
+// clean registry at the same site.
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names. Constants rather than free strings so tests and injection
+// points cannot drift apart silently.
+const (
+	// SiteCoreSolve fires once at the top of every core solve
+	// (core.SolveCoeffCtx); an error hook makes solves fail transiently.
+	SiteCoreSolve = "core.solve"
+	// SiteCoreSolveIter fires on every evaluation of the Eq. 13
+	// residual inside the bisection/Brent loop; a stall hook here
+	// simulates a slow or hung solver iteration.
+	SiteCoreSolveIter = "core.solve.iter"
+	// SiteRulesLevel fires before each metallization level of a deck
+	// generation (rules.GenerateCtx / GenerateLevelCtx).
+	SiteRulesLevel = "rules.level"
+	// SiteNetcheckSegment fires at the top of every per-segment check;
+	// an error hook simulates transient segment-check failures.
+	SiteNetcheckSegment = "netcheck.segment"
+	// SiteCacheShard fires inside the server cache's shard critical
+	// section on Get; a sleep hook here manufactures shard contention.
+	SiteCacheShard = "server.cache.shard"
+)
+
+// Hook is the injected behavior at a site. A hook may block (a stall),
+// sleep (contention), or return an error (transient failure). Hooks
+// receive the context of the operation they interrupt and should respect
+// its cancellation; at sites whose return value is discarded (documented
+// on the site constant's injection point), only the blocking behavior
+// matters.
+type Hook func(ctx context.Context) error
+
+type entry struct {
+	h   Hook
+	gen uint64
+}
+
+var (
+	// registered gates the fast path: zero means Inject returns
+	// immediately without touching the mutex or map.
+	registered atomic.Int32
+
+	mu    sync.RWMutex
+	hooks map[string]entry
+	gen   uint64
+
+	counts sync.Map // site -> *atomic.Uint64
+)
+
+// Set installs hook at site, replacing any previous hook there, and
+// returns a cancel func that removes it. The cancel func is
+// generation-aware: cancelling a registration that has since been
+// replaced is a no-op, so deferred cleanups cannot clear a newer hook.
+// Passing a nil hook clears the site immediately.
+func Set(site string, hook Hook) (cancel func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = make(map[string]entry)
+	}
+	if _, ok := hooks[site]; ok {
+		registered.Add(-1)
+		delete(hooks, site)
+	}
+	if hook == nil {
+		return func() {}
+	}
+	gen++
+	g := gen
+	hooks[site] = entry{h: hook, gen: g}
+	registered.Add(1)
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if e, ok := hooks[site]; ok && e.gen == g {
+			registered.Add(-1)
+			delete(hooks, site)
+		}
+	}
+}
+
+// Inject runs the hook registered at site, if any, and returns its
+// error. With no hooks registered anywhere it costs one atomic load.
+func Inject(ctx context.Context, site string) error {
+	if registered.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	h := hooks[site].h
+	mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	c, _ := counts.LoadOrStore(site, new(atomic.Uint64))
+	c.(*atomic.Uint64).Add(1)
+	return h(ctx)
+}
+
+// Count reports how many times the hook at site has fired since process
+// start (across Set/remove cycles). Tests use it to assert a site was
+// actually exercised.
+func Count(site string) uint64 {
+	c, ok := counts.Load(site)
+	if !ok {
+		return 0
+	}
+	return c.(*atomic.Uint64).Load()
+}
+
+// Stall returns a hook that blocks until release is closed or the
+// operation's context ends, returning the context's error in the latter
+// case. It is the canonical "hung solver" injection.
+func Stall(release <-chan struct{}) Hook {
+	return func(ctx context.Context) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Sleep returns a hook that sleeps d per firing (cut short by context
+// cancellation). It is the canonical slow-iteration / contention
+// injection.
+func Sleep(d time.Duration) Hook {
+	return func(ctx context.Context) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// ErrEvery returns a hook failing deterministically on every nth firing
+// (1-based: n == 1 fails always), the canonical transient error.
+func ErrEvery(n int, err error) Hook {
+	if n < 1 {
+		n = 1
+	}
+	var calls atomic.Uint64
+	return func(context.Context) error {
+		if calls.Add(1)%uint64(n) == 0 {
+			return err
+		}
+		return nil
+	}
+}
+
+// FailFirst returns a hook failing only its first n firings — transient
+// errors that clear up, for retry/degradation tests.
+func FailFirst(n int, err error) Hook {
+	var calls atomic.Uint64
+	return func(context.Context) error {
+		if calls.Add(1) <= uint64(n) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInjectWithoutHooksIsNil(t *testing.T) {
+	if err := Inject(context.Background(), "nowhere"); err != nil {
+		t.Fatalf("empty registry injected %v", err)
+	}
+}
+
+func TestSetFireRemove(t *testing.T) {
+	boom := errors.New("boom")
+	cancel := Set("test.site", func(context.Context) error { return boom })
+	if err := Inject(context.Background(), "test.site"); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Other sites stay clean while this one is armed.
+	if err := Inject(context.Background(), "test.other"); err != nil {
+		t.Fatalf("unrelated site injected %v", err)
+	}
+	cancel()
+	if err := Inject(context.Background(), "test.site"); err != nil {
+		t.Fatalf("removed hook still fired: %v", err)
+	}
+	// Double-cancel is safe.
+	cancel()
+}
+
+func TestSetReplaces(t *testing.T) {
+	first := errors.New("first")
+	second := errors.New("second")
+	c1 := Set("test.replace", func(context.Context) error { return first })
+	c2 := Set("test.replace", func(context.Context) error { return second })
+	defer c2()
+	if err := Inject(context.Background(), "test.replace"); !errors.Is(err, second) {
+		t.Fatalf("replacement not in effect: %v", err)
+	}
+	// Cancelling the superseded registration must not clear the live one
+	// (it was already replaced).
+	c1()
+	if err := Inject(context.Background(), "test.replace"); !errors.Is(err, second) {
+		t.Fatalf("stale cancel cleared the live hook: %v", err)
+	}
+	if registered.Load() < 0 {
+		t.Fatal("registered count went negative")
+	}
+}
+
+func TestCount(t *testing.T) {
+	defer Set("test.count", func(context.Context) error { return nil })()
+	before := Count("test.count")
+	for i := 0; i < 5; i++ {
+		Inject(context.Background(), "test.count")
+	}
+	if got := Count("test.count") - before; got != 5 {
+		t.Fatalf("count advanced by %d, want 5", got)
+	}
+}
+
+func TestStallRespectsContext(t *testing.T) {
+	release := make(chan struct{})
+	h := Stall(release)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- h(ctx) }()
+	select {
+	case err := <-done:
+		t.Fatalf("stall returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want Canceled, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stall ignored cancellation")
+	}
+
+	// And the release path.
+	close(release)
+	if err := h(context.Background()); err != nil {
+		t.Fatalf("released stall errored: %v", err)
+	}
+}
+
+func TestSleepCutShortByContext(t *testing.T) {
+	h := Sleep(10 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := h(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("sleep did not respect context")
+	}
+}
+
+func TestErrEvery(t *testing.T) {
+	boom := errors.New("boom")
+	h := ErrEvery(3, boom)
+	var failures int
+	for i := 0; i < 9; i++ {
+		if h(context.Background()) != nil {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("ErrEvery(3) failed %d/9 calls, want 3", failures)
+	}
+}
+
+func TestFailFirst(t *testing.T) {
+	boom := errors.New("boom")
+	h := FailFirst(2, boom)
+	for i := 0; i < 2; i++ {
+		if h(context.Background()) == nil {
+			t.Fatalf("call %d should fail", i)
+		}
+	}
+	if err := h(context.Background()); err != nil {
+		t.Fatalf("call 3 should pass, got %v", err)
+	}
+}
+
+// TestConcurrentSetInject exercises the registry under the race detector.
+func TestConcurrentSetInject(t *testing.T) {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				Inject(context.Background(), "test.race")
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		cancel := Set("test.race", func(context.Context) error { return nil })
+		cancel()
+	}
+	close(stop)
+	wg.Wait()
+}

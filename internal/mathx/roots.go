@@ -59,6 +59,16 @@ func Bisect(f Func1D, a, b, tol float64) (float64, error) {
 // smooth f while retaining bisection's robustness. tol is the absolute
 // tolerance on x.
 func Brent(f Func1D, a, b, tol float64) (float64, error) {
+	return BrentCtx(nil, f, a, b, tol)
+}
+
+// BrentCtx is Brent with a cancellation check between iterations: when
+// ctx ends mid-search, the search stops within one iteration and the
+// context's error is returned. A nil ctx skips the checks (equivalent to
+// Brent). Long-running services use this so an abandoned request stops
+// burning a solver slot at the next iteration boundary rather than
+// running the root search to convergence.
+func BrentCtx(ctx interface{ Err() error }, f Func1D, a, b, tol float64) (float64, error) {
 	fa, fb := f(a), f(b)
 	if fa == 0 {
 		return a, nil
@@ -77,6 +87,11 @@ func Brent(f Func1D, a, b, tol float64) (float64, error) {
 	mflag := true
 	var d float64
 	for i := 0; i < 200; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return b, err
+			}
+		}
 		if fb == 0 || math.Abs(b-a) < tol {
 			return b, nil
 		}

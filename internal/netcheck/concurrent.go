@@ -2,6 +2,7 @@ package netcheck
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -44,9 +45,9 @@ func CheckWith(ctx context.Context, cfg Config, segments []*Segment, run ForEach
 
 	findings := make([]Finding, len(segments))
 	errs := make([]error, len(segments))
-	if err := run(ctx, len(segments), func(_ context.Context, i int) error {
+	if err := run(ctx, len(segments), func(tctx context.Context, i int) error {
 		s := segments[i]
-		f, err := checkSegment(cfg, s, perNet[s.Net])
+		f, err := checkSegment(tctx, cfg, s, perNet[s.Net])
 		if err != nil {
 			errs[i] = fmt.Errorf("netcheck: %s/%s: %w", s.Net, s.Name, err)
 			return nil
@@ -94,8 +95,8 @@ func CheckConcurrent(ctx context.Context, cfg Config, segments []*Segment, worke
 // the derived context and wins the return value (CheckWith's tasks only
 // fail via cancellation, so the lowest-index error rule is unaffected).
 func boundedRunner(workers int) ForEachFunc {
-	return func(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
-		ctx, cancel := context.WithCancelCause(ctx)
+	return func(parent context.Context, n int, fn func(ctx context.Context, i int) error) error {
+		ctx, cancel := context.WithCancelCause(parent)
 		defer cancel(nil)
 		if workers > n {
 			workers = n
@@ -118,9 +119,16 @@ func boundedRunner(workers int) ForEachFunc {
 			}()
 		}
 		wg.Wait()
-		if ctx.Err() != nil {
-			return context.Cause(ctx)
+		if ctx.Err() == nil {
+			return nil
 		}
-		return nil
+		// Normalize as server.Pool.ForEach does: when the parent ended
+		// but a sibling task's error won the cause race, return an error
+		// satisfying errors.Is for both.
+		cause := context.Cause(ctx)
+		if perr := parent.Err(); perr != nil && !errors.Is(cause, perr) {
+			return fmt.Errorf("%w: %w", perr, cause)
+		}
+		return cause
 	}
 }

@@ -14,6 +14,7 @@
 package netcheck
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,6 +22,7 @@ import (
 
 	"dsmtherm/internal/core"
 	"dsmtherm/internal/em"
+	"dsmtherm/internal/faultinject"
 	"dsmtherm/internal/phys"
 	"dsmtherm/internal/rules"
 	"dsmtherm/internal/waveform"
@@ -196,7 +198,7 @@ func Check(cfg Config, segments []*Segment) (*Report, error) {
 	}
 	findings := make([]Finding, 0, len(segments))
 	for _, s := range segments {
-		f, err := checkSegment(cfg, s, perNet[s.Net])
+		f, err := checkSegment(context.Background(), cfg, s, perNet[s.Net])
 		if err != nil {
 			return nil, fmt.Errorf("netcheck: %s/%s: %w", s.Net, s.Name, err)
 		}
@@ -225,7 +227,10 @@ func assembleReport(cfg Config, findings []Finding) *Report {
 	return rep
 }
 
-func checkSegment(cfg Config, s *Segment, netSegments int) (Finding, error) {
+func checkSegment(ctx context.Context, cfg Config, s *Segment, netSegments int) (Finding, error) {
+	if err := faultinject.Inject(ctx, faultinject.SiteNetcheckSegment); err != nil {
+		return Finding{}, err
+	}
 	deck := cfg.Deck
 	tech := deck.Tech
 	layer, err := tech.Layer(s.Level)
@@ -281,10 +286,10 @@ func checkSegment(cfg Config, s *Segment, netSegments int) (Finding, error) {
 	}
 	var sol core.Solution
 	if deck.Spec.Model.IsThermallyLong(line) {
-		sol, err = core.Solve(prob)
+		sol, err = core.SolveCtx(ctx, prob)
 	} else {
 		f.ThermallyShort = true
-		sol, err = core.SolveFiniteLength(prob)
+		sol, err = core.SolveFiniteLengthCtx(ctx, prob)
 	}
 	if err != nil {
 		return Finding{}, err
@@ -376,7 +381,7 @@ func SuggestWidth(cfg Config, s *Segment, netSegments int, maxMultiple float64) 
 	for mult := s.WidthMultiple; mult <= maxMultiple+1e-9; mult += 0.5 {
 		trial := *s
 		trial.WidthMultiple = mult
-		f, err := checkSegment(cfg, &trial, netSegments)
+		f, err := checkSegment(context.Background(), cfg, &trial, netSegments)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,87 @@
+package rules
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"dsmtherm/internal/faultinject"
+	"dsmtherm/internal/ntrs"
+)
+
+// TestGenerateCtxMatchesGenerate pins that the context-aware path is the
+// same computation: a background context produces the plain result.
+func TestGenerateCtxMatchesGenerate(t *testing.T) {
+	plain, err := Generate(ntrs.N250(), Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := GenerateCtx(context.Background(), ntrs.N250(), Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Rules) != len(withCtx.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(plain.Rules), len(withCtx.Rules))
+	}
+	for i := range plain.Rules {
+		if plain.Rules[i] != withCtx.Rules[i] {
+			t.Errorf("M%d differs:\nplain %+v\nctx   %+v", plain.Rules[i].Level, plain.Rules[i], withCtx.Rules[i])
+		}
+	}
+}
+
+// TestGenerateCtxPreCancelled pins that a dead context stops generation
+// before any level is built.
+func TestGenerateCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := faultinject.Count(faultinject.SiteRulesLevel)
+	_, err := GenerateCtx(ctx, ntrs.N250(), Spec{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if after := faultinject.Count(faultinject.SiteRulesLevel); after != before {
+		t.Errorf("level generation ran under a dead context (%d sites fired)", after-before)
+	}
+}
+
+// TestGenerateCtxCancelsBetweenLevels cancels the context from a hook on
+// the deck-level site and verifies generation stops at the next level
+// boundary instead of running the deck to completion.
+func TestGenerateCtxCancelsBetweenLevels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var levels atomic.Int64
+	t.Cleanup(faultinject.Set(faultinject.SiteRulesLevel, func(context.Context) error {
+		if levels.Add(1) == 2 {
+			cancel() // mid-deck: after level 2 starts
+		}
+		return nil
+	}))
+	_, err := GenerateCtx(ctx, ntrs.N250(), Spec{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Level 2's solves may observe the cancellation themselves or the
+	// deck loop catches it at the next boundary; either way no further
+	// level may start.
+	if n := levels.Load(); n > 2 {
+		t.Errorf("%d levels started after mid-deck cancel, want at most 2", n)
+	}
+}
+
+// TestGenerateLevelCtxInjectedError pins that a transient injected
+// failure at the level site surfaces wrapped with the deck position.
+func TestGenerateLevelCtxInjectedError(t *testing.T) {
+	boom := errors.New("injected level fault")
+	t.Cleanup(faultinject.Set(faultinject.SiteRulesLevel, faultinject.FailFirst(1, boom)))
+	_, err := GenerateLevelCtx(context.Background(), ntrs.N250(), 3, Spec{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	// The hook has burned its failure; the retry succeeds.
+	if _, err := GenerateLevelCtx(context.Background(), ntrs.N250(), 3, Spec{}); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package rules
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/ntrs"
+	"dsmtherm/internal/phys"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden deck files")
+
+// goldenFloat renders a value with 9 significant digits — far tighter
+// than the physics is meaningful, loose enough to ride out last-ulp
+// noise, so any real change to the solver or the deck pipeline moves
+// the text.
+func goldenFloat(x float64) string {
+	return strconv.FormatFloat(x, 'e', 9, 64)
+}
+
+// dumpDeck renders a deck as a canonical, high-precision text form for
+// golden comparison. The human-facing Deck.Format rounds to display
+// precision; this dump locks the numbers themselves.
+func dumpDeck(d *Deck) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tech=%s metal=%s ild=%s gap=%s\n",
+		d.Tech.Name, d.Tech.Metal.Name, d.Tech.ILD.Name, d.Tech.Gap.Name)
+	fmt.Fprintf(&b, "spec r=%s j0MA=%s trefC=%s phi=%s refLenUm=%s\n",
+		goldenFloat(d.Spec.SignalDutyCycle),
+		goldenFloat(phys.ToMAPerCm2(d.Spec.J0)),
+		goldenFloat(phys.KToC(d.Spec.Tref)),
+		goldenFloat(d.Spec.Model.Phi),
+		goldenFloat(phys.ToMicrons(d.Spec.ReferenceLength)))
+	for _, r := range d.Rules {
+		fmt.Fprintf(&b, "M%d class=%s\n", r.Level, r.Class)
+		fmt.Fprintf(&b, "  signal jpeakMA=%s jrmsMA=%s javgMA=%s tmC=%s\n",
+			goldenFloat(phys.ToMAPerCm2(r.SignalJpeak)),
+			goldenFloat(phys.ToMAPerCm2(r.SignalJrms)),
+			goldenFloat(phys.ToMAPerCm2(r.SignalJavg)),
+			goldenFloat(phys.KToC(r.SignalTm)))
+		fmt.Fprintf(&b, "  power jMA=%s tmC=%s\n",
+			goldenFloat(phys.ToMAPerCm2(r.PowerJ)),
+			goldenFloat(phys.KToC(r.PowerTm)))
+		fmt.Fprintf(&b, "  thermal lambdaUm=%s longAboveUm=%s refIsLong=%t\n",
+			goldenFloat(phys.ToMicrons(r.HealingLength)),
+			goldenFloat(phys.ToMicrons(r.ThermallyLongAbove)),
+			r.ReferenceIsLong)
+		fmt.Fprintf(&b, "  em blechUm=%s\n", goldenFloat(phys.ToMicrons(r.BlechImmortalBelow)))
+		fmt.Fprintf(&b, "  esd wNoDamageUm=%s wNoOpenUm=%s\n",
+			goldenFloat(phys.ToMicrons(r.ESDWidthNoDamage)),
+			goldenFloat(phys.ToMicrons(r.ESDWidthNoOpen)))
+	}
+	return b.String()
+}
+
+// TestGoldenDecks locks the generated rules decks — every metallization
+// level of both nodes, oxide and a low-k gap fill, across the signal
+// duty cycles the paper sweeps — against checked-in golden files.
+// Refresh intentionally with:
+//
+//	go test ./internal/rules -run TestGoldenDecks -update
+func TestGoldenDecks(t *testing.T) {
+	type techCase struct {
+		name string
+		tech func() *ntrs.Technology
+	}
+	techs := []techCase{
+		{"N250-oxide", func() *ntrs.Technology { return ntrs.N250() }},
+		{"N250-hsq", func() *ntrs.Technology { return ntrs.N250().WithGapFill(&material.HSQ) }},
+		{"N100-oxide", func() *ntrs.Technology { return ntrs.N100() }},
+		{"N100-hsq", func() *ntrs.Technology { return ntrs.N100().WithGapFill(&material.HSQ) }},
+	}
+	dutyCycles := []float64{0.01, 0.1, 0.33, 1.0}
+
+	for _, tc := range techs {
+		for _, r := range dutyCycles {
+			name := fmt.Sprintf("%s-r%g", tc.name, r)
+			t.Run(name, func(t *testing.T) {
+				deck, err := Generate(tc.tech(), Spec{
+					SignalDutyCycle: r,
+					ESDPulseCurrent: 1,
+				})
+				if err != nil {
+					t.Fatalf("Generate: %v", err)
+				}
+				got := dumpDeck(deck)
+				path := filepath.Join("testdata", "golden", name+".golden")
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("deck drifted from golden %s\n--- got ---\n%s--- want ---\n%s",
+						path, got, want)
+				}
+			})
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package rules
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ import (
 	"dsmtherm/internal/core"
 	"dsmtherm/internal/em"
 	"dsmtherm/internal/esd"
+	"dsmtherm/internal/faultinject"
 	"dsmtherm/internal/ntrs"
 	"dsmtherm/internal/phys"
 	"dsmtherm/internal/thermal"
@@ -135,6 +137,14 @@ type Deck struct {
 
 // Generate builds the deck for every level of the technology.
 func Generate(tech *ntrs.Technology, spec Spec) (*Deck, error) {
+	return GenerateCtx(context.Background(), tech, spec)
+}
+
+// GenerateCtx is Generate with cancellation checked between deck levels
+// (and, through core.SolveCtx, between root-search iterations within
+// each level): when ctx ends mid-deck, generation stops at the next
+// boundary and ctx's error is returned.
+func GenerateCtx(ctx context.Context, tech *ntrs.Technology, spec Spec) (*Deck, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,7 +153,10 @@ func Generate(tech *ntrs.Technology, spec Spec) (*Deck, error) {
 	}
 	d := &Deck{Tech: tech, Spec: spec}
 	for _, layer := range tech.Layers {
-		r, err := generateLevel(tech, layer, spec)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("rules: %s M%d: %w", tech.Name, layer.Level, err)
+		}
+		r, err := generateLevel(ctx, tech, layer, spec)
 		if err != nil {
 			return nil, fmt.Errorf("rules: %s M%d: %w", tech.Name, layer.Level, err)
 		}
@@ -156,6 +169,12 @@ func Generate(tech *ntrs.Technology, spec Spec) (*Deck, error) {
 // generating the whole deck — the entry point long-running services use
 // to answer one-level queries cheaply.
 func GenerateLevel(tech *ntrs.Technology, level int, spec Spec) (LevelRule, error) {
+	return GenerateLevelCtx(context.Background(), tech, level, spec)
+}
+
+// GenerateLevelCtx is GenerateLevel with cancellation checked inside the
+// level's solves (see GenerateCtx).
+func GenerateLevelCtx(ctx context.Context, tech *ntrs.Technology, level int, spec Spec) (LevelRule, error) {
 	if err := spec.Validate(); err != nil {
 		return LevelRule{}, err
 	}
@@ -166,21 +185,24 @@ func GenerateLevel(tech *ntrs.Technology, level int, spec Spec) (LevelRule, erro
 	if err != nil {
 		return LevelRule{}, fmt.Errorf("%w: %w", ErrInvalid, err)
 	}
-	r, err := generateLevel(tech, *layer, spec)
+	r, err := generateLevel(ctx, tech, *layer, spec)
 	if err != nil {
 		return LevelRule{}, fmt.Errorf("rules: %s M%d: %w", tech.Name, level, err)
 	}
 	return r, nil
 }
 
-func generateLevel(tech *ntrs.Technology, layer ntrs.MetalLayer, spec Spec) (LevelRule, error) {
+func generateLevel(ctx context.Context, tech *ntrs.Technology, layer ntrs.MetalLayer, spec Spec) (LevelRule, error) {
+	if err := faultinject.Inject(ctx, faultinject.SiteRulesLevel); err != nil {
+		return LevelRule{}, err
+	}
 	line, err := tech.Line(layer.Level, spec.ReferenceLength)
 	if err != nil {
 		return LevelRule{}, err
 	}
 	out := LevelRule{Level: layer.Level, Class: layer.Class}
 
-	signal, err := core.Solve(core.Problem{
+	signal, err := core.SolveCtx(ctx, core.Problem{
 		Line: line, Model: *spec.Model, R: spec.SignalDutyCycle,
 		J0: spec.J0, Tref: spec.Tref,
 	})
@@ -190,7 +212,7 @@ func generateLevel(tech *ntrs.Technology, layer ntrs.MetalLayer, spec Spec) (Lev
 	out.SignalJpeak, out.SignalJrms, out.SignalJavg = signal.Jpeak, signal.Jrms, signal.Javg
 	out.SignalTm = signal.Tm
 
-	power, err := core.Solve(core.Problem{
+	power, err := core.SolveCtx(ctx, core.Problem{
 		Line: line, Model: *spec.Model, R: 1, J0: spec.J0, Tref: spec.Tref,
 	})
 	if err != nil {

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionFastPath verifies uncontended acquires never queue.
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 4, time.Second)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InUse(); got != 2 {
+		t.Errorf("InUse = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := a.InUse(); got != 0 {
+		t.Errorf("InUse after release = %d, want 0", got)
+	}
+}
+
+// TestAdmissionQueueFull verifies that once the wait-queue is at depth,
+// further requests are rejected immediately with ErrQueueFull — they do
+// not wait out maxWait first.
+func TestAdmissionQueueFull(t *testing.T) {
+	a := NewAdmission(1, 2, 10*time.Second)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Fill the queue with two blocked waiters.
+	var wg sync.WaitGroup
+	waiterCtx, cancelWaiters := context.WithCancel(context.Background())
+	defer cancelWaiters()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, err := a.Acquire(waiterCtx); err == nil {
+				r()
+			}
+		}()
+	}
+	// Wait until both are registered in the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Waiting() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued: Waiting = %d", a.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	_, err = a.Acquire(context.Background())
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("queue-full rejection took %v, want immediate", d)
+	}
+	cancelWaiters()
+	wg.Wait()
+}
+
+// TestAdmissionQueueWait verifies a queued request is rejected with
+// ErrQueueWait once maxWait elapses without a slot.
+func TestAdmissionQueueWait(t *testing.T) {
+	a := NewAdmission(1, 4, 30*time.Millisecond)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	start := time.Now()
+	_, err = a.Acquire(context.Background())
+	if !errors.Is(err, ErrQueueWait) {
+		t.Fatalf("want ErrQueueWait, got %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("rejected after %v, before maxWait elapsed", d)
+	}
+	if got := a.Waiting(); got != 0 {
+		t.Errorf("Waiting after rejection = %d, want 0", got)
+	}
+}
+
+// TestAdmissionCtxCancel verifies a queued request honours its own
+// context and leaves the queue clean.
+func TestAdmissionCtxCancel(t *testing.T) {
+	a := NewAdmission(1, 4, 10*time.Second)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err = a.Acquire(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := a.Waiting(); got != 0 {
+		t.Errorf("Waiting after cancel = %d, want 0", got)
+	}
+}
+
+// TestAdmissionQueuedAcquireGetsSlot verifies a queued request is
+// admitted when a slot frees up within maxWait.
+func TestAdmissionQueuedAcquireGetsSlot(t *testing.T) {
+	a := NewAdmission(1, 4, 5*time.Second)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		release()
+	}()
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+	r2()
+	if got := a.InUse(); got != 0 {
+		t.Errorf("InUse = %d, want 0", got)
+	}
+}
+
+// TestAdmissionReleaseIdempotent verifies double-release does not free
+// two slots (the release func is exactly-once).
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(2, 0, time.Second)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r1() // double release must be a no-op
+	if got := a.InUse(); got != 1 {
+		t.Fatalf("InUse after double release = %d, want 1", got)
+	}
+	r2()
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+}
+
+// TestAdmissionZeroQueueDepth verifies maxQueue=0 means saturation
+// rejects immediately with no waiting.
+func TestAdmissionZeroQueueDepth(t *testing.T) {
+	a := NewAdmission(1, 0, 10*time.Second)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = a.Acquire(context.Background())
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("rejection took %v, want immediate", d)
+	}
+}

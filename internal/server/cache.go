@@ -2,8 +2,11 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"dsmtherm/internal/faultinject"
 )
 
 // Cache is a sharded, size-bounded LRU keyed on canonicalized solve
@@ -78,6 +81,10 @@ func (c *Cache) Get(key string) (any, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Fault-injection site inside the shard critical section: a stalling
+	// hook here makes every Get/Add on this shard queue behind us, which
+	// is how the chaos suite manufactures cache-shard contention.
+	_ = faultinject.Inject(context.Background(), faultinject.SiteCacheShard)
 	el, ok := s.m[key]
 	if !ok {
 		c.misses.Add(1)

@@ -1,0 +1,394 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsmtherm/internal/faultinject"
+)
+
+// The chaos suite drives the daemon with concurrent batches while fault
+// hooks inject solver slowdowns, transient solver errors and cache-shard
+// contention, and a slice of clients gives up early. It asserts the
+// invariants the hardening work is about:
+//
+//   - every response the server writes is structured JSON with a known
+//     status (no empty bodies, no plain-text errors);
+//   - identical completed (200) requests return identical results no
+//     matter what faults or cancellations happened around them;
+//   - when the storm passes, nothing leaks: the in-flight gauge, pool
+//     occupancy, admission occupancy and wait-queue all read zero, and
+//     the goroutine count returns to its pre-load baseline.
+
+// chaosAllowedStatus is the closed set of statuses load may produce.
+// 200 success, 429 queue full, 503 queue wait / client-cancel surfaced,
+// 504 deadline, 500 the injected transient solver error.
+var chaosAllowedStatus = map[int]bool{
+	http.StatusOK:                  true,
+	http.StatusTooManyRequests:     true,
+	http.StatusServiceUnavailable:  true,
+	http.StatusGatewayTimeout:      true,
+	http.StatusInternalServerError: true,
+}
+
+// normalizeBody strips the cache-provenance flags ("cached",
+// "deckCached") so bodies from cold and warm hits compare equal; the
+// physics payload must be bit-identical.
+func normalizeBody(t *testing.T, body []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, body)
+	}
+	delete(m, "cached")
+	delete(m, "deckCached")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestChaosLoadWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos load test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{
+		Workers:         4,
+		CacheEntries:    512,
+		AdmitConcurrent: 4,
+		QueueDepth:      8,
+		QueueWait:       200 * time.Millisecond,
+		RequestTimeout:  10 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Faults: every solve entry has a 1-in-9 transient failure, every
+	// solver iteration is slowed, and every cache access contends.
+	errInjected := errors.New("injected transient solver fault")
+	t.Cleanup(faultinject.Set(faultinject.SiteCoreSolve, faultinject.ErrEvery(9, errInjected)))
+	t.Cleanup(faultinject.Set(faultinject.SiteCoreSolveIter, faultinject.Sleep(200*time.Microsecond)))
+	t.Cleanup(faultinject.Set(faultinject.SiteCacheShard, faultinject.Sleep(20*time.Microsecond)))
+
+	type shot struct {
+		url      string
+		payload  string
+		status   int
+		body     []byte
+		timedOut bool // client gave up; no response to validate
+	}
+	payloads := []struct {
+		path string
+		body string
+	}{
+		{"/v1/rules", `{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`},
+		{"/v1/rules", `{"node":"0.25","level":3,"dutyCycle":0.33,"j0MA":1.8}`},
+		{"/v1/rules", `{"node":"0.10","level":2,"dutyCycle":0.01,"j0MA":1.2,"gap":"HSQ"}`},
+		{"/v1/sweep", `{"level":5,"dutyCycles":[0.05,0.1,0.5,1]}`},
+		{"/v1/sweep", `{"node":"0.10","level":4,"dutyCycles":[0.2,0.4]}`},
+		{"/v1/netcheck", `{"node":"0.25","segments":[
+			{"net":"clk","name":"s1","level":5,"widthMultiple":1,"lengthUm":3000,
+			 "waveform":{"kind":"bipolar","peakMA":1.0,"dutyCycle":0.12}},
+			{"net":"abuse","name":"hot","level":5,"widthMultiple":1,"lengthUm":3000,
+			 "waveform":{"kind":"bipolar","peakMA":60,"dutyCycle":0.12}}]}`},
+	}
+
+	const clients = 12
+	const perClient = 6
+	results := make(chan shot, clients*perClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				p := payloads[(c+i)%len(payloads)]
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				// Every sixth request is an impatient client that
+				// abandons the request mid-solve.
+				impatient := (c+i)%6 == 5
+				if impatient {
+					ctx, cancel = context.WithTimeout(ctx, 3*time.Millisecond)
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					ts.URL+p.path, strings.NewReader(p.body))
+				if err != nil {
+					cancel()
+					t.Error(err)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := http.DefaultClient.Do(req)
+				cancel()
+				if err != nil {
+					if !impatient {
+						t.Errorf("request failed without client timeout: %v", err)
+					}
+					results <- shot{timedOut: true}
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				results <- shot{url: p.path, payload: p.body, status: resp.StatusCode, body: body}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(results)
+
+	// Every served response is structured JSON from the allowed set, and
+	// 200 bodies for one payload are identical across the whole run.
+	okBodies := make(map[string]string) // payload -> normalized 200 body
+	served, abandoned := 0, 0
+	for sh := range results {
+		if sh.timedOut {
+			abandoned++
+			continue
+		}
+		served++
+		if !chaosAllowedStatus[sh.status] {
+			t.Errorf("%s: unexpected status %d: %s", sh.url, sh.status, sh.body)
+			continue
+		}
+		if sh.status == http.StatusOK {
+			norm := normalizeBody(t, sh.body)
+			key := sh.url + "\x00" + sh.payload
+			if prev, ok := okBodies[key]; ok && prev != norm {
+				t.Errorf("%s: two 200 responses for identical payload differ:\n%s\n%s", sh.url, prev, norm)
+			}
+			okBodies[key] = norm
+			continue
+		}
+		var apiErr apiError
+		if err := json.Unmarshal(sh.body, &apiErr); err != nil {
+			t.Errorf("%s: %d response is not structured JSON: %v\n%s", sh.url, sh.status, err, sh.body)
+		} else if apiErr.Error.Code == "" {
+			t.Errorf("%s: %d response has empty error code: %s", sh.url, sh.status, sh.body)
+		}
+	}
+	t.Logf("chaos load: %d served, %d abandoned by impatient clients", served, abandoned)
+
+	// The injection sites actually fired (the storm was real).
+	if faultinject.Count(faultinject.SiteCoreSolveIter) == 0 {
+		t.Error("solver-iteration fault site never fired")
+	}
+	if faultinject.Count(faultinject.SiteCacheShard) == 0 {
+		t.Error("cache-shard fault site never fired")
+	}
+
+	// Quiescence: all gauges drain to zero.
+	waitQuiescent(t, s, 5*time.Second)
+
+	// The /metrics document agrees.
+	var snap Snapshot
+	if status := getJSON(t, ts.URL+"/metrics", &snap); status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if snap.InFlight != 1 { // the /metrics request itself is in flight
+		t.Errorf("inFlight gauge drifted: %d, want 1 (the scrape itself)", snap.InFlight)
+	}
+	if snap.Pool.InUse != 0 {
+		t.Errorf("pool inUse drifted: %d, want 0", snap.Pool.InUse)
+	}
+	if snap.Admission.InUse != 0 || snap.Admission.Waiting != 0 {
+		t.Errorf("admission gauges drifted: inUse=%d waiting=%d, want 0/0", snap.Admission.InUse, snap.Admission.Waiting)
+	}
+
+	// No goroutine leak once the HTTP client's idle connections close.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitQuiescent polls until every server gauge reads zero.
+func waitQuiescent(t *testing.T, s *Server, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.Pool().InUse() == 0 && s.Admission().InUse() == 0 && s.Admission().Waiting() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not quiesce: pool=%d admission=%d waiting=%d",
+				s.Pool().InUse(), s.Admission().InUse(), s.Admission().Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelledRequestFreesPoolSlot pins the PR's latency bound at the
+// server level: with a fault-injected stall slowing every solver
+// iteration, a client that abandons its request must see the request's
+// pool slot freed within roughly one iteration (here: one injected
+// stall) — not after the full solve runs to completion.
+func TestCancelledRequestFreesPoolSlot(t *testing.T) {
+	const perIter = 50 * time.Millisecond
+	const cancelAfter = 100 * time.Millisecond
+	// Bound: the in-progress iteration may run to the end of its stall,
+	// plus generous scheduling slack. A solver that ignores cancellation
+	// blows far past this (a full Brent search is dozens of iterations).
+	const bound = perIter + 250*time.Millisecond
+
+	s := New(Config{Workers: 2, CacheEntries: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	t.Cleanup(faultinject.Set(faultinject.SiteCoreSolveIter, faultinject.Sleep(perIter)))
+
+	ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/rules",
+		strings.NewReader(`{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("request completed before the client timeout; raise perIter")
+	}
+	cancelled := time.Now()
+	if d := cancelled.Sub(start); d < cancelAfter {
+		t.Fatalf("client returned after %v, before its own %v timeout", d, cancelAfter)
+	}
+
+	// The slot must come free within ~one injected iteration of the
+	// client walking away.
+	for s.Pool().InUse() != 0 {
+		if d := time.Since(cancelled); d > bound {
+			t.Fatalf("pool slot still held %v after client cancel (bound %v, per-iteration stall %v)",
+				d, bound, perIter)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := time.Since(cancelled); d > bound {
+		t.Fatalf("pool slot freed after %v, want within %v", d, bound)
+	}
+	waitQuiescent(t, s, time.Second)
+}
+
+// TestChaosStalledSolveDoesNotBlockUngatedRoutes verifies /metrics and
+// /healthz stay responsive while every admission slot is pinned by
+// stalled solves — observability must survive overload.
+func TestChaosStalledSolveDoesNotBlockUngatedRoutes(t *testing.T) {
+	s := New(Config{
+		Workers:         2,
+		CacheEntries:    -1,
+		AdmitConcurrent: 2,
+		QueueDepth:      2,
+		QueueWait:       5 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unstall := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unstall()
+	t.Cleanup(faultinject.Set(faultinject.SiteCoreSolve, faultinject.Stall(release)))
+
+	// Pin both admission slots with stalled solves.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"node":"0.25","level":%d,"dutyCycle":0.1,"j0MA":1.8}`, 3+i)
+			resp, err := http.Post(ts.URL+"/v1/rules", "application/json", strings.NewReader(body))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Admission().InUse() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled requests never occupied admission: inUse=%d", s.Admission().InUse())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Ungated routes answer promptly while the solver is wedged.
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, path := range []string{"/metrics", "/healthz", "/v1/tech"} {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s while wedged: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s while wedged: status %d: %s", path, resp.StatusCode, body)
+		}
+		if !bytes.HasPrefix(bytes.TrimSpace(body), []byte("{")) {
+			t.Errorf("GET %s: body is not JSON: %s", path, body)
+		}
+	}
+
+	// With both slots pinned, gated requests queue. The queue is two
+	// deep: of three more requests, two queue and one bounces with 429.
+	codes := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/rules",
+				strings.NewReader(`{"node":"0.25","level":5,"dutyCycle":0.2,"j0MA":1.8}`))
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				codes <- 0 // client timeout while queued: fine
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	saw429 := false
+	for i := 0; i < 3; i++ {
+		if <-codes == http.StatusTooManyRequests {
+			saw429 = true
+		}
+	}
+	if !saw429 {
+		t.Error("overflowing the wait-queue never produced a 429")
+	}
+	if got := s.Metrics().RejectedQueueFull.Load(); got == 0 {
+		t.Error("RejectedQueueFull counter did not advance")
+	}
+
+	unstall()
+	wg.Wait()
+	waitQuiescent(t, s, 5*time.Second)
+}

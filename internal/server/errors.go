@@ -17,6 +17,21 @@ import (
 // client can fix by changing the request.
 var ErrBadRequest = errors.New("server: bad request")
 
+// ErrQueueFull rejects a request because the admission wait-queue is at
+// its configured depth: the daemon is overloaded and queueing more work
+// would only grow latency without bound. Clients should back off and
+// retry (HTTP 429 + Retry-After).
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// ErrQueueWait rejects a request that waited the configured maximum in
+// the admission queue without getting a slot (HTTP 503 + Retry-After).
+var ErrQueueWait = errors.New("server: admission queue wait exceeded")
+
+// ErrDraining rejects new work while the daemon is shutting down: the
+// drain flag is raised before the listener starts closing, so clients
+// get a structured 503 instead of racing connection resets.
+var ErrDraining = errors.New("server: shutting down")
+
 // apiError is the structured JSON error body every non-2xx response
 // carries.
 type apiError struct {
@@ -42,6 +57,12 @@ func classify(err error) (int, string) {
 		// A well-formed problem with no self-consistent operating point:
 		// semantically unprocessable, not malformed.
 		return http.StatusUnprocessableEntity, "no_solution"
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrQueueWait):
+		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
@@ -52,9 +73,19 @@ func classify(err error) (int, string) {
 	}
 }
 
+// retryAfterSeconds is the Retry-After hint on backpressure rejections:
+// long enough for a queue-depth burst to drain at typical solve rates,
+// short enough that sweeping clients re-land promptly.
+const retryAfterSeconds = "1"
+
 // writeError renders err as a structured JSON error response.
+// Backpressure statuses (429/503) carry a Retry-After header so
+// well-behaved batch clients throttle instead of hammering.
 func writeError(w http.ResponseWriter, err error) {
 	status, code := classify(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	var body apiError
 	body.Error.Code = code
 	body.Error.Message = err.Error()

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// canonFloat collapses every NaN bit pattern to one representative so
+// float comparison matches the key encoder's behaviour: strconv renders
+// any NaN as "NaN", so all NaNs share a key — and nothing else may.
+// +0 and -0 render differently ("0x0p+00" vs "-0x0p+00") and therefore
+// key differently, which Float64bits comparison also reflects.
+func canonFloat(x float64) uint64 {
+	if math.IsNaN(x) {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(x)
+}
+
+type solveKeyInput struct {
+	node, gap, metal string
+	level            int
+	length, r, j0, t float64
+}
+
+func (a solveKeyInput) equal(b solveKeyInput) bool {
+	return a.node == b.node && a.gap == b.gap && a.metal == b.metal &&
+		a.level == b.level &&
+		canonFloat(a.length) == canonFloat(b.length) &&
+		canonFloat(a.r) == canonFloat(b.r) &&
+		canonFloat(a.j0) == canonFloat(b.j0) &&
+		canonFloat(a.t) == canonFloat(b.t)
+}
+
+func (a solveKeyInput) key() string {
+	return solveKey(a.node, a.gap, a.metal, a.level, a.length, a.r, a.j0, a.t)
+}
+
+// FuzzSolveKeyEncoder locks the canonical cache-key property the cache
+// depends on: key equality ⇔ input equality. A collision (different
+// inputs, same key) silently serves one client another client's physics;
+// a split (same inputs, different keys) silently kills the hit rate.
+// The '|'-join encoding this replaced collided on selector strings that
+// contain the separator — e.g. ("a", "b|c") vs ("a|b", "c") — which the
+// length-prefixed encoding (and this fuzz target) rules out.
+func FuzzSolveKeyEncoder(f *testing.F) {
+	f.Add("0.25", "HSQ", "Cu", 5, 2e-3, 0.1, 1.8, 100.0,
+		"0.25", "HSQ", "Cu", 5, 2e-3, 0.1, 1.8, 100.0)
+	// The historical separator collision.
+	f.Add("a", "b|c", "", 1, 1.0, 1.0, 1.0, 1.0,
+		"a|b", "c", "", 1, 1.0, 1.0, 1.0, 1.0)
+	// Length-prefix boundary shapes.
+	f.Add("12:x", "", "", 1, 1.0, 1.0, 1.0, 1.0,
+		"1", "2:x", "", 1, 1.0, 1.0, 1.0, 1.0)
+	// NaNs collapse; zeros keep their sign.
+	f.Add("", "", "", 0, math.NaN(), 0.0, 1.0, 1.0,
+		"", "", "", 0, math.NaN(), math.Copysign(0, -1), 1.0, 1.0)
+	// Level/float field boundary.
+	f.Add("n", "g", "m", 12, 3.0, 1.0, 1.0, 1.0,
+		"n", "g", "m", 1, 23.0, 1.0, 1.0, 1.0)
+
+	f.Fuzz(func(t *testing.T,
+		node1, gap1, metal1 string, level1 int, l1, r1, j1, t1 float64,
+		node2, gap2, metal2 string, level2 int, l2, r2, j2, t2 float64) {
+		a := solveKeyInput{node1, gap1, metal1, level1, l1, r1, j1, t1}
+		b := solveKeyInput{node2, gap2, metal2, level2, l2, r2, j2, t2}
+		ka, kb := a.key(), b.key()
+		switch {
+		case a.equal(b) && ka != kb:
+			t.Fatalf("equal inputs produced different keys:\n%q\n%q", ka, kb)
+		case !a.equal(b) && ka == kb:
+			t.Fatalf("different inputs collided on key %q:\n%+v\n%+v", ka, a, b)
+		}
+	})
+}
+
+// FuzzDeckKeyEncoder is the same property for the netcheck deck key.
+func FuzzDeckKeyEncoder(f *testing.F) {
+	f.Add("0.25", "HSQ", "Cu", 1.8, "0.25", "HSQ", "Cu", 1.8)
+	f.Add("a", "b|c", "", 1.0, "a|b", "c", "", 1.0)
+	f.Add("", "3:abc", "", 1.0, "3:a", "bc", "", 1.0)
+	f.Fuzz(func(t *testing.T,
+		node1, gap1, metal1 string, j1 float64,
+		node2, gap2, metal2 string, j2 float64) {
+		same := node1 == node2 && gap1 == gap2 && metal1 == metal2 &&
+			canonFloat(j1) == canonFloat(j2)
+		ka := deckKey(node1, gap1, metal1, j1)
+		kb := deckKey(node2, gap2, metal2, j2)
+		switch {
+		case same && ka != kb:
+			t.Fatalf("equal inputs produced different keys:\n%q\n%q", ka, kb)
+		case !same && ka == kb:
+			t.Fatalf("different inputs collided on key %q", ka)
+		}
+	})
+}

@@ -148,23 +148,32 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	sol, hit, err := s.solveCached(
-		solveKey(req.Node, req.Gap, req.Metal, req.Level, line.Length,
-			req.DutyCycle, req.J0MA, req.TrefC),
-		core.Problem{
-			Line:  line,
-			Model: *spec.Model,
-			R:     req.DutyCycle,
-			J0:    phys.MAPerCm2(req.J0MA),
-			Tref:  phys.CToK(req.TrefC),
-		})
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	rule, err := s.levelRuleCached(
-		levelRuleKey(req.Node, req.Gap, req.Metal, req.Level, req.J0MA, req.TrefC),
-		tech, req.Level, spec)
+	// The solve and the deck row both run inside a pool slot: single-point
+	// rules queries count against the same global solver concurrency
+	// bound as sweep fan-out and batch signoff.
+	var sol core.Solution
+	var hit bool
+	var rule rules.LevelRule
+	err = s.pool.ForEach(r.Context(), 1, func(ctx context.Context, _ int) error {
+		var err error
+		sol, hit, err = s.solveCached(ctx,
+			solveKey(req.Node, req.Gap, req.Metal, req.Level, line.Length,
+				req.DutyCycle, req.J0MA, req.TrefC),
+			core.Problem{
+				Line:  line,
+				Model: *spec.Model,
+				R:     req.DutyCycle,
+				J0:    phys.MAPerCm2(req.J0MA),
+				Tref:  phys.CToK(req.TrefC),
+			})
+		if err != nil {
+			return err
+		}
+		rule, err = s.levelRuleCached(ctx,
+			levelRuleKey(req.Node, req.Gap, req.Metal, req.Level, req.J0MA, req.TrefC),
+			tech, req.Level, spec)
+		return err
+	})
 	if err != nil {
 		writeError(w, err)
 		return
@@ -258,7 +267,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	points := make([]SweepPointJSON, len(rs))
 	err = s.pool.ForEach(r.Context(), len(rs), func(ctx context.Context, i int) error {
 		duty := rs[i]
-		sol, _, err := s.solveCached(
+		sol, _, err := s.solveCached(ctx,
 			solveKey(req.Node, req.Gap, req.Metal, req.Level, line.Length,
 				duty, req.J0MA, req.TrefC),
 			core.Problem{
@@ -322,7 +331,7 @@ func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	deck, deckHit, err := s.deckCached(deckKey(df.Node, df.Gap, df.Metal, df.J0MA), tech, df.Spec())
+	deck, deckHit, err := s.deckCached(r.Context(), deckKey(df.Node, df.Gap, df.Metal, df.J0MA), tech, df.Spec())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -440,7 +449,7 @@ func (s *Server) handleTech(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache))
+	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache, s.pool, s.admission))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -38,6 +38,13 @@ type Metrics struct {
 	SweepPoints  atomic.Uint64
 	DecksBuilt   atomic.Uint64
 	DeckCacheHit atomic.Uint64
+
+	// Backpressure counters: requests rejected by admission control
+	// (queue at depth → 429; queue wait exceeded → 503) and during the
+	// shutdown drain (503).
+	RejectedQueueFull atomic.Uint64
+	RejectedQueueWait atomic.Uint64
+	RejectedDraining  atomic.Uint64
 }
 
 // EndpointStats aggregates one route's traffic.
@@ -97,6 +104,26 @@ type Snapshot struct {
 	Cache     CacheStats                  `json:"cache"`
 	Solver    solverSnapshot              `json:"solver"`
 	Netcheck  netcheckSnapshot            `json:"netcheck"`
+	Pool      poolSnapshot                `json:"pool"`
+	Admission admissionSnapshot           `json:"admission"`
+}
+
+// poolSnapshot reports worker-pool occupancy.
+type poolSnapshot struct {
+	Size  int `json:"size"`
+	InUse int `json:"inUse"`
+}
+
+// admissionSnapshot reports the backpressure state: gate occupancy, the
+// wait-queue, and the rejection counters.
+type admissionSnapshot struct {
+	Slots             int    `json:"slots"`
+	InUse             int    `json:"inUse"`
+	Waiting           int64  `json:"waiting"`
+	QueueDepth        int    `json:"queueDepth"`
+	RejectedQueueFull uint64 `json:"rejectedQueueFull"`
+	RejectedQueueWait uint64 `json:"rejectedQueueWait"`
+	RejectedDraining  uint64 `json:"rejectedDraining"`
 }
 
 type solverSnapshot struct {
@@ -114,8 +141,9 @@ type netcheckSnapshot struct {
 	SegmentsChecked uint64 `json:"segmentsChecked"`
 }
 
-// SnapshotNow collects the current counter values.
-func (m *Metrics) SnapshotNow(cache *Cache) Snapshot {
+// SnapshotNow collects the current counter values. cache, pool and adm
+// may each be nil (their sections read zero).
+func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission) Snapshot {
 	s := Snapshot{
 		UptimeSec: time.Since(m.start).Seconds(),
 		InFlight:  m.inFlight.Load(),
@@ -153,6 +181,20 @@ func (m *Metrics) SnapshotNow(cache *Cache) Snapshot {
 		s.Solver.AvgSolveUs = float64(m.SolveNanos.Load()) / float64(n) / 1e3
 	}
 	s.Netcheck = netcheckSnapshot{SegmentsChecked: m.SegsChecked.Load()}
+	if pool != nil {
+		s.Pool = poolSnapshot{Size: pool.Size(), InUse: pool.InUse()}
+	}
+	if adm != nil {
+		s.Admission = admissionSnapshot{
+			Slots:      adm.Slots(),
+			InUse:      adm.InUse(),
+			Waiting:    adm.Waiting(),
+			QueueDepth: adm.QueueDepth(),
+		}
+	}
+	s.Admission.RejectedQueueFull = m.RejectedQueueFull.Load()
+	s.Admission.RejectedQueueWait = m.RejectedQueueWait.Load()
+	s.Admission.RejectedDraining = m.RejectedDraining.Load()
 	return s
 }
 

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -24,14 +26,25 @@ func NewPool(n int) *Pool {
 // Size returns the concurrency bound.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// InUse returns the number of pool slots currently held. It is a
+// point-in-time gauge for /metrics and tests.
+func (p *Pool) InUse() int { return len(p.sem) }
+
 // ForEach runs fn(0..n-1) across the pool, blocking until every started
 // task finishes. The first task error cancels the derived context,
 // stops new tasks from being scheduled, and is returned; if the caller's
 // ctx is cancelled first, unscheduled indices are abandoned and the
 // cancellation error is returned. Tasks observe cancellation through the
 // ctx they receive.
-func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
-	ctx, cancel := context.WithCancelCause(ctx)
+//
+// The returned error is normalized so callers can classify it with
+// errors.Is alone: when the caller's ctx ended, the result always
+// matches ctx.Err() (context.DeadlineExceeded or context.Canceled) even
+// if a sibling task's error won the race to set the cancellation cause —
+// and the cause, task sentinels included, stays matchable through the
+// same error.
+func (p *Pool) ForEach(parent context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancelCause(parent)
 	defer cancel(nil)
 
 	var wg sync.WaitGroup
@@ -53,8 +66,16 @@ loop:
 	}
 	wg.Wait()
 
-	if ctx.Err() != nil {
-		return context.Cause(ctx)
+	if ctx.Err() == nil {
+		return nil
 	}
-	return nil
+	cause := context.Cause(ctx)
+	if perr := parent.Err(); perr != nil && !errors.Is(cause, perr) {
+		// The parent context ended while a task error (or a custom
+		// cancellation cause) held the cause slot. Surface both: the
+		// wrapped pair satisfies errors.Is for the context error AND
+		// for whatever sentinel the cause wraps.
+		return fmt.Errorf("%w: %w", perr, cause)
+	}
+	return cause
 }

@@ -22,11 +22,13 @@ package server
 
 import (
 	"context"
+	"errors"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dsmtherm/internal/core"
@@ -45,12 +47,29 @@ type Config struct {
 	CacheEntries int
 	// RequestTimeout caps one request's work (default 30s).
 	RequestTimeout time.Duration
+	// EndpointTimeouts overrides RequestTimeout per route (key is the
+	// route path, e.g. "/v1/sweep"). Routes not listed use
+	// RequestTimeout.
+	EndpointTimeouts map[string]time.Duration
 	// DrainTimeout caps graceful-shutdown draining (default 15s).
 	DrainTimeout time.Duration
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// MaxSweepPoints caps one sweep request's fan-out (default 4096).
 	MaxSweepPoints int
+
+	// AdmitConcurrent bounds how many solver-bearing requests
+	// (/v1/rules, /v1/sweep, /v1/netcheck) may be in flight at once
+	// (default 2×Workers). Cheap routes — /v1/tech, /metrics, /healthz
+	// — are never gated.
+	AdmitConcurrent int
+	// QueueDepth bounds how many further solver-bearing requests may
+	// wait for admission; beyond it requests are rejected immediately
+	// with 429 (default 4×AdmitConcurrent; negative allows no waiting).
+	QueueDepth int
+	// QueueWait caps how long a request waits for admission before a
+	// 503 (default 2s, clamped below RequestTimeout).
+	QueueWait time.Duration
 }
 
 func (c *Config) defaults() {
@@ -72,15 +91,42 @@ func (c *Config) defaults() {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 4096
 	}
+	if c.AdmitConcurrent <= 0 {
+		c.AdmitConcurrent = 2 * c.Workers
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.AdmitConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.QueueWait > c.RequestTimeout {
+		c.QueueWait = c.RequestTimeout
+	}
+}
+
+// timeoutFor returns the deadline budget for one route.
+func (c *Config) timeoutFor(route string) time.Duration {
+	if d, ok := c.EndpointTimeouts[route]; ok && d > 0 {
+		return d
+	}
+	return c.RequestTimeout
 }
 
 // Server holds the shared state behind the handlers.
 type Server struct {
-	cfg     Config
-	pool    *Pool
-	cache   *Cache
-	metrics *Metrics
-	mux     *http.ServeMux
+	cfg       Config
+	pool      *Pool
+	cache     *Cache
+	metrics   *Metrics
+	admission *Admission
+	mux       *http.ServeMux
+
+	// draining is raised before the HTTP listener starts closing so new
+	// work is rejected with a structured 503 instead of racing the
+	// listener teardown. In-flight requests (already past the check)
+	// drain normally.
+	draining atomic.Bool
 
 	// testHookStarted, when set (tests only), is called once a request
 	// is past metrics accounting — it lets shutdown tests hold a request
@@ -92,31 +138,63 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Workers),
-		cache:   NewCache(cfg.CacheEntries),
-		metrics: NewMetrics(),
+		cfg:       cfg,
+		pool:      NewPool(cfg.Workers),
+		cache:     NewCache(cfg.CacheEntries),
+		metrics:   NewMetrics(),
+		admission: NewAdmission(cfg.AdmitConcurrent, cfg.QueueDepth, cfg.QueueWait),
 	}
 	s.mux = http.NewServeMux()
-	s.route("POST /v1/rules", s.handleRules)
-	s.route("POST /v1/sweep", s.handleSweep)
-	s.route("POST /v1/netcheck", s.handleNetcheck)
-	s.route("GET /v1/tech", s.handleTech)
-	s.route("GET /metrics", s.handleMetrics)
-	s.route("GET /healthz", s.handleHealthz)
+	s.route("POST /v1/rules", s.handleRules, gated)
+	s.route("POST /v1/sweep", s.handleSweep, gated)
+	s.route("POST /v1/netcheck", s.handleNetcheck, gated)
+	s.route("GET /v1/tech", s.handleTech, ungated)
+	s.route("GET /metrics", s.handleMetrics, ungated)
+	s.route("GET /healthz", s.handleHealthz, ungated)
 	return s
 }
 
-func (s *Server) route(pattern string, h http.HandlerFunc) {
+// Route admission classes: solver-bearing routes go through the
+// admission queue; cheap routes (and /metrics, which must stay readable
+// during overload) bypass it.
+const (
+	ungated = false
+	gated   = true
+)
+
+func (s *Server) route(pattern string, h http.HandlerFunc, admit bool) {
 	routeName := pattern[strings.IndexByte(pattern, ' ')+1:]
+	timeout := s.cfg.timeoutFor(routeName)
 	s.mux.HandleFunc(pattern, s.metrics.instrument(routeName, func(w http.ResponseWriter, r *http.Request) {
+		// /metrics stays readable during drain; everything else bounces
+		// with a structured 503 so load balancers stop routing here.
+		// Requests past this gate are "in flight" and drain normally.
+		if s.draining.Load() && routeName != "/metrics" {
+			s.metrics.RejectedDraining.Add(1)
+			writeError(w, ErrDraining)
+			return
+		}
 		if s.testHookStarted != nil {
 			s.testHookStarted(routeName)
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if admit {
+			release, err := s.admission.Acquire(ctx)
+			if err != nil {
+				switch {
+				case errors.Is(err, ErrQueueFull):
+					s.metrics.RejectedQueueFull.Add(1)
+				case errors.Is(err, ErrQueueWait):
+					s.metrics.RejectedQueueWait.Add(1)
+				}
+				writeError(w, err)
+				return
+			}
+			defer release()
+		}
 		h(w, r)
 	}))
 }
@@ -133,9 +211,18 @@ func (s *Server) Cache() *Cache { return s.cache }
 // Pool exposes the worker pool (the daemon banner).
 func (s *Server) Pool() *Pool { return s.pool }
 
+// Admission exposes the admission gate (tests and the daemon banner).
+func (s *Server) Admission() *Admission { return s.admission }
+
 // Run serves on ln until ctx is cancelled, then shuts down gracefully,
 // draining in-flight requests for up to Config.DrainTimeout. It returns
 // nil after a clean drain.
+//
+// Shutdown ordering: the drain flag is raised BEFORE http.Server.Shutdown
+// starts closing the listener, so any request that still reaches a
+// handler during teardown gets a structured 503 ("draining") instead of
+// racing the listener close; requests already in flight when the flag
+// rises complete normally.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
 		Handler:           s.Handler(),
@@ -148,6 +235,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	s.draining.Store(true)
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -156,6 +244,9 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	<-errc // http.ErrServerClosed
 	return nil
 }
+
+// Draining reports whether the server has entered its shutdown drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // resolveTech maps request-level technology selectors to a Technology.
 func resolveTech(node, gap, metal string) (*ntrs.Technology, error) {
@@ -187,21 +278,30 @@ func resolveTech(node, gap, metal string) (*ntrs.Technology, error) {
 
 // Canonical cache keys. Floats are rendered with strconv 'x' (hex, exact
 // round-trip), so two requests hit the same entry iff their solve inputs
-// are bit-identical — no tolerance guessing, no false sharing.
+// are bit-identical — no tolerance guessing, no false sharing. String
+// fields are length-prefixed rather than '|'-joined: client-supplied
+// selectors may themselves contain the separator, and plain joining
+// would let ("a", "b|c") and ("a|b", "c") collide on one cache entry
+// (the key-encoder fuzz target locks this property).
 func keyFloat(b *strings.Builder, x float64) {
 	b.WriteByte('|')
 	b.WriteString(strconv.FormatFloat(x, 'x', -1, 64))
 }
 
+func keyStr(b *strings.Builder, s string) {
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
 // solveKey canonicalizes one self-consistent solve on a technology level.
 func solveKey(node, gap, metal string, level int, lengthM, r, j0, tref float64) string {
 	var b strings.Builder
-	b.WriteString("solve|")
-	b.WriteString(node)
-	b.WriteByte('|')
-	b.WriteString(gap)
-	b.WriteByte('|')
-	b.WriteString(metal)
+	b.WriteString("solve")
+	keyStr(&b, node)
+	keyStr(&b, gap)
+	keyStr(&b, metal)
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(level))
 	keyFloat(&b, lengthM)
@@ -218,12 +318,10 @@ func solveKey(node, gap, metal string, level int, lengthM, r, j0, tref float64) 
 // silently share a row.
 func levelRuleKey(node, gap, metal string, level int, j0, tref float64) string {
 	var b strings.Builder
-	b.WriteString("rule|")
-	b.WriteString(node)
-	b.WriteByte('|')
-	b.WriteString(gap)
-	b.WriteByte('|')
-	b.WriteString(metal)
+	b.WriteString("rule")
+	keyStr(&b, node)
+	keyStr(&b, gap)
+	keyStr(&b, metal)
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(level))
 	keyFloat(&b, j0)
@@ -234,12 +332,10 @@ func levelRuleKey(node, gap, metal string, level int, j0, tref float64) string {
 // deckKey canonicalizes a whole-deck generation (netcheck path).
 func deckKey(node, gap, metal string, j0MA float64) string {
 	var b strings.Builder
-	b.WriteString("deck|")
-	b.WriteString(node)
-	b.WriteByte('|')
-	b.WriteString(gap)
-	b.WriteByte('|')
-	b.WriteString(metal)
+	b.WriteString("deck")
+	keyStr(&b, node)
+	keyStr(&b, gap)
+	keyStr(&b, metal)
 	keyFloat(&b, j0MA)
 	return b.String()
 }
@@ -253,30 +349,38 @@ type solveResult struct {
 	err error
 }
 
-// solveCached runs core.Solve through the cache.
-func (s *Server) solveCached(key string, p core.Problem) (core.Solution, bool, error) {
+// solveCached runs core.SolveCtx through the cache. Cancellation
+// outcomes are never cached: they describe the request's lifecycle, not
+// the problem, and remembering one would poison the key for every later
+// client.
+func (s *Server) solveCached(ctx context.Context, key string, p core.Problem) (core.Solution, bool, error) {
 	if v, ok := s.cache.Get(key); ok {
 		res := v.(solveResult)
 		s.metrics.SolveCached.Add(1)
 		return res.sol, true, res.err
 	}
 	start := time.Now()
-	sol, err := core.Solve(p)
+	sol, err := core.SolveCtx(ctx, p)
 	s.metrics.ObserveSolve(time.Since(start), err)
-	s.cache.Add(key, solveResult{sol: sol, err: err})
+	if ctx.Err() == nil {
+		s.cache.Add(key, solveResult{sol: sol, err: err})
+	}
 	return sol, false, err
 }
 
-// levelRuleCached runs rules.GenerateLevel through the cache.
-func (s *Server) levelRuleCached(key string, tech *ntrs.Technology, level int, spec rules.Spec) (rules.LevelRule, error) {
+// levelRuleCached runs rules.GenerateLevelCtx through the cache (same
+// no-caching-of-cancellations rule as solveCached).
+func (s *Server) levelRuleCached(ctx context.Context, key string, tech *ntrs.Technology, level int, spec rules.Spec) (rules.LevelRule, error) {
 	if v, ok := s.cache.Get(key); ok {
 		s.metrics.DeckCacheHit.Add(1)
 		res := v.(levelRuleResult)
 		return res.rule, res.err
 	}
-	rule, err := rules.GenerateLevel(tech, level, spec)
+	rule, err := rules.GenerateLevelCtx(ctx, tech, level, spec)
 	s.metrics.DecksBuilt.Add(1)
-	s.cache.Add(key, levelRuleResult{rule: rule, err: err})
+	if ctx.Err() == nil {
+		s.cache.Add(key, levelRuleResult{rule: rule, err: err})
+	}
 	return rule, err
 }
 
@@ -285,16 +389,19 @@ type levelRuleResult struct {
 	err  error
 }
 
-// deckCached runs rules.Generate through the cache.
-func (s *Server) deckCached(key string, tech *ntrs.Technology, spec rules.Spec) (*rules.Deck, bool, error) {
+// deckCached runs rules.GenerateCtx through the cache (same
+// no-caching-of-cancellations rule as solveCached).
+func (s *Server) deckCached(ctx context.Context, key string, tech *ntrs.Technology, spec rules.Spec) (*rules.Deck, bool, error) {
 	if v, ok := s.cache.Get(key); ok {
 		s.metrics.DeckCacheHit.Add(1)
 		res := v.(deckResult)
 		return res.deck, true, res.err
 	}
-	deck, err := rules.Generate(tech, spec)
+	deck, err := rules.GenerateCtx(ctx, tech, spec)
 	s.metrics.DecksBuilt.Add(1)
-	s.cache.Add(key, deckResult{deck: deck, err: err})
+	if ctx.Err() == nil {
+		s.cache.Add(key, deckResult{deck: deck, err: err})
+	}
 	return deck, false, err
 }
 

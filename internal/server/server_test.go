@@ -401,6 +401,100 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestShutdownRejectsNewWorkWhileDraining pins the shutdown ordering:
+// the drain flag rises BEFORE the listener starts closing, so a request
+// arriving during teardown gets a structured 503 ("draining") with a
+// Retry-After header instead of racing a connection reset — while
+// requests already in flight drain to completion and Run returns nil.
+func TestShutdownRejectsNewWorkWhileDraining(t *testing.T) {
+	s := New(Config{Workers: 2, DrainTimeout: 5 * time.Second})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	s.testHookStarted = func(route string) {
+		if route == "/healthz" && !once {
+			once = true
+			close(started)
+			<-release
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx, ln) }()
+
+	// Hold request A in flight (past the drain gate).
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	<-started
+
+	cancel() // "SIGTERM"
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain flag never rose after Run ctx cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request B lands during the drain. Exercised against the handler
+	// directly (the listener may already be mid-close, which is exactly
+	// the race the drain flag exists to mask from clients).
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/rules",
+		strings.NewReader(`{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining request: status %d, want 503; body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got == "" {
+		t.Error("draining 503 is missing Retry-After")
+	}
+	var apiErr apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil {
+		t.Fatalf("draining 503 body is not structured JSON: %v\n%s", err, rec.Body.String())
+	}
+	if apiErr.Error.Code != "draining" {
+		t.Errorf("error code = %q, want \"draining\"", apiErr.Error.Code)
+	}
+	if got := s.Metrics().RejectedDraining.Load(); got == 0 {
+		t.Error("RejectedDraining counter did not advance")
+	}
+
+	// /metrics stays readable during the drain.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/metrics during drain: status %d, want 200", rec.Code)
+	}
+
+	// Request A (in flight before the flag rose) completes normally.
+	close(release)
+	if status := <-reqDone; status != http.StatusOK {
+		t.Fatalf("in-flight request got %d, want 200", status)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+}
+
 // TestRequestBodyLimit verifies oversized bodies are rejected, not read.
 func TestRequestBodyLimit(t *testing.T) {
 	s := New(Config{MaxBodyBytes: 512})
