@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race fuzz-smoke verify
+.PHONY: build test vet race fuzz-smoke bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,11 @@ fuzz-smoke:
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzSolveKeyEncoder -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDeckKeyEncoder -fuzztime $(FUZZTIME)
 
-verify: build vet test race fuzz-smoke
+# One-iteration pass over the coalescer/batch benchmarks: keeps the
+# thundering-herd and batch-vs-serial paths compiling and executing
+# without turning CI into a benchmark farm.
+bench-smoke:
+	$(GO) test ./internal/server -run '^$$' -bench 'ThunderingHerd|BatchVsSerial' -benchtime 1x
+
+verify: build vet test race fuzz-smoke bench-smoke
 	@echo "verify: all gates passed"

@@ -6,6 +6,7 @@
 //
 //	dsmthermd -addr :8080 -workers 8 -cache 4096 -timeout 30s \
 //	          -admit 16 -queue-depth 64 -queue-wait 2s \
+//	          -batch-max 256 -max-segments 10000 \
 //	          -route-timeout /v1/netcheck=2m -route-timeout /v1/rules=5s
 //
 // The daemon drains in-flight requests on SIGINT/SIGTERM before exiting;
@@ -34,6 +35,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	admit := flag.Int("admit", 0, "max concurrent solver-bearing requests (0 = 2x workers)")
+	batchMax := flag.Int("batch-max", 0, "max entries in one /v1/batch request (0 = 256)")
+	maxSegments := flag.Int("max-segments", 0, "max segments in one /v1/netcheck design (0 = 10000, negative disables)")
 	queueDepth := flag.Int("queue-depth", 0, "admission wait-queue depth before 429 (0 = 4x admit, negative = no queue)")
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request waits for admission before 503")
 	routeTimeouts := make(map[string]time.Duration)
@@ -63,6 +66,8 @@ func main() {
 		AdmitConcurrent:  *admit,
 		QueueDepth:       *queueDepth,
 		QueueWait:        *queueWait,
+		MaxBatch:         *batchMax,
+		MaxSegments:      *maxSegments,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmthermd:", err)

@@ -41,6 +41,13 @@ const (
 	// SiteCacheShard fires inside the server cache's shard critical
 	// section on Get; a sleep hook here manufactures shard contention.
 	SiteCacheShard = "server.cache.shard"
+	// SiteServerFlight fires on the leader path of every flight in the
+	// serving layer's request coalescer (cache misses only), with the
+	// leader's request context. A stall hook holds a flight open so
+	// tests can pile waiters onto it (then cancel the leader to drive
+	// the re-arm/promotion path); an error hook fails the flight for
+	// every participant.
+	SiteServerFlight = "server.flight"
 )
 
 // Hook is the injected behavior at a site. A hook may block (a stall),

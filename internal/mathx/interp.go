@@ -52,10 +52,17 @@ func (in *Interp1D) Min() float64 { return in.xs[0] }
 func (in *Interp1D) Max() float64 { return in.xs[len(in.xs)-1] }
 
 // Linspace returns n evenly spaced values covering [a, b] inclusive.
-// n must be ≥ 2.
+// Degenerate grid sizes are defined rather than panics — n <= 0 returns
+// nil and n == 1 returns [a] (the numpy convention) — so callers
+// validating user-supplied sizes get a well-defined result on the
+// boundary instead of an index-out-of-range or a make() with negative
+// length.
 func Linspace(a, b float64, n int) []float64 {
-	if n < 2 {
-		panic("mathx: Linspace needs n >= 2")
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{a}
 	}
 	out := make([]float64, n)
 	step := (b - a) / float64(n-1)
@@ -67,16 +74,22 @@ func Linspace(a, b float64, n int) []float64 {
 }
 
 // Logspace returns n logarithmically spaced values covering [a, b]
-// inclusive; a and b must be positive.
+// inclusive; a and b must be positive. Degenerate n follows Linspace:
+// n <= 0 returns nil, n == 1 returns [a].
 func Logspace(a, b float64, n int) []float64 {
 	if a <= 0 || b <= 0 {
 		panic("mathx: Logspace needs positive endpoints")
 	}
-	la, lb := math.Log(a), math.Log(b)
-	out := Linspace(la, lb, n)
+	out := Linspace(math.Log(a), math.Log(b), n)
 	for i, v := range out {
 		out[i] = math.Exp(v)
 	}
-	out[0], out[n-1] = a, b
+	// Pin the endpoints exactly (exp∘log wobbles in the last ulp).
+	if n >= 1 && len(out) > 0 {
+		out[0] = a
+		if n >= 2 {
+			out[n-1] = b
+		}
+	}
 	return out
 }

@@ -1,0 +1,89 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLinspaceDegenerateSizes pins the hardened contract for grid sizes
+// a caller validates off user input: n <= 0 returns nil (no negative
+// make, no panic) and n == 1 returns [a], the numpy convention.
+func TestLinspaceDegenerateSizes(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []float64
+	}{
+		{-3, nil},
+		{-1, nil},
+		{0, nil},
+		{1, []float64{2}},
+		{2, []float64{2, 5}},
+		{5, []float64{2, 2.75, 3.5, 4.25, 5}},
+	}
+	for _, tc := range cases {
+		got := Linspace(2, 5, tc.n)
+		if len(got) != len(tc.want) {
+			t.Errorf("Linspace(2, 5, %d) = %v, want %v", tc.n, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-12 {
+				t.Errorf("Linspace(2, 5, %d)[%d] = %v, want %v", tc.n, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestLinspaceEndpointsExact pins that both endpoints land exactly for
+// any n >= 2 (the last point is assigned, not accumulated).
+func TestLinspaceEndpointsExact(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 100} {
+		got := Linspace(0.1, 0.3, n)
+		if got[0] != 0.1 || got[n-1] != 0.3 {
+			t.Errorf("Linspace(0.1, 0.3, %d) endpoints = %v, %v", n, got[0], got[n-1])
+		}
+	}
+}
+
+// TestLogspaceDegenerateSizes mirrors the Linspace contract in log
+// space, including the exact-endpoint pinning.
+func TestLogspaceDegenerateSizes(t *testing.T) {
+	for _, n := range []int{-3, -1, 0} {
+		if got := Logspace(1e-4, 1, n); got != nil {
+			t.Errorf("Logspace(1e-4, 1, %d) = %v, want nil", n, got)
+		}
+	}
+	if got := Logspace(1e-4, 1, 1); len(got) != 1 || got[0] != 1e-4 {
+		t.Errorf("Logspace(1e-4, 1, 1) = %v, want [1e-4]", got)
+	}
+	got := Logspace(1e-4, 1, 5)
+	want := []float64{1e-4, 1e-3, 1e-2, 1e-1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Logspace(1e-4, 1, 5) = %v", got)
+	}
+	// Endpoints exact, interior to within float tolerance.
+	if got[0] != 1e-4 || got[4] != 1 {
+		t.Errorf("endpoints not pinned exactly: %v, %v", got[0], got[4])
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-15*math.Abs(want[i])*10 {
+			t.Errorf("Logspace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLogspaceRejectsNonPositiveEndpoints pins the one contract that
+// stays a panic: log of a non-positive endpoint is a programming error,
+// not a user-input error.
+func TestLogspaceRejectsNonPositiveEndpoints(t *testing.T) {
+	for _, ab := range [][2]float64{{0, 1}, {-1, 1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Logspace(%g, %g, 3) did not panic", ab[0], ab[1])
+				}
+			}()
+			Logspace(ab[0], ab[1], 3)
+		}()
+	}
+}

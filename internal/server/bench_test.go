@@ -10,9 +10,11 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -58,6 +60,89 @@ func BenchmarkServerRulesUncached(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		doRules(b, ts, body)
 	}
+}
+
+// BenchmarkServerRulesThunderingHerd is the coalescer's headline
+// number: every iteration fires a herd of identical COLD requests (the
+// duty cycle is perturbed per iteration so the cache never answers) and
+// the reported solves/herd metric shows how many of the herd actually
+// paid for a solve — 1.0 is perfect coalescing, 8.0 is the
+// pre-coalescer thundering herd.
+func BenchmarkServerRulesThunderingHerd(b *testing.B) {
+	const herd = 8
+	s := New(Config{Workers: herd, CacheEntries: 1 << 16, AdmitConcurrent: 2 * herd})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"node":"0.25","level":5,"dutyCycle":%.12f,"j0MA":1.8}`,
+			0.1+float64(i)*1e-9)
+		errs := make(chan error, herd)
+		var wg sync.WaitGroup
+		for j := 0; j < herd; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/rules", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("herd status %d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.Metrics().Solves.Load())/float64(b.N), "solves/herd")
+	b.ReportMetric(float64(s.Flights().Coalesced())/float64(b.N), "coalesced/herd")
+}
+
+// BenchmarkBatchVsSerial compares 24 rules queries (8 unique, each
+// asked three times — the CI-job shape) as 24 serial /v1/rules round
+// trips vs. one /v1/batch request. trefC is perturbed per iteration so
+// every round starts cold.
+func BenchmarkBatchVsSerial(b *testing.B) {
+	entries := func(i int) []string {
+		out := make([]string, 0, 24)
+		for j := 0; j < 24; j++ {
+			out = append(out, fmt.Sprintf(
+				`{"node":"0.25","level":%d,"dutyCycle":0.1,"j0MA":1.8,"trefC":%.9f}`,
+				1+j%4, 100+float64(i)*1e-6))
+		}
+		return out
+	}
+	b.Run("Serial", func(b *testing.B) {
+		ts := benchServer(b, 1<<16)
+		for i := 0; i < b.N; i++ {
+			for _, e := range entries(i) {
+				doRules(b, ts, e)
+			}
+		}
+	})
+	b.Run("Batch", func(b *testing.B) {
+		ts := benchServer(b, 1<<16)
+		for i := 0; i < b.N; i++ {
+			body := `{"requests":[` + strings.Join(entries(i), ",") + `]}`
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("batch status %d", resp.StatusCode)
+			}
+		}
+	})
 }
 
 // BenchmarkCacheGetHit measures the raw shard-lock + LRU-promote cost.

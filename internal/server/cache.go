@@ -138,13 +138,22 @@ func (c *Cache) Capacity() int {
 	return n
 }
 
-// CacheStats is the cache section of the /metrics document.
+// CacheStats is the cache section of the /metrics document. The flight
+// fields come from the request coalescer that sits under the cache:
+// Flights counts computations actually led on a miss, Coalesced counts
+// requests answered by another request's in-flight computation, and the
+// two gauges (active flights, blocked waiters) drain to zero at
+// quiescence.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+	Coalesced     uint64 `json:"coalesced"`
+	Flights       uint64 `json:"flights"`
+	FlightsActive int    `json:"flightsActive"`
+	FlightWaiters int64  `json:"flightWaiters"`
 }
 
 // Stats snapshots the counters.

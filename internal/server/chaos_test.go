@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -42,9 +43,10 @@ var chaosAllowedStatus = map[int]bool{
 	http.StatusInternalServerError: true,
 }
 
-// normalizeBody strips the cache-provenance flags ("cached",
-// "deckCached") so bodies from cold and warm hits compare equal; the
-// physics payload must be bit-identical.
+// normalizeBody strips the cache- and coalescing-provenance flags
+// ("cached", "deckCached", "coalesced", "deckCoalesced") so bodies from
+// cold hits, warm hits and coalesced waiters compare equal; the physics
+// payload must be bit-identical.
 func normalizeBody(t *testing.T, body []byte) string {
 	t.Helper()
 	var m map[string]any
@@ -53,6 +55,8 @@ func normalizeBody(t *testing.T, body []byte) string {
 	}
 	delete(m, "cached")
 	delete(m, "deckCached")
+	delete(m, "coalesced")
+	delete(m, "deckCoalesced")
 	out, err := json.Marshal(m)
 	if err != nil {
 		t.Fatal(err)
@@ -226,20 +230,248 @@ func TestChaosLoadWithFaults(t *testing.T) {
 	}
 }
 
-// waitQuiescent polls until every server gauge reads zero.
+// waitQuiescent polls until every server gauge reads zero, including
+// the coalescer's open-flight and waiter gauges.
 func waitQuiescent(t *testing.T, s *Server, timeout time.Duration) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {
-		if s.Pool().InUse() == 0 && s.Admission().InUse() == 0 && s.Admission().Waiting() == 0 {
+		if s.Pool().InUse() == 0 && s.Admission().InUse() == 0 && s.Admission().Waiting() == 0 &&
+			s.Flights().Active() == 0 && s.Flights().Waiting() == 0 {
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("server did not quiesce: pool=%d admission=%d waiting=%d",
-				s.Pool().InUse(), s.Admission().InUse(), s.Admission().Waiting())
+			t.Fatalf("server did not quiesce: pool=%d admission=%d waiting=%d flights=%d flightWaiters=%d",
+				s.Pool().InUse(), s.Admission().InUse(), s.Admission().Waiting(),
+				s.Flights().Active(), s.Flights().Waiting())
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// TestChaosCoalescerThunderingHerd is the acceptance check for the
+// coalescer: N concurrent identical cold requests perform exactly one
+// solve. A stall hook holds the leader's solve open until all the other
+// requests have piled onto its flight, so the test is deterministic:
+// every non-leader MUST be a waiter (the cache cannot answer anyone
+// early).
+func TestChaosCoalescerThunderingHerd(t *testing.T) {
+	const herd = 8
+	s := New(Config{
+		Workers:         herd,
+		CacheEntries:    512,
+		AdmitConcurrent: 2 * herd,
+		QueueDepth:      2 * herd,
+		QueueWait:       5 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unstall := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unstall()
+	t.Cleanup(faultinject.Set(faultinject.SiteCoreSolve, faultinject.Stall(release)))
+
+	const payload = `{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`
+	type shot struct {
+		status int
+		body   []byte
+	}
+	results := make(chan shot, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/rules", "application/json", strings.NewReader(payload))
+			if err != nil {
+				t.Errorf("herd request failed: %v", err)
+				results <- shot{}
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results <- shot{status: resp.StatusCode, body: body}
+		}()
+	}
+
+	// The leader is stalled inside its solve; everyone else must end up
+	// blocked on its flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Flights().Waiting() != herd-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("herd never converged on one flight: waiting=%d active=%d",
+				s.Flights().Waiting(), s.Flights().Active())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	unstall()
+	wg.Wait()
+	close(results)
+
+	var bodies []string
+	coalesced := 0
+	for sh := range results {
+		if sh.status != http.StatusOK {
+			t.Fatalf("herd response: status %d: %s", sh.status, sh.body)
+		}
+		var rr RulesResponse
+		if err := json.Unmarshal(sh.body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Coalesced {
+			coalesced++
+		}
+		bodies = append(bodies, normalizeBody(t, sh.body))
+	}
+	for i := 1; i < len(bodies); i++ {
+		if bodies[i] != bodies[0] {
+			t.Errorf("herd bodies differ:\n%s\n%s", bodies[0], bodies[i])
+		}
+	}
+	// The 7 solve-flight waiters all report coalesced; the solve leader
+	// may additionally coalesce on the rule flight, so >= not ==.
+	if coalesced < herd-1 {
+		t.Errorf("coalesced responses = %d, want >= %d", coalesced, herd-1)
+	}
+
+	// One solve, one deck row, for the whole herd.
+	if got := s.Metrics().Solves.Load(); got != 1 {
+		t.Errorf("herd of %d performed %d solves, want exactly 1", herd, got)
+	}
+	if got := s.Metrics().DecksBuilt.Load(); got != 1 {
+		t.Errorf("herd of %d built %d deck rows, want exactly 1", herd, got)
+	}
+
+	// The /metrics cache section reports the coalescing.
+	var snap Snapshot
+	if status := getJSON(t, ts.URL+"/metrics", &snap); status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if snap.Cache.Coalesced < herd-1 {
+		t.Errorf("metrics coalesced = %d, want >= %d", snap.Cache.Coalesced, herd-1)
+	}
+	if snap.Cache.Flights == 0 {
+		t.Error("metrics flights counter never advanced")
+	}
+
+	waitQuiescent(t, s, 5*time.Second)
+}
+
+// TestChaosCoalescerLeaderCancelled drives the nastiest coalescer race:
+// the flight's leader is cancelled mid-solve while live waiters are
+// blocked on its flight. The leader's lifecycle error must NOT
+// propagate to the waiters — the flight re-arms and a waiter promotes
+// to leader under its own live context, so every surviving request
+// still gets a 200.
+func TestChaosCoalescerLeaderCancelled(t *testing.T) {
+	s := New(Config{Workers: 4, CacheEntries: 512, AdmitConcurrent: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Hold only the FIRST flight open until its leader's context dies,
+	// and fail it with that lifecycle error; later flights (the promoted
+	// waiter's) run through untouched.
+	var first atomic.Bool
+	t.Cleanup(faultinject.Set(faultinject.SiteServerFlight, func(ctx context.Context) error {
+		if first.CompareAndSwap(false, true) {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}))
+	hookFired := faultinject.Count(faultinject.SiteServerFlight)
+
+	const payload = `{"node":"0.10","level":6,"dutyCycle":0.25,"j0MA":1.5}`
+
+	// Leader A, on a context the test controls.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	aDone := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(ctxA, http.MethodPost,
+			ts.URL+"/v1/rules", strings.NewReader(payload))
+		if err != nil {
+			aDone <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			err = fmt.Errorf("leader finished with %d before its cancellation", resp.StatusCode)
+		}
+		aDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for faultinject.Count(faultinject.SiteServerFlight) == hookFired {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached the flight injection site")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Waiters B and C pile onto A's stalled flight.
+	type shot struct {
+		status int
+		body   []byte
+	}
+	waiters := make(chan shot, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/rules", "application/json", strings.NewReader(payload))
+			if err != nil {
+				t.Errorf("waiter request failed: %v", err)
+				waiters <- shot{}
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			waiters <- shot{status: resp.StatusCode, body: body}
+		}()
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for s.Flights().Waiting() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never joined the leader's flight: waiting=%d", s.Flights().Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the leader while both waiters are live.
+	cancelA()
+	if err := <-aDone; err == nil {
+		t.Error("cancelled leader should have failed client-side")
+	}
+	wg.Wait()
+	close(waiters)
+
+	var bodies []string
+	for sh := range waiters {
+		if sh.status != http.StatusOK {
+			t.Fatalf("surviving waiter got %d (leader's lifecycle error leaked?): %s", sh.status, sh.body)
+		}
+		bodies = append(bodies, normalizeBody(t, sh.body))
+	}
+	if len(bodies) == 2 && bodies[0] != bodies[1] {
+		t.Errorf("surviving waiters disagree:\n%s\n%s", bodies[0], bodies[1])
+	}
+
+	// The dead leader never solved (its flight failed at the injection
+	// site); promotion solved once — twice only if the second waiter's
+	// retry raced past the promoted flight's settlement.
+	if got := s.Metrics().Solves.Load(); got < 1 || got > 2 {
+		t.Errorf("solves = %d, want 1 (or 2 on a re-lead race)", got)
+	}
+	if got := s.Flights().Led(); got < 2 {
+		t.Errorf("Led() = %d, want >= 2 (dead leader + promoted waiter)", got)
+	}
+	waitQuiescent(t, s, 5*time.Second)
 }
 
 // TestCancelledRequestFreesPoolSlot pins the PR's latency bound at the

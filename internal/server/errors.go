@@ -32,13 +32,23 @@ var ErrQueueWait = errors.New("server: admission queue wait exceeded")
 // get a structured 503 instead of racing connection resets.
 var ErrDraining = errors.New("server: shutting down")
 
+// ErrorDetail is the machine-readable error shape shared by top-level
+// error responses and per-entry /v1/batch failures.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 // apiError is the structured JSON error body every non-2xx response
 // carries.
 type apiError struct {
-	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
-	} `json:"error"`
+	Error ErrorDetail `json:"error"`
+}
+
+// errorDetail classifies err into its machine-readable form.
+func errorDetail(err error) ErrorDetail {
+	_, code := classify(err)
+	return ErrorDetail{Code: code, Message: err.Error()}
 }
 
 // classify maps an error to (HTTP status, machine-readable code). The
@@ -82,14 +92,11 @@ const retryAfterSeconds = "1"
 // Backpressure statuses (429/503) carry a Retry-After header so
 // well-behaved batch clients throttle instead of hammering.
 func writeError(w http.ResponseWriter, err error) {
-	status, code := classify(err)
+	status, _ := classify(err)
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
-	var body apiError
-	body.Error.Code = code
-	body.Error.Message = err.Error()
-	writeJSON(w, status, body)
+	writeJSON(w, status, apiError{Error: errorDetail(err)})
 }
 
 // badRequestf builds an ErrBadRequest-wrapped error.

@@ -7,8 +7,10 @@ import (
 	"net/http"
 
 	"dsmtherm/internal/core"
+	"dsmtherm/internal/geometry"
 	"dsmtherm/internal/material"
 	"dsmtherm/internal/netcheck"
+	"dsmtherm/internal/ntrs"
 	"dsmtherm/internal/phys"
 	"dsmtherm/internal/rules"
 )
@@ -26,15 +28,30 @@ func decodeJSON(r *http.Request, v any) error {
 // RulesRequest asks for the self-consistent operating limits of one
 // metallization level at one duty cycle. Units are designer-friendly:
 // current densities MA/cm², lengths µm, temperatures °C.
+//
+// Numeric fields are pointers so that "absent" (defaulted) and "zero"
+// (explicitly requested) are distinguishable: trefC:0 is a legal 0 °C
+// corner and is honored, not silently replaced by the 100 °C default,
+// while an explicit dutyCycle/j0MA/lengthUm of 0 is rejected by
+// validation instead of being papered over.
 type RulesRequest struct {
-	Node      string  `json:"node"`                // "0.25" (default) or "0.10"
-	Level     int     `json:"level"`               // metallization level, 1-based
-	DutyCycle float64 `json:"dutyCycle,omitempty"` // default 0.1 (§4 signal reff)
-	J0MA      float64 `json:"j0MA,omitempty"`      // EM budget at Tref; default 1.8
-	Gap       string  `json:"gap,omitempty"`       // gap-fill dielectric swap
-	Metal     string  `json:"metal,omitempty"`     // metal swap
-	TrefC     float64 `json:"trefC,omitempty"`     // default 100
-	LengthUm  float64 `json:"lengthUm,omitempty"`  // default 2000 (thermally long)
+	Node      string   `json:"node"`                // "0.25" (default) or "0.10"
+	Level     int      `json:"level"`               // metallization level, 1-based
+	DutyCycle *float64 `json:"dutyCycle,omitempty"` // default 0.1 (§4 signal reff)
+	J0MA      *float64 `json:"j0MA,omitempty"`      // EM budget at Tref; default 1.8
+	Gap       string   `json:"gap,omitempty"`       // gap-fill dielectric swap
+	Metal     string   `json:"metal,omitempty"`     // metal swap
+	TrefC     *float64 `json:"trefC,omitempty"`     // default 100
+	LengthUm  *float64 `json:"lengthUm,omitempty"`  // default 2000 (thermally long)
+}
+
+// orDefault resolves a pointer-or-presence field: absent → def,
+// present → the client's value, zeros included.
+func orDefault(p *float64, def float64) float64 {
+	if p == nil {
+		return def
+	}
+	return *p
 }
 
 // SolveJSON is one self-consistent solution in report units.
@@ -106,24 +123,98 @@ type RulesResponse struct {
 	Rule      LevelRuleJSON `json:"rule"`
 	// Cached reports whether the solve was answered from the cache.
 	Cached bool `json:"cached"`
+	// Coalesced reports whether the solve or the deck row was answered
+	// by waiting on another request's in-flight computation.
+	Coalesced bool `json:"coalesced"`
 }
 
-func (req *RulesRequest) defaults() {
-	if req.Node == "" {
-		req.Node = "0.25"
+// rulesParams is one rules query with all defaults resolved.
+type rulesParams struct {
+	Node, Gap, Metal string
+	Level            int
+	DutyCycle        float64
+	J0MA             float64
+	TrefC            float64
+	LengthUm         float64
+}
+
+// params applies the pointer-or-presence defaulting.
+func (req *RulesRequest) params() rulesParams {
+	node := req.Node
+	if node == "" {
+		node = "0.25"
 	}
-	if req.DutyCycle == 0 {
-		req.DutyCycle = 0.1
+	return rulesParams{
+		Node: node, Gap: req.Gap, Metal: req.Metal, Level: req.Level,
+		DutyCycle: orDefault(req.DutyCycle, 0.1),
+		J0MA:      orDefault(req.J0MA, 1.8),
+		TrefC:     orDefault(req.TrefC, 100),
+		LengthUm:  orDefault(req.LengthUm, 2000),
 	}
-	if req.J0MA == 0 {
-		req.J0MA = 1.8
+}
+
+// rulesWork is one validated rules query, ready to solve inside a pool
+// slot. prepareRules does everything cheap (technology resolution,
+// validation, canonical keys) so /v1/batch can deduplicate entries
+// before any solver time is spent.
+type rulesWork struct {
+	p        rulesParams
+	tech     *ntrs.Technology
+	line     *geometry.Line
+	spec     rules.Spec
+	solveKey string
+	ruleKey  string
+}
+
+func (s *Server) prepareRules(p rulesParams) (*rulesWork, error) {
+	tech, err := resolveTech(p.Node, p.Gap, p.Metal)
+	if err != nil {
+		return nil, err
 	}
-	if req.TrefC == 0 {
-		req.TrefC = 100
+	line, err := tech.Line(p.Level, phys.Microns(p.LengthUm))
+	if err != nil {
+		return nil, badRequestf("%v", err)
 	}
-	if req.LengthUm == 0 {
-		req.LengthUm = 2000
+	spec := rules.Spec{J0: phys.MAPerCm2(p.J0MA), Tref: phys.CToK(p.TrefC)}
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
+	return &rulesWork{
+		p: p, tech: tech, line: line, spec: spec,
+		solveKey: solveKey(p.Node, p.Gap, p.Metal, p.Level, line.Length,
+			p.DutyCycle, p.J0MA, p.TrefC),
+		ruleKey: levelRuleKey(p.Node, p.Gap, p.Metal, p.Level, p.J0MA, p.TrefC),
+	}, nil
+}
+
+// solveRules answers one prepared rules query. It must run inside a
+// pool slot: the solve and the deck row count against the same global
+// solver concurrency bound as sweep fan-out and batch signoff.
+func (s *Server) solveRules(ctx context.Context, wk *rulesWork) (*RulesResponse, error) {
+	sol, hit, solCoal, err := s.solveCached(ctx, wk.solveKey, core.Problem{
+		Line:  wk.line,
+		Model: *wk.spec.Model,
+		R:     wk.p.DutyCycle,
+		J0:    phys.MAPerCm2(wk.p.J0MA),
+		Tref:  phys.CToK(wk.p.TrefC),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rule, ruleCoal, err := s.levelRuleCached(ctx, wk.ruleKey, wk.tech, wk.p.Level, wk.spec)
+	if err != nil {
+		return nil, err
+	}
+	return &RulesResponse{
+		Node:      wk.p.Node,
+		Level:     wk.p.Level,
+		DutyCycle: wk.p.DutyCycle,
+		J0MA:      wk.p.J0MA,
+		Solve:     solveJSON(sol),
+		Rule:      levelRuleJSON(rule),
+		Cached:    hit,
+		Coalesced: solCoal || ruleCoal,
+	}, nil
 }
 
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
@@ -132,76 +223,137 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	req.defaults()
-	tech, err := resolveTech(req.Node, req.Gap, req.Metal)
+	wk, err := s.prepareRules(req.params())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	line, err := tech.Line(req.Level, phys.Microns(req.LengthUm))
-	if err != nil {
-		writeError(w, badRequestf("%v", err))
-		return
-	}
-	spec := rules.Spec{J0: phys.MAPerCm2(req.J0MA), Tref: phys.CToK(req.TrefC)}
-	if err := spec.Validate(); err != nil {
-		writeError(w, err)
-		return
-	}
-	// The solve and the deck row both run inside a pool slot: single-point
-	// rules queries count against the same global solver concurrency
-	// bound as sweep fan-out and batch signoff.
-	var sol core.Solution
-	var hit bool
-	var rule rules.LevelRule
+	var resp *RulesResponse
 	err = s.pool.ForEach(r.Context(), 1, func(ctx context.Context, _ int) error {
 		var err error
-		sol, hit, err = s.solveCached(ctx,
-			solveKey(req.Node, req.Gap, req.Metal, req.Level, line.Length,
-				req.DutyCycle, req.J0MA, req.TrefC),
-			core.Problem{
-				Line:  line,
-				Model: *spec.Model,
-				R:     req.DutyCycle,
-				J0:    phys.MAPerCm2(req.J0MA),
-				Tref:  phys.CToK(req.TrefC),
-			})
-		if err != nil {
-			return err
-		}
-		rule, err = s.levelRuleCached(ctx,
-			levelRuleKey(req.Node, req.Gap, req.Metal, req.Level, req.J0MA, req.TrefC),
-			tech, req.Level, spec)
+		resp, err = s.solveRules(ctx, wk)
 		return err
 	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RulesResponse{
-		Node:      req.Node,
-		Level:     req.Level,
-		DutyCycle: req.DutyCycle,
-		J0MA:      req.J0MA,
-		Solve:     solveJSON(sol),
-		Rule:      levelRuleJSON(rule),
-		Cached:    hit,
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest is the /v1/batch body: many rules queries answered in
+// one round trip through the shared pool and the coalescer.
+type BatchRequest struct {
+	Requests []RulesRequest `json:"requests"`
+}
+
+// BatchItemJSON is one batch entry's outcome: exactly one of Rules or
+// Error is set. Per-entry failures (bad level, no solution) do not fail
+// the batch; only malformed envelopes and whole-request lifecycle
+// errors (deadline, overload) do.
+type BatchItemJSON struct {
+	Rules *RulesResponse `json:"rules,omitempty"`
+	Error *ErrorDetail   `json:"error,omitempty"`
+}
+
+// BatchResponse returns results in request order. Identical entries
+// (same canonical solve key after defaulting) are answered by one
+// computation; Deduped counts the entries folded into another.
+type BatchResponse struct {
+	Results  []BatchItemJSON `json:"results"`
+	Requests int             `json:"requests"`
+	Unique   int             `json:"unique"`
+	Deduped  int             `json:"deduped"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, badRequestf("empty batch"))
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		writeError(w, badRequestf("%d batch entries exceeds limit %d", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+
+	// Validate every entry and fold duplicates onto one slot before any
+	// solver time is spent; entries that fail validation carry their own
+	// error and never reach the pool.
+	type slot struct {
+		wk   *rulesWork
+		resp *RulesResponse
+		err  error
+	}
+	items := make([]*slot, len(req.Requests))
+	var unique []*slot
+	valid := 0
+	byKey := make(map[string]*slot)
+	for i := range req.Requests {
+		wk, err := s.prepareRules(req.Requests[i].params())
+		if err != nil {
+			items[i] = &slot{err: err}
+			continue
+		}
+		valid++
+		if sl, ok := byKey[wk.solveKey]; ok {
+			items[i] = sl
+			continue
+		}
+		sl := &slot{wk: wk}
+		byKey[wk.solveKey] = sl
+		unique = append(unique, sl)
+		items[i] = sl
+	}
+
+	// Unique entries fan across the shared pool; per-entry solver
+	// failures are captured in their slot, not propagated, so one bad
+	// entry cannot cancel its siblings.
+	err := s.pool.ForEach(r.Context(), len(unique), func(ctx context.Context, i int) error {
+		unique[i].resp, unique[i].err = s.solveRules(ctx, unique[i].wk)
+		return ctx.Err()
 	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	resp := BatchResponse{
+		Results:  make([]BatchItemJSON, 0, len(items)),
+		Requests: len(req.Requests),
+		Unique:   len(unique),
+		Deduped:  valid - len(unique),
+	}
+	for _, sl := range items {
+		if sl.err != nil {
+			d := errorDetail(sl.err)
+			resp.Results = append(resp.Results, BatchItemJSON{Error: &d})
+		} else {
+			resp.Results = append(resp.Results, BatchItemJSON{Rules: sl.resp})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // SweepRequest asks for a duty-cycle sweep on one level — the Fig. 2/3
-// horizontal axis, fanned across the worker pool.
+// horizontal axis, fanned across the worker pool. Numeric fields are
+// pointers for the same presence-vs-zero reasons as RulesRequest.
 type SweepRequest struct {
-	Node     string  `json:"node"`
-	Level    int     `json:"level"`
-	J0MA     float64 `json:"j0MA,omitempty"`
-	Gap      string  `json:"gap,omitempty"`
-	Metal    string  `json:"metal,omitempty"`
-	TrefC    float64 `json:"trefC,omitempty"`
-	LengthUm float64 `json:"lengthUm,omitempty"`
-	// Points selects the log-spaced 1e-4…1 grid size (default 13);
-	// DutyCycles, when non-empty, overrides the grid entirely.
-	Points     int       `json:"points,omitempty"`
+	Node     string   `json:"node"`
+	Level    int      `json:"level"`
+	J0MA     *float64 `json:"j0MA,omitempty"`
+	Gap      string   `json:"gap,omitempty"`
+	Metal    string   `json:"metal,omitempty"`
+	TrefC    *float64 `json:"trefC,omitempty"`
+	LengthUm *float64 `json:"lengthUm,omitempty"`
+	// Points selects the log-spaced 1e-4…1 grid size (default 13;
+	// 2 ≤ points ≤ MaxSweepPoints); DutyCycles, when non-empty,
+	// overrides the grid entirely.
+	Points     *int      `json:"points,omitempty"`
 	DutyCycles []float64 `json:"dutyCycles,omitempty"`
 }
 
@@ -225,62 +377,66 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if req.Node == "" {
-		req.Node = "0.25"
+	// Validate the grid size BEFORE materializing anything: points
+	// drives a make() inside core.Fig2DutyCycles, so a negative count
+	// must never reach it (panic) and an absurd one must never allocate
+	// gigabytes before this check rejects it.
+	points := 13
+	if req.Points != nil {
+		points = *req.Points
 	}
-	if req.J0MA == 0 {
-		req.J0MA = 1.8
+	if points < 2 || points > s.cfg.MaxSweepPoints {
+		writeError(w, badRequestf("points %d outside [2, %d]", points, s.cfg.MaxSweepPoints))
+		return
 	}
-	if req.TrefC == 0 {
-		req.TrefC = 100
+	if len(req.DutyCycles) > s.cfg.MaxSweepPoints {
+		writeError(w, badRequestf("%d sweep points exceeds limit %d", len(req.DutyCycles), s.cfg.MaxSweepPoints))
+		return
 	}
-	if req.LengthUm == 0 {
-		req.LengthUm = 2000
+	node := req.Node
+	if node == "" {
+		node = "0.25"
 	}
-	if req.Points == 0 {
-		req.Points = 13
-	}
-	tech, err := resolveTech(req.Node, req.Gap, req.Metal)
+	j0MA := orDefault(req.J0MA, 1.8)
+	trefC := orDefault(req.TrefC, 100)
+	lengthUm := orDefault(req.LengthUm, 2000)
+	tech, err := resolveTech(node, req.Gap, req.Metal)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	line, err := tech.Line(req.Level, phys.Microns(req.LengthUm))
+	line, err := tech.Line(req.Level, phys.Microns(lengthUm))
 	if err != nil {
 		writeError(w, badRequestf("%v", err))
 		return
 	}
 	rs := req.DutyCycles
 	if len(rs) == 0 {
-		rs = core.Fig2DutyCycles(req.Points)
+		rs = core.Fig2DutyCycles(points)
 	}
-	if len(rs) > s.cfg.MaxSweepPoints {
-		writeError(w, badRequestf("%d sweep points exceeds limit %d", len(rs), s.cfg.MaxSweepPoints))
-		return
-	}
-	spec := rules.Spec{J0: phys.MAPerCm2(req.J0MA), Tref: phys.CToK(req.TrefC)}
+	spec := rules.Spec{J0: phys.MAPerCm2(j0MA), Tref: phys.CToK(trefC)}
 	if err := spec.Validate(); err != nil {
 		writeError(w, err)
 		return
 	}
 
-	points := make([]SweepPointJSON, len(rs))
+	pts := make([]SweepPointJSON, len(rs))
 	err = s.pool.ForEach(r.Context(), len(rs), func(ctx context.Context, i int) error {
 		duty := rs[i]
-		sol, _, err := s.solveCached(ctx,
-			solveKey(req.Node, req.Gap, req.Metal, req.Level, line.Length,
-				duty, req.J0MA, req.TrefC),
+		sol, _, _, err := s.solveCached(ctx,
+			solveKey(node, req.Gap, req.Metal, req.Level, line.Length,
+				duty, j0MA, trefC),
 			core.Problem{
 				Line:  line,
 				Model: *spec.Model,
 				R:     duty,
-				J0:    phys.MAPerCm2(req.J0MA),
-				Tref:  phys.CToK(req.TrefC),
+				J0:    phys.MAPerCm2(j0MA),
+				Tref:  phys.CToK(trefC),
 			})
 		if err != nil {
 			return fmt.Errorf("sweep at r=%g: %w", duty, err)
 		}
-		points[i] = SweepPointJSON{R: duty, SolveJSON: solveJSON(sol)}
+		pts[i] = SweepPointJSON{R: duty, SolveJSON: solveJSON(sol)}
 		s.metrics.SweepPoints.Add(1)
 		return nil
 	})
@@ -289,7 +445,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SweepResponse{
-		Node: req.Node, Level: req.Level, J0MA: req.J0MA, Points: points,
+		Node: node, Level: req.Level, J0MA: j0MA, Points: pts,
 	})
 }
 
@@ -318,6 +474,9 @@ type NetcheckResponse struct {
 	Findings   []FindingJSON     `json:"findings"`
 	Segments   int               `json:"segments"`
 	DeckCached bool              `json:"deckCached"`
+	// DeckCoalesced reports whether the deck came from another
+	// request's in-flight generation.
+	DeckCoalesced bool `json:"deckCoalesced"`
 }
 
 func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
@@ -326,12 +485,19 @@ func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Cap the fan-out before materializing anything: only the body-size
+	// limit bounds the segment count otherwise, and one giant design
+	// would monopolize the pool for its whole deadline.
+	if s.cfg.MaxSegments > 0 && len(df.Segments) > s.cfg.MaxSegments {
+		writeError(w, badRequestf("%d segments exceeds limit %d", len(df.Segments), s.cfg.MaxSegments))
+		return
+	}
 	tech, err := df.Tech()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	deck, deckHit, err := s.deckCached(r.Context(), deckKey(df.Node, df.Gap, df.Metal, df.J0MA), tech, df.Spec())
+	deck, deckHit, deckCoal, err := s.deckCached(r.Context(), deckKey(df.Node, df.Gap, df.Metal, df.J0MA), tech, df.Spec())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -352,11 +518,12 @@ func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
 	s.metrics.SegsChecked.Add(uint64(len(segs)))
 
 	resp := NetcheckResponse{
-		Worst:      rep.Worst().String(),
-		ByNet:      make(map[string]string, len(rep.ByNet)),
-		Findings:   make([]FindingJSON, 0, len(rep.Findings)),
-		Segments:   len(segs),
-		DeckCached: deckHit,
+		Worst:         rep.Worst().String(),
+		ByNet:         make(map[string]string, len(rep.ByNet)),
+		Findings:      make([]FindingJSON, 0, len(rep.Findings)),
+		Segments:      len(segs),
+		DeckCached:    deckHit,
+		DeckCoalesced: deckCoal,
 	}
 	for net, v := range rep.ByNet {
 		resp.ByNet[net] = v.String()
@@ -449,7 +616,7 @@ func (s *Server) handleTech(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache, s.pool, s.admission))
+	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache, s.pool, s.admission, &s.flights))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

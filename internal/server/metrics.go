@@ -141,9 +141,9 @@ type netcheckSnapshot struct {
 	SegmentsChecked uint64 `json:"segmentsChecked"`
 }
 
-// SnapshotNow collects the current counter values. cache, pool and adm
-// may each be nil (their sections read zero).
-func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission) Snapshot {
+// SnapshotNow collects the current counter values. cache, pool, adm and
+// flights may each be nil (their sections read zero).
+func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights *flightGroup) Snapshot {
 	s := Snapshot{
 		UptimeSec: time.Since(m.start).Seconds(),
 		InFlight:  m.inFlight.Load(),
@@ -167,6 +167,12 @@ func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission) Snapshot
 	m.mu.RUnlock()
 	if cache != nil {
 		s.Cache = cache.Stats()
+	}
+	if flights != nil {
+		s.Cache.Coalesced = flights.Coalesced()
+		s.Cache.Flights = flights.Led()
+		s.Cache.FlightsActive = flights.Active()
+		s.Cache.FlightWaiters = flights.Waiting()
 	}
 	s.Solver = solverSnapshot{
 		Solves:       m.Solves.Load(),

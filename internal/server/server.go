@@ -14,10 +14,16 @@
 //
 //	POST /v1/rules    — self-consistent limits for one node/level/duty cycle
 //	POST /v1/sweep    — duty-cycle sweep fanned across the worker pool
+//	POST /v1/batch    — many rules queries in one round trip, deduplicated
 //	POST /v1/netcheck — batch signoff of a netcheck design JSON
 //	GET  /v1/tech     — technology inspection
 //	GET  /metrics     — counters (JSON)
 //	GET  /healthz     — liveness
+//
+// Concurrent cache misses on the same canonical key are coalesced
+// (singleflight): one request leads the solve, the rest wait for its
+// result, so a thundering herd of identical cold queries performs one
+// solve, not N.
 package server
 
 import (
@@ -57,6 +63,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxSweepPoints caps one sweep request's fan-out (default 4096).
 	MaxSweepPoints int
+	// MaxBatch caps the entry count of one /v1/batch request
+	// (default 256).
+	MaxBatch int
+	// MaxSegments caps the segment count of one /v1/netcheck design
+	// (default 10000; negative disables the cap) so one giant design
+	// cannot monopolize the pool.
+	MaxSegments int
 
 	// AdmitConcurrent bounds how many solver-bearing requests
 	// (/v1/rules, /v1/sweep, /v1/netcheck) may be in flight at once
@@ -91,6 +104,12 @@ func (c *Config) defaults() {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 4096
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxSegments == 0 {
+		c.MaxSegments = 10000
+	}
 	if c.AdmitConcurrent <= 0 {
 		c.AdmitConcurrent = 2 * c.Workers
 	}
@@ -120,6 +139,7 @@ type Server struct {
 	cache     *Cache
 	metrics   *Metrics
 	admission *Admission
+	flights   flightGroup
 	mux       *http.ServeMux
 
 	// draining is raised before the HTTP listener starts closing so new
@@ -147,6 +167,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/rules", s.handleRules, gated)
 	s.route("POST /v1/sweep", s.handleSweep, gated)
+	s.route("POST /v1/batch", s.handleBatch, gated)
 	s.route("POST /v1/netcheck", s.handleNetcheck, gated)
 	s.route("GET /v1/tech", s.handleTech, ungated)
 	s.route("GET /metrics", s.handleMetrics, ungated)
@@ -213,6 +234,9 @@ func (s *Server) Pool() *Pool { return s.pool }
 
 // Admission exposes the admission gate (tests and the daemon banner).
 func (s *Server) Admission() *Admission { return s.admission }
+
+// Flights exposes the request coalescer (tests).
+func (s *Server) Flights() *flightGroup { return &s.flights }
 
 // Run serves on ln until ctx is cancelled, then shuts down gracefully,
 // draining in-flight requests for up to Config.DrainTimeout. It returns
@@ -349,39 +373,51 @@ type solveResult struct {
 	err error
 }
 
-// solveCached runs core.SolveCtx through the cache. Cancellation
+// solveCached runs core.SolveCtx through the cache and, on a miss,
+// through the flight group: concurrent misses on the same key block on
+// one in-flight solve instead of each re-solving. Cancellation
 // outcomes are never cached: they describe the request's lifecycle, not
 // the problem, and remembering one would poison the key for every later
-// client.
-func (s *Server) solveCached(ctx context.Context, key string, p core.Problem) (core.Solution, bool, error) {
+// client. (The flight group enforces the matching rule for waiters: a
+// leader cancelled mid-solve re-arms the flight rather than settling
+// it with its lifecycle error.)
+func (s *Server) solveCached(ctx context.Context, key string, p core.Problem) (sol core.Solution, hit, coalesced bool, err error) {
 	if v, ok := s.cache.Get(key); ok {
 		res := v.(solveResult)
 		s.metrics.SolveCached.Add(1)
-		return res.sol, true, res.err
+		return res.sol, true, false, res.err
 	}
-	start := time.Now()
-	sol, err := core.SolveCtx(ctx, p)
-	s.metrics.ObserveSolve(time.Since(start), err)
-	if ctx.Err() == nil {
-		s.cache.Add(key, solveResult{sol: sol, err: err})
-	}
-	return sol, false, err
+	v, coalesced, err := s.flights.Do(ctx, key, func() (any, error) {
+		start := time.Now()
+		sol, err := core.SolveCtx(ctx, p)
+		s.metrics.ObserveSolve(time.Since(start), err)
+		if ctx.Err() == nil {
+			s.cache.Add(key, solveResult{sol: sol, err: err})
+		}
+		return sol, err
+	})
+	sol, _ = v.(core.Solution)
+	return sol, false, coalesced, err
 }
 
-// levelRuleCached runs rules.GenerateLevelCtx through the cache (same
-// no-caching-of-cancellations rule as solveCached).
-func (s *Server) levelRuleCached(ctx context.Context, key string, tech *ntrs.Technology, level int, spec rules.Spec) (rules.LevelRule, error) {
+// levelRuleCached runs rules.GenerateLevelCtx through the cache and the
+// flight group (same no-caching-of-cancellations rule as solveCached).
+func (s *Server) levelRuleCached(ctx context.Context, key string, tech *ntrs.Technology, level int, spec rules.Spec) (rules.LevelRule, bool, error) {
 	if v, ok := s.cache.Get(key); ok {
 		s.metrics.DeckCacheHit.Add(1)
 		res := v.(levelRuleResult)
-		return res.rule, res.err
+		return res.rule, false, res.err
 	}
-	rule, err := rules.GenerateLevelCtx(ctx, tech, level, spec)
-	s.metrics.DecksBuilt.Add(1)
-	if ctx.Err() == nil {
-		s.cache.Add(key, levelRuleResult{rule: rule, err: err})
-	}
-	return rule, err
+	v, coalesced, err := s.flights.Do(ctx, key, func() (any, error) {
+		rule, err := rules.GenerateLevelCtx(ctx, tech, level, spec)
+		s.metrics.DecksBuilt.Add(1)
+		if ctx.Err() == nil {
+			s.cache.Add(key, levelRuleResult{rule: rule, err: err})
+		}
+		return rule, err
+	})
+	rule, _ := v.(rules.LevelRule)
+	return rule, coalesced, err
 }
 
 type levelRuleResult struct {
@@ -389,20 +425,24 @@ type levelRuleResult struct {
 	err  error
 }
 
-// deckCached runs rules.GenerateCtx through the cache (same
-// no-caching-of-cancellations rule as solveCached).
-func (s *Server) deckCached(ctx context.Context, key string, tech *ntrs.Technology, spec rules.Spec) (*rules.Deck, bool, error) {
+// deckCached runs rules.GenerateCtx through the cache and the flight
+// group (same no-caching-of-cancellations rule as solveCached).
+func (s *Server) deckCached(ctx context.Context, key string, tech *ntrs.Technology, spec rules.Spec) (deck *rules.Deck, hit, coalesced bool, err error) {
 	if v, ok := s.cache.Get(key); ok {
 		s.metrics.DeckCacheHit.Add(1)
 		res := v.(deckResult)
-		return res.deck, true, res.err
+		return res.deck, true, false, res.err
 	}
-	deck, err := rules.GenerateCtx(ctx, tech, spec)
-	s.metrics.DecksBuilt.Add(1)
-	if ctx.Err() == nil {
-		s.cache.Add(key, deckResult{deck: deck, err: err})
-	}
-	return deck, false, err
+	v, coalesced, err := s.flights.Do(ctx, key, func() (any, error) {
+		deck, err := rules.GenerateCtx(ctx, tech, spec)
+		s.metrics.DecksBuilt.Add(1)
+		if ctx.Err() == nil {
+			s.cache.Add(key, deckResult{deck: deck, err: err})
+		}
+		return deck, err
+	})
+	deck, _ = v.(*rules.Deck)
+	return deck, false, coalesced, err
 }
 
 type deckResult struct {

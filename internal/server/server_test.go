@@ -507,6 +507,223 @@ func TestRequestBodyLimit(t *testing.T) {
 	}
 }
 
+// TestSweepPointsValidation is the headline regression test for the
+// pre-validation bug: a hostile or fat-fingered "points" must be
+// rejected with a structured 400 BEFORE any grid is materialized — a
+// negative count used to reach core.Fig2DutyCycles's make() and panic
+// the handler, and a huge one allocated gigabytes before failing.
+func TestSweepPointsValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, points := range []int{-2, -1, 0, 1, 2000000000} {
+		t.Run(fmt.Sprintf("points=%d", points), func(t *testing.T) {
+			status, body := postJSON(t, ts.URL+"/v1/sweep",
+				fmt.Sprintf(`{"level":5,"points":%d}`, points))
+			if status != http.StatusBadRequest {
+				t.Fatalf("points=%d: status %d want 400: %s", points, status, body)
+			}
+			var e apiError
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("400 body not structured JSON: %s", body)
+			}
+			if e.Error.Code != "invalid_request" {
+				t.Errorf("code %q want invalid_request", e.Error.Code)
+			}
+		})
+	}
+	// The boundary itself is legal: points=2 sweeps both endpoints.
+	status, body := postJSON(t, ts.URL+"/v1/sweep", `{"level":5,"points":2}`)
+	if status != http.StatusOK {
+		t.Fatalf("points=2: status %d: %s", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 2 {
+		t.Errorf("points=2 returned %d rows", len(resp.Points))
+	}
+}
+
+// TestRulesZeroVsAbsentDefaults pins the pointer-or-presence
+// defaulting: an explicit zero is the client's value — honored when
+// legal (trefC: 0 is a real 0 °C corner), rejected when invalid
+// (dutyCycle/j0MA/lengthUm of 0) — never silently replaced by the
+// default the way zero-valued struct fields used to be.
+func TestRulesZeroVsAbsentDefaults(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// trefC:0 is legal (273.15 K) and must differ from the 100 °C default.
+	status, body := postJSON(t, ts.URL+"/v1/rules", `{"node":"0.25","level":5,"trefC":0}`)
+	if status != http.StatusOK {
+		t.Fatalf("trefC=0: status %d: %s", status, body)
+	}
+	var cold RulesResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	status, body = postJSON(t, ts.URL+"/v1/rules", `{"node":"0.25","level":5}`)
+	if status != http.StatusOK {
+		t.Fatalf("default tref: status %d: %s", status, body)
+	}
+	var def RulesResponse
+	if err := json.Unmarshal(body, &def); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Solve == def.Solve {
+		t.Error("trefC:0 returned the 100 °C default solve — explicit zero was swallowed")
+	}
+	if cold.Solve.TmC >= def.Solve.TmC {
+		t.Errorf("Tm at trefC=0 (%.1f) should sit below trefC=100 (%.1f)", cold.Solve.TmC, def.Solve.TmC)
+	}
+
+	// Explicit zeros in fields where zero is invalid are rejected, not
+	// papered over with the default.
+	for _, tc := range []struct{ name, body string }{
+		{"dutyCycle", `{"node":"0.25","level":5,"dutyCycle":0}`},
+		{"j0MA", `{"node":"0.25","level":5,"j0MA":0}`},
+		{"lengthUm", `{"node":"0.25","level":5,"lengthUm":0}`},
+	} {
+		t.Run(tc.name+"=0", func(t *testing.T) {
+			status, body := postJSON(t, ts.URL+"/v1/rules", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("explicit %s=0: status %d want 400: %s", tc.name, status, body)
+			}
+		})
+	}
+
+	// Absent and explicitly-default requests are the same canonical
+	// query (same solve, answered from the same cache entry).
+	status, body = postJSON(t, ts.URL+"/v1/rules",
+		`{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8,"trefC":100,"lengthUm":2000}`)
+	if status != http.StatusOK {
+		t.Fatalf("explicit defaults: status %d: %s", status, body)
+	}
+	var explicit RulesResponse
+	if err := json.Unmarshal(body, &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Solve != def.Solve {
+		t.Errorf("explicit-default solve differs from absent-default solve:\n%+v\n%+v",
+			explicit.Solve, def.Solve)
+	}
+	if !explicit.Cached {
+		t.Error("explicit-default request missed the cache entry the absent-default request filled")
+	}
+}
+
+// TestBatchEndpoint covers /v1/batch: request-order results, dedup of
+// identical entries, and per-entry error isolation.
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, body := postJSON(t, ts.URL+"/v1/batch", `{"requests":[
+		{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8},
+		{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8},
+		{"node":"0.25","level":3,"dutyCycle":0.3,"j0MA":1.8},
+		{"node":"0.25","level":42},
+		{"node":"0.25","level":5,"j0MA":1e9}
+	]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Requests != 5 || len(resp.Results) != 5 {
+		t.Fatalf("want 5 results, got requests=%d results=%d", resp.Requests, len(resp.Results))
+	}
+	// Entries 0 and 1 are identical → one is folded onto the other; the
+	// invalid level-42 entry is NOT counted as deduped.
+	if resp.Unique != 3 || resp.Deduped != 1 {
+		t.Errorf("unique=%d deduped=%d, want 3/1", resp.Unique, resp.Deduped)
+	}
+	for i := 0; i < 3; i++ {
+		if resp.Results[i].Rules == nil || resp.Results[i].Error != nil {
+			t.Fatalf("entry %d should have succeeded: %+v", i, resp.Results[i])
+		}
+	}
+	if resp.Results[0].Rules.Solve != resp.Results[1].Rules.Solve {
+		t.Error("duplicate entries returned different solves")
+	}
+	if resp.Results[2].Rules.Level != 3 {
+		t.Errorf("results out of request order: entry 2 has level %d", resp.Results[2].Rules.Level)
+	}
+	// Per-entry failures carry their own structured code and do not fail
+	// their siblings.
+	if resp.Results[3].Error == nil || resp.Results[3].Error.Code != "invalid_request" {
+		t.Errorf("invalid entry: %+v, want invalid_request", resp.Results[3])
+	}
+	if resp.Results[4].Error == nil || resp.Results[4].Error.Code != "no_solution" {
+		t.Errorf("runaway entry: %+v, want no_solution", resp.Results[4])
+	}
+
+	// Envelope validation: empty batches and oversized batches are 400s.
+	status, _ = postJSON(t, ts.URL+"/v1/batch", `{"requests":[]}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d want 400", status)
+	}
+	s2 := New(Config{Workers: 2, MaxBatch: 2})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	status, body = postJSON(t, ts2.URL+"/v1/batch",
+		`{"requests":[{"level":1},{"level":2},{"level":3}]}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d want 400: %s", status, body)
+	}
+}
+
+// TestBatchSharesCacheWithRules verifies batch entries and /v1/rules
+// answer from the same cache (same canonical keys).
+func TestBatchSharesCacheWithRules(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, body := postJSON(t, ts.URL+"/v1/rules", `{"node":"0.10","level":4,"dutyCycle":0.2,"j0MA":1.0}`)
+	if status != http.StatusOK {
+		t.Fatalf("rules: %d %s", status, body)
+	}
+	status, body = postJSON(t, ts.URL+"/v1/batch",
+		`{"requests":[{"node":"0.10","level":4,"dutyCycle":0.2,"j0MA":1.0}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch: %d %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Rules == nil {
+		t.Fatalf("batch result malformed: %+v", resp)
+	}
+	if !resp.Results[0].Rules.Cached {
+		t.Error("batch entry missed the cache entry /v1/rules filled")
+	}
+}
+
+// TestNetcheckSegmentLimit verifies the netcheck fan-out cap.
+func TestNetcheckSegmentLimit(t *testing.T) {
+	s := New(Config{MaxSegments: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	design := `{
+		"node": "0.25",
+		"segments": [
+			{"net":"a","name":"s1","level":5,"widthMultiple":1,"lengthUm":3000,
+			 "waveform":{"kind":"bipolar","peakMA":1.0,"dutyCycle":0.12}},
+			{"net":"b","name":"s2","level":5,"widthMultiple":1,"lengthUm":3000,
+			 "waveform":{"kind":"bipolar","peakMA":1.0,"dutyCycle":0.12}}
+		]
+	}`
+	status, body := postJSON(t, ts.URL+"/v1/netcheck", design)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d want 400: %s", status, body)
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("400 body not structured JSON: %s", body)
+	}
+	if e.Error.Code != "invalid_request" {
+		t.Errorf("code %q want invalid_request", e.Error.Code)
+	}
+}
+
 // TestSweepPointLimit verifies the fan-out bound.
 func TestSweepPointLimit(t *testing.T) {
 	s := New(Config{MaxSweepPoints: 4})

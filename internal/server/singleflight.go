@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"dsmtherm/internal/faultinject"
+)
+
+// flightGroup coalesces concurrent cache misses on one canonical key
+// into a single computation (singleflight). The dominant production
+// workload — CI jobs and sweep fans all asking for the same
+// deck/node/level keys — otherwise re-runs an identical Brent
+// root-search once per concurrent request: every miss between the
+// cache check and the cache fill pays the full solve. With the group,
+// the first miss on a key becomes the flight's leader and computes;
+// every later miss on the same key becomes a waiter and blocks on the
+// leader's result instead of re-solving.
+//
+// Lifecycle semantics (these interact with the PR 2 hardening and are
+// pinned by the chaos suite):
+//
+//   - a waiter whose own context ends detaches immediately with its
+//     context error — it does not wait out a slow leader;
+//   - a leader whose own context ends mid-compute must not poison its
+//     waiters with a lifecycle error that describes the leader's
+//     request, not the problem: the flight re-arms (is removed
+//     unsettled) and each surviving waiter retries, so one of them
+//     promotes to leader under its own live context;
+//   - per-flight error results (ErrNoSolution, validation errors)
+//     settle normally and propagate to every waiter — failures of the
+//     problem are as deterministic as solutions;
+//   - the group never touches the result cache: the compute closure
+//     owns caching, so the existing never-cache-under-a-cancelled-
+//     context rule applies unchanged.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	// waiting gauges callers currently blocked on another caller's
+	// flight; it drains to zero at quiescence (chaos-suite invariant).
+	waiting atomic.Int64
+	// led counts flights actually computed (leader runs), monotonic.
+	led atomic.Uint64
+	// coalesced counts waiter joins answered by another request's
+	// flight, monotonic.
+	coalesced atomic.Uint64
+}
+
+// flight is one in-flight computation. done is closed exactly once:
+// either settled with (val, err), or with rearmed set when the leader's
+// context ended before it could produce a trustworthy result.
+type flight struct {
+	done    chan struct{}
+	val     any
+	err     error
+	rearmed bool
+}
+
+// Do returns compute's result for key, running compute at most once
+// across all concurrent callers of the same key. The caller that
+// creates the flight runs compute on its own goroutine (and under its
+// own pool slot, admission ticket and context — Do adds no detached
+// work); every other caller blocks until the flight settles or its own
+// ctx ends. coalesced reports whether the result came from another
+// caller's flight.
+func (g *flightGroup) Do(ctx context.Context, key string, compute func() (any, error)) (val any, coalesced bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flight)
+		}
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			g.waiting.Add(1)
+			select {
+			case <-f.done:
+				g.waiting.Add(-1)
+				if f.rearmed {
+					// The leader's request died mid-compute. Retry:
+					// either the next round joins a newly promoted
+					// leader's flight, or this caller promotes itself.
+					continue
+				}
+				g.coalesced.Add(1)
+				return f.val, true, f.err
+			case <-ctx.Done():
+				// Detach with this request's own lifecycle error; the
+				// flight continues for the participants still alive.
+				g.waiting.Add(-1)
+				return nil, false, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		g.m[key] = f
+		g.mu.Unlock()
+
+		// Leader path. The injection site lets tests hold a flight open
+		// (pile waiters onto it, then cancel the leader) or fail whole
+		// flights; an injected error settles the flight like any other
+		// compute failure.
+		g.led.Add(1)
+		if ferr := faultinject.Inject(ctx, faultinject.SiteServerFlight); ferr != nil {
+			val, err = nil, ferr
+		} else {
+			val, err = compute()
+		}
+
+		g.mu.Lock()
+		delete(g.m, key)
+		if err != nil && ctx.Err() != nil {
+			// The leader cannot tell "the problem failed" from "my
+			// context died underneath the solve"; handing this error to
+			// waiters with live contexts would poison them, so the
+			// flight re-arms instead of settling.
+			f.rearmed = true
+		} else {
+			f.val, f.err = val, err
+		}
+		close(f.done)
+		g.mu.Unlock()
+		return val, false, err
+	}
+}
+
+// Active returns the number of keys with a flight currently in the air.
+func (g *flightGroup) Active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// Waiting returns the current count of callers blocked on flights.
+func (g *flightGroup) Waiting() int64 { return g.waiting.Load() }
+
+// Led returns the monotonic count of flights computed (leader runs).
+func (g *flightGroup) Led() uint64 { return g.led.Load() }
+
+// Coalesced returns the monotonic count of requests answered by
+// another request's flight.
+func (g *flightGroup) Coalesced() uint64 { return g.coalesced.Load() }

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the timeout passes.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlightGroupCoalesces is the core singleflight property: N
+// concurrent callers on one key run compute exactly once; one caller
+// leads, the rest are answered by the leader's flight.
+func TestFlightGroupCoalesces(t *testing.T) {
+	const callers = 8
+	var g flightGroup
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	type result struct {
+		val       any
+		coalesced bool
+		err       error
+	}
+	results := make(chan result, callers)
+	var wg sync.WaitGroup
+	var enterOnce sync.Once
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, coalesced, err := g.Do(context.Background(), "k", func() (any, error) {
+				computes.Add(1)
+				enterOnce.Do(func() { close(entered) })
+				<-release
+				return 42, nil
+			})
+			results <- result{val, coalesced, err}
+		}()
+	}
+
+	<-entered // the leader is inside compute
+	waitFor(t, 5*time.Second, func() bool { return g.Waiting() == callers-1 }, "waiters to pile up")
+	if got := g.Active(); got != 1 {
+		t.Errorf("Active() = %d with a flight in the air, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	var led, coal int
+	for r := range results {
+		if r.err != nil {
+			t.Errorf("caller error: %v", r.err)
+		}
+		if r.val != 42 {
+			t.Errorf("caller value = %v, want 42", r.val)
+		}
+		if r.coalesced {
+			coal++
+		} else {
+			led++
+		}
+	}
+	if led != 1 || coal != callers-1 {
+		t.Errorf("led=%d coalesced=%d, want 1/%d", led, coal, callers-1)
+	}
+	if g.Led() != 1 || g.Coalesced() != callers-1 {
+		t.Errorf("counters: led=%d coalesced=%d, want 1/%d", g.Led(), g.Coalesced(), callers-1)
+	}
+	if g.Active() != 0 || g.Waiting() != 0 {
+		t.Errorf("gauges did not drain: active=%d waiting=%d", g.Active(), g.Waiting())
+	}
+}
+
+// TestFlightGroupWaiterDetaches pins the waiter side of the lifecycle:
+// a waiter whose own context ends returns immediately with its own
+// context error instead of waiting out a slow leader, and the flight
+// settles normally for everyone else.
+func TestFlightGroupWaiterDetaches(t *testing.T) {
+	var g flightGroup
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-release
+			return "slow", nil
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, coalesced, err := g.Do(ctx, "k", func() (any, error) {
+			t.Error("detached waiter must not compute")
+			return nil, nil
+		})
+		if coalesced {
+			t.Error("detached waiter reported coalesced")
+		}
+		waiterDone <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return g.Waiting() == 1 }, "waiter to join")
+
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("detached waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not detach on its own cancellation")
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Errorf("leader failed after waiter detached: %v", err)
+	}
+	if g.Waiting() != 0 || g.Active() != 0 {
+		t.Errorf("gauges did not drain: active=%d waiting=%d", g.Active(), g.Waiting())
+	}
+}
+
+// TestFlightGroupLeaderCancelledRearms pins the promotion path: a
+// leader whose context dies mid-compute re-arms the flight instead of
+// settling it with a lifecycle error, and a surviving waiter retries
+// and promotes to leader under its own live context.
+func TestFlightGroupLeaderCancelledRearms(t *testing.T) {
+	var g flightGroup
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	entered := make(chan struct{})
+
+	var computes atomic.Int64
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(leaderCtx, "k", func() (any, error) {
+			computes.Add(1)
+			close(entered)
+			<-leaderCtx.Done()
+			return nil, leaderCtx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	waiterDone := make(chan struct {
+		val       any
+		coalesced bool
+		err       error
+	}, 1)
+	go func() {
+		val, coalesced, err := g.Do(context.Background(), "k", func() (any, error) {
+			computes.Add(1)
+			return "promoted", nil
+		})
+		waiterDone <- struct {
+			val       any
+			coalesced bool
+			err       error
+		}{val, coalesced, err}
+	}()
+	waitFor(t, 5*time.Second, func() bool { return g.Waiting() == 1 }, "waiter to join")
+
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled leader error = %v, want context.Canceled", err)
+	}
+	select {
+	case r := <-waiterDone:
+		if r.err != nil {
+			t.Fatalf("promoted waiter failed: %v (the leader's lifecycle error leaked)", r.err)
+		}
+		if r.val != "promoted" {
+			t.Errorf("promoted waiter value = %v, want \"promoted\"", r.val)
+		}
+		if r.coalesced {
+			t.Error("promoted waiter reported coalesced; it computed itself")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never promoted after leader cancellation")
+	}
+	if got := computes.Load(); got != 2 {
+		t.Errorf("computes = %d, want 2 (dead leader + promoted waiter)", got)
+	}
+	if g.Led() != 2 {
+		t.Errorf("Led() = %d, want 2", g.Led())
+	}
+	if g.Active() != 0 || g.Waiting() != 0 {
+		t.Errorf("gauges did not drain: active=%d waiting=%d", g.Active(), g.Waiting())
+	}
+}
+
+// TestFlightGroupErrorPropagates pins failure settlement: a genuine
+// compute failure under a live context settles the flight and reaches
+// every waiter — problem failures are as deterministic as solutions.
+func TestFlightGroupErrorPropagates(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("no solution for this problem")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-release
+			return nil, boom
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, coalesced, err := g.Do(context.Background(), "k", func() (any, error) {
+			t.Error("waiter recomputed a settled failure")
+			return nil, nil
+		})
+		if !coalesced {
+			t.Error("waiter on a settled failure should report coalesced")
+		}
+		waiterDone <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return g.Waiting() == 1 }, "waiter to join")
+
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, boom) {
+		t.Errorf("leader error = %v, want %v", err, boom)
+	}
+	if err := <-waiterDone; !errors.Is(err, boom) {
+		t.Errorf("waiter error = %v, want %v", err, boom)
+	}
+}
+
+// TestFlightGroupSuccessUnderCancelledContextSettles pins the asymmetry
+// in the re-arm rule: a leader that produces a VALUE while its context
+// dies still settles the flight — results are deterministic, so handing
+// the value to waiters is sound (it just must never be cached, which is
+// the compute closure's job, not the group's).
+func TestFlightGroupSuccessUnderCancelledContextSettles(t *testing.T) {
+	var g flightGroup
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(leaderCtx, "k", func() (any, error) {
+			close(entered)
+			<-leaderCtx.Done() // context dies, but the solve completes anyway
+			return 7, nil
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	waiterDone := make(chan struct {
+		val       any
+		coalesced bool
+		err       error
+	}, 1)
+	go func() {
+		val, coalesced, err := g.Do(context.Background(), "k", func() (any, error) {
+			t.Error("waiter recomputed a settled success")
+			return nil, nil
+		})
+		waiterDone <- struct {
+			val       any
+			coalesced bool
+			err       error
+		}{val, coalesced, err}
+	}()
+	waitFor(t, 5*time.Second, func() bool { return g.Waiting() == 1 }, "waiter to join")
+
+	cancelLeader()
+	if err := <-leaderDone; err != nil {
+		t.Errorf("leader with a value: err = %v, want nil", err)
+	}
+	r := <-waiterDone
+	if r.err != nil || r.val != 7 || !r.coalesced {
+		t.Errorf("waiter got (%v, coalesced=%v, %v), want (7, true, nil)", r.val, r.coalesced, r.err)
+	}
+}
+
+// TestFlightGroupDistinctKeysDoNotCoalesce makes sure the group only
+// coalesces identical canonical keys.
+func TestFlightGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g flightGroup
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			val, coalesced, err := g.Do(context.Background(), key, func() (any, error) {
+				computes.Add(1)
+				return key, nil
+			})
+			if err != nil || coalesced || val != key {
+				t.Errorf("key %q: got (%v, coalesced=%v, %v)", key, val, coalesced, err)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 3 {
+		t.Errorf("computes = %d, want 3", got)
+	}
+	if g.Coalesced() != 0 {
+		t.Errorf("Coalesced() = %d, want 0", g.Coalesced())
+	}
+}
