@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race fuzz-smoke bench-smoke verify
+.PHONY: build test vet race chaos fuzz-smoke bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with real concurrency: the
-# serving layer (pool, admission, cache, chaos suite), batch signoff,
-# and the fault-injection registry.
+# Race-detector pass over the whole module: the serving layer is
+# concurrent end to end (pool, admission, cache, flights, quarantine,
+# breaker, snapshot loop), so every package rides along.
 race:
-	$(GO) test -race ./internal/server ./internal/netcheck ./internal/faultinject
+	$(GO) test -race ./...
+
+# The resilience suite under the race detector: panic containment,
+# poison-key quarantine, breaker degradation, and crash-safe restart.
+chaos:
+	$(GO) test -race -count=1 ./internal/server \
+		-run 'TestChaos|TestPoolTaskPanic|TestFlightLeaderPanic|TestHandlerPanic|TestQuarantine|TestBreaker|TestFailureClass|TestSnapshot|TestQueueWaitClamp|TestAdmissionWaitClamped|TestReadyz'
 
 # Short fuzz smokes: enough to catch a freshly introduced panic or
 # key-encoder collision without turning CI into a fuzz farm.
@@ -24,12 +30,13 @@ fuzz-smoke:
 	$(GO) test ./internal/netcheck -run '^$$' -fuzz FuzzParseDesign -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzSolveKeyEncoder -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDeckKeyEncoder -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzSnapshotCodec -fuzztime $(FUZZTIME)
 
-# One-iteration pass over the coalescer/batch benchmarks: keeps the
-# thundering-herd and batch-vs-serial paths compiling and executing
-# without turning CI into a benchmark farm.
+# One-iteration pass over the orchestration benchmarks: keeps the
+# thundering-herd, batch-vs-serial, warm-restart and quarantine paths
+# compiling and executing without turning CI into a benchmark farm.
 bench-smoke:
-	$(GO) test ./internal/server -run '^$$' -bench 'ThunderingHerd|BatchVsSerial' -benchtime 1x
+	$(GO) test ./internal/server -run '^$$' -bench 'ThunderingHerd|BatchVsSerial|WarmStartVsCold|QuarantineHit' -benchtime 1x
 
-verify: build vet test race fuzz-smoke bench-smoke
+verify: build vet test race chaos fuzz-smoke bench-smoke
 	@echo "verify: all gates passed"

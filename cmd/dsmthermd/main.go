@@ -7,10 +7,15 @@
 //	dsmthermd -addr :8080 -workers 8 -cache 4096 -timeout 30s \
 //	          -admit 16 -queue-depth 64 -queue-wait 2s \
 //	          -batch-max 256 -max-segments 10000 \
-//	          -route-timeout /v1/netcheck=2m -route-timeout /v1/rules=5s
+//	          -route-timeout /v1/netcheck=2m -route-timeout /v1/rules=5s \
+//	          -snapshot-path /var/lib/dsmthermd/cache.snap -snapshot-interval 5m \
+//	          -quarantine-threshold 3 -breaker-threshold 5
 //
 // The daemon drains in-flight requests on SIGINT/SIGTERM before exiting;
-// requests arriving during the drain get a structured 503.
+// requests arriving during the drain get a structured 503 and /readyz
+// reports 503 "draining" so load balancers shift traffic first. With
+// -snapshot-path set, the solve cache's working set is persisted
+// (atomically, checksummed) across restarts.
 package main
 
 import (
@@ -39,6 +44,16 @@ func main() {
 	maxSegments := flag.Int("max-segments", 0, "max segments in one /v1/netcheck design (0 = 10000, negative disables)")
 	queueDepth := flag.Int("queue-depth", 0, "admission wait-queue depth before 429 (0 = 4x admit, negative = no queue)")
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request waits for admission before 503")
+	snapshotPath := flag.String("snapshot-path", "", "cache snapshot file for warm restarts (empty disables)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = 5m, negative = shutdown-only)")
+	quarThreshold := flag.Int("quarantine-threshold", 0, "failures per key before quarantine (0 = 3, negative disables)")
+	quarWindow := flag.Duration("quarantine-window", 0, "quarantine failure-counting window (0 = 1m)")
+	quarTTL := flag.Duration("quarantine-ttl", 0, "quarantine embargo length (0 = 30s)")
+	quarEntries := flag.Int("quarantine-entries", 0, "max tracked poison-key records (0 = 1024)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "failures per class before the circuit opens (0 = 5, negative disables)")
+	breakerWindow := flag.Duration("breaker-window", 0, "breaker failure-counting window (0 = 10s)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open duration before half-open probing (0 = 5s)")
+	breakerStaleAfter := flag.Duration("breaker-stale-after", 0, "freshness horizon for stale-marked hits while degraded (0 = 1m)")
 	routeTimeouts := make(map[string]time.Duration)
 	flag.Func("route-timeout", "per-route timeout override as route=duration, e.g. /v1/netcheck=2m (repeatable)", func(v string) error {
 		route, durStr, ok := strings.Cut(v, "=")
@@ -68,6 +83,17 @@ func main() {
 		QueueWait:        *queueWait,
 		MaxBatch:         *batchMax,
 		MaxSegments:      *maxSegments,
+
+		SnapshotPath:        *snapshotPath,
+		SnapshotInterval:    *snapshotInterval,
+		QuarantineThreshold: *quarThreshold,
+		QuarantineWindow:    *quarWindow,
+		QuarantineTTL:       *quarTTL,
+		QuarantineEntries:   *quarEntries,
+		BreakerThreshold:    *breakerThreshold,
+		BreakerWindow:       *breakerWindow,
+		BreakerCooldown:     *breakerCooldown,
+		BreakerStaleAfter:   *breakerStaleAfter,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmthermd:", err)

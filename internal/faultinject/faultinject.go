@@ -43,10 +43,12 @@ const (
 	SiteCacheShard = "server.cache.shard"
 	// SiteServerFlight fires on the leader path of every flight in the
 	// serving layer's request coalescer (cache misses only), with the
-	// leader's request context. A stall hook holds a flight open so
-	// tests can pile waiters onto it (then cancel the leader to drive
-	// the re-arm/promotion path); an error hook fails the flight for
-	// every participant.
+	// leader's request context and — when hooks are registered — the
+	// flight's canonical cache key attached as metadata (Meta). A stall
+	// hook holds a flight open so tests can pile waiters onto it (then
+	// cancel the leader to drive the re-arm/promotion path); an error
+	// hook fails the flight for every participant; a PanicOnMeta hook
+	// poisons one key while the rest of the traffic stays healthy.
 	SiteServerFlight = "server.flight"
 )
 
@@ -105,6 +107,30 @@ func Set(site string, hook Hook) (cancel func()) {
 			delete(hooks, site)
 		}
 	}
+}
+
+// Active reports whether any hook is registered anywhere. Injection
+// points that pay a setup cost before calling Inject (e.g. attaching
+// metadata to the context) gate that work on Active so the
+// no-hooks-registered fast path stays allocation-free.
+func Active() bool { return registered.Load() != 0 }
+
+// metaKey carries site metadata through the context (see WithMeta).
+type metaKey struct{}
+
+// WithMeta attaches site-specific metadata — typically the canonical
+// cache key of the operation being interrupted — to ctx, so hooks can
+// target one key (poison it) while leaving the rest of the traffic
+// healthy. Injection points should only attach metadata when Active()
+// reports hooks are registered.
+func WithMeta(ctx context.Context, meta string) context.Context {
+	return context.WithValue(ctx, metaKey{}, meta)
+}
+
+// Meta returns the metadata attached by WithMeta, or "" when none.
+func Meta(ctx context.Context) string {
+	m, _ := ctx.Value(metaKey{}).(string)
+	return m
 }
 
 // Inject runs the hook registered at site, if any, and returns its
@@ -175,6 +201,27 @@ func ErrEvery(n int, err error) Hook {
 	return func(context.Context) error {
 		if calls.Add(1)%uint64(n) == 0 {
 			return err
+		}
+		return nil
+	}
+}
+
+// Panic returns a hook that panics with v on every firing — the
+// canonical "solver blew up" injection for panic-isolation tests. Pair
+// it with PanicOnMeta (or a hand-written Meta predicate) to poison one
+// key while the rest of the traffic stays healthy.
+func Panic(v any) Hook {
+	return func(context.Context) error { panic(v) }
+}
+
+// PanicOnMeta returns a hook that panics with v only when the site
+// metadata (see WithMeta) satisfies pred; other firings are no-ops. It
+// is the canonical poison-key injection: the serving layer attaches the
+// canonical cache key as metadata, so pred can single out one key.
+func PanicOnMeta(pred func(meta string) bool, v any) Hook {
+	return func(ctx context.Context) error {
+		if pred(Meta(ctx)) {
+			panic(v)
 		}
 		return nil
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -48,6 +49,14 @@ func NewAdmission(slots, maxQueue int, maxWait time.Duration) *Admission {
 // full. It returns a release func on success, or ErrQueueFull /
 // ErrQueueWait / the ctx error on rejection. release must be called
 // exactly once.
+//
+// The queue wait is clamped to the caller's remaining deadline budget:
+// the configured maxWait is a global knob, but a route with a tight
+// per-endpoint deadline must not spend its whole budget queued and
+// "arrive pre-expired" — when the clamped wait is exhausted (whether
+// the timer or the deadline fires first; they are the same instant),
+// the rejection is normalized to ErrQueueWait so the client sees the
+// honest backpressure signal (503 + Retry-After), not a deadline burn.
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	// Fast path: a free slot, no queueing.
 	select {
@@ -61,7 +70,13 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 		return nil, ErrQueueFull
 	}
 	defer a.waiting.Add(-1)
-	timer := time.NewTimer(a.maxWait)
+	wait, clamped := a.maxWait, false
+	if d, ok := ctx.Deadline(); ok {
+		if budget := time.Until(d); budget < wait {
+			wait, clamped = budget, true
+		}
+	}
+	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
 	case a.slots <- struct{}{}:
@@ -69,6 +84,11 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	case <-timer.C:
 		return nil, ErrQueueWait
 	case <-ctx.Done():
+		if clamped && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The deadline-clamped timer and the deadline itself race;
+			// both mean "spent the whole permitted wait queued".
+			return nil, ErrQueueWait
+		}
 		return nil, ctx.Err()
 	}
 }

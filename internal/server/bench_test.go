@@ -13,9 +13,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func benchServer(b *testing.B, cacheEntries int) *httptest.Server {
@@ -179,4 +181,96 @@ func BenchmarkCacheGetHitParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWarmStartVsCold prices the snapshot: one iteration boots a
+// daemon and serves the 10-query working set — "cold" pays a nonlinear
+// solve per distinct query, "warm" restores the persisted cache first
+// and answers everything as hits. The gap is what -snapshot-path buys a
+// restarted signoff daemon on its first wave.
+func BenchmarkWarmStartVsCold(b *testing.B) {
+	workload := snapWorkload()
+	serveAll := func(b *testing.B, ts *httptest.Server) {
+		for _, body := range workload {
+			doRules(b, ts, body)
+		}
+	}
+
+	// Build the snapshot once from a populated daemon.
+	snap := filepath.Join(b.TempDir(), "bench.snap")
+	seed := New(Config{Workers: 4, CacheEntries: 1024, SnapshotPath: snap})
+	seedTS := httptest.NewServer(seed.Handler())
+	serveAll(b, seedTS)
+	seedTS.Close()
+	if err := seed.SaveSnapshot(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := New(Config{Workers: 4, CacheEntries: 1024})
+			ts := httptest.NewServer(s.Handler())
+			serveAll(b, ts)
+			ts.Close()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := New(Config{Workers: 4, CacheEntries: 1024, SnapshotPath: snap})
+			for s.Loading() {
+				time.Sleep(50 * time.Microsecond)
+			}
+			ts := httptest.NewServer(s.Handler())
+			serveAll(b, ts)
+			ts.Close()
+		}
+	})
+}
+
+// BenchmarkQuarantineHit is the embargo fast path: the cost of
+// rejecting a request whose canonical key is quarantined. This is the
+// latency a poisoned key's clients see instead of a solver crash — it
+// must stay trivially cheap, since its whole point is shedding load.
+func BenchmarkQuarantineHit(b *testing.B) {
+	s := New(Config{Workers: 4, CacheEntries: 256, QuarantineThreshold: 1})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+
+	body := `{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`
+	resp, err := http.Post(ts.URL+"/v1/rules", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	// Find the canonical key via the cache the warm-up populated.
+	var key string
+	s.cache.Range(func(k string, v any) bool {
+		if _, ok := v.(solveResult); ok {
+			key = k
+			return false
+		}
+		return true
+	})
+	if key == "" {
+		b.Fatal("no solve key found to embargo")
+	}
+	if !s.Quarantine().RecordFailure(key) {
+		b.Fatal("threshold-1 failure did not embargo")
+	}
+	// The cache would answer before the gate; drop it so the request
+	// exercises the quarantine rejection path.
+	s.cache = NewCache(0)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/rules", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			b.Fatalf("status %d, want 422 quarantined", resp.StatusCode)
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsmtherm/internal/faultinject"
 )
@@ -35,6 +36,10 @@ type cacheShard struct {
 type cacheEntry struct {
 	key string
 	val any
+	// at is when the value was stored (insert or refresh). The breaker's
+	// stale-while-revalidate policy uses it to mark hits served past the
+	// freshness horizon while the solver path is degraded.
+	at time.Time
 }
 
 // NewCache builds a cache bounded to capacity entries in total (rounded
@@ -74,9 +79,16 @@ func (c *Cache) shard(key string) *cacheShard {
 
 // Get returns the cached value for key, promoting it to most-recent.
 func (c *Cache) Get(key string) (any, bool) {
+	v, _, ok := c.GetAt(key)
+	return v, ok
+}
+
+// GetAt is Get plus the time the value was stored, so callers can apply
+// a freshness policy (the breaker's stale marking) to hits.
+func (c *Cache) GetAt(key string) (any, time.Time, bool) {
 	if len(c.shards) == 0 {
 		c.misses.Add(1)
-		return nil, false
+		return nil, time.Time{}, false
 	}
 	s := c.shard(key)
 	s.mu.Lock()
@@ -88,11 +100,12 @@ func (c *Cache) Get(key string) (any, bool) {
 	el, ok := s.m[key]
 	if !ok {
 		c.misses.Add(1)
-		return nil, false
+		return nil, time.Time{}, false
 	}
 	s.lru.MoveToFront(el)
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).val, true
+	e := el.Value.(*cacheEntry)
+	return e.val, e.at, true
 }
 
 // Add inserts (or refreshes) a key, evicting the least-recent entry of
@@ -105,16 +118,35 @@ func (c *Cache) Add(key string, val any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		e.val, e.at = val, time.Now()
 		s.lru.MoveToFront(el)
 		return
 	}
-	s.m[key] = s.lru.PushFront(&cacheEntry{key: key, val: val})
+	s.m[key] = s.lru.PushFront(&cacheEntry{key: key, val: val, at: time.Now()})
 	if s.lru.Len() > s.cap {
 		oldest := s.lru.Back()
 		s.lru.Remove(oldest)
 		delete(s.m, oldest.Value.(*cacheEntry).key)
 		c.evicts.Add(1)
+	}
+}
+
+// Range calls fn for every entry, holding one shard's lock at a time;
+// fn must be fast and must not call back into the cache. Returning
+// false stops the walk. The snapshotter uses it to collect the working
+// set.
+func (c *Cache) Range(fn func(key string, val any) bool) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			if !fn(e.key, e.val) {
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
 	}
 }
 

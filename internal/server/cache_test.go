@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCacheHitMissEvict(t *testing.T) {
@@ -94,5 +95,101 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if n, cap := c.Len(), c.Capacity(); n > cap {
 		t.Errorf("cache holds %d entries over capacity %d", n, cap)
+	}
+}
+
+// sameShardKeys returns n distinct keys that all hash to one shard, so
+// a test can drive a single LRU list deterministically.
+func sameShardKeys(prefix string, n int) []string {
+	target := fnv1a(prefix+"0") & (cacheShards - 1)
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("%s%d", prefix, i)
+		if fnv1a(k)&(cacheShards-1) == target {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestCacheEvictionCountExact pins eviction accounting: overfilling one
+// shard by k entries reports exactly k evictions — refreshes of
+// resident keys are free, and no phantom evictions appear.
+func TestCacheEvictionCountExact(t *testing.T) {
+	cases := []struct {
+		name     string
+		perShard int
+		adds     int
+	}{
+		{"atCapacity", 4, 4},
+		{"overByOne", 1, 2},
+		{"overByMany", 2, 9},
+		{"wayOver", 4, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCache(tc.perShard * cacheShards)
+			keys := sameShardKeys("ev", tc.adds)
+			for _, k := range keys {
+				c.Add(k, k)
+			}
+			want := uint64(0)
+			if tc.adds > tc.perShard {
+				want = uint64(tc.adds - tc.perShard)
+			}
+			if got := c.Stats().Evictions; got != want {
+				t.Fatalf("Evictions after %d adds into cap %d = %d, want exactly %d",
+					tc.adds, tc.perShard, got, want)
+			}
+			// Refreshing every resident key moves nothing out: the
+			// eviction count must not drift.
+			for _, k := range keys[len(keys)-min(tc.perShard, tc.adds):] {
+				c.Add(k, "refreshed")
+			}
+			if got := c.Stats().Evictions; got != want {
+				t.Errorf("Evictions after refreshes = %d, want still %d", got, want)
+			}
+		})
+	}
+}
+
+// TestQuarantinePressureSparesCache pins the satellite invariant: the
+// quarantine's failure memory is bounded separately from the result
+// cache, so a flood of distinct poisoned keys can never push positive
+// results out. (The negative records live in the Quarantine, not in the
+// solve cache — this test proves the two stores do not share bounds.)
+func TestQuarantinePressureSparesCache(t *testing.T) {
+	const qBound = 32
+	cache := NewCache(4 * cacheShards)
+	q := NewQuarantine(3, time.Minute, time.Minute, qBound)
+
+	// A healthy working set fills the cache.
+	var resident []string
+	for i := 0; i < 2*cacheShards; i++ {
+		k := fmt.Sprintf("good-%d", i)
+		cache.Add(k, i)
+		resident = append(resident, k)
+	}
+	baseLen := cache.Len()
+	baseEvicts := cache.Stats().Evictions
+
+	// A flood of distinct failing keys — 100× the quarantine bound.
+	for i := 0; i < 100*qBound; i++ {
+		q.RecordFailure(fmt.Sprintf("poison-%d", i))
+	}
+
+	if got := q.Tracked(); got > qBound {
+		t.Errorf("quarantine tracked %d records, bound %d", got, qBound)
+	}
+	if got := cache.Len(); got != baseLen {
+		t.Errorf("cache length moved under quarantine pressure: %d -> %d", baseLen, got)
+	}
+	if got := cache.Stats().Evictions; got != baseEvicts {
+		t.Errorf("quarantine pressure evicted from the result cache: %d -> %d", baseEvicts, got)
+	}
+	for _, k := range resident {
+		if _, ok := cache.Get(k); !ok {
+			t.Fatalf("positive result %s evicted by negative-cache pressure", k)
+		}
 	}
 }

@@ -33,20 +33,23 @@ import (
 //     the goroutine count returns to its pre-load baseline.
 
 // chaosAllowedStatus is the closed set of statuses load may produce.
-// 200 success, 429 queue full, 503 queue wait / client-cancel surfaced,
-// 504 deadline, 500 the injected transient solver error.
+// 200 success, 422 quarantined key, 429 queue full, 503 queue wait /
+// breaker open / client-cancel surfaced, 504 deadline, 500 the injected
+// transient solver error or a recovered panic.
 var chaosAllowedStatus = map[int]bool{
 	http.StatusOK:                  true,
+	http.StatusUnprocessableEntity: true,
 	http.StatusTooManyRequests:     true,
 	http.StatusServiceUnavailable:  true,
 	http.StatusGatewayTimeout:      true,
 	http.StatusInternalServerError: true,
 }
 
-// normalizeBody strips the cache- and coalescing-provenance flags
-// ("cached", "deckCached", "coalesced", "deckCoalesced") so bodies from
-// cold hits, warm hits and coalesced waiters compare equal; the physics
-// payload must be bit-identical.
+// normalizeBody strips the cache-, coalescing- and staleness-provenance
+// flags ("cached", "deckCached", "coalesced", "deckCoalesced", "stale",
+// "deckStale") so bodies from cold hits, warm hits, coalesced waiters
+// and degraded-mode serving compare equal; the physics payload must be
+// bit-identical.
 func normalizeBody(t *testing.T, body []byte) string {
 	t.Helper()
 	var m map[string]any
@@ -57,6 +60,8 @@ func normalizeBody(t *testing.T, body []byte) string {
 	delete(m, "deckCached")
 	delete(m, "coalesced")
 	delete(m, "deckCoalesced")
+	delete(m, "stale")
+	delete(m, "deckStale")
 	out, err := json.Marshal(m)
 	if err != nil {
 		t.Fatal(err)
@@ -622,5 +627,273 @@ func TestChaosStalledSolveDoesNotBlockUngatedRoutes(t *testing.T) {
 
 	unstall()
 	wg.Wait()
+	waitQuiescent(t, s, 5*time.Second)
+}
+
+// TestChaosPoisonKeyQuarantine is the tentpole acceptance test: one
+// canonical key panics on every solve while 32 concurrent clients hammer
+// a mix of the poison key and healthy keys. The invariants:
+//
+//   - every response is structured JSON: the poison key yields 500
+//     ("internal", with the panic site) until the quarantine threshold,
+//     then fast 422 ("quarantined") with Retry-After;
+//   - healthy keys keep serving 200 throughout — neither the panics nor
+//     the embargo bleed onto other keys;
+//   - the process survives (the panics are contained), all gauges drain
+//     to zero, and no goroutines leak.
+func TestChaosPoisonKeyQuarantine(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	const quarantineAfter = 3
+	s := New(Config{
+		Workers:             4,
+		CacheEntries:        512,
+		AdmitConcurrent:     32,
+		QueueDepth:          64,
+		QueueWait:           5 * time.Second,
+		QuarantineThreshold: quarantineAfter,
+		QuarantineWindow:    time.Minute,
+		QuarantineTTL:       time.Minute,
+		// Keep the breaker out of this test's way: the poison key must be
+		// contained by the per-key quarantine, not a global trip.
+		BreakerThreshold: 1000,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The flight leader attaches the canonical cache key as injection
+	// metadata; panic every solve of the 0.10-node key and nothing else.
+	const poisonPrefix = "solve|4:0.10"
+	t.Cleanup(faultinject.Set(faultinject.SiteServerFlight,
+		faultinject.PanicOnMeta(func(meta string) bool {
+			return strings.HasPrefix(meta, poisonPrefix)
+		}, "poisoned solve")))
+
+	const poisonBody = `{"node":"0.10","level":3,"dutyCycle":0.5,"j0MA":1.5}`
+	healthyBody := func(i int) string {
+		return fmt.Sprintf(`{"node":"0.25","level":%d,"dutyCycle":0.1,"j0MA":1.8}`, 1+i%5)
+	}
+
+	type shot struct {
+		poison bool
+		status int
+		body   []byte
+	}
+	const clients = 32
+	const perClient = 4
+	results := make(chan shot, clients*perClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				poison := (c+i)%2 == 0
+				body := poisonBody
+				if !poison {
+					body = healthyBody(c + i)
+				}
+				resp, err := http.Post(ts.URL+"/v1/rules", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("request failed: %v", err)
+					continue
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				results <- shot{poison: poison, status: resp.StatusCode, body: b}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(results)
+
+	poison500, poison422 := 0, 0
+	for sh := range results {
+		if !chaosAllowedStatus[sh.status] {
+			t.Errorf("unexpected status %d: %s", sh.status, sh.body)
+			continue
+		}
+		if !sh.poison {
+			if sh.status != http.StatusOK {
+				t.Errorf("healthy key degraded to %d: %s", sh.status, sh.body)
+			}
+			continue
+		}
+		var apiErr apiError
+		switch sh.status {
+		case http.StatusInternalServerError:
+			poison500++
+			if err := json.Unmarshal(sh.body, &apiErr); err != nil || apiErr.Error.Code != "internal" {
+				t.Errorf("panic response not structured: %s", sh.body)
+			}
+		case http.StatusUnprocessableEntity:
+			poison422++
+			if err := json.Unmarshal(sh.body, &apiErr); err != nil || apiErr.Error.Code != "quarantined" {
+				t.Errorf("quarantine response not structured: %s", sh.body)
+			}
+		default:
+			t.Errorf("poison key returned %d, want 500 or 422: %s", sh.status, sh.body)
+		}
+	}
+	if poison422 == 0 {
+		t.Error("poison key was never quarantined")
+	}
+	t.Logf("poison key: %d structured 500s, then %d quarantined 422s", poison500, poison422)
+
+	// Containment was tight: the key stopped reaching the solver within
+	// the threshold, give or take gate/record races (a request that
+	// passed the quarantine check before the embargo was recorded may
+	// still lead one extra flight).
+	panics := s.Metrics().Panics.Load()
+	if panics < quarantineAfter {
+		t.Errorf("panics = %d, want >= %d (the quarantine needs real failures to trip)", panics, quarantineAfter)
+	}
+	if panics > quarantineAfter+8 {
+		t.Errorf("panics = %d: quarantine let far more than %d failures through", panics, quarantineAfter)
+	}
+	if got := s.Quarantine().Quarantined(); got != 1 {
+		t.Errorf("Quarantined = %d, want exactly 1 (one poison key)", got)
+	}
+	if got := s.Quarantine().Hits(); got == 0 {
+		t.Error("quarantine Hits never advanced")
+	}
+
+	// /metrics reports the containment.
+	var snap Snapshot
+	if status := getJSON(t, ts.URL+"/metrics", &snap); status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if snap.Resilience.Panics != panics {
+		t.Errorf("metrics panics = %d, want %d", snap.Resilience.Panics, panics)
+	}
+	if snap.Resilience.Quarantine.Active != 1 {
+		t.Errorf("metrics quarantine active = %d, want 1", snap.Resilience.Quarantine.Active)
+	}
+
+	// Quiescence and goroutine hygiene, same bar as the fault storm.
+	waitQuiescent(t, s, 5*time.Second)
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosBreakerDegradedServing drives the breaker end to end over
+// HTTP: a warm cache entry, then a failure storm trips the circuit;
+// while open, the warm key keeps serving from cache (marked stale past
+// the freshness horizon), cold keys get fast 503 "breaker_open" with
+// Retry-After, and after the cooldown one probe recloses the circuit.
+func TestChaosBreakerDegradedServing(t *testing.T) {
+	s := New(Config{
+		Workers:          4,
+		CacheEntries:     512,
+		AdmitConcurrent:  8,
+		BreakerThreshold: 3,
+		BreakerWindow:    time.Minute,
+		BreakerCooldown:  100 * time.Millisecond,
+		// Immediate horizon: any hit served while degraded is stale.
+		BreakerStaleAfter: time.Nanosecond,
+		// Distinct cold keys each fail once; keep the per-key quarantine
+		// from absorbing the failures before the breaker sees three.
+		QuarantineThreshold: 1000,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const warmBody = `{"node":"0.25","level":5,"dutyCycle":0.1,"j0MA":1.8}`
+	if status, b := postJSON(t, ts.URL+"/v1/rules", warmBody); status != http.StatusOK {
+		t.Fatalf("warm-up: %d %s", status, b)
+	}
+
+	// Storm: every flight fails with an unclassified internal error.
+	errInjected := errors.New("solver backend down")
+	clear := faultinject.Set(faultinject.SiteServerFlight, func(context.Context) error { return errInjected })
+	t.Cleanup(clear)
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"node":"0.25","level":%d,"dutyCycle":0.3,"j0MA":1.8}`, 1+i)
+		if status, _ := postJSON(t, ts.URL+"/v1/rules", body); status != http.StatusInternalServerError {
+			t.Fatalf("storm request %d: status %d, want 500", i, status)
+		}
+	}
+	if !s.Breaker().Degraded() {
+		t.Fatal("three internal failures did not trip the breaker")
+	}
+
+	// Warm key: still served, marked stale; sleep past the (1ns) horizon.
+	time.Sleep(time.Millisecond)
+	status, b := postJSON(t, ts.URL+"/v1/rules", warmBody)
+	if status != http.StatusOK {
+		t.Fatalf("warm key rejected while degraded: %d %s", status, b)
+	}
+	var rr RulesResponse
+	if err := json.Unmarshal(b, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Cached || !rr.Stale {
+		t.Errorf("degraded warm hit: cached=%v stale=%v, want true/true", rr.Cached, rr.Stale)
+	}
+	if s.Metrics().StaleServed.Load() == 0 {
+		t.Error("StaleServed never advanced")
+	}
+
+	// Cold key: fast 503 with a Retry-After hint.
+	resp, err := http.Post(ts.URL+"/v1/rules", "application/json",
+		strings.NewReader(`{"node":"0.25","level":4,"dutyCycle":0.7,"j0MA":1.8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold miss while open: status %d, want 503: %s", resp.StatusCode, b)
+	}
+	var apiErr apiError
+	if err := json.Unmarshal(b, &apiErr); err != nil || apiErr.Error.Code != "breaker_open" {
+		t.Errorf("open-breaker response not structured: %s", b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("open-breaker 503 missing Retry-After")
+	}
+	if s.Breaker().ShortCircuits() == 0 {
+		t.Error("ShortCircuits never advanced")
+	}
+
+	// Heal the backend; after the cooldown the next miss is the probe and
+	// recloses the circuit.
+	clear()
+	time.Sleep(150 * time.Millisecond)
+	status, b = postJSON(t, ts.URL+"/v1/rules",
+		`{"node":"0.25","level":4,"dutyCycle":0.7,"j0MA":1.8}`)
+	if status != http.StatusOK {
+		t.Fatalf("probe request failed: %d %s", status, b)
+	}
+	if s.Breaker().Degraded() {
+		t.Error("probe success did not reclose the breaker")
+	}
+	if s.Breaker().Reclosed() == 0 {
+		t.Error("Reclosed never advanced")
+	}
+	// Healthy again: fresh hits are no longer marked stale.
+	status, b = postJSON(t, ts.URL+"/v1/rules", warmBody)
+	if status != http.StatusOK {
+		t.Fatal("warm key failed after reclose")
+	}
+	var healthy RulesResponse
+	if err := json.Unmarshal(b, &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Stale {
+		t.Error("hit marked stale after the breaker reclosed")
+	}
 	waitQuiescent(t, s, 5*time.Second)
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"dsmtherm/internal/core"
 	"dsmtherm/internal/netcheck"
@@ -32,11 +34,28 @@ var ErrQueueWait = errors.New("server: admission queue wait exceeded")
 // get a structured 503 instead of racing connection resets.
 var ErrDraining = errors.New("server: shutting down")
 
+// ErrQuarantined rejects a request whose canonical key is embargoed by
+// the poison-key quarantine: its compute has panicked or failed
+// repeatedly within the window, and re-running it would burn a pool
+// slot on a solve that keeps blowing up. HTTP 422 + Retry-After (the
+// request is well-formed; this key's answer is currently unprocessable).
+var ErrQuarantined = errors.New("server: key quarantined")
+
+// ErrBreakerOpen rejects a cache miss while the solver-path circuit
+// breaker is open: the solver is failing broadly, so cold work is
+// short-circuited with a fast 503 + Retry-After while cache hits keep
+// serving (possibly marked stale).
+var ErrBreakerOpen = errors.New("server: circuit breaker open")
+
 // ErrorDetail is the machine-readable error shape shared by top-level
 // error responses and per-entry /v1/batch failures.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Site names the recovery boundary that caught a panic (code
+	// "internal" only) — the one operational breadcrumb a recovered
+	// panic leaves in the response.
+	Site string `json:"site,omitempty"`
 }
 
 // apiError is the structured JSON error body every non-2xx response
@@ -48,7 +67,7 @@ type apiError struct {
 // errorDetail classifies err into its machine-readable form.
 func errorDetail(err error) ErrorDetail {
 	_, code := classify(err)
-	return ErrorDetail{Code: code, Message: err.Error()}
+	return ErrorDetail{Code: code, Message: err.Error(), Site: panicSite(err)}
 }
 
 // classify maps an error to (HTTP status, machine-readable code). The
@@ -67,10 +86,16 @@ func classify(err error) (int, string) {
 		// A well-formed problem with no self-consistent operating point:
 		// semantically unprocessable, not malformed.
 		return http.StatusUnprocessableEntity, "no_solution"
+	case errors.Is(err, ErrQuarantined):
+		// Well-formed, but the key's compute keeps blowing up; retry
+		// once the embargo lifts.
+		return http.StatusUnprocessableEntity, "quarantined"
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrQueueWait):
 		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, ErrBreakerOpen):
+		return http.StatusServiceUnavailable, "breaker_open"
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, context.DeadlineExceeded):
@@ -88,13 +113,49 @@ func classify(err error) (int, string) {
 // short enough that sweeping clients re-land promptly.
 const retryAfterSeconds = "1"
 
+// retryHintError attaches a concrete Retry-After duration to an error —
+// quarantine rejections know when the embargo lifts, breaker rejections
+// know the cooldown remaining — while staying errors.Is-transparent.
+type retryHintError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryHintError) Error() string { return e.err.Error() }
+func (e *retryHintError) Unwrap() error { return e.err }
+
+// withRetryHint wraps err with a Retry-After hint; after <= 0 leaves
+// err unwrapped (the default one-second hint applies).
+func withRetryHint(err error, after time.Duration) error {
+	if after <= 0 {
+		return err
+	}
+	return &retryHintError{err: err, after: after}
+}
+
+// retryAfterValue renders the Retry-After header for err: the attached
+// hint rounded up to whole seconds, else the default.
+func retryAfterValue(err error) string {
+	var hint *retryHintError
+	if errors.As(err, &hint) {
+		secs := int64((hint.after + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return strconv.FormatInt(secs, 10)
+	}
+	return retryAfterSeconds
+}
+
 // writeError renders err as a structured JSON error response.
-// Backpressure statuses (429/503) carry a Retry-After header so
-// well-behaved batch clients throttle instead of hammering.
+// Backpressure and embargo statuses (429/503, and 422 "quarantined")
+// carry a Retry-After header so well-behaved batch clients throttle
+// instead of hammering.
 func writeError(w http.ResponseWriter, err error) {
 	status, _ := classify(err)
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", retryAfterSeconds)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable ||
+		errors.Is(err, ErrQuarantined) {
+		w.Header().Set("Retry-After", retryAfterValue(err))
 	}
 	writeJSON(w, status, apiError{Error: errorDetail(err)})
 }

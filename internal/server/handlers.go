@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 
 	"dsmtherm/internal/core"
 	"dsmtherm/internal/geometry"
@@ -126,6 +127,10 @@ type RulesResponse struct {
 	// Coalesced reports whether the solve or the deck row was answered
 	// by waiting on another request's in-flight computation.
 	Coalesced bool `json:"coalesced"`
+	// Stale reports degraded-mode serving: the solve or the deck row was
+	// a cache hit older than the freshness horizon, served while the
+	// circuit breaker held the solver path open.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // rulesParams is one rules query with all defaults resolved.
@@ -191,7 +196,7 @@ func (s *Server) prepareRules(p rulesParams) (*rulesWork, error) {
 // pool slot: the solve and the deck row count against the same global
 // solver concurrency bound as sweep fan-out and batch signoff.
 func (s *Server) solveRules(ctx context.Context, wk *rulesWork) (*RulesResponse, error) {
-	sol, hit, solCoal, err := s.solveCached(ctx, wk.solveKey, core.Problem{
+	sol, hit, solCoal, solStale, err := s.solveCached(ctx, wk.solveKey, core.Problem{
 		Line:  wk.line,
 		Model: *wk.spec.Model,
 		R:     wk.p.DutyCycle,
@@ -201,7 +206,7 @@ func (s *Server) solveRules(ctx context.Context, wk *rulesWork) (*RulesResponse,
 	if err != nil {
 		return nil, err
 	}
-	rule, ruleCoal, err := s.levelRuleCached(ctx, wk.ruleKey, wk.tech, wk.p.Level, wk.spec)
+	rule, ruleCoal, ruleStale, err := s.levelRuleCached(ctx, wk.ruleKey, wk.tech, wk.p.Level, wk.spec)
 	if err != nil {
 		return nil, err
 	}
@@ -214,6 +219,7 @@ func (s *Server) solveRules(ctx context.Context, wk *rulesWork) (*RulesResponse,
 		Rule:      levelRuleJSON(rule),
 		Cached:    hit,
 		Coalesced: solCoal || ruleCoal,
+		Stale:     solStale || ruleStale,
 	}, nil
 }
 
@@ -369,6 +375,9 @@ type SweepResponse struct {
 	Level  int              `json:"level"`
 	J0MA   float64          `json:"j0MA"`
 	Points []SweepPointJSON `json:"points"`
+	// Stale reports that at least one point was a degraded-mode cache
+	// hit past the freshness horizon (breaker open).
+	Stale bool `json:"stale,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -421,9 +430,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	pts := make([]SweepPointJSON, len(rs))
+	var anyStale atomic.Bool
 	err = s.pool.ForEach(r.Context(), len(rs), func(ctx context.Context, i int) error {
 		duty := rs[i]
-		sol, _, _, err := s.solveCached(ctx,
+		sol, _, _, stale, err := s.solveCached(ctx,
 			solveKey(node, req.Gap, req.Metal, req.Level, line.Length,
 				duty, j0MA, trefC),
 			core.Problem{
@@ -436,6 +446,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return fmt.Errorf("sweep at r=%g: %w", duty, err)
 		}
+		if stale {
+			anyStale.Store(true)
+		}
 		pts[i] = SweepPointJSON{R: duty, SolveJSON: solveJSON(sol)}
 		s.metrics.SweepPoints.Add(1)
 		return nil
@@ -446,6 +459,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, SweepResponse{
 		Node: node, Level: req.Level, J0MA: j0MA, Points: pts,
+		Stale: anyStale.Load(),
 	})
 }
 
@@ -477,6 +491,9 @@ type NetcheckResponse struct {
 	// DeckCoalesced reports whether the deck came from another
 	// request's in-flight generation.
 	DeckCoalesced bool `json:"deckCoalesced"`
+	// DeckStale reports the deck was a degraded-mode cache hit past the
+	// freshness horizon (breaker open).
+	DeckStale bool `json:"deckStale,omitempty"`
 }
 
 func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
@@ -497,7 +514,7 @@ func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	deck, deckHit, deckCoal, err := s.deckCached(r.Context(), deckKey(df.Node, df.Gap, df.Metal, df.J0MA), tech, df.Spec())
+	deck, deckHit, deckCoal, deckStale, err := s.deckCached(r.Context(), deckKey(df.Node, df.Gap, df.Metal, df.J0MA), tech, df.Spec())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -524,6 +541,7 @@ func (s *Server) handleNetcheck(w http.ResponseWriter, r *http.Request) {
 		Segments:      len(segs),
 		DeckCached:    deckHit,
 		DeckCoalesced: deckCoal,
+		DeckStale:     deckStale,
 	}
 	for net, v := range rep.ByNet {
 		resp.ByNet[net] = v.String()
@@ -616,9 +634,25 @@ func (s *Server) handleTech(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache, s.pool, s.admission, &s.flights))
+	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache, s.pool, s.admission, &s.flights, s.quarantine, s.breaker))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: liveness (/healthz) says "the
+// process is up", readiness says "route traffic here". It answers 503
+// while the server is draining for shutdown or while the boot-time
+// snapshot restore is still warming the cache, so load balancers shift
+// traffic before requests start bouncing or missing cold.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case s.loading.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
 }

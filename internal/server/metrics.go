@@ -45,6 +45,25 @@ type Metrics struct {
 	RejectedQueueFull atomic.Uint64
 	RejectedQueueWait atomic.Uint64
 	RejectedDraining  atomic.Uint64
+
+	// Resilience counters. Panics counts panics recovered anywhere in
+	// request handling (pool tasks, flight leaders, the route backstop —
+	// each panic counted once, at the innermost boundary that converts
+	// it). StaleServed counts cache hits served past the freshness
+	// horizon while the breaker was degraded.
+	Panics      atomic.Uint64
+	StaleServed atomic.Uint64
+
+	// Snapshot counters: saves and save failures (periodic + shutdown),
+	// entries restored at boot, boot loads that found a corrupt or
+	// unreadable file (and started cold), and entries skipped at save
+	// time because their value is not snapshot-serializable (deck
+	// results) or records a failure.
+	SnapshotSaves        atomic.Uint64
+	SnapshotSaveErrors   atomic.Uint64
+	SnapshotLoaded       atomic.Uint64
+	SnapshotLoadFailures atomic.Uint64
+	SnapshotSkipped      atomic.Uint64
 }
 
 // EndpointStats aggregates one route's traffic.
@@ -98,14 +117,51 @@ type endpointSnapshot struct {
 
 // Snapshot is the JSON document served on /metrics.
 type Snapshot struct {
-	UptimeSec float64                     `json:"uptimeSec"`
-	InFlight  int64                       `json:"inFlight"`
-	Endpoints map[string]endpointSnapshot `json:"endpoints"`
-	Cache     CacheStats                  `json:"cache"`
-	Solver    solverSnapshot              `json:"solver"`
-	Netcheck  netcheckSnapshot            `json:"netcheck"`
-	Pool      poolSnapshot                `json:"pool"`
-	Admission admissionSnapshot           `json:"admission"`
+	UptimeSec  float64                     `json:"uptimeSec"`
+	InFlight   int64                       `json:"inFlight"`
+	Endpoints  map[string]endpointSnapshot `json:"endpoints"`
+	Cache      CacheStats                  `json:"cache"`
+	Solver     solverSnapshot              `json:"solver"`
+	Netcheck   netcheckSnapshot            `json:"netcheck"`
+	Pool       poolSnapshot                `json:"pool"`
+	Admission  admissionSnapshot           `json:"admission"`
+	Resilience resilienceSnapshot          `json:"resilience"`
+}
+
+// resilienceSnapshot reports the failure-containment layer: recovered
+// panics, degraded-mode serving, the poison-key quarantine, the circuit
+// breaker, and warm-restart snapshots.
+type resilienceSnapshot struct {
+	Panics      uint64             `json:"panics"`
+	StaleServed uint64             `json:"staleServed"`
+	Quarantine  quarantineSnapshot `json:"quarantine"`
+	Breaker     breakerSnapshot    `json:"breaker"`
+	Snapshots   snapshotSnapshot   `json:"snapshot"`
+}
+
+type quarantineSnapshot struct {
+	Active      int64  `json:"active"`
+	Tracked     int64  `json:"tracked"`
+	Quarantined uint64 `json:"quarantined"`
+	Hits        uint64 `json:"quarantineHits"`
+	Released    uint64 `json:"released"`
+}
+
+type breakerSnapshot struct {
+	Degraded      bool              `json:"degraded"`
+	States        map[string]string `json:"states,omitempty"`
+	Trips         uint64            `json:"trips"`
+	ShortCircuits uint64            `json:"shortCircuits"`
+	Probes        uint64            `json:"probes"`
+	Reclosed      uint64            `json:"reclosed"`
+}
+
+type snapshotSnapshot struct {
+	Saves         uint64 `json:"saves"`
+	SaveErrors    uint64 `json:"saveErrors"`
+	LoadedEntries uint64 `json:"loadedEntries"`
+	LoadFailures  uint64 `json:"loadFailures"`
+	Skipped       uint64 `json:"skippedEntries"`
 }
 
 // poolSnapshot reports worker-pool occupancy.
@@ -141,9 +197,10 @@ type netcheckSnapshot struct {
 	SegmentsChecked uint64 `json:"segmentsChecked"`
 }
 
-// SnapshotNow collects the current counter values. cache, pool, adm and
-// flights may each be nil (their sections read zero).
-func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights *flightGroup) Snapshot {
+// SnapshotNow collects the current counter values. cache, pool, adm,
+// flights, quarantine and breaker may each be nil (their sections read
+// zero).
+func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights *flightGroup, q *Quarantine, b *Breaker) Snapshot {
 	s := Snapshot{
 		UptimeSec: time.Since(m.start).Seconds(),
 		InFlight:  m.inFlight.Load(),
@@ -201,6 +258,32 @@ func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights 
 	s.Admission.RejectedQueueFull = m.RejectedQueueFull.Load()
 	s.Admission.RejectedQueueWait = m.RejectedQueueWait.Load()
 	s.Admission.RejectedDraining = m.RejectedDraining.Load()
+	s.Resilience = resilienceSnapshot{
+		Panics:      m.Panics.Load(),
+		StaleServed: m.StaleServed.Load(),
+		Quarantine: quarantineSnapshot{
+			Active:      q.Active(),
+			Tracked:     q.Tracked(),
+			Quarantined: q.Quarantined(),
+			Hits:        q.Hits(),
+			Released:    q.Released(),
+		},
+		Breaker: breakerSnapshot{
+			Degraded:      b != nil && b.Degraded(),
+			States:        b.States(),
+			Trips:         b.Trips(),
+			ShortCircuits: b.ShortCircuits(),
+			Probes:        b.Probes(),
+			Reclosed:      b.Reclosed(),
+		},
+		Snapshots: snapshotSnapshot{
+			Saves:         m.SnapshotSaves.Load(),
+			SaveErrors:    m.SnapshotSaveErrors.Load(),
+			LoadedEntries: m.SnapshotLoaded.Load(),
+			LoadFailures:  m.SnapshotLoadFailures.Load(),
+			Skipped:       m.SnapshotSkipped.Load(),
+		},
+	}
 	return s
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a counting-semaphore worker pool shared by all requests: it
@@ -13,6 +14,9 @@ import (
 // unbounded number of goroutines.
 type Pool struct {
 	sem chan struct{}
+	// panics, when set (the Server wires it to its metrics), counts
+	// panics recovered at the task boundary.
+	panics *atomic.Uint64
 }
 
 // NewPool builds a pool admitting n concurrent tasks (n >= 1).
@@ -59,7 +63,15 @@ loop:
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-p.sem }()
-			if err := fn(ctx, i); err != nil {
+			// Recovery boundary: a panicking task becomes this ForEach's
+			// error instead of crashing the process. The deferred slot
+			// release above still runs, so a panic can never leak pool
+			// capacity.
+			err := func() (err error) {
+				defer recoverTo(&err, "pool.task", p.panics)
+				return fn(ctx, i)
+			}()
+			if err != nil {
 				cancel(err)
 			}
 		}(i)

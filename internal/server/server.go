@@ -18,22 +18,35 @@
 //	POST /v1/netcheck — batch signoff of a netcheck design JSON
 //	GET  /v1/tech     — technology inspection
 //	GET  /metrics     — counters (JSON)
-//	GET  /healthz     — liveness
+//	GET  /healthz     — liveness (pure: 200 while the process serves)
+//	GET  /readyz      — readiness (503 while draining or while the boot
+//	                    snapshot is still loading)
 //
 // Concurrent cache misses on the same canonical key are coalesced
 // (singleflight): one request leads the solve, the rest wait for its
 // result, so a thundering herd of identical cold queries performs one
 // solve, not N.
+//
+// The serving path is wrapped in a resilience layer (see recover.go,
+// quarantine.go, breaker.go, snapshot.go): panics anywhere in request
+// handling become structured 500s, keys that fail deterministically are
+// quarantined with fast 422s, repeated failures trip a per-class
+// circuit breaker that serves stale cache hits while the solver path is
+// degraded, and the cache's working set survives restarts via atomic
+// snapshots.
 package server
 
 import (
 	"context"
 	"errors"
+	"log"
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -81,8 +94,51 @@ type Config struct {
 	// with 429 (default 4×AdmitConcurrent; negative allows no waiting).
 	QueueDepth int
 	// QueueWait caps how long a request waits for admission before a
-	// 503 (default 2s, clamped below RequestTimeout).
+	// 503 (default 2s, clamped below RequestTimeout; additionally
+	// clamped per request to the route's remaining deadline budget in
+	// Admission.Acquire).
 	QueueWait time.Duration
+
+	// QuarantineThreshold is how many quarantine-eligible failures
+	// (panics, unclassified internal errors — never core.ErrNoSolution
+	// or validation outcomes) one canonical key may accumulate within
+	// QuarantineWindow before the key is embargoed (default 3; negative
+	// disables the quarantine).
+	QuarantineThreshold int
+	// QuarantineWindow is the failure-counting window (default 1m).
+	QuarantineWindow time.Duration
+	// QuarantineTTL is how long an embargoed key answers 422
+	// "quarantined" before it may try again (default 30s).
+	QuarantineTTL time.Duration
+	// QuarantineEntries bounds the failure-record store (default 1024).
+	// The bound is independent of CacheEntries: poison-key records can
+	// never evict healthy solve results.
+	QuarantineEntries int
+
+	// BreakerThreshold is how many failures of one class within
+	// BreakerWindow trip that class's circuit (default 5; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// BreakerWindow is the breaker's failure-counting window
+	// (default 10s).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long a tripped class stays open before
+	// half-open probing (default 5s).
+	BreakerCooldown time.Duration
+	// BreakerStaleAfter is the freshness horizon for degraded serving:
+	// while the breaker is open, cache hits older than this are still
+	// served but marked "stale":true (default 1m).
+	BreakerStaleAfter time.Duration
+
+	// SnapshotPath, when set, enables crash-safe warm restarts: the
+	// solve cache's working set is written there (atomic temp+rename,
+	// versioned header, checksum) periodically and on shutdown, and
+	// loaded on boot — a corrupt or truncated file starts the daemon
+	// cold, never kills it.
+	SnapshotPath string
+	// SnapshotInterval is the periodic snapshot cadence (default 5m;
+	// negative disables periodic saves, keeping only the shutdown one).
+	SnapshotInterval time.Duration
 }
 
 func (c *Config) defaults() {
@@ -122,6 +178,33 @@ func (c *Config) defaults() {
 	if c.QueueWait > c.RequestTimeout {
 		c.QueueWait = c.RequestTimeout
 	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 3
+	}
+	if c.QuarantineWindow <= 0 {
+		c.QuarantineWindow = time.Minute
+	}
+	if c.QuarantineTTL <= 0 {
+		c.QuarantineTTL = 30 * time.Second
+	}
+	if c.QuarantineEntries <= 0 {
+		c.QuarantineEntries = 1024
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BreakerStaleAfter <= 0 {
+		c.BreakerStaleAfter = time.Minute
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 5 * time.Minute
+	}
 }
 
 // timeoutFor returns the deadline budget for one route.
@@ -134,19 +217,31 @@ func (c *Config) timeoutFor(route string) time.Duration {
 
 // Server holds the shared state behind the handlers.
 type Server struct {
-	cfg       Config
-	pool      *Pool
-	cache     *Cache
-	metrics   *Metrics
-	admission *Admission
-	flights   flightGroup
-	mux       *http.ServeMux
+	cfg        Config
+	pool       *Pool
+	cache      *Cache
+	metrics    *Metrics
+	admission  *Admission
+	quarantine *Quarantine
+	breaker    *Breaker
+	flights    flightGroup
+	mux        *http.ServeMux
 
 	// draining is raised before the HTTP listener starts closing so new
 	// work is rejected with a structured 503 instead of racing the
 	// listener teardown. In-flight requests (already past the check)
 	// drain normally.
 	draining atomic.Bool
+
+	// loading is raised while the boot-time snapshot restore is still
+	// running; /readyz reports 503 until it clears. Serving does not
+	// block on it — early requests just miss the cache.
+	loading atomic.Bool
+
+	// snapMu serializes snapshot writers (the periodic saver vs the
+	// final shutdown save) so two saves never interleave on the temp
+	// file.
+	snapMu sync.Mutex
 
 	// testHookStarted, when set (tests only), is called once a request
 	// is past metrics accounting — it lets shutdown tests hold a request
@@ -158,12 +253,20 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:       cfg,
-		pool:      NewPool(cfg.Workers),
-		cache:     NewCache(cfg.CacheEntries),
-		metrics:   NewMetrics(),
-		admission: NewAdmission(cfg.AdmitConcurrent, cfg.QueueDepth, cfg.QueueWait),
+		cfg:        cfg,
+		pool:       NewPool(cfg.Workers),
+		cache:      NewCache(cfg.CacheEntries),
+		metrics:    NewMetrics(),
+		admission:  NewAdmission(cfg.AdmitConcurrent, cfg.QueueDepth, cfg.QueueWait),
+		quarantine: NewQuarantine(cfg.QuarantineThreshold, cfg.QuarantineWindow, cfg.QuarantineTTL, cfg.QuarantineEntries),
+		breaker:    NewBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown),
 	}
+	// The pool task and flight leader recovery boundaries share one
+	// panic counter with the route backstop; recoverTo counts at the
+	// innermost boundary that converts, so a single panic is never
+	// double-counted.
+	s.pool.panics = &s.metrics.Panics
+	s.flights.panics = &s.metrics.Panics
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/rules", s.handleRules, gated)
 	s.route("POST /v1/sweep", s.handleSweep, gated)
@@ -172,6 +275,14 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/tech", s.handleTech, ungated)
 	s.route("GET /metrics", s.handleMetrics, ungated)
 	s.route("GET /healthz", s.handleHealthz, ungated)
+	s.route("GET /readyz", s.handleReadyz, ungated)
+	if cfg.SnapshotPath != "" {
+		// Restore off the serving path: the listener can accept while
+		// the snapshot streams in; /readyz holds back the load balancer
+		// until the working set is warm.
+		s.loading.Store(true)
+		go s.loadSnapshot()
+	}
 	return s
 }
 
@@ -186,11 +297,34 @@ const (
 func (s *Server) route(pattern string, h http.HandlerFunc, admit bool) {
 	routeName := pattern[strings.IndexByte(pattern, ' ')+1:]
 	timeout := s.cfg.timeoutFor(routeName)
+	// Observability routes stay reachable during drain: /metrics so
+	// operators can watch the drain itself, /healthz because liveness
+	// must not flap during a graceful restart, /readyz because its whole
+	// job is to report "draining" to the load balancer.
+	bypassDrain := routeName == "/metrics" || routeName == "/healthz" || routeName == "/readyz"
 	s.mux.HandleFunc(pattern, s.metrics.instrument(routeName, func(w http.ResponseWriter, r *http.Request) {
-		// /metrics stays readable during drain; everything else bounces
-		// with a structured 503 so load balancers stop routing here.
-		// Requests past this gate are "in flight" and drain normally.
-		if s.draining.Load() && routeName != "/metrics" {
+		// Backstop recovery boundary: anything that panics outside the
+		// pool-task and flight-leader boundaries (decode helpers,
+		// response marshaling, the handlers themselves) becomes a
+		// structured 500 on this connection instead of killing the
+		// process. The deferred admission release and ctx cancel below
+		// run during the same unwind, so a panic can never leak an
+		// admission token; instrument's own defer keeps the in-flight
+		// gauge and latency accounting exact.
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			s.metrics.Panics.Add(1)
+			pe := &panicError{site: "handler:" + routeName, value: rec}
+			log.Printf("server: recovered panic at %s: %v\n%s", pe.site, rec, debug.Stack())
+			writeError(w, pe)
+		}()
+		// Drain-exempt routes aside, everything else bounces with a
+		// structured 503 so load balancers stop routing here. Requests
+		// past this gate are "in flight" and drain normally.
+		if s.draining.Load() && !bypassDrain {
 			s.metrics.RejectedDraining.Add(1)
 			writeError(w, ErrDraining)
 			return
@@ -238,6 +372,16 @@ func (s *Server) Admission() *Admission { return s.admission }
 // Flights exposes the request coalescer (tests).
 func (s *Server) Flights() *flightGroup { return &s.flights }
 
+// Quarantine exposes the poison-key quarantine (tests and /metrics).
+func (s *Server) Quarantine() *Quarantine { return s.quarantine }
+
+// Breaker exposes the circuit breaker (tests and /metrics).
+func (s *Server) Breaker() *Breaker { return s.breaker }
+
+// Loading reports whether the boot-time snapshot restore is still
+// running.
+func (s *Server) Loading() bool { return s.loading.Load() }
+
 // Run serves on ln until ctx is cancelled, then shuts down gracefully,
 // draining in-flight requests for up to Config.DrainTimeout. It returns
 // nil after a clean drain.
@@ -254,6 +398,9 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	if s.cfg.SnapshotPath != "" && s.cfg.SnapshotInterval > 0 {
+		go s.snapshotLoop(ctx)
+	}
 	select {
 	case err := <-errc:
 		return err
@@ -266,7 +413,31 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 		return err
 	}
 	<-errc // http.ErrServerClosed
+	if s.cfg.SnapshotPath != "" {
+		// Final save after the drain, so the snapshot captures the full
+		// working set including results from the last in-flight wave. A
+		// save failure is logged and counted, never fatal to shutdown.
+		if err := s.SaveSnapshot(); err != nil {
+			log.Printf("server: shutdown snapshot: %v", err)
+		}
+	}
 	return nil
+}
+
+// snapshotLoop writes periodic snapshots until ctx ends.
+func (s *Server) snapshotLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.SaveSnapshot(); err != nil {
+				log.Printf("server: periodic snapshot: %v", err)
+			}
+		}
+	}
 }
 
 // Draining reports whether the server has entered its shutdown drain.
@@ -373,51 +544,135 @@ type solveResult struct {
 	err error
 }
 
+// cacheableOutcome reports whether a compute outcome may be remembered
+// in the result cache. Successes and deterministic failures of the
+// problem itself (ErrNoSolution, the validation families) are;
+// everything else — panics, injected faults, unclassified internal
+// errors — is not provably a property of the inputs, so remembering it
+// would poison the key forever. The quarantine is the right memory for
+// those: bounded, windowed, and TTL-released.
+func cacheableOutcome(err error) bool {
+	return err == nil ||
+		errors.Is(err, core.ErrNoSolution) ||
+		errors.Is(err, core.ErrInvalid) ||
+		errors.Is(err, rules.ErrInvalid)
+}
+
+// gateMiss applies the resilience gates to one cache miss, in order:
+// the quarantine first (per-key memory of recent failures), then the
+// circuit breaker (global degradation). The returned probe flag must be
+// passed back into recordMiss so a half-open probe's outcome reaches
+// the breaker even when the probe rides a coalesced flight.
+func (s *Server) gateMiss(key string) (probe bool, err error) {
+	if retry, quarantined := s.quarantine.Check(key); quarantined {
+		return false, withRetryHint(ErrQuarantined, retry)
+	}
+	probe, retry, ok := s.breaker.Allow()
+	if !ok {
+		return false, withRetryHint(ErrBreakerOpen, retry)
+	}
+	return probe, nil
+}
+
+// recordMiss reports one miss outcome to the quarantine and breaker.
+// Coalesced waiters share their leader's single outcome, so only the
+// leader records — except that a waiter holding the breaker's probe
+// token must still report, or the half-open state would deadlock on a
+// token that nobody returns. Lifecycle errors (the request died, not
+// the computation) are neutral: they release the probe without counting
+// for or against anything.
+func (s *Server) recordMiss(key string, err error, coalesced, probe bool) {
+	class := failureClass(err)
+	if !coalesced {
+		switch {
+		case class != "":
+			s.quarantine.RecordFailure(key)
+		case isLifecycleErr(err):
+		default:
+			s.quarantine.RecordSuccess(key)
+		}
+	}
+	if !coalesced || probe {
+		switch {
+		case class != "":
+			s.breaker.RecordFailure(class, probe)
+		case isLifecycleErr(err):
+			s.breaker.ProbeDone(probe)
+		default:
+			s.breaker.RecordSuccess(probe)
+		}
+	}
+}
+
+// markStale reports whether a cache hit stored at `at` should carry
+// "stale":true — only while the breaker is degraded and the entry has
+// aged past the freshness horizon. While healthy, age is irrelevant:
+// solves are deterministic, a hit is a hit.
+func (s *Server) markStale(at time.Time) bool {
+	if !s.breaker.Degraded() || time.Since(at) <= s.cfg.BreakerStaleAfter {
+		return false
+	}
+	s.metrics.StaleServed.Add(1)
+	return true
+}
+
 // solveCached runs core.SolveCtx through the cache and, on a miss,
-// through the flight group: concurrent misses on the same key block on
-// one in-flight solve instead of each re-solving. Cancellation
-// outcomes are never cached: they describe the request's lifecycle, not
-// the problem, and remembering one would poison the key for every later
-// client. (The flight group enforces the matching rule for waiters: a
-// leader cancelled mid-solve re-arms the flight rather than settling
-// it with its lifecycle error.)
-func (s *Server) solveCached(ctx context.Context, key string, p core.Problem) (sol core.Solution, hit, coalesced bool, err error) {
-	if v, ok := s.cache.Get(key); ok {
+// through the resilience gates and the flight group: concurrent misses
+// on the same key block on one in-flight solve instead of each
+// re-solving. Cancellation outcomes are never cached (they describe the
+// request's lifecycle, not the problem), and neither are unclassified
+// internal failures (cacheableOutcome); those feed the quarantine and
+// breaker instead.
+func (s *Server) solveCached(ctx context.Context, key string, p core.Problem) (sol core.Solution, hit, coalesced, stale bool, err error) {
+	if v, at, ok := s.cache.GetAt(key); ok {
 		res := v.(solveResult)
 		s.metrics.SolveCached.Add(1)
-		return res.sol, true, false, res.err
+		return res.sol, true, false, s.markStale(at), res.err
 	}
-	v, coalesced, err := s.flights.Do(ctx, key, func() (any, error) {
+	probe, gerr := s.gateMiss(key)
+	if gerr != nil {
+		return core.Solution{}, false, false, false, gerr
+	}
+	var v any
+	v, coalesced, err = s.flights.Do(ctx, key, func() (any, error) {
 		start := time.Now()
 		sol, err := core.SolveCtx(ctx, p)
 		s.metrics.ObserveSolve(time.Since(start), err)
-		if ctx.Err() == nil {
+		if ctx.Err() == nil && cacheableOutcome(err) {
 			s.cache.Add(key, solveResult{sol: sol, err: err})
 		}
 		return sol, err
 	})
+	s.recordMiss(key, err, coalesced, probe)
 	sol, _ = v.(core.Solution)
-	return sol, false, coalesced, err
+	return sol, false, coalesced, false, err
 }
 
-// levelRuleCached runs rules.GenerateLevelCtx through the cache and the
-// flight group (same no-caching-of-cancellations rule as solveCached).
-func (s *Server) levelRuleCached(ctx context.Context, key string, tech *ntrs.Technology, level int, spec rules.Spec) (rules.LevelRule, bool, error) {
-	if v, ok := s.cache.Get(key); ok {
+// levelRuleCached runs rules.GenerateLevelCtx through the cache, the
+// resilience gates and the flight group (same caching rules as
+// solveCached).
+func (s *Server) levelRuleCached(ctx context.Context, key string, tech *ntrs.Technology, level int, spec rules.Spec) (rule rules.LevelRule, coalesced, stale bool, err error) {
+	if v, at, ok := s.cache.GetAt(key); ok {
 		s.metrics.DeckCacheHit.Add(1)
 		res := v.(levelRuleResult)
-		return res.rule, false, res.err
+		return res.rule, false, s.markStale(at), res.err
 	}
-	v, coalesced, err := s.flights.Do(ctx, key, func() (any, error) {
+	probe, gerr := s.gateMiss(key)
+	if gerr != nil {
+		return rules.LevelRule{}, false, false, gerr
+	}
+	var v any
+	v, coalesced, err = s.flights.Do(ctx, key, func() (any, error) {
 		rule, err := rules.GenerateLevelCtx(ctx, tech, level, spec)
 		s.metrics.DecksBuilt.Add(1)
-		if ctx.Err() == nil {
+		if ctx.Err() == nil && cacheableOutcome(err) {
 			s.cache.Add(key, levelRuleResult{rule: rule, err: err})
 		}
 		return rule, err
 	})
-	rule, _ := v.(rules.LevelRule)
-	return rule, coalesced, err
+	s.recordMiss(key, err, coalesced, probe)
+	rule, _ = v.(rules.LevelRule)
+	return rule, coalesced, false, err
 }
 
 type levelRuleResult struct {
@@ -425,24 +680,32 @@ type levelRuleResult struct {
 	err  error
 }
 
-// deckCached runs rules.GenerateCtx through the cache and the flight
-// group (same no-caching-of-cancellations rule as solveCached).
-func (s *Server) deckCached(ctx context.Context, key string, tech *ntrs.Technology, spec rules.Spec) (deck *rules.Deck, hit, coalesced bool, err error) {
-	if v, ok := s.cache.Get(key); ok {
+// deckCached runs rules.GenerateCtx through the cache, the resilience
+// gates and the flight group (same caching rules as solveCached). Deck
+// values hold a *ntrs.Technology and are excluded from snapshots; they
+// rebuild on first use after a restart.
+func (s *Server) deckCached(ctx context.Context, key string, tech *ntrs.Technology, spec rules.Spec) (deck *rules.Deck, hit, coalesced, stale bool, err error) {
+	if v, at, ok := s.cache.GetAt(key); ok {
 		s.metrics.DeckCacheHit.Add(1)
 		res := v.(deckResult)
-		return res.deck, true, false, res.err
+		return res.deck, true, false, s.markStale(at), res.err
 	}
-	v, coalesced, err := s.flights.Do(ctx, key, func() (any, error) {
+	probe, gerr := s.gateMiss(key)
+	if gerr != nil {
+		return nil, false, false, false, gerr
+	}
+	var v any
+	v, coalesced, err = s.flights.Do(ctx, key, func() (any, error) {
 		deck, err := rules.GenerateCtx(ctx, tech, spec)
 		s.metrics.DecksBuilt.Add(1)
-		if ctx.Err() == nil {
+		if ctx.Err() == nil && cacheableOutcome(err) {
 			s.cache.Add(key, deckResult{deck: deck, err: err})
 		}
 		return deck, err
 	})
+	s.recordMiss(key, err, coalesced, probe)
 	deck, _ = v.(*rules.Deck)
-	return deck, false, coalesced, err
+	return deck, false, coalesced, false, err
 }
 
 type deckResult struct {

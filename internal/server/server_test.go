@@ -743,3 +743,38 @@ func TestSweepPointLimit(t *testing.T) {
 		t.Fatalf("status %d want 400: %s", status, body)
 	}
 }
+
+// TestReadyz pins the liveness/readiness split: /readyz flips to 503
+// while the boot snapshot is loading or while the daemon drains, while
+// /healthz keeps answering 200 (pure liveness) in both states.
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	var st struct {
+		Status string `json:"status"`
+	}
+	if status := getJSON(t, ts.URL+"/readyz", &st); status != http.StatusOK || st.Status != "ready" {
+		t.Fatalf("fresh server readyz = %d %q, want 200 ready", status, st.Status)
+	}
+
+	s.loading.Store(true)
+	if status := getJSON(t, ts.URL+"/readyz", &st); status != http.StatusServiceUnavailable || st.Status != "loading" {
+		t.Errorf("loading readyz = %d %q, want 503 loading", status, st.Status)
+	}
+	if status := getJSON(t, ts.URL+"/healthz", nil); status != http.StatusOK {
+		t.Errorf("healthz during load = %d, want 200 (liveness is not readiness)", status)
+	}
+	s.loading.Store(false)
+
+	s.draining.Store(true)
+	if status := getJSON(t, ts.URL+"/readyz", &st); status != http.StatusServiceUnavailable || st.Status != "draining" {
+		t.Errorf("draining readyz = %d %q, want 503 draining", status, st.Status)
+	}
+	if status := getJSON(t, ts.URL+"/healthz", nil); status != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200", status)
+	}
+	s.draining.Store(false)
+	if status := getJSON(t, ts.URL+"/readyz", &st); status != http.StatusOK || st.Status != "ready" {
+		t.Errorf("recovered readyz = %d %q, want 200 ready", status, st.Status)
+	}
+}

@@ -38,6 +38,12 @@ type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
 
+	// panics, when set (the Server wires it to its metrics), counts
+	// panics recovered at the flight boundary — a panicking compute
+	// settles its flight with a *panicError instead of leaving waiters
+	// blocked forever.
+	panics *atomic.Uint64
+
 	// waiting gauges callers currently blocked on another caller's
 	// flight; it drains to zero at quiescence (chaos-suite invariant).
 	waiting atomic.Int64
@@ -97,15 +103,25 @@ func (g *flightGroup) Do(ctx context.Context, key string, compute func() (any, e
 		g.mu.Unlock()
 
 		// Leader path. The injection site lets tests hold a flight open
-		// (pile waiters onto it, then cancel the leader) or fail whole
-		// flights; an injected error settles the flight like any other
-		// compute failure.
+		// (pile waiters onto it, then cancel the leader), fail whole
+		// flights, or panic a targeted key (the canonical key rides the
+		// context as injection metadata); an injected error settles the
+		// flight like any other compute failure. The recovery boundary
+		// around inject+compute converts a panic — injected or real —
+		// into a *panicError that settles the flight, so waiters are
+		// never left blocked on a flight that will never close.
 		g.led.Add(1)
-		if ferr := faultinject.Inject(ctx, faultinject.SiteServerFlight); ferr != nil {
-			val, err = nil, ferr
-		} else {
-			val, err = compute()
-		}
+		val, err = func() (val any, err error) {
+			defer recoverTo(&err, "server.flight", g.panics)
+			ictx := ctx
+			if faultinject.Active() {
+				ictx = faultinject.WithMeta(ctx, key)
+			}
+			if ferr := faultinject.Inject(ictx, faultinject.SiteServerFlight); ferr != nil {
+				return nil, ferr
+			}
+			return compute()
+		}()
 
 		g.mu.Lock()
 		delete(g.m, key)

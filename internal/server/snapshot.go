@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/rules"
+)
+
+// Cache snapshots: crash-safe warm restarts. A restarted daemon
+// otherwise re-pays every Brent root-search its predecessor already
+// performed — for a signoff service whose working set is a few thousand
+// deterministic solves, that is minutes of avoidable cold-start solver
+// burn on every deploy.
+//
+// What is persisted: successful solveResult and levelRuleResult entries
+// only. Both are flat exported-float structs, stable under gob. Deck
+// results hold a *ntrs.Technology (pointer-heavy, versioned by code,
+// cheap to rebuild relative to its solves) and error outcomes are
+// deliberately forgotten across restarts — a new binary may well fix
+// them. Skipped entries are counted, never silently dropped.
+//
+// File format, designed so a half-written or bit-flipped file is
+// detected before a single byte reaches gob:
+//
+//	[8]  magic "DSMSNAP1"
+//	[4]  version (big-endian uint32)
+//	[8]  payload length (big-endian uint64)
+//	[4]  CRC-32 (IEEE) of the payload
+//	[n]  payload: gob-encoded snapFile
+//
+// Writes are atomic: temp file in the same directory, fsync, rename.
+// Readers therefore only ever observe a complete previous snapshot or
+// none at all; the header checks are defense against torn storage
+// (crash mid-rename on weaker filesystems, manual copies, truncation).
+
+var snapMagic = [8]byte{'D', 'S', 'M', 'S', 'N', 'A', 'P', '1'}
+
+const snapVersion = 1
+
+// snapMaxPayload caps how much a load will buffer: a snapshot holds at
+// most the cache's bounded working set, so anything past this is a
+// corrupt length field, not data (64 MiB is ~100× a full 4096-entry
+// cache).
+const snapMaxPayload = 64 << 20
+
+// ErrSnapshotCorrupt is the sentinel wrapped by every decode failure:
+// bad magic, version, checksum, truncation, or gob garbage.
+var ErrSnapshotCorrupt = errors.New("server: snapshot corrupt")
+
+// snapKind discriminates entry payloads. Kinds unknown to this binary
+// (a future version's entries) are skipped on load, not fatal.
+const (
+	snapKindSolve = uint8(1)
+	snapKindRule  = uint8(2)
+)
+
+// snapEntry is one persisted cache entry. Exactly one of Solve/Rule is
+// meaningful, selected by Kind.
+type snapEntry struct {
+	Key   string
+	Kind  uint8
+	Solve core.Solution
+	Rule  rules.LevelRule
+}
+
+// snapFile is the gob payload.
+type snapFile struct {
+	Entries []snapEntry
+}
+
+// encodeSnapshot renders entries into the framed format.
+func encodeSnapshot(entries []snapEntry) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snapFile{Entries: entries}); err != nil {
+		return nil, fmt.Errorf("server: snapshot encode: %w", err)
+	}
+	p := payload.Bytes()
+	out := make([]byte, 0, len(p)+24)
+	out = append(out, snapMagic[:]...)
+	out = binary.BigEndian.AppendUint32(out, snapVersion)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(p)))
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(p))
+	out = append(out, p...)
+	return out, nil
+}
+
+// decodeSnapshot parses a framed snapshot. Every failure wraps
+// ErrSnapshotCorrupt; arbitrary input must error, never panic (the gob
+// decode runs under a recovery boundary — gob is documented to be
+// panic-free on untrusted input, but a warm-restart path must not bet
+// the process on that; the fuzz target leans on this).
+func decodeSnapshot(data []byte) (sf snapFile, err error) {
+	defer recoverTo(&err, "snapshot.decode", nil)
+	if len(data) < 24 {
+		return snapFile{}, fmt.Errorf("%w: %d bytes, want at least the 24-byte header", ErrSnapshotCorrupt, len(data))
+	}
+	if !bytes.Equal(data[:8], snapMagic[:]) {
+		return snapFile{}, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, data[:8])
+	}
+	if v := binary.BigEndian.Uint32(data[8:12]); v != snapVersion {
+		return snapFile{}, fmt.Errorf("%w: version %d, want %d", ErrSnapshotCorrupt, v, snapVersion)
+	}
+	n := binary.BigEndian.Uint64(data[12:20])
+	if n > snapMaxPayload {
+		return snapFile{}, fmt.Errorf("%w: payload length %d exceeds cap %d", ErrSnapshotCorrupt, n, snapMaxPayload)
+	}
+	if uint64(len(data)-24) != n {
+		return snapFile{}, fmt.Errorf("%w: payload %d bytes, header says %d", ErrSnapshotCorrupt, len(data)-24, n)
+	}
+	payload := data[24:]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(data[20:24]) {
+		return snapFile{}, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sf); err != nil {
+		return snapFile{}, fmt.Errorf("%w: gob: %v", ErrSnapshotCorrupt, err)
+	}
+	return sf, nil
+}
+
+// collectSnapshot walks the cache and gathers the persistable working
+// set, counting (into skipped) entries that cannot or should not
+// survive a restart.
+func (s *Server) collectSnapshot() (entries []snapEntry, skipped uint64) {
+	s.cache.Range(func(key string, val any) bool {
+		switch v := val.(type) {
+		case solveResult:
+			if v.err != nil {
+				skipped++
+				return true
+			}
+			entries = append(entries, snapEntry{Key: key, Kind: snapKindSolve, Solve: v.sol})
+		case levelRuleResult:
+			if v.err != nil {
+				skipped++
+				return true
+			}
+			entries = append(entries, snapEntry{Key: key, Kind: snapKindRule, Rule: v.rule})
+		default: // deck results and anything future
+			skipped++
+		}
+		return true
+	})
+	return entries, skipped
+}
+
+// SaveSnapshot writes the cache's persistable working set to
+// Config.SnapshotPath atomically. It is safe to call concurrently with
+// serving (Range holds one shard lock at a time) and with itself (the
+// periodic saver vs the shutdown save serialize on snapMu).
+func (s *Server) SaveSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	entries, skipped := s.collectSnapshot()
+	s.metrics.SnapshotSkipped.Add(skipped)
+	data, err := encodeSnapshot(entries)
+	if err != nil {
+		s.metrics.SnapshotSaveErrors.Add(1)
+		return err
+	}
+	if err := writeFileAtomic(s.cfg.SnapshotPath, data); err != nil {
+		s.metrics.SnapshotSaveErrors.Add(1)
+		return fmt.Errorf("server: snapshot save: %w", err)
+	}
+	s.metrics.SnapshotSaves.Add(1)
+	return nil
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so path always holds either the old complete file
+// or the new one.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return nil
+}
+
+// loadSnapshot restores the cache from Config.SnapshotPath at boot. It
+// runs on its own goroutine (New starts serving immediately; /readyz
+// holds 503 until this clears loading). Corruption tolerance is the
+// point: a missing file is a normal first boot, and a corrupt or
+// unreadable one is logged and counted — the daemon starts cold, it
+// never refuses to start.
+func (s *Server) loadSnapshot() {
+	defer s.loading.Store(false)
+	data, err := os.ReadFile(s.cfg.SnapshotPath)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.metrics.SnapshotLoadFailures.Add(1)
+			log.Printf("server: snapshot load: %v (starting cold)", err)
+		}
+		return
+	}
+	if len(data) > snapMaxPayload+24 {
+		// Refuse to even frame-check an absurd file; ReadFile already
+		// buffered it, but nothing downstream should touch it.
+		s.metrics.SnapshotLoadFailures.Add(1)
+		log.Printf("server: snapshot load: %d bytes exceeds cap (starting cold)", len(data))
+		return
+	}
+	sf, err := decodeSnapshot(data)
+	if err != nil {
+		s.metrics.SnapshotLoadFailures.Add(1)
+		log.Printf("server: snapshot load: %v (starting cold)", err)
+		return
+	}
+	loaded := uint64(0)
+	for _, e := range sf.Entries {
+		switch e.Kind {
+		case snapKindSolve:
+			s.cache.Add(e.Key, solveResult{sol: e.Solve})
+		case snapKindRule:
+			s.cache.Add(e.Key, levelRuleResult{rule: e.Rule})
+		default:
+			continue
+		}
+		loaded++
+	}
+	s.metrics.SnapshotLoaded.Add(loaded)
+	log.Printf("server: snapshot loaded %d entries from %s", loaded, s.cfg.SnapshotPath)
+}
+
+// readSnapshotFile is a test/tool helper: decode a snapshot from r with
+// the same framing and caps as the boot path.
+func readSnapshotFile(r io.Reader) (snapFile, error) {
+	data, err := io.ReadAll(io.LimitReader(r, snapMaxPayload+25))
+	if err != nil {
+		return snapFile{}, err
+	}
+	if len(data) > snapMaxPayload+24 {
+		return snapFile{}, fmt.Errorf("%w: oversized file", ErrSnapshotCorrupt)
+	}
+	return decodeSnapshot(data)
+}
