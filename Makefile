@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCH_JSON ?= BENCH_5.json
 
-.PHONY: build test vet race chaos fuzz-smoke bench-smoke verify
+.PHONY: build test vet race chaos fuzz-smoke bench-smoke bench-json verify
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,14 @@ fuzz-smoke:
 # compiling and executing without turning CI into a benchmark farm.
 bench-smoke:
 	$(GO) test ./internal/server -run '^$$' -bench 'ThunderingHerd|BatchVsSerial|WarmStartVsCold|QuarantineHit' -benchtime 1x
+
+# Numeric-backbone benchmarks (parallel kernels, batched FDM solves,
+# Monte Carlo fan-out) with serial baselines in the same run, recorded
+# as the perf-trajectory file BENCH_<n>.json via cmd/benchjson.
+bench-json:
+	$(GO) test ./internal/mathx ./internal/fdm ./internal/rules -run '^$$' \
+		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel' \
+		-benchtime 10x -count=1 | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 verify: build vet test race chaos fuzz-smoke bench-smoke
 	@echo "verify: all gates passed"

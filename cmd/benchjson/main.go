@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON perf record (stdout): one entry per benchmark with ns/op and any
+// custom metrics, plus derived speedup pairs for benchmarks that run a
+// "serial" sub-benchmark next to a "parallel"/"batch" one. `make
+// bench-json` uses it to emit the BENCH_<n>.json trajectory files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type speedup struct {
+	Name     string  `json:"name"`
+	SerialNs float64 `json:"serial_ns_per_op"`
+	FastName string  `json:"fast_variant"`
+	FastNs   float64 `json:"fast_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type report struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+	Speedups   []speedup         `json:"speedups,omitempty"`
+}
+
+func main() {
+	rep := report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				// Keep every pkg seen; the others are identical per run.
+				if key == "pkg" && rep.Context["pkg"] != "" {
+					v = rep.Context["pkg"] + " " + v
+				}
+				rep.Context[key] = v
+			}
+		}
+		if b, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Speedups = deriveSpeedups(rep.Benchmarks)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkFoo/bar-8   5   118987738 ns/op   613.0 iters
+func parseBenchLine(line string) (benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchmark{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: trimProcSuffix(f[0]), Runs: runs}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		if f[i+1] == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, b.NsPerOp > 0
+}
+
+// trimProcSuffix drops the trailing -N GOMAXPROCS marker.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// deriveSpeedups pairs each <parent>/serial result with a sibling fast
+// variant (parallel or batch) and records serial÷fast.
+func deriveSpeedups(bs []benchmark) []speedup {
+	byName := map[string]float64{}
+	for _, b := range bs {
+		byName[b.Name] = b.NsPerOp
+	}
+	var out []speedup
+	for _, b := range bs {
+		parent, ok := strings.CutSuffix(b.Name, "/serial")
+		if !ok {
+			continue
+		}
+		for _, variant := range []string{"parallel", "batch"} {
+			fast := parent + "/" + variant
+			if ns, ok := byName[fast]; ok && ns > 0 {
+				out = append(out, speedup{
+					Name:     parent,
+					SerialNs: b.NsPerOp,
+					FastName: variant,
+					FastNs:   ns,
+					Speedup:  b.NsPerOp / ns,
+				})
+			}
+		}
+	}
+	return out
+}

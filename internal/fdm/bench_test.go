@@ -1,0 +1,59 @@
+package fdm
+
+import (
+	"testing"
+
+	"dsmtherm/internal/mathx"
+)
+
+// BenchmarkFDMSolveBatch pits the batched multi-RHS path (shared setup,
+// IC(0) preconditioner, warm starts) against the pre-batch baseline —
+// one cold Jacobi-preconditioned Solve per powers map — on the same
+// 3×3 array. Both run in the same invocation so BENCH_*.json records
+// the speedup pair side by side.
+func BenchmarkFDMSolveBatch(b *testing.B) {
+	ar := batchTestArray(b)
+	res := DefaultResolution(ar)
+
+	b.Run("serial", func(b *testing.B) {
+		s, err := NewSolverPrecond(ar, res, mathx.PrecondJacobi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := batchTestPowers(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, powers := range batch {
+				if _, err := s.Solve(powers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		s, err := NewSolver(ar, res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := batchTestPowers(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SolveBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFDMCouplingFactor measures the Table 7 kernel end to end —
+// it now rides the batched path internally.
+func BenchmarkFDMCouplingFactor(b *testing.B) {
+	ar := batchTestArray(b)
+	observed := LineRef{Level: 2, Index: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CouplingFactor(ar, observed, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -94,10 +94,6 @@ func CouplingFactorFor(ar *geometry.Array, observed LineRef, heated []LineRef, r
 		return rho * area // ∝ j²·ρ·A with j = 1
 	}
 	pObs := powerOf(observed)
-	iso, err := s.Solve(map[LineRef]float64{observed: pObs})
-	if err != nil {
-		return CouplingResult{}, err
-	}
 	all := make(map[LineRef]float64)
 	if heated == nil {
 		for _, ref := range s.Lines() {
@@ -109,10 +105,16 @@ func CouplingFactorFor(ar *geometry.Array, observed LineRef, heated []LineRef, r
 		}
 		all[observed] = pObs
 	}
-	coup, err := s.Solve(all)
+	// One batched solve over the shared factorized setup: the isolated
+	// field first (cold), the coupled field warm-started from it.
+	fields, err := s.SolveBatch([]map[LineRef]float64{
+		{observed: pObs},
+		all,
+	})
 	if err != nil {
 		return CouplingResult{}, err
 	}
+	iso, coup := fields[0], fields[1]
 	r := CouplingResult{}
 	if r.IsolatedImpedance, err = iso.ImpedancePerLength(observed); err != nil {
 		return CouplingResult{}, err

@@ -39,6 +39,14 @@ type LineRef struct {
 	Index int
 }
 
+// lineCells is the precomputed cell list of one line: flattened unknown
+// indices (j·nx + i) and matching cell areas. Built once at mesh time so
+// RHS assembly and line averaging never rescan the O(nx·ny) grid.
+type lineCells struct {
+	idxs  []int
+	areas []float64
+}
+
 // mesh is a rectilinear grid: cell (i, j) spans [xs[i], xs[i+1]] ×
 // [ys[j], ys[j+1]] with conductivity k[j][i]; line cells are tagged with
 // the owning LineRef.
@@ -49,6 +57,9 @@ type mesh struct {
 	owner  [][]int     // owner[j][i]: index into lines, or −1
 	lines  []LineRef
 	areas  []float64 // cross-sectional area of each line's cells, m²
+	// cells[li] lists line li's cells; byRef resolves a LineRef in O(1).
+	cells []lineCells
+	byRef map[LineRef]int
 }
 
 func (m *mesh) nx() int { return len(m.xs) - 1 }
@@ -59,12 +70,32 @@ func (m *mesh) dy(j int) float64 { return m.ys[j+1] - m.ys[j] }
 
 // lineIndex returns the dense index of ref, or −1.
 func (m *mesh) lineIndex(ref LineRef) int {
-	for i, l := range m.lines {
-		if l == ref {
-			return i
-		}
+	if li, ok := m.byRef[ref]; ok {
+		return li
 	}
 	return -1
+}
+
+// buildLineCells populates the per-line cell lists and the ref index from
+// the painted owner grid. Called once at the end of buildMesh.
+func (m *mesh) buildLineCells() {
+	nx := m.nx()
+	m.cells = make([]lineCells, len(m.lines))
+	m.byRef = make(map[LineRef]int, len(m.lines))
+	for li, ref := range m.lines {
+		m.byRef[ref] = li
+	}
+	for j := 0; j < m.ny(); j++ {
+		for i := 0; i < nx; i++ {
+			li := m.owner[j][i]
+			if li < 0 {
+				continue
+			}
+			c := &m.cells[li]
+			c.idxs = append(c.idxs, j*nx+i)
+			c.areas = append(c.areas, m.dx(i)*m.dy(j))
+		}
+	}
 }
 
 // subdivide splits [a, b] into segments no longer than res (at least one,
@@ -238,6 +269,7 @@ func buildMesh(ar *geometry.Array, res float64) (*mesh, error) {
 			}
 		}
 	}
+	m.buildLineCells()
 	return m, nil
 }
 

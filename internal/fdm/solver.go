@@ -2,31 +2,72 @@ package fdm
 
 import (
 	"fmt"
+	"sort"
 
 	"dsmtherm/internal/geometry"
 	"dsmtherm/internal/mathx"
 )
 
 // Solver discretizes one array cross-section and solves steady-state heat
-// conduction for arbitrary per-line dissipations. The mesh and matrix
-// structure are built once; each Solve is a preconditioned CG run with a
-// fresh right-hand side.
+// conduction for arbitrary per-line dissipations. The mesh and matrix are
+// built once. When the conduction matrix's band fits a memory budget (the
+// row-major grid numbering makes the bandwidth exactly nx), NewSolver
+// additionally pays a one-time banded Cholesky factorization, after which
+// every Solve/SolveBatch RHS is two triangular sweeps instead of a CG
+// run; otherwise each Solve is a preconditioned CG run with a fresh
+// right-hand side. SolveBatch runs many independent RHS concurrently over
+// the one shared setup either way.
 type Solver struct {
 	m    *mesh
 	a    *mathx.CSR
+	chol *mathx.BandCholesky // non-nil: direct path
+	prec mathx.Preconditioner
 	n    int
 	rtol float64
 }
 
+// cholEntryBudget caps the banded factor at 16M floats (128 MB): maxBand
+// for an n-cell mesh is cholEntryBudget/n, so fine meshes degrade to PCG
+// instead of exhausting memory.
+const cholEntryBudget = 1 << 24
+
 // NewSolver meshes the array at the given resolution (metres; a third of
-// the smallest feature is a good default — see DefaultResolution).
+// the smallest feature is a good default — see DefaultResolution) and
+// factors the conduction matrix with a banded Cholesky when the band fits
+// the memory budget — the multi-RHS fast path. If it does not fit, solves
+// fall back to IC(0)-preconditioned CG (degrading to SSOR/Jacobi if the
+// incomplete factorization breaks down).
 func NewSolver(ar *geometry.Array, res float64) (*Solver, error) {
+	s, err := NewSolverPrecond(ar, res, mathx.PrecondIC0)
+	if err != nil {
+		return nil, err
+	}
+	if c, err := mathx.NewBandCholesky(s.a, cholEntryBudget/s.n); err == nil {
+		s.chol = c
+	}
+	return s, nil
+}
+
+// NewSolverPrecond builds a solver that always uses preconditioned CG
+// with an explicit preconditioner choice — the ablation/benchmark hook
+// for comparing Jacobi, SSOR and IC(0) on the same mesh (and the serial
+// baseline the benchmarks measure the direct path against). An
+// unavailable preconditioner degrades along IC(0) → SSOR → Jacobi.
+func NewSolverPrecond(ar *geometry.Array, res float64, pc mathx.Precond) (*Solver, error) {
 	m, err := buildMesh(ar, res)
 	if err != nil {
 		return nil, err
 	}
 	s := &Solver{m: m, n: m.nx() * m.ny(), rtol: 1e-10}
 	s.a = s.assemble()
+	for _, try := range []mathx.Precond{pc, mathx.PrecondSSOR, mathx.PrecondJacobi} {
+		if s.prec, err = mathx.NewPreconditioner(s.a, try); err == nil {
+			break
+		}
+	}
+	if s.prec == nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -102,10 +143,9 @@ type Field struct {
 // Lines lists every line present in the meshed array.
 func (s *Solver) Lines() []LineRef { return append([]LineRef(nil), s.m.lines...) }
 
-// Solve computes the steady-state ΔT field for the given per-line
-// dissipations in watts per metre of line (normal to the section). Lines
-// not present in the map dissipate nothing.
-func (s *Solver) Solve(powers map[LineRef]float64) (*Field, error) {
+// rhs assembles the CG right-hand side for one dissipation map using the
+// precomputed per-line cell lists (no grid rescan).
+func (s *Solver) rhs(powers map[LineRef]float64) ([]float64, error) {
 	b := make([]float64, s.n)
 	for ref, p := range powers {
 		li := s.m.lineIndex(ref)
@@ -118,16 +158,27 @@ func (s *Solver) Solve(powers map[LineRef]float64) (*Field, error) {
 		// Distribute uniformly over the line's cells: volumetric density
 		// p/area times cell area.
 		q := p / s.m.areas[li]
-		for j := 0; j < s.m.ny(); j++ {
-			for i := 0; i < s.m.nx(); i++ {
-				if s.m.owner[j][i] == li {
-					b[s.idx(i, j)] += q * s.m.dx(i) * s.m.dy(j)
-				}
-			}
+		c := &s.m.cells[li]
+		for n, idx := range c.idxs {
+			b[idx] += q * c.areas[n]
 		}
 	}
-	x := make([]float64, s.n)
-	res := mathx.SolveCG(s.a, b, x, s.rtol, 40*s.n)
+	return b, nil
+}
+
+// solveOne computes one field into x. On the direct path x is simply
+// overwritten by two triangular sweeps; on the CG path x is the
+// warm-start guess and is overwritten with the solution.
+func (s *Solver) solveOne(b, x []float64, powers map[LineRef]float64) (*Field, error) {
+	if s.chol != nil {
+		s.chol.Solve(b, x)
+		pp := make(map[LineRef]float64, len(powers))
+		for k, v := range powers {
+			pp[k] = v
+		}
+		return &Field{s: s, dt: x, PowerPerLength: pp}, nil
+	}
+	res := mathx.SolveCGPrec(s.a, b, x, s.rtol, 40*s.n, s.prec)
 	if !res.Converged {
 		return nil, fmt.Errorf("fdm: CG stalled at residual %g after %d iterations", res.Residual, res.Iterations)
 	}
@@ -138,22 +189,75 @@ func (s *Solver) Solve(powers map[LineRef]float64) (*Field, error) {
 	return &Field{s: s, dt: x, PowerPerLength: pp}, nil
 }
 
-// LineDeltaT returns the area-averaged temperature rise of a line.
+// Solve computes the steady-state ΔT field for the given per-line
+// dissipations in watts per metre of line (normal to the section). Lines
+// not present in the map dissipate nothing.
+func (s *Solver) Solve(powers map[LineRef]float64) (*Field, error) {
+	b, err := s.rhs(powers)
+	if err != nil {
+		return nil, err
+	}
+	return s.solveOne(b, make([]float64, s.n), powers)
+}
+
+// SolveBatch solves many independent dissipation maps over one shared
+// factorized setup, with the RHS after the first running concurrently
+// across the mathx worker pool. On the direct (banded Cholesky) path
+// each RHS is an independent pair of triangular sweeps over the
+// read-only factor. On the CG fallback the first RHS is solved cold and
+// every further RHS warm-starts from that first solution (the fields of
+// one array are strongly correlated, so the warm start cuts iterations);
+// the warm-start vector depends only on the inputs — never on worker
+// scheduling. Either way a batch returns bit-identical fields at any
+// worker count, including 1. Results assemble in request order; the
+// error (if any) is the first failing index's.
+func (s *Solver) SolveBatch(batch []map[LineRef]float64) ([]*Field, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	// Assemble and validate every RHS up front.
+	bs := make([][]float64, len(batch))
+	for i, powers := range batch {
+		b, err := s.rhs(powers)
+		if err != nil {
+			return nil, fmt.Errorf("fdm: batch entry %d: %w", i, err)
+		}
+		bs[i] = b
+	}
+	fields := make([]*Field, len(batch))
+	errs := make([]error, len(batch))
+	f0, err := s.solveOne(bs[0], make([]float64, s.n), batch[0])
+	if err != nil {
+		return nil, fmt.Errorf("fdm: batch entry 0: %w", err)
+	}
+	fields[0] = f0
+	if len(batch) > 1 {
+		mathx.ParFor(len(batch)-1, func(k int) {
+			i := k + 1
+			x := append([]float64(nil), f0.dt...)
+			fields[i], errs[i] = s.solveOne(bs[i], x, batch[i])
+		})
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("fdm: batch entry %d: %w", i, err)
+			}
+		}
+	}
+	return fields, nil
+}
+
+// LineDeltaT returns the area-averaged temperature rise of a line, using
+// the precomputed cell list (O(cells of line), not O(nx·ny)).
 func (f *Field) LineDeltaT(ref LineRef) (float64, error) {
 	li := f.s.m.lineIndex(ref)
 	if li < 0 {
 		return 0, fmt.Errorf("%w: no line %+v in array", ErrInvalid, ref)
 	}
-	m := f.s.m
+	c := &f.s.m.cells[li]
 	sum, area := 0.0, 0.0
-	for j := 0; j < m.ny(); j++ {
-		for i := 0; i < m.nx(); i++ {
-			if m.owner[j][i] == li {
-				a := m.dx(i) * m.dy(j)
-				sum += f.dt[f.s.idx(i, j)] * a
-				area += a
-			}
-		}
+	for n, idx := range c.idxs {
+		sum += f.dt[idx] * c.areas[n]
+		area += c.areas[n]
 	}
 	return sum / area, nil
 }
@@ -178,15 +282,24 @@ func (f *Field) At(x, y float64) float64 {
 	return f.dt[f.s.idx(i, j)]
 }
 
-// locate finds the cell index along one axis.
+// locate finds the cell index along one axis by binary search: the cell
+// k with planes[k] ≤ v < planes[k+1], clamped to [0, n−1] outside the
+// domain (matching the old linear scan exactly, including v landing on
+// an interior plane belonging to the cell above it).
 func locate(planes []float64, v float64) int {
 	n := len(planes) - 1
-	for i := 0; i < n; i++ {
-		if v < planes[i+1] {
-			return i
-		}
+	// First index with planes[k] ≥ v.
+	k := sort.SearchFloat64s(planes, v)
+	if k == len(planes) || planes[k] != v {
+		k--
 	}
-	return n - 1
+	if k < 0 {
+		return 0
+	}
+	if k > n-1 {
+		return n - 1
+	}
+	return k
 }
 
 // ImpedancePerLength returns the per-unit-length thermal impedance

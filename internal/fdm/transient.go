@@ -10,8 +10,9 @@ import (
 //
 //	ρc·∂T/∂t = ∇·(k∇T) + q
 //
-// on the array cross-section, integrated implicitly (backward Euler, one
-// Jacobi-preconditioned CG solve per step with warm starting). It serves
+// on the array cross-section, integrated implicitly (backward Euler; the
+// fixed system matrix is band-factorized once so each step is a direct
+// solve, with warm-started CG as the wide-mesh fallback). It serves
 // two purposes: validating the lumped §6 ESD heat-balance model's
 // boundary-layer loss term against full 2-D conduction, and studying how
 // fast an array approaches its steady state after a power step.
@@ -78,23 +79,9 @@ func (s *Solver) SolvePulse(powers map[LineRef]float64, onDuration, totalDuratio
 	}
 	// Build the source vector once (same shape as the steady solver's
 	// RHS).
-	b := make([]float64, s.n)
-	for ref, p := range powers {
-		li := s.m.lineIndex(ref)
-		if li < 0 {
-			return nil, fmt.Errorf("%w: no line %+v in array", ErrInvalid, ref)
-		}
-		if p < 0 {
-			return nil, fmt.Errorf("%w: negative power for %+v", ErrInvalid, ref)
-		}
-		q := p / s.m.areas[li]
-		for j := 0; j < s.m.ny(); j++ {
-			for i := 0; i < s.m.nx(); i++ {
-				if s.m.owner[j][i] == li {
-					b[s.idx(i, j)] += q * s.m.dx(i) * s.m.dy(j)
-				}
-			}
-		}
+	b, err := s.rhs(powers)
+	if err != nil {
+		return nil, err
 	}
 
 	dt := totalDuration / float64(steps)
@@ -107,6 +94,10 @@ func (s *Solver) SolvePulse(powers map[LineRef]float64, onDuration, totalDuratio
 	if err != nil {
 		return nil, err
 	}
+	// The backward-Euler system matrix is fixed across all steps, so a
+	// one-time banded factorization turns every step into two triangular
+	// sweeps; wide meshes fall back to warm-started CG below.
+	sysChol, _ := mathx.NewBandCholesky(sys, cholEntryBudget/s.n)
 
 	tr := &Transient{LineDT: make(map[LineRef][]float64)}
 	temp := make([]float64, s.n)
@@ -132,9 +123,13 @@ func (s *Solver) SolvePulse(powers map[LineRef]float64, onDuration, totalDuratio
 				rhs[i] += b[i]
 			}
 		}
-		res := mathx.SolveCG(sys, rhs, temp, 1e-10, 0)
-		if !res.Converged {
-			return nil, fmt.Errorf("fdm: transient CG stalled at t=%g (residual %g)", tNow, res.Residual)
+		if sysChol != nil {
+			sysChol.Solve(rhs, temp)
+		} else {
+			res := mathx.SolveCG(sys, rhs, temp, 1e-10, 0)
+			if !res.Converged {
+				return nil, fmt.Errorf("fdm: transient CG stalled at t=%g (residual %g)", tNow, res.Residual)
+			}
 		}
 		record(tNow)
 	}

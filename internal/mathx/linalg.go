@@ -203,16 +203,8 @@ func SolveTridiag(a, b, c, d []float64) ([]float64, error) {
 	return x, nil
 }
 
-// Dot returns the inner product of two equal-length vectors.
-func Dot(a, b []float64) float64 {
-	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
-}
-
-// Norm2 returns the Euclidean norm of v.
+// Norm2 returns the Euclidean norm of v (chunked deterministic
+// reduction; see parallel.go).
 func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
 
 // NormInf returns the maximum absolute entry of v.
@@ -224,11 +216,4 @@ func NormInf(v []float64) float64 {
 		}
 	}
 	return m
-}
-
-// Axpy computes y += alpha·x in place.
-func Axpy(alpha float64, x, y []float64) {
-	for i, v := range x {
-		y[i] += alpha * v
-	}
 }

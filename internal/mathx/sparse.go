@@ -69,20 +69,6 @@ func (c *Coord) ToCSR() *CSR {
 	return m
 }
 
-// MulVec computes y = M·x.
-func (m *CSR) MulVec(x, y []float64) {
-	if len(x) != m.N || len(y) != m.N {
-		panic("mathx: CSR.MulVec dimension mismatch")
-	}
-	for i := 0; i < m.N; i++ {
-		s := 0.0
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
-		}
-		y[i] = s
-	}
-}
-
 // Diag extracts the diagonal of the matrix; zero diagonal entries are
 // returned as zero.
 func (m *CSR) Diag() []float64 {
@@ -104,20 +90,52 @@ type CGResult struct {
 	Converged  bool
 }
 
-// SolveCG solves A·x = b for a symmetric positive-definite CSR matrix using
-// Jacobi-preconditioned conjugate gradients. x is used as the initial
-// guess and overwritten with the solution. rtol is the relative residual
-// target; maxIter caps the iteration count (≤ 0 means 10·N).
+// CGOptions configures SolveCGOpts. The zero value reproduces the classic
+// SolveCG behavior (Jacobi preconditioning, maxIter = 10·N).
+type CGOptions struct {
+	// Rtol is the relative residual target ‖b − A·x‖₂ / ‖b‖₂.
+	Rtol float64
+	// MaxIter caps the iteration count (≤ 0 means 10·N).
+	MaxIter int
+	// Precond selects the preconditioner (default PrecondJacobi).
+	Precond Precond
+}
+
+// SolveCG solves A·x = b for a symmetric positive-definite CSR matrix
+// using Jacobi-preconditioned conjugate gradients. x is used as the
+// initial guess and overwritten with the solution. rtol is the relative
+// residual target; maxIter caps the iteration count (≤ 0 means 10·N).
 func SolveCG(a *CSR, b, x []float64, rtol float64, maxIter int) CGResult {
+	return SolveCGOpts(a, b, x, CGOptions{Rtol: rtol, MaxIter: maxIter})
+}
+
+// SolveCGOpts is SolveCG with an explicit preconditioner choice. A
+// preconditioner that fails to build (IC(0) breakdown) silently degrades
+// to Jacobi — CG still converges, just slower.
+func SolveCGOpts(a *CSR, b, x []float64, opt CGOptions) CGResult {
+	m, err := NewPreconditioner(a, opt.Precond)
+	if err != nil {
+		m = newJacobi(a)
+	}
+	return SolveCGPrec(a, b, x, opt.Rtol, opt.MaxIter, m)
+}
+
+// SolveCGPrec runs preconditioned CG with a caller-supplied (reusable)
+// preconditioner, so batched multi-RHS solves pay the setup cost once.
+// An all-zero b short-circuits to the exact solution x = 0 (Converged,
+// zero iterations) regardless of the initial guess.
+func SolveCGPrec(a *CSR, b, x []float64, rtol float64, maxIter int, m Preconditioner) CGResult {
 	n := a.N
 	if maxIter <= 0 {
 		maxIter = 10 * n
 	}
-	d := a.Diag()
-	for i := range d {
-		if d[i] == 0 {
-			d[i] = 1
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		// A is SPD hence nonsingular: b = 0 ⇒ x = 0 exactly.
+		for i := range x {
+			x[i] = 0
 		}
+		return CGResult{Iterations: 0, Residual: 0, Converged: true}
 	}
 	r := make([]float64, n)
 	z := make([]float64, n)
@@ -128,13 +146,7 @@ func SolveCG(a *CSR, b, x []float64, rtol float64, maxIter int) CGResult {
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
-	bnorm := Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	for i := range z {
-		z[i] = r[i] / d[i]
-	}
+	m.Apply(r, z)
 	copy(p, z)
 	rz := Dot(r, z)
 	res := CGResult{}
@@ -153,9 +165,7 @@ func SolveCG(a *CSR, b, x []float64, rtol float64, maxIter int) CGResult {
 		alpha := rz / pap
 		Axpy(alpha, p, x)
 		Axpy(-alpha, ap, r)
-		for i := range z {
-			z[i] = r[i] / d[i]
-		}
+		m.Apply(r, z)
 		rzNew := Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew

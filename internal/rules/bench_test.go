@@ -1,0 +1,27 @@
+package rules
+
+import (
+	"testing"
+
+	"dsmtherm/internal/ntrs"
+)
+
+// BenchmarkMonteCarloParallel runs the same 150-sample guard-band study
+// pinned to one worker and at the default worker count, in one
+// invocation, so BENCH_*.json records the fan-out gain next to its
+// serial baseline.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			v := defaultVariation()
+			v.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := MonteCarlo(ntrs.N250(), Spec{}, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", bench(1))
+	b.Run("parallel", bench(0))
+}

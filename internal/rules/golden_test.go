@@ -1,6 +1,8 @@
 package rules
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -57,6 +59,49 @@ func dumpDeck(d *Deck) string {
 			goldenFloat(phys.ToMicrons(r.ESDWidthNoOpen)))
 	}
 	return b.String()
+}
+
+// goldenSHA256 pins the exact bytes of every checked-in golden deck as
+// they stood before the parallel numeric backbone landed. TestGoldenDecks
+// proves the *current* generator reproduces the files; this guard
+// additionally proves the files themselves were not regenerated (`-update`
+// churn would change hashes even if the text still matched semantically).
+// The chunked reductions, preconditioners and fan-out must leave the deck
+// byte-identical — a hash mismatch here means a numeric path leaked into
+// the deck pipeline.
+var goldenSHA256 = map[string]string{
+	"N100-hsq-r0.01":   "e30365d8274296287d2908af4c5c898d183b5c0fbe67ddb910d58ac9fdfbe21e",
+	"N100-hsq-r0.1":    "b0eb21c927834c85358314323f9ffca1255e0f1af5225c8d620e91183f90d92d",
+	"N100-hsq-r0.33":   "945369cab705c5620610633957898bf767245b3ab5c4b14ef440df77c08780bb",
+	"N100-hsq-r1":      "ae903903a7193d293b069f08dfeb1d72a8a60103e057499c619e37f46f39a2d6",
+	"N100-oxide-r0.01": "89887448aa514e4b3a5045437f9303dbda6e6f03ec31d166b6c9e485cc1c0d06",
+	"N100-oxide-r0.1":  "73fea4aff3d5043515b194164d9d82233bd1815572cf91edb20e252907feb665",
+	"N100-oxide-r0.33": "c3530385b8efa0bb495ce62d3554b5f669bc27c2c82ae3f548a7edafa78b5ffa",
+	"N100-oxide-r1":    "0769a802fdfb9c3bcab19086244e8d7e4a1d516500af7824d4e561ef46654839",
+	"N250-hsq-r0.01":   "5a6711d022434015e703f3f52c2a4638ee7457b6db1de99ccccd9d55ffcf91c0",
+	"N250-hsq-r0.1":    "1f73121181f7de75bfc563dbb367f1a56193fb4057d66e4a6710c2ec9a95cc9d",
+	"N250-hsq-r0.33":   "a996efac8c53adce7b21deb47281ac84be4e1fe794e7f119f66aa9d51a154cf4",
+	"N250-hsq-r1":      "1aa31e995ea4a63a17cbbb9fcc8008b85311648c9e4ec702cbadb0a7335c2e8b",
+	"N250-oxide-r0.01": "5e36c71fe7d1dd2bd392d620a9ce6bfcf5168e1657027758bdf8abec62f763f7",
+	"N250-oxide-r0.1":  "aa23598bfc8467d41782f692e40fe11e028de9a1e59e7f217c0481adf04c94ad",
+	"N250-oxide-r0.33": "35e7b5c930472333ed0b593e39e74e09f454d74c6f861bdb1aac8a3c7001fcd8",
+	"N250-oxide-r1":    "2a85a71c5a3454b304d356d402186694652d6e4688b0b2fc3d8ad916171ea558",
+}
+
+// TestGoldenDecksByteIdentical asserts every golden deck file hashes to
+// its pinned pre-backbone SHA-256.
+func TestGoldenDecksByteIdentical(t *testing.T) {
+	for name, want := range goldenSHA256 {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".golden"))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("%s: golden file bytes changed (sha256 %s, want %s)", name, got, want)
+		}
+	}
 }
 
 // TestGoldenDecks locks the generated rules decks — every metallization

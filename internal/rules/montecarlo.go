@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"dsmtherm/internal/core"
+	"dsmtherm/internal/mathx"
 	"dsmtherm/internal/ntrs"
 )
 
@@ -23,8 +24,14 @@ type Variation struct {
 	Width, Thick, ILD, Kd float64
 	// Samples is the Monte Carlo size (default 200).
 	Samples int
-	// Seed makes runs reproducible (default 1).
+	// Seed makes runs reproducible (default 1). Each sample derives its
+	// own RNG substream from (Seed, sample index), so the percentiles
+	// depend only on Seed and Samples — never on how many workers
+	// evaluated them.
 	Seed int64
+	// Workers bounds the sample fan-out (0 = the mathx worker knob,
+	// which defaults to GOMAXPROCS; 1 forces serial evaluation).
+	Workers int
 }
 
 func (v *Variation) defaults() error {
@@ -60,7 +67,10 @@ type MCLevelResult struct {
 }
 
 // MonteCarlo samples the signal-line rule across process variation for
-// every DesignRuleLevels level of the technology.
+// every DesignRuleLevels level of the technology. Samples evaluate
+// concurrently across a bounded worker pool (Variation.Workers); each
+// sample draws from its own seeded RNG substream, so a given Seed
+// produces identical percentiles at any worker count.
 func MonteCarlo(tech *ntrs.Technology, spec Spec, v Variation) ([]MCLevelResult, error) {
 	if err := v.defaults(); err != nil {
 		return nil, err
@@ -71,28 +81,46 @@ func MonteCarlo(tech *ntrs.Technology, spec Spec, v Variation) ([]MCLevelResult,
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(v.Seed))
 	levels := designRuleLevels(tech)
-	samples := make(map[int][]float64, len(levels))
-
-	for s := 0; s < v.Samples; s++ {
+	// jp[s][k] is sample s's jpeak for levels[k]; each sample owns its
+	// row, so the fan-out below writes without coordination and the
+	// assembled matrix is identical at any worker count.
+	jp := make([][]float64, v.Samples)
+	errs := make([]error, v.Samples)
+	workers := v.Workers
+	if workers <= 0 {
+		workers = mathx.Workers()
+	}
+	mathx.ParForN(v.Samples, workers, func(s int) {
+		rng := rand.New(rand.NewSource(sampleSeed(v.Seed, s)))
 		pert := perturb(tech, v, rng)
-		for _, lvl := range levels {
+		row := make([]float64, len(levels))
+		for k, lvl := range levels {
 			sol, err := solveSignal(pert, lvl, spec)
 			if err != nil {
-				return nil, fmt.Errorf("rules: MC sample %d level %d: %w", s, lvl, err)
+				errs[s] = fmt.Errorf("rules: MC sample %d level %d: %w", s, lvl, err)
+				return
 			}
-			samples[lvl] = append(samples[lvl], sol.Jpeak)
+			row[k] = sol.Jpeak
+		}
+		jp[s] = row
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 
 	var out []MCLevelResult
-	for _, lvl := range levels {
+	for k, lvl := range levels {
 		nom, err := solveSignal(tech, lvl, spec)
 		if err != nil {
 			return nil, err
 		}
-		js := samples[lvl]
+		js := make([]float64, v.Samples)
+		for s := range jp {
+			js[s] = jp[s][k]
+		}
 		sort.Float64s(js)
 		r := MCLevelResult{
 			Level:   lvl,
@@ -130,6 +158,18 @@ func solveSignal(tech *ntrs.Technology, level int, spec Spec) (core.Solution, er
 		J0:    spec.J0,
 		Tref:  spec.Tref,
 	})
+}
+
+// sampleSeed derives the RNG substream seed for one Monte Carlo sample by
+// splitmix64-mixing the user seed with the sample index. Each sample's
+// draws are a pure function of (Seed, s), which is what makes the fan-out
+// order-independent: serial and parallel evaluation consume identical
+// streams.
+func sampleSeed(seed int64, s int) int64 {
+	z := uint64(seed) + (uint64(s)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // perturb deep-copies the technology with lognormal variations applied.

@@ -59,6 +59,32 @@ func TestMonteCarloReproducible(t *testing.T) {
 	}
 }
 
+// TestMonteCarloParallelEqualsSerial locks the substream contract: the
+// same seed yields bit-identical percentiles whether samples run on one
+// worker or many.
+func TestMonteCarloParallelEqualsSerial(t *testing.T) {
+	runs := make([][]MCLevelResult, 0, 3)
+	for _, w := range []int{1, 2, 8} {
+		v := defaultVariation()
+		v.Workers = w
+		res, err := MonteCarlo(ntrs.N250(), Spec{}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, res)
+	}
+	for r := 1; r < len(runs); r++ {
+		for i := range runs[r] {
+			a, b := runs[0][i], runs[r][i]
+			if a.P1 != b.P1 || a.P50 != b.P50 || a.P99 != b.P99 ||
+				a.Nominal != b.Nominal || a.GuardBand != b.GuardBand {
+				t.Fatalf("M%d: workers=%d result %+v differs from serial %+v",
+					a.Level, []int{1, 2, 8}[r], b, a)
+			}
+		}
+	}
+}
+
 func TestMonteCarloSpreadScalesWithVariation(t *testing.T) {
 	tight := defaultVariation()
 	tight.Width, tight.Thick, tight.ILD, tight.Kd = 0.01, 0.01, 0.01, 0.02
