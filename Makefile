@@ -1,6 +1,5 @@
 GO ?= go
 FUZZTIME ?= 10s
-BENCH_JSON ?= BENCH_5.json
 
 .PHONY: build test vet race chaos fuzz-smoke bench-smoke bench-json verify
 
@@ -20,10 +19,12 @@ race:
 	$(GO) test -race ./...
 
 # The resilience suite under the race detector: panic containment,
-# poison-key quarantine, breaker degradation, and crash-safe restart.
+# poison-key quarantine, breaker degradation, crash-safe restart, and
+# job crash-resume / lane isolation.
 chaos:
 	$(GO) test -race -count=1 ./internal/server \
-		-run 'TestChaos|TestPoolTaskPanic|TestFlightLeaderPanic|TestHandlerPanic|TestQuarantine|TestBreaker|TestFailureClass|TestSnapshot|TestQueueWaitClamp|TestAdmissionWaitClamped|TestReadyz'
+		-run 'TestChaos|TestPoolTaskPanic|TestFlightLeaderPanic|TestHandlerPanic|TestQuarantine|TestBreaker|TestFailureClass|TestSnapshot|TestQueueWaitClamp|TestAdmissionWaitClamped|TestReadyz|TestJobs'
+	$(GO) test -race -count=1 ./internal/jobs/...
 
 # Short fuzz smokes: enough to catch a freshly introduced panic or
 # key-encoder collision without turning CI into a fuzz farm.
@@ -32,6 +33,7 @@ fuzz-smoke:
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzSolveKeyEncoder -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDeckKeyEncoder -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzSnapshotCodec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/jobs -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME)
 
 # One-iteration pass over the orchestration benchmarks: keeps the
 # thundering-herd, batch-vs-serial, warm-restart and quarantine paths
@@ -40,12 +42,13 @@ bench-smoke:
 	$(GO) test ./internal/server -run '^$$' -bench 'ThunderingHerd|BatchVsSerial|WarmStartVsCold|QuarantineHit' -benchtime 1x
 
 # Numeric-backbone benchmarks (parallel kernels, batched FDM solves,
-# Monte Carlo fan-out) with serial baselines in the same run, recorded
-# as the perf-trajectory file BENCH_<n>.json via cmd/benchjson.
+# Monte Carlo fan-out, job-lane throughput) with serial baselines in the
+# same run, appended to the perf trajectory as the next BENCH_<n>.json
+# (cmd/benchjson -next auto-increments past the highest existing index).
 bench-json:
-	$(GO) test ./internal/mathx ./internal/fdm ./internal/rules -run '^$$' \
-		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel' \
-		-benchtime 10x -count=1 | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	$(GO) test ./internal/mathx ./internal/fdm ./internal/rules ./internal/jobs -run '^$$' \
+		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel|JobThroughput' \
+		-benchtime 10x -count=1 | $(GO) run ./cmd/benchjson -next .
 
 verify: build vet test race chaos fuzz-smoke bench-smoke
 	@echo "verify: all gates passed"

@@ -1,15 +1,22 @@
 // Command benchjson converts `go test -bench` text output (stdin) into a
-// JSON perf record (stdout): one entry per benchmark with ns/op and any
-// custom metrics, plus derived speedup pairs for benchmarks that run a
-// "serial" sub-benchmark next to a "parallel"/"batch" one. `make
-// bench-json` uses it to emit the BENCH_<n>.json trajectory files.
+// JSON perf record: one entry per benchmark with ns/op and any custom
+// metrics, plus derived speedup pairs for benchmarks that run a "serial"
+// sub-benchmark next to a "parallel"/"batch" one.
+//
+// By default the record goes to stdout. With -next DIR it lands in
+// DIR/BENCH_<n>.json where <n> is one past the highest existing index —
+// so `make bench-json` appends to the perf trajectory instead of
+// clobbering the previous run's file.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -36,6 +43,8 @@ type report struct {
 }
 
 func main() {
+	nextDir := flag.String("next", "", "write to DIR/BENCH_<n>.json, auto-incrementing n past the highest existing index (empty = stdout)")
+	flag.Parse()
 	rep := report{Context: map[string]string{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -59,12 +68,50 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Speedups = deriveSpeedups(rep.Benchmarks)
-	enc := json.NewEncoder(os.Stdout)
+	out := os.Stdout
+	if *nextDir != "" {
+		path, err := nextBenchPath(*nextDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+		fmt.Fprintln(os.Stderr, "benchjson: writing", path)
+	}
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextBenchPath returns dir/BENCH_<n>.json with n one past the highest
+// index already present (starting at 0 in an empty dir).
+func nextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n+1 > next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
 }
 
 // parseBenchLine parses one result line:

@@ -9,7 +9,14 @@
 //	          -batch-max 256 -max-segments 10000 \
 //	          -route-timeout /v1/netcheck=2m -route-timeout /v1/rules=5s \
 //	          -snapshot-path /var/lib/dsmthermd/cache.snap -snapshot-interval 5m \
-//	          -quarantine-threshold 3 -breaker-threshold 5
+//	          -quarantine-threshold 3 -breaker-threshold 5 \
+//	          -jobs -jobs-dir /var/lib/dsmthermd/jobs -jobs-workers 1
+//
+// With -jobs, chip-scale work (large Monte Carlo runs, sweep grids,
+// FDM coupling maps) is accepted asynchronously on /v1/jobs and runs on
+// a dedicated low-priority worker lane; with -jobs-dir set, progress is
+// checkpointed so a crashed or restarted daemon resumes jobs exactly
+// where they stopped, bit-identical to an uninterrupted run.
 //
 // The daemon drains in-flight requests on SIGINT/SIGTERM before exiting;
 // requests arriving during the drain get a structured 503 and /readyz
@@ -30,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"dsmtherm/internal/jobs"
 	"dsmtherm/internal/mathx"
 	"dsmtherm/internal/server"
 )
@@ -56,6 +64,11 @@ func main() {
 	breakerWindow := flag.Duration("breaker-window", 0, "breaker failure-counting window (0 = 10s)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open duration before half-open probing (0 = 5s)")
 	breakerStaleAfter := flag.Duration("breaker-stale-after", 0, "freshness horizon for stale-marked hits while degraded (0 = 1m)")
+	jobsOn := flag.Bool("jobs", false, "enable the durable async job subsystem on /v1/jobs")
+	jobsDir := flag.String("jobs-dir", "", "job journal directory for crash-safe resume (empty = in-memory jobs only)")
+	jobsWorkers := flag.Int("jobs-workers", 0, "dedicated job-lane worker count (0 = 1); kept small so chip-scale jobs never crowd interactive traffic")
+	jobsQueue := flag.Int("jobs-queue", 0, "per-lane job backlog before 429 (0 = 16)")
+	jobsDeadline := flag.Duration("jobs-deadline", 0, "default per-job compute budget (0 = 15m)")
 	routeTimeouts := make(map[string]time.Duration)
 	flag.Func("route-timeout", "per-route timeout override as route=duration, e.g. /v1/netcheck=2m (repeatable)", func(v string) error {
 		route, durStr, ok := strings.Cut(v, "=")
@@ -98,15 +111,37 @@ func main() {
 		BreakerCooldown:     *breakerCooldown,
 		BreakerStaleAfter:   *breakerStaleAfter,
 	}
-	if err := run(*addr, cfg); err != nil {
+	var jcfg *jobs.Config
+	if *jobsOn || *jobsDir != "" {
+		jcfg = &jobs.Config{
+			Dir:             *jobsDir,
+			Workers:         *jobsWorkers,
+			QueueDepth:      *jobsQueue,
+			DefaultDeadline: *jobsDeadline,
+		}
+	}
+	if err := run(*addr, cfg, jcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmthermd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config) error {
+func run(addr string, cfg server.Config, jcfg *jobs.Config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// The daemon owns the job manager's lifecycle: created before the
+	// server (restoring any journaled jobs from a previous process), and
+	// stopped after the HTTP drain so in-flight jobs suspend behind one
+	// final checkpoint rather than being abandoned mid-chunk.
+	if jcfg != nil {
+		jm, err := jobs.New(*jcfg)
+		if err != nil {
+			return fmt.Errorf("job subsystem: %w", err)
+		}
+		defer jm.Stop()
+		cfg.Jobs = jm
+	}
 
 	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
@@ -117,6 +152,11 @@ func run(addr string, cfg server.Config) error {
 	log.Printf("dsmthermd: serving on %s (workers=%d cache=%d entries, timeout=%s, admit=%d queue=%d/%s)",
 		ln.Addr(), srv.Pool().Size(), srv.Cache().Capacity(), cfg.RequestTimeout,
 		adm.Slots(), adm.QueueDepth(), adm.MaxWait())
+	if jm := srv.Jobs(); jm != nil {
+		st := jm.Stats()
+		log.Printf("dsmthermd: job subsystem on /v1/jobs (journal dir %q, resumed=%d corrupt=%d)",
+			jcfg.Dir, st.ResumedBoot, st.CorruptBoot)
+	}
 	err = srv.Run(ctx, ln)
 	if err == nil {
 		log.Printf("dsmthermd: drained, bye")

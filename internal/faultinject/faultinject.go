@@ -50,6 +50,19 @@ const (
 	// hook fails the flight for every participant; a PanicOnMeta hook
 	// poisons one key while the rest of the traffic stays healthy.
 	SiteServerFlight = "server.flight"
+	// SiteJobsStep fires before every job chunk execution in the job
+	// subsystem's worker lane, with the job's run context and — when
+	// hooks are registered — "id:chunk" attached as metadata. An error
+	// hook fails the job deterministically; a stall hook holds a job
+	// mid-run so tests can cancel or crash it at a known chunk boundary.
+	SiteJobsStep = "jobs.step"
+	// SiteJobsCheckpoint fires before every journal checkpoint write
+	// (same metadata as SiteJobsStep). An error hook makes the
+	// checkpoint skip its write (progress is lost on crash but the job
+	// still completes); a stall hook pins a job at a known persisted
+	// state so crash-resume tests can kill it with an exact
+	// completed-chunk bitmap on disk.
+	SiteJobsCheckpoint = "jobs.checkpoint"
 )
 
 // Hook is the injected behavior at a site. A hook may block (a stall),

@@ -1,0 +1,48 @@
+package jobs
+
+import (
+	"testing"
+)
+
+// benchSweep is the chip-scale-ish workload the lane throughput numbers
+// quote: a 32-point duty-cycle sweep (2 chunks) per job.
+func benchSweep() SubmitRequest {
+	return SubmitRequest{
+		Type:  TypeSweep,
+		Sweep: &SweepParams{Node: "0.10", Level: 4, Points: 32},
+	}
+}
+
+// BenchmarkJobThroughput measures one job end to end — submit, chunked
+// execution on the worker lane, finalize — with and without the journal,
+// so the per-chunk checkpoint cost is visible next to the compute it
+// amortizes against.
+func BenchmarkJobThroughput(b *testing.B) {
+	run := func(b *testing.B, cfg Config) {
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := m.Submit(benchSweep())
+			if err != nil {
+				b.Fatal(err)
+			}
+			done, err := m.Done(v.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-done
+			if _, err := m.Result(v.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := m.Stats()
+		b.ReportMetric(float64(st.ChunksRun)/float64(b.N), "chunks/job")
+	}
+	b.Run("inmem", func(b *testing.B) { run(b, Config{}) })
+	b.Run("journaled", func(b *testing.B) { run(b, Config{Dir: b.TempDir()}) })
+}

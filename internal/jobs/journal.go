@@ -1,0 +1,218 @@
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dsmtherm/internal/snapcodec"
+)
+
+// Job journals: one file per job, rewritten atomically at every
+// checkpoint, carrying everything a restarted manager needs to resume
+// the job bit-identically — the original params (and a SHA-256 of them,
+// so a corrupted-but-CRC-valid or hand-edited journal cannot silently
+// resume the wrong work), the completed-chunk bitmap, and the completed
+// chunks' result blobs. The file rides the shared snapcodec framing
+// (magic "DSMJRNL1", version, length, CRC-32, gob payload) and the
+// shared temp+fsync+rename atomic write, so a crash mid-checkpoint
+// leaves the previous complete journal, never a torn one.
+//
+// Corruption tolerance mirrors the server snapshot: a journal that
+// fails the frame check, the gob decode, or internal consistency is
+// quarantined (renamed *.corrupt) and counted — boot always proceeds.
+
+var journalMagic = [8]byte{'D', 'S', 'M', 'J', 'R', 'N', 'L', '1'}
+
+const journalVersion = 1
+
+// journalMaxPayload caps one journal: the largest legal job (100k MC
+// samples × 4 levels × 8 bytes, ~3 MiB of blobs) fits with two orders
+// of magnitude to spare, so anything bigger is a corrupt length field.
+const journalMaxPayload = 64 << 20
+
+// ErrJournalCorrupt is the sentinel wrapped by every journal decode
+// failure: framing, gob, or internal inconsistency.
+var ErrJournalCorrupt = errors.New("jobs: journal corrupt")
+
+// journalFile is the gob payload — the full durable state of one job.
+type journalFile struct {
+	ID   string
+	Type string
+	Lane Lane
+	// Params is the job's params document exactly as submitted;
+	// ParamsSum is its SHA-256. The task is rebuilt from Params on
+	// resume, so the hash guards the determinism invariant: resume
+	// computes the same work or not at all.
+	Params    []byte
+	ParamsSum [32]byte
+	Deadline  time.Duration
+	Submitted time.Time
+
+	Status Status
+	// Chunks is the task's chunk-grid size; Bitmap (Chunks bits, LSB
+	// first within each word) marks completed chunks; ChunkData[c] is
+	// chunk c's blob (nil iff bit c is clear).
+	Chunks    int
+	Bitmap    []uint64
+	ChunkData [][]byte
+	// Result / ErrMsg are set in terminal states.
+	Result json.RawMessage
+	ErrMsg string
+}
+
+// bitmap helpers.
+
+func bitmapWords(chunks int) int { return (chunks + 63) / 64 }
+
+func bitSet(bm []uint64, i int) { bm[i/64] |= 1 << (i % 64) }
+
+func bitGet(bm []uint64, i int) bool { return bm[i/64]&(1<<(i%64)) != 0 }
+
+func bitCount(bm []uint64, chunks int) int {
+	n := 0
+	for i := 0; i < chunks; i++ {
+		if bitGet(bm, i) {
+			n++
+		}
+	}
+	return n
+}
+
+func paramsSum(params []byte) [32]byte { return sha256.Sum256(params) }
+
+// encodeJournal renders jf into the framed on-disk format.
+func encodeJournal(jf *journalFile) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(jf); err != nil {
+		return nil, fmt.Errorf("jobs: journal encode: %w", err)
+	}
+	return snapFrame(payload.Bytes()), nil
+}
+
+// decodeJournal parses a framed journal and checks its internal
+// consistency. Every failure wraps ErrJournalCorrupt; arbitrary input
+// must error, never panic (the gob decode runs under a recovery
+// boundary — the fuzz target leans on this).
+func decodeJournal(data []byte) (jf journalFile, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: decode panic: %v", ErrJournalCorrupt, r)
+		}
+	}()
+	payload, err := snapUnframe(data)
+	if err != nil {
+		return journalFile{}, fmt.Errorf("%w: %v", ErrJournalCorrupt, err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&jf); err != nil {
+		return journalFile{}, fmt.Errorf("%w: gob: %v", ErrJournalCorrupt, err)
+	}
+	if err := jf.check(); err != nil {
+		return journalFile{}, err
+	}
+	return jf, nil
+}
+
+// check validates the decoded journal's internal consistency — the
+// invariants the manager relies on without re-checking (bitmap sizing,
+// blob/bit agreement, params hash).
+func (jf *journalFile) check() error {
+	if jf.ID == "" || jf.Type == "" {
+		return fmt.Errorf("%w: missing id or type", ErrJournalCorrupt)
+	}
+	if jf.Chunks < 0 || jf.Chunks > 1<<20 {
+		return fmt.Errorf("%w: chunk count %d", ErrJournalCorrupt, jf.Chunks)
+	}
+	if len(jf.Bitmap) != bitmapWords(jf.Chunks) {
+		return fmt.Errorf("%w: bitmap %d words for %d chunks", ErrJournalCorrupt, len(jf.Bitmap), jf.Chunks)
+	}
+	if len(jf.ChunkData) != jf.Chunks {
+		return fmt.Errorf("%w: %d chunk blobs for %d chunks", ErrJournalCorrupt, len(jf.ChunkData), jf.Chunks)
+	}
+	for c := 0; c < jf.Chunks; c++ {
+		if bitGet(jf.Bitmap, c) != (jf.ChunkData[c] != nil) {
+			return fmt.Errorf("%w: chunk %d bit/blob mismatch", ErrJournalCorrupt, c)
+		}
+	}
+	if paramsSum(jf.Params) != jf.ParamsSum {
+		return fmt.Errorf("%w: params hash mismatch", ErrJournalCorrupt)
+	}
+	switch jf.Status {
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+	default:
+		return fmt.Errorf("%w: status %q", ErrJournalCorrupt, jf.Status)
+	}
+	return nil
+}
+
+// snapFrame/snapUnframe pin the journal's framing parameters in one
+// place (shared codec, journal magic/version/cap).
+func snapFrame(payload []byte) []byte {
+	return snapcodec.Frame(journalMagic, journalVersion, payload)
+}
+
+func snapUnframe(data []byte) ([]byte, error) {
+	return snapcodec.Unframe(journalMagic, journalVersion, journalMaxPayload, data)
+}
+
+// journalPath is the on-disk location of one job's journal.
+func journalPath(dir, id string) string { return filepath.Join(dir, id+".job") }
+
+// scanResult is what a boot-time directory scan yields.
+type scanResult struct {
+	files     []journalFile
+	corrupted int
+}
+
+// scanJournals loads every *.job file in dir, quarantining (renaming to
+// *.corrupt) any that fail to decode. Files are returned in Submitted
+// order (ties broken by ID) so re-enqueued jobs keep their original
+// queue order. A missing dir is a normal first boot.
+func scanJournals(dir string) (scanResult, error) {
+	var res scanResult
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return res, nil
+		}
+		return res, fmt.Errorf("jobs: journal scan: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		var jf journalFile
+		if err == nil {
+			jf, err = decodeJournal(data)
+		}
+		if err == nil && journalPath(dir, jf.ID) != path {
+			err = fmt.Errorf("%w: journal %s claims id %q", ErrJournalCorrupt, e.Name(), jf.ID)
+		}
+		if err != nil {
+			// Quarantine, never delete: the bytes stay on disk for a
+			// post-mortem, but nothing will try to resume them again.
+			res.corrupted++
+			_ = os.Rename(path, path+".corrupt")
+			continue
+		}
+		res.files = append(res.files, jf)
+	}
+	sort.Slice(res.files, func(i, j int) bool {
+		a, b := &res.files[i], &res.files[j]
+		if !a.Submitted.Equal(b.Submitted) {
+			return a.Submitted.Before(b.Submitted)
+		}
+		return a.ID < b.ID
+	})
+	return res, nil
+}

@@ -1,0 +1,745 @@
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsmtherm/internal/faultinject"
+	"dsmtherm/internal/snapcodec"
+)
+
+// Config tunes a Manager. The zero value is usable; Defaults() shows
+// the resolved numbers.
+type Config struct {
+	// Dir is the journal directory. Empty disables durability: jobs
+	// still run, cancel and report, but progress dies with the process.
+	Dir string
+	// Workers is the job-lane worker count (default 1). These are the
+	// only goroutines that execute job chunks — a deliberately small,
+	// low-priority set separate from the interactive solver pool, so
+	// chip-scale jobs never contend with /v1/rules latency.
+	Workers int
+	// QueueDepth bounds each lane's backlog (default 16); a submit past
+	// it is ErrQueueFull (HTTP 429 + Retry-After).
+	QueueDepth int
+	// InteractiveWeight is the scheduler ratio: this many interactive
+	// picks for every bulk pick, work-conserving both ways (default 3).
+	InteractiveWeight int
+	// CheckpointEvery is the journal cadence in chunks (default 1:
+	// checkpoint after every chunk — chunks are sized so the solver work
+	// dwarfs the write).
+	CheckpointEvery int
+	// DefaultDeadline / MaxDeadline bound one run attempt's compute
+	// budget (defaults 15m / 2h). Client-requested deadlines are
+	// clamped to MaxDeadline.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxJobs bounds the retained job table (default 1024). Inserting
+	// past it evicts the oldest terminal job (and its journal); with
+	// nothing evictable the submit is ErrQueueFull.
+	MaxJobs int
+}
+
+// Defaults returns cfg with every unset knob resolved.
+func (cfg Config) Defaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.InteractiveWeight <= 0 {
+		cfg.InteractiveWeight = 3
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 15 * time.Minute
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 2 * time.Hour
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	return cfg
+}
+
+// Stop/crash/cancel causes. Classification happens via context.Cause:
+// the same context.Canceled surfaces from a chunk whether the job was
+// cancelled, the manager stopped gracefully, or the process is going
+// down hard, and only the cause tells a worker whether to persist a
+// terminal state, write a suspend checkpoint, or touch nothing.
+var (
+	errCancelled = errors.New("jobs: cancelled by request")
+	errStopping  = errors.New("jobs: manager stopping")
+	errCrashing  = errors.New("jobs: crash (no checkpoint)")
+	errDeadline  = errors.New("jobs: deadline exceeded")
+)
+
+// job is the in-memory state of one job. The mutex guarding it is the
+// Manager's; blobs in data are immutable once set.
+type job struct {
+	id        string
+	typ       string
+	lane      Lane
+	params    []byte
+	deadline  time.Duration
+	submitted time.Time
+	task      Task
+
+	status  Status
+	chunks  int
+	bitmap  []uint64
+	data    [][]byte
+	result  json.RawMessage
+	errMsg  string
+	resumed bool
+	// cancel is non-nil while the job runs; Cancel uses it to stop the
+	// in-flight chunk. cancelRequested covers the window between the
+	// dequeue (status → running) and runJob installing cancel.
+	cancel          context.CancelCauseFunc
+	cancelRequested bool
+	// done closes on entering a terminal state.
+	done chan struct{}
+}
+
+func (j *job) view() View {
+	done := bitCount(j.bitmap, j.chunks)
+	v := View{
+		ID: j.id, Type: j.typ, Lane: j.lane, Status: j.status,
+		Chunks: j.chunks, Done: done,
+		Resumed:     j.resumed,
+		Error:       j.errMsg,
+		DeadlineSec: j.deadline.Seconds(),
+		Submitted:   j.submitted,
+	}
+	if j.chunks > 0 {
+		v.Progress = float64(done) / float64(j.chunks)
+	}
+	return v
+}
+
+// Stats is the job subsystem's metrics snapshot (a section of the
+// server's /metrics document).
+type Stats struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+
+	Submitted        uint64 `json:"submitted"`
+	ChunksRun        uint64 `json:"chunksRun"`
+	Checkpoints      uint64 `json:"checkpoints"`
+	CheckpointSkips  uint64 `json:"checkpointSkips"`
+	CheckpointErrors uint64 `json:"checkpointErrors"`
+	Evicted          uint64 `json:"evicted"`
+	// ResumedBoot / CorruptBoot count what the boot-time journal scan
+	// found: jobs re-enqueued with prior progress, and journals
+	// quarantined as *.corrupt.
+	ResumedBoot uint64 `json:"resumedBoot"`
+	CorruptBoot uint64 `json:"corruptBoot"`
+}
+
+// Manager owns the job table, the two lane queues, and the worker set.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	queues   map[Lane][]*job
+	picks    int
+	stopping bool
+
+	rootCtx    context.Context
+	rootCancel context.CancelCauseFunc
+	wg         sync.WaitGroup
+
+	submitted        atomic.Uint64
+	chunksRun        atomic.Uint64
+	checkpoints      atomic.Uint64
+	checkpointSkips  atomic.Uint64
+	checkpointErrors atomic.Uint64
+	evicted          atomic.Uint64
+	resumedBoot      uint64
+	corruptBoot      uint64
+}
+
+// New builds a Manager, replays the journal directory, re-enqueues
+// every unfinished job, and starts the workers. The scan is synchronous
+// — when New returns, GET /v1/jobs/{id} already sees every journaled
+// job — but boot never fails on journal contents: corrupt files are
+// quarantined and counted, params a newer binary rejects are
+// quarantined too, and a chunk-grid retune resets that job's progress
+// rather than resuming into the wrong boundaries.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.Defaults()
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: journal dir: %w", err)
+		}
+	}
+	m := &Manager{
+		cfg:    cfg,
+		jobs:   make(map[string]*job),
+		queues: map[Lane][]*job{LaneInteractive: nil, LaneBulk: nil},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.rootCtx, m.rootCancel = context.WithCancelCause(context.Background())
+
+	if cfg.Dir != "" {
+		scan, err := scanJournals(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		m.corruptBoot = uint64(scan.corrupted)
+		for i := range scan.files {
+			m.restore(&scan.files[i])
+		}
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// restore turns one decoded journal into a live job. Called from New
+// only (no lock needed yet).
+func (m *Manager) restore(jf *journalFile) {
+	task, err := newTask(jf.Type, jf.Params)
+	if err != nil {
+		// The params no longer validate (a newer binary tightened a
+		// limit, or a type was retired). Quarantine like corruption: the
+		// work cannot be re-derived, so it must not pretend to resume.
+		m.corruptBoot++
+		_ = os.Rename(journalPath(m.cfg.Dir, jf.ID), journalPath(m.cfg.Dir, jf.ID)+".corrupt")
+		log.Printf("jobs: journal %s: params no longer valid: %v (quarantined)", jf.ID, err)
+		return
+	}
+	j := &job{
+		id: jf.ID, typ: jf.Type, lane: jf.Lane, params: jf.Params,
+		deadline: jf.Deadline, submitted: jf.Submitted, task: task,
+		status: jf.Status, chunks: jf.Chunks, bitmap: jf.Bitmap,
+		data: jf.ChunkData, result: jf.Result, errMsg: jf.ErrMsg,
+		done: make(chan struct{}),
+	}
+	if want := task.Chunks(); want != jf.Chunks {
+		// The chunk-grid constant changed between binaries. Progress is
+		// sliced on the old boundaries, so it cannot be reused — but the
+		// params still validate, so restart the job from zero rather
+		// than losing it.
+		j.chunks = want
+		j.bitmap = make([]uint64, bitmapWords(want))
+		j.data = make([][]byte, want)
+		j.status = StatusQueued
+	}
+	switch {
+	case j.status.Terminal():
+		close(j.done)
+	default:
+		// queued or running at the time of the crash/stop: both resume
+		// as queued. Completed chunks ride along — that is the resume.
+		j.status = StatusQueued
+		j.resumed = bitCount(j.bitmap, j.chunks) > 0
+		if j.resumed {
+			m.resumedBoot++
+		}
+		m.queues[j.lane] = append(m.queues[j.lane], j)
+	}
+	m.jobs[j.id] = j
+}
+
+// newID returns a fresh job id ("j" + 16 hex chars).
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: rand: %v", err)) // crypto/rand never fails on supported platforms
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit validates the request, journals the new job, enqueues it and
+// returns its initial view. Everything expensive is deferred to the
+// workers; Submit itself only validates and writes one small file.
+func (m *Manager) Submit(req SubmitRequest) (View, error) {
+	lane, err := req.lane()
+	if err != nil {
+		return View{}, err
+	}
+	deadline := m.cfg.DefaultDeadline
+	if req.Deadline != "" {
+		d, err := time.ParseDuration(req.Deadline)
+		if err != nil || d <= 0 {
+			return View{}, fmt.Errorf("%w: deadline %q", ErrInvalid, req.Deadline)
+		}
+		deadline = min(d, m.cfg.MaxDeadline)
+	}
+	params, err := canonicalParams(req)
+	if err != nil {
+		return View{}, err
+	}
+	task, err := newTask(req.Type, params)
+	if err != nil {
+		return View{}, err
+	}
+	chunks := task.Chunks()
+	j := &job{
+		id: newID(), typ: req.Type, lane: lane, params: params,
+		deadline: deadline, submitted: time.Now().UTC(), task: task,
+		status: StatusQueued, chunks: chunks,
+		bitmap: make([]uint64, bitmapWords(chunks)),
+		data:   make([][]byte, chunks),
+		done:   make(chan struct{}),
+	}
+	// Journal before the job becomes visible: once a client holds the
+	// id, the job must survive a crash.
+	if err := m.writeJournal(j); err != nil {
+		return View{}, err
+	}
+	m.mu.Lock()
+	if m.stopping {
+		m.mu.Unlock()
+		m.removeJournal(j.id)
+		return View{}, ErrStopped
+	}
+	if len(m.queues[lane]) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		m.removeJournal(j.id)
+		return View{}, fmt.Errorf("%w: %s lane at depth %d", ErrQueueFull, lane, m.cfg.QueueDepth)
+	}
+	if len(m.jobs) >= m.cfg.MaxJobs && !m.evictLocked() {
+		m.mu.Unlock()
+		m.removeJournal(j.id)
+		return View{}, fmt.Errorf("%w: %d jobs retained and none evictable", ErrQueueFull, m.cfg.MaxJobs)
+	}
+	m.jobs[j.id] = j
+	m.queues[lane] = append(m.queues[lane], j)
+	v := j.view()
+	m.cond.Signal()
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	return v, nil
+}
+
+// canonicalParams extracts the one params document matching req.Type
+// and re-marshals it — the canonical bytes that are journaled, hashed,
+// and fed to newTask, identical across submit and every resume.
+func canonicalParams(req SubmitRequest) ([]byte, error) {
+	set := 0
+	var v any
+	for _, f := range []struct {
+		typ string
+		ptr any
+		nil bool
+	}{
+		{TypeMonteCarlo, req.MonteCarlo, req.MonteCarlo == nil},
+		{TypeSweep, req.Sweep, req.Sweep == nil},
+		{TypeCoupling, req.Coupling, req.Coupling == nil},
+	} {
+		if f.nil {
+			continue
+		}
+		set++
+		if f.typ == req.Type {
+			v = f.ptr
+		}
+	}
+	if set != 1 || v == nil {
+		return nil, fmt.Errorf("%w: exactly the %q params field must be set", ErrInvalid, req.Type)
+	}
+	params, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("%w: params: %v", ErrInvalid, err)
+	}
+	return params, nil
+}
+
+// evictLocked drops the oldest terminal job (and its journal) to make
+// room; reports whether anything was evictable.
+func (m *Manager) evictLocked() bool {
+	var victim *job
+	for _, j := range m.jobs {
+		if !j.status.Terminal() {
+			continue
+		}
+		if victim == nil || j.submitted.Before(victim.submitted) ||
+			(j.submitted.Equal(victim.submitted) && j.id < victim.id) {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(m.jobs, victim.id)
+	m.evicted.Add(1)
+	m.removeJournal(victim.id)
+	return true
+}
+
+// Get returns the current view of one job.
+func (m *Manager) Get(id string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j.view(), nil
+}
+
+// Result returns a finished job's result document.
+func (m *Manager) Result(id string) (json.RawMessage, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	switch j.status {
+	case StatusDone:
+		return j.result, nil
+	case StatusFailed:
+		return nil, fmt.Errorf("%w: %s", ErrFailed, j.errMsg)
+	case StatusCancelled:
+		return nil, fmt.Errorf("%w: cancelled", ErrFailed)
+	default:
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, j.status)
+	}
+}
+
+// Done returns a channel that closes when the job reaches a terminal
+// state (already closed for terminal jobs).
+func (m *Manager) Done(id string) (<-chan struct{}, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j.done, nil
+}
+
+// Cancel stops a job: a queued job goes terminal immediately, a running
+// one has its context cancelled and goes terminal when the in-flight
+// chunk unwinds. Cancelling a terminal job is ErrTerminal.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	switch {
+	case j.status.Terminal():
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrTerminal, id, j.status)
+	case j.status == StatusRunning:
+		j.cancelRequested = true
+		cancel := j.cancel
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel(errCancelled)
+		}
+		return nil
+	default: // queued: lazy queue removal — dequeue skips non-queued jobs
+		j.status = StatusCancelled
+		close(j.done)
+		m.mu.Unlock()
+		m.persistTerminal(j)
+		return nil
+	}
+}
+
+// Stats returns the metrics snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	st := Stats{}
+	for _, j := range m.jobs {
+		switch j.status {
+		case StatusQueued:
+			st.Queued++
+		case StatusRunning:
+			st.Running++
+		case StatusDone:
+			st.Done++
+		case StatusFailed:
+			st.Failed++
+		case StatusCancelled:
+			st.Cancelled++
+		}
+	}
+	m.mu.Unlock()
+	st.Submitted = m.submitted.Load()
+	st.ChunksRun = m.chunksRun.Load()
+	st.Checkpoints = m.checkpoints.Load()
+	st.CheckpointSkips = m.checkpointSkips.Load()
+	st.CheckpointErrors = m.checkpointErrors.Load()
+	st.Evicted = m.evicted.Load()
+	st.ResumedBoot = m.resumedBoot
+	st.CorruptBoot = m.corruptBoot
+	return st
+}
+
+// Stop shuts the manager down gracefully: no new submits, in-flight
+// jobs stop at their next chunk boundary behind a final suspend
+// checkpoint (status queued in the journal, full bitmap), workers
+// drain. A later New on the same directory resumes the suspended jobs.
+func (m *Manager) Stop() { m.shutdown(errStopping) }
+
+// Kill is the crash path (tests use it to simulate power loss without
+// os.Exit): workers abandon in-flight jobs WITHOUT any further journal
+// write, so disk holds exactly the last completed checkpoint.
+func (m *Manager) Kill() { m.shutdown(errCrashing) }
+
+func (m *Manager) shutdown(cause error) {
+	m.mu.Lock()
+	if !m.stopping {
+		m.stopping = true
+		m.rootCancel(cause)
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// worker is one job-lane goroutine: dequeue, run, repeat until stop.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		j := m.dequeue()
+		if j == nil {
+			return
+		}
+		m.runJob(j)
+	}
+}
+
+// dequeue blocks for the next runnable job (nil on shutdown), applying
+// the weighted lane pick: InteractiveWeight interactive picks per bulk
+// pick, falling through to the other lane when the preferred one is
+// empty.
+func (m *Manager) dequeue() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.stopping {
+			return nil
+		}
+		if j := m.pickLocked(); j != nil {
+			j.status = StatusRunning
+			return j
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *Manager) pickLocked() *job {
+	w := m.cfg.InteractiveWeight
+	order := [2]Lane{LaneInteractive, LaneBulk}
+	if m.picks%(w+1) == w {
+		order[0], order[1] = LaneBulk, LaneInteractive
+	}
+	for _, lane := range order {
+		q := m.queues[lane]
+		for len(q) > 0 {
+			j := q[0]
+			q = q[1:]
+			m.queues[lane] = q
+			if j.status != StatusQueued { // cancelled while queued
+				continue
+			}
+			m.picks++
+			return j
+		}
+	}
+	return nil
+}
+
+// runJob executes one job to a chunk-loop outcome and classifies it.
+func (m *Manager) runJob(j *job) {
+	runCtx, cancel := context.WithCancelCause(m.rootCtx)
+	m.mu.Lock()
+	j.cancel = cancel
+	requested := j.cancelRequested
+	m.mu.Unlock()
+	if requested { // Cancel raced the dequeue; honor it before any chunk runs
+		cancel(errCancelled)
+	}
+	ctx, cancelDl := context.WithDeadlineCause(runCtx, time.Now().Add(j.deadline), errDeadline)
+	err := m.runChunks(ctx, j)
+	cancelDl()
+	m.mu.Lock()
+	j.cancel = nil
+	m.mu.Unlock()
+	cancel(nil)
+
+	cause := context.Cause(ctx)
+	switch {
+	case err == nil:
+		m.finalize(j)
+	case errors.Is(cause, errCrashing):
+		// Simulated power loss: touch nothing — disk keeps the last
+		// completed checkpoint, memory state dies with the process.
+	case errors.Is(cause, errStopping):
+		// Graceful stop: suspend behind a final checkpoint so the next
+		// boot resumes exactly here.
+		m.mu.Lock()
+		j.status = StatusQueued
+		m.mu.Unlock()
+		m.checkpoint(context.Background(), j)
+	case errors.Is(cause, errCancelled):
+		m.terminal(j, StatusCancelled, "")
+	case errors.Is(cause, errDeadline), errors.Is(err, context.DeadlineExceeded):
+		m.terminal(j, StatusFailed, fmt.Sprintf("deadline %s exceeded", j.deadline))
+	default:
+		m.terminal(j, StatusFailed, err.Error())
+	}
+}
+
+// runChunks executes every incomplete chunk in index order,
+// checkpointing on the configured cadence. Chunk results are pure
+// functions of (params, index), so "in index order" is an
+// implementation convenience, not a correctness requirement — the
+// journal would be just as valid with holes.
+func (m *Manager) runChunks(ctx context.Context, j *job) error {
+	since := 0
+	for c := 0; c < j.chunks; c++ {
+		if bitGet(j.bitmap, c) { // resumed: already journaled
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ictx := ctx
+		if faultinject.Active() {
+			ictx = faultinject.WithMeta(ctx, fmt.Sprintf("%s:%d", j.id, c))
+		}
+		if err := faultinject.Inject(ictx, faultinject.SiteJobsStep); err != nil {
+			return fmt.Errorf("chunk %d: %w", c, err)
+		}
+		blob, err := j.task.Run(ictx, c)
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", c, err)
+		}
+		m.mu.Lock()
+		bitSet(j.bitmap, c)
+		j.data[c] = blob
+		m.mu.Unlock()
+		m.chunksRun.Add(1)
+		if since++; since >= m.cfg.CheckpointEvery {
+			m.checkpoint(ictx, j)
+			since = 0
+		}
+	}
+	return nil
+}
+
+// finalize merges the chunks and goes terminal.
+func (m *Manager) finalize(j *job) {
+	res, err := j.task.Finalize(context.Background(), j.data)
+	if err != nil {
+		m.terminal(j, StatusFailed, fmt.Sprintf("finalize: %v", err))
+		return
+	}
+	m.mu.Lock()
+	j.result = res
+	m.mu.Unlock()
+	m.terminal(j, StatusDone, "")
+}
+
+// terminal moves j to a final state and persists it.
+func (m *Manager) terminal(j *job, st Status, errMsg string) {
+	m.mu.Lock()
+	j.status = st
+	j.errMsg = errMsg
+	close(j.done)
+	m.mu.Unlock()
+	m.persistTerminal(j)
+}
+
+// checkpoint writes j's journal with current progress. A checkpoint
+// failure (or an injected one at SiteJobsCheckpoint) skips this write
+// and counts it: the job keeps computing — at worst a crash replays the
+// chunks since the last durable write, which the determinism contract
+// makes invisible.
+func (m *Manager) checkpoint(ctx context.Context, j *job) {
+	if m.cfg.Dir == "" {
+		return
+	}
+	if err := faultinject.Inject(ctx, faultinject.SiteJobsCheckpoint); err != nil {
+		m.checkpointSkips.Add(1)
+		return
+	}
+	if err := m.writeJournal(j); err != nil {
+		m.checkpointErrors.Add(1)
+		log.Printf("jobs: checkpoint %s: %v", j.id, err)
+		return
+	}
+	m.checkpoints.Add(1)
+}
+
+// persistTerminal writes the final journal state (best-effort: the
+// in-memory table is authoritative for this process's lifetime).
+func (m *Manager) persistTerminal(j *job) {
+	if m.cfg.Dir == "" {
+		return
+	}
+	if err := m.writeJournal(j); err != nil {
+		m.checkpointErrors.Add(1)
+		log.Printf("jobs: persist %s: %v", j.id, err)
+		return
+	}
+	m.checkpoints.Add(1)
+}
+
+// writeJournal snapshots j under the lock and writes it atomically
+// outside it (blobs are immutable once set, so the slice copies are
+// safe to encode unlocked).
+func (m *Manager) writeJournal(j *job) error {
+	if m.cfg.Dir == "" {
+		return nil
+	}
+	m.mu.Lock()
+	jf := journalFile{
+		ID: j.id, Type: j.typ, Lane: j.lane,
+		Params: j.params, ParamsSum: paramsSum(j.params),
+		Deadline: j.deadline, Submitted: j.submitted,
+		Status: j.status, Chunks: j.chunks,
+		Bitmap:    append([]uint64(nil), j.bitmap...),
+		ChunkData: append([][]byte(nil), j.data...),
+		Result:    j.result, ErrMsg: j.errMsg,
+	}
+	if jf.Status == StatusRunning {
+		// A journal never claims "running": the process writing it may
+		// die the next instant, and on disk that state means "queued
+		// with progress".
+		jf.Status = StatusQueued
+	}
+	m.mu.Unlock()
+	data, err := encodeJournal(&jf)
+	if err != nil {
+		return err
+	}
+	return snapcodec.WriteFileAtomic(journalPath(m.cfg.Dir, j.id), data)
+}
+
+func (m *Manager) removeJournal(id string) {
+	if m.cfg.Dir == "" {
+		return
+	}
+	_ = os.Remove(journalPath(m.cfg.Dir, id))
+}

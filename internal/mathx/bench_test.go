@@ -15,6 +15,7 @@ func BenchmarkSpMVParallel(b *testing.B) {
 
 	b.Run("serial", func(b *testing.B) {
 		setWorkersForTest(b, 1)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			a.MulVec(x, y)
@@ -22,6 +23,7 @@ func BenchmarkSpMVParallel(b *testing.B) {
 	})
 	b.Run("parallel", func(b *testing.B) {
 		setWorkersForTest(b, 0) // GOMAXPROCS
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			a.MulVec(x, y)
@@ -38,6 +40,7 @@ func BenchmarkDotParallel(b *testing.B) {
 
 	b.Run("serial", func(b *testing.B) {
 		setWorkersForTest(b, 1)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			Dot(x, y)
@@ -45,6 +48,7 @@ func BenchmarkDotParallel(b *testing.B) {
 	})
 	b.Run("parallel", func(b *testing.B) {
 		setWorkersForTest(b, 0)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			Dot(x, y)

@@ -32,12 +32,18 @@ const (
 	// so the scalar solvers (core's Brent iteration operates on tiny
 	// vectors) are bit-for-bit unchanged.
 	reduceChunk = 4096
-	// spmvRowChunk is the fixed row-block size for parallel CSR·x.
-	spmvRowChunk = 512
+	// spmvRowChunk is the fixed row-block size for parallel CSR·x. Each
+	// y[i] is owned by exactly one chunk, so the block size affects only
+	// scheduling, never the result. 2048 rows (~10k nonzeros on the FDM
+	// stencils) keeps the per-chunk atomic dispatch amortized: the 512-row
+	// blocks this started with spent so much time in handout that the
+	// parallel path benchmarked 0.77x serial (BENCH_5).
+	spmvRowChunk = 2048
 	// parallelMinWork is the smallest element (or nonzero) count worth
 	// fanning out; below it the chunked loop runs on the calling
-	// goroutine.
-	parallelMinWork = 1 << 15
+	// goroutine. Re-measured with BENCH_5: at 1<<15 the goroutine+dispatch
+	// cost still dominated mid-size SpMVs, so the crossover sits at 1<<17.
+	parallelMinWork = 1 << 17
 )
 
 // workerKnob holds the configured worker count; 0 means "GOMAXPROCS at
@@ -126,12 +132,24 @@ func Dot(a, b []float64) float64 {
 		return s
 	}
 	nChunks := (n + reduceChunk - 1) / reduceChunk
-	partials := make([]float64, nChunks)
-	workers := 1
-	if n >= parallelMinWork {
-		workers = Workers()
+	if n < parallelMinWork || Workers() == 1 {
+		// Inline serial reduction over the same chunk grid, combined in
+		// the same chunk-index order as the fan-out below — bit-identical,
+		// but with no partials slice the hot path is allocation-free.
+		s := 0.0
+		for c := 0; c < nChunks; c++ {
+			lo := c * reduceChunk
+			hi := min(lo+reduceChunk, n)
+			cs := 0.0
+			for i := lo; i < hi; i++ {
+				cs += a[i] * b[i]
+			}
+			s += cs
+		}
+		return s
 	}
-	parfor(nChunks, workers, func(c int) {
+	partials := make([]float64, nChunks)
+	parfor(nChunks, Workers(), func(c int) {
 		lo := c * reduceChunk
 		hi := min(lo+reduceChunk, n)
 		s := 0.0
@@ -151,7 +169,7 @@ func Dot(a, b []float64) float64 {
 // one chunk, so the parallel path is trivially bit-identical to serial.
 func Axpy(alpha float64, x, y []float64) {
 	n := len(x)
-	if n < parallelMinWork {
+	if n < parallelMinWork || Workers() == 1 {
 		for i, v := range x {
 			y[i] += alpha * v
 		}
@@ -187,7 +205,7 @@ func (m *CSR) MulVec(x, y []float64) {
 		panic("mathx: CSR.MulVec dimension mismatch")
 	}
 	nnz := len(m.Val)
-	if nnz < parallelMinWork || m.N < 2*spmvRowChunk {
+	if nnz < parallelMinWork || m.N < 2*spmvRowChunk || Workers() == 1 {
 		m.mulVecRows(x, y, 0, m.N)
 		return
 	}

@@ -309,3 +309,28 @@ func TestSetWorkersClamp(t *testing.T) {
 		t.Fatalf("Workers() = %d, want 3", Workers())
 	}
 }
+
+// TestHotLoopsAllocationFree locks the serial hot paths at zero
+// allocations: with one worker, Dot, Axpy and CSR.MulVec must run
+// entirely on the calling goroutine with no per-call scratch. This is
+// what the BENCH_5 SpMV regression traced back to — scheduling overhead
+// the single-core path should never pay.
+func TestHotLoopsAllocationFree(t *testing.T) {
+	setWorkersForTest(t, 1)
+	a := laplacian2D(200, 200)
+	rng := rand.New(rand.NewSource(5))
+	x := randVec(rng, a.N)
+	y := make([]float64, a.N)
+	var sink float64
+	cases := map[string]func(){
+		"Dot":    func() { sink += Dot(x, x) },
+		"Axpy":   func() { Axpy(0.5, x, y) },
+		"MulVec": func() { a.MulVec(x, y) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Errorf("%s: %.0f allocs/op with workers=1, want 0", name, allocs)
+		}
+	}
+	_ = sink
+}

@@ -71,7 +71,31 @@ type MCLevelResult struct {
 // concurrently across a bounded worker pool (Variation.Workers); each
 // sample draws from its own seeded RNG substream, so a given Seed
 // produces identical percentiles at any worker count.
+//
+// MonteCarlo is MonteCarloRows(0, Samples) + MonteCarloFromRows; the
+// split pair is the resumable API (checkpointed jobs compute row ranges
+// across restarts and still assemble bit-identical percentiles).
 func MonteCarlo(tech *ntrs.Technology, spec Spec, v Variation) ([]MCLevelResult, error) {
+	if err := v.defaults(); err != nil {
+		return nil, err
+	}
+	jp, err := MonteCarloRows(tech, spec, v, 0, v.Samples)
+	if err != nil {
+		return nil, err
+	}
+	return MonteCarloFromRows(tech, spec, v, jp)
+}
+
+// MonteCarloRows evaluates Monte Carlo samples [lo, hi) and returns one
+// jpeak row per sample (jp[s-lo][k] is sample s's jpeak for
+// DesignRuleLevels[k]). Row s is a pure function of (tech, spec,
+// Variation.Seed, s) — each sample derives its own RNG substream from
+// the absolute sample index — so any partition of [0, Samples) into
+// ranges, evaluated in any order, on any worker count, across any
+// number of process restarts, reassembles into the exact matrix a
+// single uninterrupted call produces. This is the chunk kernel of the
+// resumable Monte Carlo job runner.
+func MonteCarloRows(tech *ntrs.Technology, spec Spec, v Variation, lo, hi int) ([][]float64, error) {
 	if err := v.defaults(); err != nil {
 		return nil, err
 	}
@@ -81,33 +105,64 @@ func MonteCarlo(tech *ntrs.Technology, spec Spec, v Variation) ([]MCLevelResult,
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
+	if lo < 0 || hi > v.Samples || lo > hi {
+		return nil, fmt.Errorf("%w: sample range [%d, %d) outside [0, %d)", ErrInvalid, lo, hi, v.Samples)
+	}
 	levels := designRuleLevels(tech)
-	// jp[s][k] is sample s's jpeak for levels[k]; each sample owns its
-	// row, so the fan-out below writes without coordination and the
+	// jp[i][k] is sample (lo+i)'s jpeak for levels[k]; each sample owns
+	// its row, so the fan-out below writes without coordination and the
 	// assembled matrix is identical at any worker count.
-	jp := make([][]float64, v.Samples)
-	errs := make([]error, v.Samples)
+	jp := make([][]float64, hi-lo)
+	errs := make([]error, hi-lo)
 	workers := v.Workers
 	if workers <= 0 {
 		workers = mathx.Workers()
 	}
-	mathx.ParForN(v.Samples, workers, func(s int) {
+	mathx.ParForN(hi-lo, workers, func(i int) {
+		s := lo + i
 		rng := rand.New(rand.NewSource(sampleSeed(v.Seed, s)))
 		pert := perturb(tech, v, rng)
 		row := make([]float64, len(levels))
 		for k, lvl := range levels {
 			sol, err := solveSignal(pert, lvl, spec)
 			if err != nil {
-				errs[s] = fmt.Errorf("rules: MC sample %d level %d: %w", s, lvl, err)
+				errs[i] = fmt.Errorf("rules: MC sample %d level %d: %w", s, lvl, err)
 				return
 			}
 			row[k] = sol.Jpeak
 		}
-		jp[s] = row
+		jp[i] = row
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	return jp, nil
+}
+
+// MonteCarloFromRows assembles the per-level percentile summary from a
+// complete sample matrix (jp[s][k] as produced by MonteCarloRows over
+// the full [0, Samples) range, ranges concatenated in index order). The
+// nominal solves and the sort-then-interpolate percentiles are
+// deterministic, so the result depends only on (tech, spec, v, jp).
+func MonteCarloFromRows(tech *ntrs.Technology, spec Spec, v Variation, jp [][]float64) ([]MCLevelResult, error) {
+	if err := v.defaults(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if len(jp) != v.Samples {
+		return nil, fmt.Errorf("%w: %d rows, want Samples=%d", ErrInvalid, len(jp), v.Samples)
+	}
+	levels := designRuleLevels(tech)
+	for s, row := range jp {
+		if len(row) != len(levels) {
+			return nil, fmt.Errorf("%w: row %d has %d levels, want %d", ErrInvalid, s, len(row), len(levels))
 		}
 	}
 

@@ -154,3 +154,57 @@ func TestPercentileHelper(t *testing.T) {
 		t.Error("empty data must be NaN")
 	}
 }
+
+// TestMonteCarloRowsChunkedEqualsOneShot locks the resumption invariant
+// the job subsystem leans on: evaluating the sample range in arbitrary
+// uneven chunks and reassembling in index order yields the exact
+// percentiles of one uninterrupted MonteCarlo call, bit for bit.
+func TestMonteCarloRowsChunkedEqualsOneShot(t *testing.T) {
+	v := defaultVariation()
+	v.Samples = 60
+	tech := ntrs.N250()
+	whole, err := MonteCarlo(tech, Spec{}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uneven chunk grid, evaluated out of order.
+	bounds := []int{0, 7, 8, 31, 60}
+	rows := make([][][]float64, len(bounds)-1)
+	for _, c := range []int{2, 0, 3, 1} {
+		r, err := MonteCarloRows(tech, Spec{}, v, bounds[c], bounds[c+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[c] = r
+	}
+	var jp [][]float64
+	for _, r := range rows {
+		jp = append(jp, r...)
+	}
+	got, err := MonteCarloFromRows(tech, Spec{}, v, jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(whole) {
+		t.Fatalf("level count %d != %d", len(got), len(whole))
+	}
+	for i := range got {
+		if got[i] != whole[i] {
+			t.Fatalf("level %d: chunked %+v != one-shot %+v", got[i].Level, got[i], whole[i])
+		}
+	}
+}
+
+// TestMonteCarloRowsValidation pins the range checks.
+func TestMonteCarloRowsValidation(t *testing.T) {
+	v := defaultVariation()
+	tech := ntrs.N250()
+	for _, c := range []struct{ lo, hi int }{{-1, 10}, {0, v.Samples + 1}, {20, 10}} {
+		if _, err := MonteCarloRows(tech, Spec{}, v, c.lo, c.hi); err == nil {
+			t.Errorf("range [%d, %d): no error", c.lo, c.hi)
+		}
+	}
+	if _, err := MonteCarloFromRows(tech, Spec{}, v, make([][]float64, 3)); err == nil {
+		t.Error("short row matrix: no error")
+	}
+}

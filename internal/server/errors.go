@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dsmtherm/internal/core"
+	"dsmtherm/internal/jobs"
 	"dsmtherm/internal/netcheck"
 	"dsmtherm/internal/rules"
 	"dsmtherm/internal/thermal"
@@ -80,8 +81,28 @@ func classify(err error) (int, string) {
 		errors.Is(err, core.ErrInvalid),
 		errors.Is(err, rules.ErrInvalid),
 		errors.Is(err, netcheck.ErrInvalid),
-		errors.Is(err, thermal.ErrInvalid):
+		errors.Is(err, thermal.ErrInvalid),
+		errors.Is(err, jobs.ErrInvalid),
+		errors.Is(err, jobs.ErrUnknownType):
 		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, ErrJobsDisabled):
+		return http.StatusNotFound, "jobs_disabled"
+	case errors.Is(err, jobs.ErrNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, jobs.ErrNotDone):
+		// The job exists but has not produced a result yet; poll the
+		// status endpoint instead of hammering the result one.
+		return http.StatusConflict, "not_done"
+	case errors.Is(err, jobs.ErrTerminal):
+		return http.StatusConflict, "terminal"
+	case errors.Is(err, jobs.ErrFailed):
+		// Well-formed submission whose compute failed (deadline, solver
+		// error): the result is permanently unavailable for this job.
+		return http.StatusUnprocessableEntity, "job_failed"
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, jobs.ErrStopped):
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, core.ErrNoSolution):
 		// A well-formed problem with no self-consistent operating point:
 		// semantically unprocessable, not malformed.

@@ -634,7 +634,7 @@ func (s *Server) handleTech(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache, s.pool, s.admission, &s.flights, s.quarantine, s.breaker))
+	writeJSON(w, http.StatusOK, s.metrics.SnapshotNow(s.cache, s.pool, s.admission, &s.flights, s.quarantine, s.breaker, s.jobs))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

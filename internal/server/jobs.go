@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"dsmtherm/internal/jobs"
+)
+
+// /v1/jobs — the durable async job subsystem (internal/jobs) behind
+// HTTP. The server only adapts: validation, scheduling, checkpointing
+// and resume all live in the jobs.Manager, whose lifecycle (Stop/Kill)
+// belongs to whoever constructed it (cmd/dsmthermd stops it after the
+// HTTP drain so in-flight jobs suspend behind a final checkpoint).
+//
+// The job routes are deliberately NOT behind the admission gate: the
+// gate bounds solver-bearing synchronous requests, while job submission
+// is a cheap validate-and-journal (its backpressure is the lane queue
+// depth, surfaced as 429 + Retry-After from jobs.ErrQueueFull) and the
+// compute itself runs on the manager's dedicated low-priority worker
+// lane — never on the interactive pool that /v1/rules latency depends
+// on. Poll and result reads are lookups.
+
+// ErrJobsDisabled rejects /v1/jobs traffic when the daemon was started
+// without the job subsystem (HTTP 404: the feature is absent, not
+// overloaded).
+var ErrJobsDisabled = errors.New("server: job subsystem disabled")
+
+// Jobs exposes the job manager (tests and the daemon banner); nil when
+// disabled.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, ErrJobsDisabled)
+		return
+	}
+	var req jobs.SubmitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	v, err := s.jobs.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.JobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, ErrJobsDisabled)
+		return
+	}
+	v, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, ErrJobsDisabled)
+		return
+	}
+	raw, err := s.jobs.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, raw)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, ErrJobsDisabled)
+		return
+	}
+	id := r.PathValue("id")
+	if err := s.jobs.Cancel(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.JobsCancelled.Add(1)
+	// Return the post-cancel view: a queued job is already terminal, a
+	// running one reports cancellation in flight.
+	v, err := s.jobs.Get(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}

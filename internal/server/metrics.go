@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dsmtherm/internal/core"
+	"dsmtherm/internal/jobs"
 )
 
 // Metrics is the daemon's observability surface: expvar-style atomic
@@ -64,6 +65,12 @@ type Metrics struct {
 	SnapshotLoaded       atomic.Uint64
 	SnapshotLoadFailures atomic.Uint64
 	SnapshotSkipped      atomic.Uint64
+
+	// Job counters: HTTP-level accepts and cancels on /v1/jobs. The
+	// manager's own lifecycle counters (chunks run, checkpoints, resumes)
+	// come from jobs.Manager.Stats() in the snapshot's jobs section.
+	JobsSubmitted atomic.Uint64
+	JobsCancelled atomic.Uint64
 }
 
 // EndpointStats aggregates one route's traffic.
@@ -126,6 +133,16 @@ type Snapshot struct {
 	Pool       poolSnapshot                `json:"pool"`
 	Admission  admissionSnapshot           `json:"admission"`
 	Resilience resilienceSnapshot          `json:"resilience"`
+	Jobs       *jobsSnapshot               `json:"jobs,omitempty"`
+}
+
+// jobsSnapshot reports the async job subsystem: the HTTP counters plus
+// the manager's own lifecycle stats. Omitted entirely when the daemon
+// runs without -jobs.
+type jobsSnapshot struct {
+	Submitted uint64     `json:"submitted"`
+	Cancelled uint64     `json:"cancelled"`
+	Manager   jobs.Stats `json:"manager"`
 }
 
 // resilienceSnapshot reports the failure-containment layer: recovered
@@ -198,9 +215,9 @@ type netcheckSnapshot struct {
 }
 
 // SnapshotNow collects the current counter values. cache, pool, adm,
-// flights, quarantine and breaker may each be nil (their sections read
-// zero).
-func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights *flightGroup, q *Quarantine, b *Breaker) Snapshot {
+// flights, quarantine, breaker and jm may each be nil (their sections
+// read zero; the jobs section is omitted).
+func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights *flightGroup, q *Quarantine, b *Breaker, jm *jobs.Manager) Snapshot {
 	s := Snapshot{
 		UptimeSec: time.Since(m.start).Seconds(),
 		InFlight:  m.inFlight.Load(),
@@ -283,6 +300,13 @@ func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights 
 			LoadFailures:  m.SnapshotLoadFailures.Load(),
 			Skipped:       m.SnapshotSkipped.Load(),
 		},
+	}
+	if jm != nil {
+		s.Jobs = &jobsSnapshot{
+			Submitted: m.JobsSubmitted.Load(),
+			Cancelled: m.JobsCancelled.Load(),
+			Manager:   jm.Stats(),
+		}
 	}
 	return s
 }

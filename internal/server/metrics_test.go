@@ -27,7 +27,7 @@ func TestObserveSolveClassifiesErrors(t *testing.T) {
 	if got := m.SolveInvalid.Load(); got != 1 {
 		t.Errorf("invalid = %d, want 1", got)
 	}
-	snap := m.SnapshotNow(nil, nil, nil, nil, nil, nil)
+	snap := m.SnapshotNow(nil, nil, nil, nil, nil, nil, nil)
 	if snap.Solver.NoSolution != 1 || snap.Solver.Invalid != 1 {
 		t.Errorf("snapshot misreports: %+v", snap.Solver)
 	}

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"dsmtherm/internal/core"
+	"dsmtherm/internal/jobs"
 	"dsmtherm/internal/material"
 	"dsmtherm/internal/ntrs"
 	"dsmtherm/internal/rules"
@@ -129,6 +130,12 @@ type Config struct {
 	// while the breaker is open, cache hits older than this are still
 	// served but marked "stale":true (default 1m).
 	BreakerStaleAfter time.Duration
+
+	// Jobs, when non-nil, enables the durable async job subsystem on
+	// POST/GET/DELETE /v1/jobs. The server adapts it to HTTP; the
+	// manager's lifecycle (Stop after drain, or Kill in crash tests)
+	// stays with whoever constructed it.
+	Jobs *jobs.Manager
 
 	// SnapshotPath, when set, enables crash-safe warm restarts: the
 	// solve cache's working set is written there (atomic temp+rename,
@@ -224,6 +231,7 @@ type Server struct {
 	admission  *Admission
 	quarantine *Quarantine
 	breaker    *Breaker
+	jobs       *jobs.Manager
 	flights    flightGroup
 	mux        *http.ServeMux
 
@@ -260,6 +268,7 @@ func New(cfg Config) *Server {
 		admission:  NewAdmission(cfg.AdmitConcurrent, cfg.QueueDepth, cfg.QueueWait),
 		quarantine: NewQuarantine(cfg.QuarantineThreshold, cfg.QuarantineWindow, cfg.QuarantineTTL, cfg.QuarantineEntries),
 		breaker:    NewBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown),
+		jobs:       cfg.Jobs,
 	}
 	// The pool task and flight leader recovery boundaries share one
 	// panic counter with the route backstop; recoverTo counts at the
@@ -273,6 +282,13 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/batch", s.handleBatch, gated)
 	s.route("POST /v1/netcheck", s.handleNetcheck, gated)
 	s.route("GET /v1/tech", s.handleTech, ungated)
+	// Job routes stay off the admission gate: submission is cheap
+	// validate-and-journal with its own lane-depth backpressure, and the
+	// compute runs on the manager's dedicated workers, not the pool.
+	s.route("POST /v1/jobs", s.handleJobSubmit, ungated)
+	s.route("GET /v1/jobs/{id}", s.handleJobGet, ungated)
+	s.route("GET /v1/jobs/{id}/result", s.handleJobResult, ungated)
+	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel, ungated)
 	s.route("GET /metrics", s.handleMetrics, ungated)
 	s.route("GET /healthz", s.handleHealthz, ungated)
 	s.route("GET /readyz", s.handleReadyz, ungated)

@@ -2,18 +2,16 @@ package server
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"log"
 	"os"
-	"path/filepath"
 
 	"dsmtherm/internal/core"
 	"dsmtherm/internal/rules"
+	"dsmtherm/internal/snapcodec"
 )
 
 // Cache snapshots: crash-safe warm restarts. A restarted daemon
@@ -29,19 +27,13 @@ import (
 // deliberately forgotten across restarts — a new binary may well fix
 // them. Skipped entries are counted, never silently dropped.
 //
-// File format, designed so a half-written or bit-flipped file is
-// detected before a single byte reaches gob:
-//
-//	[8]  magic "DSMSNAP1"
-//	[4]  version (big-endian uint32)
-//	[8]  payload length (big-endian uint64)
-//	[4]  CRC-32 (IEEE) of the payload
-//	[n]  payload: gob-encoded snapFile
-//
-// Writes are atomic: temp file in the same directory, fsync, rename.
-// Readers therefore only ever observe a complete previous snapshot or
-// none at all; the header checks are defense against torn storage
-// (crash mid-rename on weaker filesystems, manual copies, truncation).
+// The file rides the shared snapcodec framing — magic "DSMSNAP1",
+// version, length, CRC-32, then the gob-encoded snapFile — and the
+// shared atomic temp+fsync+rename write, so a half-written or
+// bit-flipped file is detected before a single byte reaches gob and
+// readers only ever observe a complete previous snapshot or none at
+// all. The job journals of internal/jobs use the same codec with their
+// own magic.
 
 var snapMagic = [8]byte{'D', 'S', 'M', 'S', 'N', 'A', 'P', '1'}
 
@@ -84,14 +76,7 @@ func encodeSnapshot(entries []snapEntry) ([]byte, error) {
 	if err := gob.NewEncoder(&payload).Encode(snapFile{Entries: entries}); err != nil {
 		return nil, fmt.Errorf("server: snapshot encode: %w", err)
 	}
-	p := payload.Bytes()
-	out := make([]byte, 0, len(p)+24)
-	out = append(out, snapMagic[:]...)
-	out = binary.BigEndian.AppendUint32(out, snapVersion)
-	out = binary.BigEndian.AppendUint64(out, uint64(len(p)))
-	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(p))
-	out = append(out, p...)
-	return out, nil
+	return snapcodec.Frame(snapMagic, snapVersion, payload.Bytes()), nil
 }
 
 // decodeSnapshot parses a framed snapshot. Every failure wraps
@@ -101,25 +86,9 @@ func encodeSnapshot(entries []snapEntry) ([]byte, error) {
 // the process on that; the fuzz target leans on this).
 func decodeSnapshot(data []byte) (sf snapFile, err error) {
 	defer recoverTo(&err, "snapshot.decode", nil)
-	if len(data) < 24 {
-		return snapFile{}, fmt.Errorf("%w: %d bytes, want at least the 24-byte header", ErrSnapshotCorrupt, len(data))
-	}
-	if !bytes.Equal(data[:8], snapMagic[:]) {
-		return snapFile{}, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, data[:8])
-	}
-	if v := binary.BigEndian.Uint32(data[8:12]); v != snapVersion {
-		return snapFile{}, fmt.Errorf("%w: version %d, want %d", ErrSnapshotCorrupt, v, snapVersion)
-	}
-	n := binary.BigEndian.Uint64(data[12:20])
-	if n > snapMaxPayload {
-		return snapFile{}, fmt.Errorf("%w: payload length %d exceeds cap %d", ErrSnapshotCorrupt, n, snapMaxPayload)
-	}
-	if uint64(len(data)-24) != n {
-		return snapFile{}, fmt.Errorf("%w: payload %d bytes, header says %d", ErrSnapshotCorrupt, len(data)-24, n)
-	}
-	payload := data[24:]
-	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(data[20:24]) {
-		return snapFile{}, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	payload, err := snapcodec.Unframe(snapMagic, snapVersion, snapMaxPayload, data)
+	if err != nil {
+		return snapFile{}, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sf); err != nil {
 		return snapFile{}, fmt.Errorf("%w: gob: %v", ErrSnapshotCorrupt, err)
@@ -170,38 +139,11 @@ func (s *Server) SaveSnapshot() error {
 		s.metrics.SnapshotSaveErrors.Add(1)
 		return err
 	}
-	if err := writeFileAtomic(s.cfg.SnapshotPath, data); err != nil {
+	if err := snapcodec.WriteFileAtomic(s.cfg.SnapshotPath, data); err != nil {
 		s.metrics.SnapshotSaveErrors.Add(1)
 		return fmt.Errorf("server: snapshot save: %w", err)
 	}
 	s.metrics.SnapshotSaves.Add(1)
-	return nil
-}
-
-// writeFileAtomic writes data to path via a same-directory temp file,
-// fsync, and rename, so path always holds either the old complete file
-// or the new one.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	_, werr := f.Write(data)
-	if werr == nil {
-		werr = f.Sync()
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp, path)
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return werr
-	}
 	return nil
 }
 
