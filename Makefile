@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race chaos fuzz-smoke bench-smoke bench-json verify
+.PHONY: build test vet race chaos fuzz-smoke bench-smoke bench-json cover-chipcheck verify
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,18 @@ fuzz-smoke:
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDeckKeyEncoder -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzSnapshotCodec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/jobs -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/chipcheck -run '^$$' -fuzz FuzzCompileParams -fuzztime $(FUZZTIME)
+
+# Coverage gate for the signoff engine: the coupled-loop/verdict/report
+# paths are the correctness core of /v1/chipcheck, so regressions in test
+# reach fail the build rather than rotting silently.
+cover-chipcheck:
+	$(GO) test ./internal/chipcheck -coverprofile=cover.out -count=1
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { \
+		pct = $$3; sub(/%/, "", pct); \
+		printf "chipcheck coverage: %s%%\n", pct; \
+		if (pct + 0 < 80) { print "FAIL: below 80% gate"; exit 1 } }'
+	@rm -f cover.out
 
 # One-iteration pass over the orchestration benchmarks: keeps the
 # thundering-herd, batch-vs-serial, warm-restart and quarantine paths
@@ -46,9 +58,9 @@ bench-smoke:
 # same run, appended to the perf trajectory as the next BENCH_<n>.json
 # (cmd/benchjson -next auto-increments past the highest existing index).
 bench-json:
-	$(GO) test ./internal/mathx ./internal/fdm ./internal/rules ./internal/jobs -run '^$$' \
-		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel|JobThroughput' \
+	$(GO) test ./internal/mathx ./internal/fdm ./internal/rules ./internal/jobs ./internal/chipcheck -run '^$$' \
+		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel|JobThroughput|Chipcheck' \
 		-benchtime 10x -count=1 | $(GO) run ./cmd/benchjson -next .
 
-verify: build vet test race chaos fuzz-smoke bench-smoke
+verify: build vet test race chaos fuzz-smoke bench-smoke cover-chipcheck
 	@echo "verify: all gates passed"

@@ -6,14 +6,15 @@
 //
 //	dsmthermd -addr :8080 -workers 8 -cache 4096 -timeout 30s \
 //	          -admit 16 -queue-depth 64 -queue-wait 2s \
-//	          -batch-max 256 -max-segments 10000 \
+//	          -batch-max 256 -max-segments 10000 -chip-max-nodes 4096 \
 //	          -route-timeout /v1/netcheck=2m -route-timeout /v1/rules=5s \
 //	          -snapshot-path /var/lib/dsmthermd/cache.snap -snapshot-interval 5m \
 //	          -quarantine-threshold 3 -breaker-threshold 5 \
 //	          -jobs -jobs-dir /var/lib/dsmthermd/jobs -jobs-workers 1
 //
 // With -jobs, chip-scale work (large Monte Carlo runs, sweep grids,
-// FDM coupling maps) is accepted asynchronously on /v1/jobs and runs on
+// FDM coupling maps, full-chip chipchecks) is accepted asynchronously
+// on /v1/jobs and runs on
 // a dedicated low-priority worker lane; with -jobs-dir set, progress is
 // checkpointed so a crashed or restarted daemon resumes jobs exactly
 // where they stopped, bit-identical to an uninterrupted run.
@@ -52,6 +53,7 @@ func main() {
 	admit := flag.Int("admit", 0, "max concurrent solver-bearing requests (0 = 2x workers)")
 	batchMax := flag.Int("batch-max", 0, "max entries in one /v1/batch request (0 = 256)")
 	maxSegments := flag.Int("max-segments", 0, "max segments in one /v1/netcheck design (0 = 10000, negative disables)")
+	chipMaxNodes := flag.Int("chip-max-nodes", 0, "max grid nodes in one synchronous /v1/chipcheck (0 = 4096, negative disables; bigger grids go through -jobs)")
 	queueDepth := flag.Int("queue-depth", 0, "admission wait-queue depth before 429 (0 = 4x admit, negative = no queue)")
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request waits for admission before 503")
 	snapshotPath := flag.String("snapshot-path", "", "cache snapshot file for warm restarts (empty disables)")
@@ -99,6 +101,7 @@ func main() {
 		QueueWait:        *queueWait,
 		MaxBatch:         *batchMax,
 		MaxSegments:      *maxSegments,
+		MaxChipNodes:     *chipMaxNodes,
 
 		SnapshotPath:        *snapshotPath,
 		SnapshotInterval:    *snapshotInterval,

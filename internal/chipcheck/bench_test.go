@@ -1,0 +1,46 @@
+package chipcheck
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkChipcheckSolve measures the coupled IR-drop ↔ thermal-map
+// fixed point on the medium fixture (2992 branches, converges in a few
+// passes): the cost of one full-chip field.
+func BenchmarkChipcheckSolve(b *testing.B) {
+	c, err := Compile(mediumFixture())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Solve(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChipcheckVerdicts measures tile throughput of the
+// single-pass EM check: segments/second over an already-solved field —
+// the per-chunk cost a chipcheck job pays after the shared field is up.
+func BenchmarkChipcheckVerdicts(b *testing.B) {
+	c, err := Compile(mediumFixture())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := c.Solve(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb := c.NumBranches()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Verdicts(f, 0, nb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(nb)*float64(b.N)/b.Elapsed().Seconds(), "segments/s")
+}

@@ -1,0 +1,58 @@
+package chipcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"dsmtherm/internal/powergrid"
+)
+
+// FuzzCompileParams drives arbitrary JSON through the chipcheck request
+// decoder (strict, unknown fields rejected — the same policy as the
+// serving layer) and Compile. The contract under fuzz: no panic, no
+// compute, and every rejection is a classifiable client error — a JSON
+// decode error or a chipcheck/powergrid invalid-parameters sentinel —
+// so the server always answers a structured 400, never a 500.
+func FuzzCompileParams(f *testing.F) {
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"uniformLoadA":1.2}`)
+	f.Add(`{"nx":4,"ny":4,"pads":[{"i":0,"j":0}],"loads":[{"i":2,"j":2,"amps":0.5}]}`)
+	f.Add(`{"node":"0.10","nx":8,"ny":8,"padRing":true,"j0MA":1.0,"trefC":85}`)
+	f.Add(`{"nx":2,"ny":2,"padRing":true,"uniformLoadA":1}`)
+	f.Add(`{"nx":1000000,"ny":1000000,"padRing":true}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"pitchXUm":0}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"pitchYUm":1e999}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"maxIter":-3}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"tolK":-1}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"dropLimitFrac":2}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"sinkWPerM2K":0}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"hLevel":-1,"vLevel":99}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"metal":"unobtainium"}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"unknownField":1}`)
+	f.Add(`{"nx":12,"ny":12,"pads":[{"i":-5,"j":99}]}`)
+	f.Add(`{"nx":12,"ny":12,"padRing":true,"loads":[{"i":1,"j":1,"amps":-2}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"type":"chipcheck"}`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var p Params
+		dec := json.NewDecoder(bytes.NewReader([]byte(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&p); err != nil {
+			return // decode errors are the serving layer's 400 path
+		}
+		c, err := Compile(p)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) && !errors.Is(err, powergrid.ErrInvalid) {
+				t.Fatalf("Compile error is not a client-classifiable sentinel: %v", err)
+			}
+			return
+		}
+		// A compiled check must have a sane branch index space.
+		if c.NumBranches() <= 0 {
+			t.Fatalf("compiled check has %d branches", c.NumBranches())
+		}
+	})
+}

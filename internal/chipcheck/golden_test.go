@@ -1,0 +1,140 @@
+package chipcheck
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden chipcheck files")
+
+// goldenFloat renders a value with 9 significant digits — tighter than
+// the physics is meaningful, loose enough to ride out last-ulp noise
+// (same convention as the rules golden decks).
+func goldenFloat(x float64) string {
+	return strconv.FormatFloat(x, 'e', 9, 64)
+}
+
+func dumpVerdict(b *strings.Builder, v *Verdict) {
+	fmt.Fprintf(b, "seg %d M%d j=%s tm=%s ratio=%s imm=%t %s\n",
+		v.Branch, v.Level, goldenFloat(v.JMA), goldenFloat(v.TmC), goldenFloat(v.Ratio), v.Immortal, v.Code)
+}
+
+// dumpResult renders a chipcheck outcome as canonical high-precision
+// text. Summary, residual trace and worst list are dumped in full; the
+// segment stream is strided so the medium fixture stays a few hundred
+// lines while still pinning segments from every region of the grid.
+func dumpResult(res *Result, f *Field) string {
+	var b strings.Builder
+	s := res.Summary
+	fmt.Fprintf(&b, "grid nodes=%d branches=%d pads=%d\n", s.Nodes, s.Branches, s.Pads)
+	fmt.Fprintf(&b, "loop converged=%t iters=%d finalResid=%s tol=%s\n",
+		s.Converged, s.Iterations, goldenFloat(s.FinalResidualK), goldenFloat(s.TolK))
+	fmt.Fprintf(&b, "drop worst=%s at=(%d,%d) limit=%s ok=%t\n",
+		goldenFloat(s.WorstDropV), s.WorstDropNode.I, s.WorstDropNode.J, goldenFloat(s.DropLimitV), s.DropOK)
+	fmt.Fprintf(&b, "thermal maxJ=%s hottest=%s maxDT=%s\n",
+		goldenFloat(s.MaxJMA), goldenFloat(s.HottestTmC), goldenFloat(s.MaxDeltaTK))
+	fmt.Fprintf(&b, "verdicts idle=%d immortal=%d pass=%d fail=%d ok=%t\n",
+		s.Idle, s.Immortal, s.Pass, s.Fail, s.OK)
+	fmt.Fprintf(&b, "ratios p1=%s p10=%s p50=%s\n",
+		goldenFloat(s.RatioP1), goldenFloat(s.RatioP10), goldenFloat(s.RatioP50))
+	for i, r := range f.Residuals {
+		fmt.Fprintf(&b, "resid %d %s\n", i, goldenFloat(r))
+	}
+	b.WriteString("worst:\n")
+	for i := range res.Worst {
+		dumpVerdict(&b, &res.Worst[i])
+	}
+	stride := 1
+	if len(res.Segments) > 512 {
+		stride = (len(res.Segments) + 511) / 512
+	}
+	fmt.Fprintf(&b, "segments n=%d stride=%d:\n", len(res.Segments), stride)
+	for i := 0; i < len(res.Segments); i += stride {
+		dumpVerdict(&b, &res.Segments[i])
+	}
+	return b.String()
+}
+
+// goldenSHA256 pins the exact bytes of the checked-in chipcheck golden
+// files. TestGoldenFixtures proves the current pipeline reproduces the
+// text; this guard proves the files themselves were not silently
+// regenerated (`-update` churn changes hashes even when the new text
+// would still match a changed generator).
+var goldenSHA256 = map[string]string{
+	"small":  "7bf201d4376c01e1a92db7cd82731fd3315a542ed1305d02113e33376eb7f5ff",
+	"medium": "792c0c802a433ba1670b16251fd140282040a0961c0b11e27a4884bd30d926b0",
+}
+
+func TestGoldenChipcheckByteIdentical(t *testing.T) {
+	for name, want := range goldenSHA256 {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".golden"))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("%s: golden file bytes changed (sha256 %s, want %s)", name, got, want)
+		}
+	}
+}
+
+// TestGoldenFixtures locks the full coupled pipeline — IR drop, thermal
+// map, fixed point, EM verdicts, summary — against checked-in golden
+// files for both fixtures. Refresh intentionally with:
+//
+//	go test ./internal/chipcheck -run TestGoldenFixtures -update
+func TestGoldenFixtures(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Params
+	}{
+		{"small", smallFixture()},
+		{"medium", mediumFixture()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustCompile(t, tc.p)
+			f, err := c.Solve(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !f.Converged {
+				t.Fatalf("golden fixture must converge; residuals %v", f.Residuals)
+			}
+			verdicts, err := c.Verdicts(f, 0, c.NumBranches())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Report(f, verdicts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := dumpResult(res, f)
+			path := filepath.Join("testdata", "golden", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("chipcheck drifted from golden %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -1,9 +1,10 @@
 // Package jobs is the durable asynchronous job subsystem behind the
 // daemon's /v1/jobs routes: the paper's heavy analyses — large Monte
 // Carlo lifetime runs, dense duty-cycle/J0 sweep grids, batched FDM
-// coupling maps — cannot fit a request/response deadline, so they run
-// here as typed, checkpointed, cancellable background jobs instead of
-// holding an HTTP connection (and a pool slot) hostage for minutes.
+// coupling maps, full-chip coupled chipchecks — cannot fit a
+// request/response deadline, so they run here as typed, checkpointed,
+// cancellable background jobs instead of holding an HTTP connection
+// (and a pool slot) hostage for minutes.
 //
 // The contract, piece by piece:
 //
@@ -16,7 +17,9 @@
 //     (params, c): Monte Carlo samples derive per-sample RNG substreams
 //     from the absolute sample index (rules.MonteCarloRows), sweep
 //     points are independent scalar root searches, coupling-map entries
-//     are independent FDM solves. Finalize merges blobs in chunk-index
+//     are independent FDM solves, chipcheck tiles slice per-segment
+//     verdicts out of a coupled field that is itself a deterministic
+//     function of the params. Finalize merges blobs in chunk-index
 //     order. Together these make the job's result bit-identical however
 //     execution was sliced — including across a crash.
 //
@@ -55,6 +58,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"dsmtherm/internal/chipcheck"
 )
 
 // Lane identifies a scheduling lane.
@@ -143,7 +148,8 @@ type View struct {
 // SubmitRequest is the POST /v1/jobs body. Exactly one of the per-type
 // params fields must match Type.
 type SubmitRequest struct {
-	// Type selects the runner: "montecarlo", "sweep" or "coupling".
+	// Type selects the runner: "montecarlo", "sweep", "coupling" or
+	// "chipcheck".
 	Type string `json:"type"`
 	// Lane selects the scheduling lane (default bulk).
 	Lane Lane `json:"lane,omitempty"`
@@ -155,6 +161,7 @@ type SubmitRequest struct {
 	MonteCarlo *MonteCarloParams `json:"montecarlo,omitempty"`
 	Sweep      *SweepParams      `json:"sweep,omitempty"`
 	Coupling   *CouplingParams   `json:"coupling,omitempty"`
+	Chipcheck  *chipcheck.Params `json:"chipcheck,omitempty"`
 }
 
 // lane validates and defaults the requested lane.

@@ -349,6 +349,7 @@ func canonicalParams(req SubmitRequest) ([]byte, error) {
 		{TypeMonteCarlo, req.MonteCarlo, req.MonteCarlo == nil},
 		{TypeSweep, req.Sweep, req.Sweep == nil},
 		{TypeCoupling, req.Coupling, req.Coupling == nil},
+		{TypeChipcheck, req.Chipcheck, req.Chipcheck == nil},
 	} {
 		if f.nil {
 			continue

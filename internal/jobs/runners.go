@@ -45,9 +45,11 @@ func newTask(typ string, params json.RawMessage) (Task, error) {
 		return newSweepTask(params)
 	case TypeCoupling:
 		return newCouplingTask(params)
+	case TypeChipcheck:
+		return newChipcheckTask(params)
 	default:
-		return nil, fmt.Errorf("%w: %q (want %q, %q or %q)",
-			ErrUnknownType, typ, TypeMonteCarlo, TypeSweep, TypeCoupling)
+		return nil, fmt.Errorf("%w: %q (want %q, %q, %q or %q)",
+			ErrUnknownType, typ, TypeMonteCarlo, TypeSweep, TypeCoupling, TypeChipcheck)
 	}
 }
 

@@ -58,7 +58,7 @@ func NewPreconditioner(a *CSR, p Precond) (Preconditioner, error) {
 	case PrecondSSOR:
 		return newSSOR(a)
 	case PrecondIC0:
-		return newIC0(a)
+		return NewIC0(a)
 	}
 	return nil, fmt.Errorf("%w: unknown preconditioner %d", ErrPrecond, int(p))
 }
@@ -133,35 +133,83 @@ func (s *ssorPrec) Apply(r, z []float64) {
 	}
 }
 
-// ic0Prec is the zero-fill incomplete Cholesky factor L (A ≈ L·Lᵀ on A's
-// lower-triangular sparsity), stored row-compressed with the diagonal
-// entry last in each row.
-type ic0Prec struct {
+// IC0 is the zero-fill incomplete Cholesky factor L (A ≈ L·Lᵀ on A's
+// lower-triangular sparsity), stored row-compressed. The factor is
+// reusable two ways: across solves on one matrix (Apply is read-only),
+// and across matrices sharing a sparsity pattern via Refactor, which
+// restamps values into the existing storage — the path the coupled
+// electrothermal loop uses to refresh the preconditioner every pass
+// without reallocating.
+type IC0 struct {
 	n      int
 	rowPtr []int
 	colIdx []int
 	val    []float64
-	diag   []float64 // l_ii, also the last entry of each row
+	diag   []float64 // l_ii
+	diagA  []float64 // scratch: diagonal of A, refreshed by Refactor
 }
 
-func newIC0(a *CSR) (*ic0Prec, error) {
+// NewIC0 builds the IC(0) factor of a, which must be symmetric with rows
+// in ascending column order (as produced by Coord.ToCSR). Fails with
+// ErrPrecond when a pivot breaks down (matrix not SPD enough).
+func NewIC0(a *CSR) (*IC0, error) {
 	n := a.N
-	f := &ic0Prec{n: n, rowPtr: make([]int, n+1), diag: make([]float64, n)}
-	// Copy the strictly-lower entries (columns ascending) row by row.
+	f := &IC0{n: n, rowPtr: make([]int, n+1), diag: make([]float64, n), diagA: make([]float64, n)}
+	// Record the strictly-lower pattern (columns ascending) row by row;
+	// Refactor fills in the values.
 	for i := 0; i < n; i++ {
+		if i&0x3fff == 0x3fff {
+			kernelYield()
+		}
 		f.rowPtr[i] = len(f.colIdx)
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 			if j := a.ColIdx[k]; j < i {
 				f.colIdx = append(f.colIdx, j)
-				f.val = append(f.val, a.Val[k])
 			}
 		}
 	}
 	f.rowPtr[n] = len(f.colIdx)
-	diagA := a.Diag()
+	f.val = make([]float64, len(f.colIdx))
+	if err := f.Refactor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactor recomputes the factorization for a matrix with the same
+// sparsity pattern as the one the factor was built from (values may
+// differ), reusing all existing storage — no allocation. On error the
+// factor contents are undefined; rebuild with NewIC0 or fall back to
+// another preconditioner before the next Apply.
+func (f *IC0) Refactor(a *CSR) error {
+	if a.N != f.n {
+		return fmt.Errorf("%w: IC(0) refactor dimension mismatch (%d vs %d)", ErrPrecond, a.N, f.n)
+	}
+	// Restamp the strictly-lower values and the diagonal from a.
+	p := 0
+	for i := 0; i < f.n; i++ {
+		if i&0x3fff == 0x3fff {
+			kernelYield()
+		}
+		f.diagA[i] = 0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := a.ColIdx[k]; j < i {
+				f.val[p] = a.Val[k]
+				p++
+			} else if j == i {
+				f.diagA[i] = a.Val[k]
+			}
+		}
+	}
+	if p != len(f.val) {
+		return fmt.Errorf("%w: IC(0) refactor pattern mismatch", ErrPrecond)
+	}
 	// Row-oriented factorization. FDM stencils have ≤ 2 strictly-lower
 	// entries per row, so the sparse row intersections below are tiny.
-	for i := 0; i < n; i++ {
+	for i := 0; i < f.n; i++ {
+		if i&0x3fff == 0x3fff {
+			kernelYield()
+		}
 		// l_ij = (a_ij − Σ_{k<j} l_ik·l_jk) / l_jj for each stored j < i.
 		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
 			j := f.colIdx[p]
@@ -184,23 +232,26 @@ func newIC0(a *CSR) (*ic0Prec, error) {
 			f.val[p] = sum / f.diag[j]
 		}
 		// l_ii = sqrt(a_ii − Σ_{k<i} l_ik²).
-		s := diagA[i]
+		s := f.diagA[i]
 		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
 			s -= f.val[p] * f.val[p]
 		}
 		if s <= 0 || math.IsNaN(s) {
-			return nil, fmt.Errorf("%w: IC(0) pivot %g at row %d", ErrPrecond, s, i)
+			return fmt.Errorf("%w: IC(0) pivot %g at row %d", ErrPrecond, s, i)
 		}
 		f.diag[i] = math.Sqrt(s)
 	}
-	return f, nil
+	return nil
 }
 
 // Apply solves L·Lᵀ·z = r by one forward and one backward substitution.
-func (f *ic0Prec) Apply(r, z []float64) {
+func (f *IC0) Apply(r, z []float64) {
 	n := f.n
 	// Forward: L·y = r (y in z).
 	for i := 0; i < n; i++ {
+		if i&0x7fff == 0x7fff {
+			kernelYield()
+		}
 		s := r[i]
 		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
 			s -= f.val[p] * z[f.colIdx[p]]
@@ -209,6 +260,9 @@ func (f *ic0Prec) Apply(r, z []float64) {
 	}
 	// Backward: Lᵀ·z = y, column-oriented over L's rows.
 	for i := n - 1; i >= 0; i-- {
+		if i&0x7fff == 0x7fff {
+			kernelYield()
+		}
 		z[i] /= f.diag[i]
 		zi := z[i]
 		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {

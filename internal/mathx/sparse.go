@@ -27,6 +27,12 @@ func (c *Coord) Add(i, j int, v float64) {
 	c.is = append(c.is, i)
 	c.js = append(c.js, j)
 	c.vals = append(c.vals, v)
+	// Chip-scale assemblies stamp hundreds of thousands of triplets in
+	// one serial loop; a scheduling point every 64k keeps that span
+	// around a millisecond (one branch compare otherwise).
+	if len(c.is)&0xffff == 0 {
+		kernelYield()
+	}
 }
 
 // CSR is a compressed-sparse-row matrix.
@@ -43,7 +49,16 @@ func (c *Coord) ToCSR() *CSR {
 	for i := range order {
 		order[i] = i
 	}
+	// Chip-scale assemblies sort millions of triplets — tens of
+	// milliseconds of uninterruptible comparisons. A scheduling point
+	// every ~64k comparisons (≈1ms) keeps rebuild-heavy bulk solves
+	// from starving fast-lane goroutines on saturated hosts; the
+	// counter is noise on top of the comparator body.
+	var cmps int
 	sort.Slice(order, func(a, b int) bool {
+		if cmps++; cmps&0xffff == 0 {
+			kernelYield()
+		}
 		ia, ib := order[a], order[b]
 		if c.is[ia] != c.is[ib] {
 			return c.is[ia] < c.is[ib]
@@ -83,6 +98,28 @@ func (m *CSR) Diag() []float64 {
 	return d
 }
 
+// Slot returns the index into Val of entry (i, j), or -1 if the
+// sparsity pattern has no such entry. ToCSR emits each row with
+// ascending columns, so this is a binary search within row i. It lets
+// value-only refreshes (re-stamping temperature-dependent conductances
+// onto a fixed topology) bypass COO assembly entirely: resolve each
+// stamp's slot once, then rewrite Val in place on every pass.
+func (m *CSR) Slot(i, j int) int {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.ColIdx[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < m.RowPtr[i+1] && m.ColIdx[lo] == j {
+		return lo
+	}
+	return -1
+}
+
 // CGResult reports the outcome of a conjugate-gradient solve.
 type CGResult struct {
 	Iterations int
@@ -120,11 +157,37 @@ func SolveCGOpts(a *CSR, b, x []float64, opt CGOptions) CGResult {
 	return SolveCGPrec(a, b, x, opt.Rtol, opt.MaxIter, m)
 }
 
+// CGScratch holds the four work vectors of a CG solve so repeated
+// solves of same-size systems (the electrothermal fixed point solves
+// the same grid dozens of times) produce no per-call garbage. The zero
+// value is ready to use; vectors are (re)sized on demand.
+type CGScratch struct {
+	r, z, p, ap []float64
+}
+
+func (s *CGScratch) resize(n int) {
+	if cap(s.r) < n {
+		s.r = make([]float64, n)
+		s.z = make([]float64, n)
+		s.p = make([]float64, n)
+		s.ap = make([]float64, n)
+		return
+	}
+	s.r, s.z, s.p, s.ap = s.r[:n], s.z[:n], s.p[:n], s.ap[:n]
+}
+
 // SolveCGPrec runs preconditioned CG with a caller-supplied (reusable)
 // preconditioner, so batched multi-RHS solves pay the setup cost once.
 // An all-zero b short-circuits to the exact solution x = 0 (Converged,
 // zero iterations) regardless of the initial guess.
 func SolveCGPrec(a *CSR, b, x []float64, rtol float64, maxIter int, m Preconditioner) CGResult {
+	return SolveCGScratch(a, b, x, rtol, maxIter, m, &CGScratch{})
+}
+
+// SolveCGScratch is SolveCGPrec with caller-owned work vectors; results
+// are identical, only the allocation behavior differs. The scratch must
+// not be shared between concurrent solves.
+func SolveCGScratch(a *CSR, b, x []float64, rtol float64, maxIter int, m Preconditioner, scratch *CGScratch) CGResult {
 	n := a.N
 	if maxIter <= 0 {
 		maxIter = 10 * n
@@ -137,10 +200,8 @@ func SolveCGPrec(a *CSR, b, x []float64, rtol float64, maxIter int, m Preconditi
 		}
 		return CGResult{Iterations: 0, Residual: 0, Converged: true}
 	}
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	scratch.resize(n)
+	r, z, p, ap := scratch.r, scratch.z, scratch.p, scratch.ap
 
 	a.MulVec(x, r)
 	for i := range r {
@@ -151,6 +212,12 @@ func SolveCGPrec(a *CSR, b, x []float64, rtol float64, maxIter int, m Preconditi
 	rz := Dot(r, z)
 	res := CGResult{}
 	for k := 0; k < maxIter; k++ {
+		// One iteration is a millisecond-scale unit of work on chip-scale
+		// systems; this scheduling point keeps a long bulk solve from
+		// pinning a slot for seconds and backs off for in-flight
+		// fast-lane requests (see yield.go). When nothing else is
+		// runnable it is noise next to the SpMV below.
+		kernelYield()
 		rn := Norm2(r) / bnorm
 		res.Iterations, res.Residual = k, rn
 		if rn < rtol {

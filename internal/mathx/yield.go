@@ -1,0 +1,85 @@
+package mathx
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Fast-lane gate and kernel pacing. Chip-scale kernels (CG iterations,
+// banded-Cholesky factorization, COO→CSR assembly) run for seconds of
+// CPU time; on a saturated or small host they contend with
+// latency-sensitive request handling in two distinct ways:
+//
+//  1. Scheduler slots: a compute goroutine between scheduling points
+//     pins its P, so an already-runnable request goroutine waits out
+//     the span.
+//  2. Network wakeups: when every P is busy computing, nothing blocks
+//     in the netpoller, so a goroutine waiting on socket readiness is
+//     only discovered by sysmon's ~10ms background poll — a request
+//     and its response each eat one such delay no matter how often the
+//     compute goroutines Gosched (there is nothing runnable to yield
+//     to until the poller runs).
+//
+// Yield addresses both: it cedes the slot, briefly parks the P on a
+// rate-limited schedule (an idle P services the netpoller immediately),
+// and — while the serving layer has marked a fast-lane request in
+// flight via BeginFast/EndFast — backs off in bounded slices until the
+// request drains. The parks are bounded and rate-limited, so sustained
+// interactive traffic slows bulk work but never starves it, and the
+// mechanism changes scheduling only: every kernel's arithmetic and
+// result bytes are identical with or without it.
+
+const (
+	// fastParkSlice is one bounded wait while fast work drains; a
+	// handful of slices covers a typical scalar request end to end.
+	fastParkSlice = 100 * time.Microsecond
+	// fastParkMax caps the total park per yield point so bulk work
+	// stays work-conserving under continuous interactive load.
+	fastParkMax = 50
+	// pollPark/pollEvery: at most one pollPark-long P-park per
+	// pollEvery of compute, bounding both the netpoll wakeup latency a
+	// saturated host adds (~pollEvery) and the throughput cost of the
+	// parks (~pollPark/pollEvery, a few percent).
+	pollPark  = 50 * time.Microsecond
+	pollEvery = time.Millisecond
+)
+
+var (
+	fastActive atomic.Int64
+	yieldBase  = time.Now()
+	lastPark   atomic.Int64 // monotonic ns since yieldBase
+)
+
+// BeginFast marks a latency-sensitive request in flight. Pair with
+// EndFast (defer it — a leaked count would keep bulk kernels parking).
+// Only bracket work that does not itself run chip-scale kernels;
+// a kernel inside a fast bracket would park against its own count.
+func BeginFast() { fastActive.Add(1) }
+
+// EndFast clears a BeginFast mark.
+func EndFast() { fastActive.Add(-1) }
+
+// Yield is the long-running kernels' scheduling point. Call it from
+// loops whose span between calls is on the order of a millisecond —
+// chip-scale assembly, factorization and solver iterations. Exported so
+// the layers above mathx (grid assembly, coupled-field loops) can pace
+// their own long serial loops to the same gate.
+func Yield() {
+	if fastActive.Load() > 0 {
+		for i := 0; i < fastParkMax && fastActive.Load() > 0; i++ {
+			time.Sleep(fastParkSlice)
+		}
+		return
+	}
+	now := int64(time.Since(yieldBase))
+	last := lastPark.Load()
+	if now-last >= int64(pollEvery) && lastPark.CompareAndSwap(last, now) {
+		time.Sleep(pollPark)
+		return
+	}
+	runtime.Gosched()
+}
+
+// kernelYield is the internal alias used by the mathx kernels.
+func kernelYield() { Yield() }

@@ -15,6 +15,7 @@
 package powergrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -126,34 +127,44 @@ type Solution struct {
 type SolveOpts struct {
 	// Electrothermal enables the temperature-resistance feedback loop.
 	Electrothermal bool
-	// MaxIter caps the feedback iterations (default 10).
+	// MaxIter caps the feedback iterations (default 10, hard cap
+	// maxElectroIter; negative is ErrInvalid).
 	MaxIter int
 	// Tref is the reference temperature, K (default 100 °C).
 	Tref float64
 }
 
-// Solve computes the DC IR-drop solution for the given loads.
+// maxElectroIter is the firm ceiling on electrothermal feedback passes:
+// a converging loop settles in a handful, so anything beyond this is a
+// misconfigured request spinning, not progress.
+const maxElectroIter = 1000
+
+// Solve computes the DC IR-drop solution for the given loads. It
+// delegates to SolveCtx with a background context.
 func (g *Grid) Solve(loads []Load, opts SolveOpts) (*Solution, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
+	return g.SolveCtx(context.Background(), loads, opts)
+}
+
+// SolveCtx is Solve with cancellation: the electrothermal fixed-point
+// loop checks ctx before every nodal pass, so a cancelled request stops
+// within one linear solve instead of running its full iteration budget.
+func (g *Grid) SolveCtx(ctx context.Context, loads []Load, opts SolveOpts) (*Solution, error) {
+	if opts.MaxIter < 0 {
+		return nil, fmt.Errorf("%w: negative MaxIter %d", ErrInvalid, opts.MaxIter)
 	}
 	if opts.MaxIter == 0 {
 		opts.MaxIter = 10
 	}
+	opts.MaxIter = min(opts.MaxIter, maxElectroIter)
 	if opts.Tref == 0 {
 		opts.Tref = phys.CToK(100)
 	}
-	for _, l := range loads {
-		if !g.inRange(l.Node) {
-			return nil, fmt.Errorf("%w: load %v outside mesh", ErrInvalid, l.Node)
-		}
-		if l.Current < 0 {
-			return nil, fmt.Errorf("%w: negative load at %v", ErrInvalid, l.Node)
-		}
+	nodal, err := g.NewNodal(loads)
+	if err != nil {
+		return nil, err
 	}
 
-	branches := g.branches()
-	temps := make([]float64, len(branches))
+	temps := make([]float64, len(nodal.branches))
 	for i := range temps {
 		temps[i] = opts.Tref
 	}
@@ -165,8 +176,7 @@ func (g *Grid) Solve(loads []Load, opts SolveOpts) (*Solution, error) {
 	}
 	prevWorst := math.Inf(1)
 	for pass := 0; pass < iters; pass++ {
-		var err error
-		sol, err = g.solveOnce(loads, branches, temps)
+		sol, err = nodal.SolveInto(ctx, temps, sol)
 		if err != nil {
 			return nil, err
 		}
@@ -176,8 +186,8 @@ func (g *Grid) Solve(loads []Load, opts SolveOpts) (*Solution, error) {
 		}
 		// Update strap temperatures from their own Joule heating.
 		changed := false
-		for i := range branches {
-			tm, err := g.branchTemperature(&branches[i], sol.Branches[i].J, opts.Tref)
+		for i := range nodal.branches {
+			tm, err := g.branchTemperature(&nodal.branches[i], sol.Branches[i].J, opts.Tref)
 			if err != nil {
 				return nil, err
 			}
@@ -219,6 +229,21 @@ func (g *Grid) branches() []Branch {
 	return out
 }
 
+// Branches enumerates the strap segments with their topology (From, To,
+// Horizontal); currents and temperatures are zero. The order — all
+// horizontal straps row-major, then all vertical straps column-major —
+// is the index space every Solution.Branches slice and every
+// per-branch temperature vector uses.
+func (g *Grid) Branches() []Branch { return g.branches() }
+
+// BranchGeometry returns the metallization level, length (m) and
+// cross-section area (m²) of a branch — the extraction API chip-level
+// checkers use to turn solved branch currents into current densities
+// and Joule powers.
+func (g *Grid) BranchGeometry(b *Branch) (level int, length, area float64) {
+	return g.branchGeometry(b)
+}
+
 // branchGeometry returns the layer, length and cross-section of a branch.
 func (g *Grid) branchGeometry(b *Branch) (level int, length, area float64) {
 	if b.Horizontal {
@@ -256,69 +281,261 @@ func (g *Grid) branchTemperature(b *Branch, j, tref float64) (float64, error) {
 	return tm, nil
 }
 
-// solveOnce performs one nodal-analysis pass with fixed branch
-// temperatures.
-func (g *Grid) solveOnce(loads []Load, branches []Branch, temps []float64) (*Solution, error) {
-	n := g.Nx * g.Ny
-	isPad := make([]bool, n)
-	for _, p := range g.Pads {
-		isPad[g.nodeIndex(p)] = true
+// Nodal is a reusable nodal-analysis session over one (grid, loads)
+// pair. The mesh topology, per-branch geometry, pad set and load
+// injections are computed once at construction; each Solve then only
+// restamps the temperature-dependent conductances and runs a CG solve
+// warm-started from the previous call's drop vector. That makes an
+// external electrothermal loop — the grid's own Solve, or a chip-level
+// coupled checker driving branch temperatures from a shared thermal
+// map — pay near-incremental cost per temperature update. Solve results
+// are deterministic (the CG kernels are bit-identical at any worker
+// count) but a Nodal is not safe for concurrent use.
+type Nodal struct {
+	g        *Grid
+	branches []Branch
+	isPad    []bool
+	// area/length/level cache branchGeometry per branch.
+	level        []int
+	length, area []float64
+	rhsBase      []float64 // load injections, temperature-independent
+	x            []float64 // warm-start drop vector
+	// Assembly reuse: the matrix pattern is fixed by the topology — only
+	// the conductance values are temperature-dependent — so the CSR is
+	// built once at construction and every Solve restamps Val in place
+	// through precomputed slots. This keeps the electrothermal loop's
+	// per-pass allocation near zero (no COO triplets, no assembly sort,
+	// no CSR or preconditioner rebuild), which matters for latency as
+	// much as throughput: assembly garbage was the dominant GC trigger
+	// during coupled solves.
+	a        *mathx.CSR
+	slots    [][4]int // Val slots per branch: (f,f),(f,t),(t,t),(t,f); -1 absent
+	padSlots []int    // diagonal slots of pad rows (identity stamp)
+	conds    []float64
+	rhs      []float64
+	ic0      *mathx.IC0 // refactored in place each Solve; nil after breakdown
+	cg       mathx.CGScratch
+}
+
+// NewNodal validates the grid and loads and builds a session.
+func (g *Grid) NewNodal(loads []Load) (*Nodal, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
-	co := mathx.NewCoord(n)
-	rhs := make([]float64, n)
-	conds := make([]float64, len(branches))
-	for bi := range branches {
-		b := &branches[bi]
-		_, length, area := g.branchGeometry(b)
-		rho := g.Tech.Metal.Resistivity(temps[bi])
-		gcond := area / (rho * length)
-		conds[bi] = gcond
-		f, t := g.nodeIndex(b.From), g.nodeIndex(b.To)
-		stampBranch(co, rhs, f, t, gcond, isPad)
-	}
-	// Pad rows: identity (drop = 0).
-	for i := 0; i < n; i++ {
-		if isPad[i] {
-			co.Add(i, i, 1)
+	for _, l := range loads {
+		if !g.inRange(l.Node) {
+			return nil, fmt.Errorf("%w: load %v outside mesh", ErrInvalid, l.Node)
 		}
+		if l.Current < 0 || math.IsNaN(l.Current) || math.IsInf(l.Current, 0) {
+			return nil, fmt.Errorf("%w: load %g A at %v", ErrInvalid, l.Current, l.Node)
+		}
+	}
+	n := g.Nx * g.Ny
+	nd := &Nodal{g: g, branches: g.branches(), isPad: make([]bool, n),
+		rhsBase: make([]float64, n), x: make([]float64, n)}
+	for _, p := range g.Pads {
+		nd.isPad[g.nodeIndex(p)] = true
+	}
+	nd.level = make([]int, len(nd.branches))
+	nd.length = make([]float64, len(nd.branches))
+	nd.area = make([]float64, len(nd.branches))
+	for bi := range nd.branches {
+		if bi&0x7fff == 0x7fff {
+			mathx.Yield()
+		}
+		nd.level[bi], nd.length[bi], nd.area[bi] = g.branchGeometry(&nd.branches[bi])
 	}
 	// Loads: current drawn out of the node (drop formulation: I enters
-	// the drop network).
+	// the drop network). Pad-sited loads draw straight from the supply.
 	for _, l := range loads {
-		idx := g.nodeIndex(l.Node)
-		if !isPad[idx] {
-			rhs[idx] += l.Current
+		if idx := g.nodeIndex(l.Node); !nd.isPad[idx] {
+			nd.rhsBase[idx] += l.Current
 		}
 	}
-	a := co.ToCSR()
-	x := make([]float64, n)
-	res := mathx.SolveCG(a, rhs, x, 1e-12, 0)
+	// The sparsity pattern is the 5-point mesh stencil with pad rows and
+	// columns reduced to the diagonal (exactly what stampBranch emits),
+	// so the CSR is built directly in ascending-column order — no COO
+	// triplets and no assembly sort. Solve restamps the values through
+	// the slot tables below.
+	a := &mathx.CSR{N: n, RowPtr: make([]int, n+1)}
+	cols := make([]int, 0, 5*n)
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			idx := j*g.Nx + i
+			if idx&0x7fff == 0x7fff {
+				mathx.Yield()
+			}
+			if nd.isPad[idx] {
+				cols = append(cols, idx)
+				a.RowPtr[idx+1] = len(cols)
+				continue
+			}
+			if j > 0 && !nd.isPad[idx-g.Nx] {
+				cols = append(cols, idx-g.Nx)
+			}
+			if i > 0 && !nd.isPad[idx-1] {
+				cols = append(cols, idx-1)
+			}
+			cols = append(cols, idx)
+			if i+1 < g.Nx && !nd.isPad[idx+1] {
+				cols = append(cols, idx+1)
+			}
+			if j+1 < g.Ny && !nd.isPad[idx+g.Nx] {
+				cols = append(cols, idx+g.Nx)
+			}
+			a.RowPtr[idx+1] = len(cols)
+		}
+	}
+	a.ColIdx = cols
+	a.Val = make([]float64, len(cols))
+	nd.a = a
+	nd.slots = make([][4]int, len(nd.branches))
+	for bi := range nd.branches {
+		if bi&0x7fff == 0x7fff {
+			mathx.Yield()
+		}
+		b := &nd.branches[bi]
+		f, t := g.nodeIndex(b.From), g.nodeIndex(b.To)
+		s := [4]int{-1, -1, -1, -1}
+		if !nd.isPad[f] {
+			s[0] = nd.a.Slot(f, f)
+			if !nd.isPad[t] {
+				s[1] = nd.a.Slot(f, t)
+			}
+		}
+		if !nd.isPad[t] {
+			s[2] = nd.a.Slot(t, t)
+			if !nd.isPad[f] {
+				s[3] = nd.a.Slot(t, f)
+			}
+		}
+		nd.slots[bi] = s
+	}
+	for i := 0; i < n; i++ {
+		if nd.isPad[i] {
+			nd.padSlots = append(nd.padSlots, nd.a.Slot(i, i))
+		}
+	}
+	nd.conds = make([]float64, len(nd.branches))
+	nd.rhs = make([]float64, n)
+	return nd, nil
+}
+
+// NumBranches returns the branch count (the length of every temps
+// vector Solve accepts).
+func (nd *Nodal) NumBranches() int { return len(nd.branches) }
+
+// Branches returns a copy of the session's branch topology.
+func (nd *Nodal) Branches() []Branch {
+	out := make([]Branch, len(nd.branches))
+	copy(out, nd.branches)
+	return out
+}
+
+// Solve performs one nodal-analysis pass with the given per-branch
+// temperatures (len must equal NumBranches). Successive calls
+// warm-start from the previous solution.
+func (nd *Nodal) Solve(ctx context.Context, temps []float64) (*Solution, error) {
+	return nd.SolveInto(ctx, temps, nil)
+}
+
+// SolveInto is Solve reusing the buffers of a Solution returned by a
+// previous call on this session (pass nil to allocate fresh). The
+// electrothermal loops call it with last pass's Solution, so a coupled
+// solve's steady state allocates nothing per pass — results are
+// identical either way. The reused Solution must no longer be read by
+// the caller; it is overwritten in place.
+func (nd *Nodal) SolveInto(ctx context.Context, temps []float64, reuse *Solution) (*Solution, error) {
+	if len(temps) != len(nd.branches) {
+		return nil, fmt.Errorf("%w: %d temperatures for %d branches", ErrInvalid, len(temps), len(nd.branches))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := nd.g
+	a, conds := nd.a, nd.conds
+	// Restamp the temperature-dependent conductances into the cached
+	// pattern. Branch order is fixed, so the stamped values — and every
+	// downstream result — are bit-identical run to run.
+	for i := range a.Val {
+		a.Val[i] = 0
+	}
+	for bi := range nd.branches {
+		if bi&0x7fff == 0x7fff {
+			mathx.Yield()
+		}
+		rho := g.Tech.Metal.Resistivity(temps[bi])
+		gcond := nd.area[bi] / (rho * nd.length[bi])
+		conds[bi] = gcond
+		s := &nd.slots[bi]
+		if s[0] >= 0 {
+			a.Val[s[0]] += gcond
+		}
+		if s[1] >= 0 {
+			a.Val[s[1]] -= gcond
+		}
+		if s[2] >= 0 {
+			a.Val[s[2]] += gcond
+		}
+		if s[3] >= 0 {
+			a.Val[s[3]] -= gcond
+		}
+	}
+	// Pad rows: identity (drop = 0).
+	for _, k := range nd.padSlots {
+		a.Val[k] = 1
+	}
+	var prec mathx.Preconditioner
+	if nd.ic0 == nil {
+		if f, err := mathx.NewIC0(a); err == nil {
+			nd.ic0 = f
+		}
+	} else if nd.ic0.Refactor(a) != nil {
+		nd.ic0 = nil
+	}
+	if nd.ic0 != nil {
+		prec = nd.ic0
+	} else {
+		prec, _ = mathx.NewPreconditioner(a, mathx.PrecondJacobi)
+	}
+	copy(nd.rhs, nd.rhsBase)
+	res := mathx.SolveCGScratch(a, nd.rhs, nd.x, 1e-12, 0, prec, &nd.cg)
 	if !res.Converged {
 		return nil, fmt.Errorf("powergrid: CG stalled (residual %g)", res.Residual)
 	}
+	x := nd.x
 
-	sol := &Solution{Grid: g}
-	sol.Drop = make([][]float64, g.Ny)
+	sol := reuse
+	if sol == nil || len(sol.Branches) != len(nd.branches) ||
+		len(sol.Drop) != g.Ny || len(sol.Drop[0]) != g.Nx {
+		sol = &Solution{Grid: g, Drop: make([][]float64, g.Ny), Branches: make([]Branch, len(nd.branches))}
+		rows := make([]float64, g.Ny*g.Nx)
+		for j := 0; j < g.Ny; j++ {
+			sol.Drop[j] = rows[j*g.Nx : (j+1)*g.Nx : (j+1)*g.Nx]
+		}
+	}
+	*sol = Solution{Grid: g, Drop: sol.Drop, Branches: sol.Branches}
 	for j := 0; j < g.Ny; j++ {
-		sol.Drop[j] = make([]float64, g.Nx)
+		row := sol.Drop[j]
 		for i := 0; i < g.Nx; i++ {
 			d := x[g.nodeIndex(Node{i, j})]
-			sol.Drop[j][i] = d
+			row[i] = d
 			if d > sol.WorstDrop {
 				sol.WorstDrop = d
 				sol.WorstDropNode = Node{i, j}
 			}
 		}
 	}
-	sol.Branches = make([]Branch, len(branches))
-	for bi := range branches {
-		b := branches[bi]
-		_, _, area := g.branchGeometry(&b)
+	for bi := range nd.branches {
+		if bi&0x7fff == 0x7fff {
+			mathx.Yield()
+		}
+		b := nd.branches[bi]
 		f, t := g.nodeIndex(b.From), g.nodeIndex(b.To)
 		// Current flows from lower drop to higher drop within the drop
 		// network; in the physical grid it flows toward the loads.
 		b.Current = conds[bi] * (x[t] - x[f])
-		b.J = math.Abs(b.Current) / area
+		b.J = math.Abs(b.Current) / nd.area[bi]
 		b.Tm = temps[bi]
 		if b.J > sol.MaxJ {
 			sol.MaxJ = b.J
@@ -326,23 +543,6 @@ func (g *Grid) solveOnce(loads []Load, branches []Branch, temps []float64) (*Sol
 		sol.Branches[bi] = b
 	}
 	return sol, nil
-}
-
-// stampBranch stamps a conductance between nodes f and t in the drop
-// formulation, where pad nodes are held at drop 0.
-func stampBranch(co *mathx.Coord, rhs []float64, f, t int, g float64, isPad []bool) {
-	if !isPad[f] {
-		co.Add(f, f, g)
-		if !isPad[t] {
-			co.Add(f, t, -g)
-		}
-	}
-	if !isPad[t] {
-		co.Add(t, t, g)
-		if !isPad[f] {
-			co.Add(t, f, -g)
-		}
-	}
 }
 
 // TotalLoad sums the sink currents.

@@ -1,6 +1,8 @@
 package powergrid
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -204,5 +206,59 @@ func TestLoadAtPadIsFree(t *testing.T) {
 	}
 	if sol.WorstDrop > 1e-12 {
 		t.Errorf("pad-sited load should cause no drop, got %v", sol.WorstDrop)
+	}
+}
+
+func TestSolveCtxAlreadyCancelled(t *testing.T) {
+	// Regression: the electrothermal fixed-point loop used to be
+	// uncancellable. An already-cancelled ctx must stop before the
+	// first nodal pass runs.
+	g := testGrid()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := g.SolveCtx(ctx, []Load{{Node{4, 4}, 0.5}}, SolveOpts{Electrothermal: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveNegativeMaxIter(t *testing.T) {
+	g := testGrid()
+	_, err := g.Solve([]Load{{Node{4, 4}, 0.5}}, SolveOpts{Electrothermal: true, MaxIter: -1})
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestNodalReuseMatchesSolve(t *testing.T) {
+	// A Nodal session solved twice at the same temperatures must agree
+	// with the one-shot Solve path bit-for-bit on the second call too
+	// (warm starting may only change the iteration count, not the
+	// converged answer beyond rtol).
+	g := testGrid()
+	loads := []Load{{Node{4, 4}, 0.5}, {Node{2, 6}, 0.25}}
+	want, err := g.Solve(loads, SolveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := g.NewNodal(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := make([]float64, nd.NumBranches())
+	for i := range temps {
+		temps[i] = phys.CToK(100)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := nd.Solve(context.Background(), temps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.WorstDrop-want.WorstDrop) > 1e-9 {
+			t.Fatalf("pass %d: WorstDrop %v vs Solve %v", pass, got.WorstDrop, want.WorstDrop)
+		}
+	}
+	if _, err := nd.Solve(context.Background(), temps[:3]); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("short temps: err = %v, want ErrInvalid", err)
 	}
 }

@@ -8,9 +8,13 @@ import (
 	"strconv"
 	"time"
 
+	"dsmtherm/internal/chipcheck"
 	"dsmtherm/internal/core"
+	"dsmtherm/internal/em"
+	"dsmtherm/internal/fdm"
 	"dsmtherm/internal/jobs"
 	"dsmtherm/internal/netcheck"
+	"dsmtherm/internal/powergrid"
 	"dsmtherm/internal/rules"
 	"dsmtherm/internal/thermal"
 )
@@ -82,6 +86,10 @@ func classify(err error) (int, string) {
 		errors.Is(err, rules.ErrInvalid),
 		errors.Is(err, netcheck.ErrInvalid),
 		errors.Is(err, thermal.ErrInvalid),
+		errors.Is(err, chipcheck.ErrInvalid),
+		errors.Is(err, powergrid.ErrInvalid),
+		errors.Is(err, em.ErrInvalid),
+		errors.Is(err, fdm.ErrInvalid),
 		errors.Is(err, jobs.ErrInvalid),
 		errors.Is(err, jobs.ErrUnknownType):
 		return http.StatusBadRequest, "invalid_request"

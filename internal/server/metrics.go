@@ -36,6 +36,8 @@ type Metrics struct {
 	NoSolution   atomic.Uint64
 	SolveInvalid atomic.Uint64
 	SegsChecked  atomic.Uint64
+	Chipchecks   atomic.Uint64
+	ChipSegments atomic.Uint64
 	SweepPoints  atomic.Uint64
 	DecksBuilt   atomic.Uint64
 	DeckCacheHit atomic.Uint64
@@ -130,6 +132,7 @@ type Snapshot struct {
 	Cache      CacheStats                  `json:"cache"`
 	Solver     solverSnapshot              `json:"solver"`
 	Netcheck   netcheckSnapshot            `json:"netcheck"`
+	Chipcheck  chipcheckSnapshot           `json:"chipcheck"`
 	Pool       poolSnapshot                `json:"pool"`
 	Admission  admissionSnapshot           `json:"admission"`
 	Resilience resilienceSnapshot          `json:"resilience"`
@@ -214,6 +217,13 @@ type netcheckSnapshot struct {
 	SegmentsChecked uint64 `json:"segmentsChecked"`
 }
 
+// chipcheckSnapshot reports the synchronous /v1/chipcheck traffic (job
+// runs are accounted in the jobs section).
+type chipcheckSnapshot struct {
+	Checks   uint64 `json:"checks"`
+	Segments uint64 `json:"segments"`
+}
+
 // SnapshotNow collects the current counter values. cache, pool, adm,
 // flights, quarantine, breaker and jm may each be nil (their sections
 // read zero; the jobs section is omitted).
@@ -261,6 +271,7 @@ func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights 
 		s.Solver.AvgSolveUs = float64(m.SolveNanos.Load()) / float64(n) / 1e3
 	}
 	s.Netcheck = netcheckSnapshot{SegmentsChecked: m.SegsChecked.Load()}
+	s.Chipcheck = chipcheckSnapshot{Checks: m.Chipchecks.Load(), Segments: m.ChipSegments.Load()}
 	if pool != nil {
 		s.Pool = poolSnapshot{Size: pool.Size(), InUse: pool.InUse()}
 	}

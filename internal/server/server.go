@@ -53,6 +53,7 @@ import (
 	"dsmtherm/internal/core"
 	"dsmtherm/internal/jobs"
 	"dsmtherm/internal/material"
+	"dsmtherm/internal/mathx"
 	"dsmtherm/internal/ntrs"
 	"dsmtherm/internal/rules"
 )
@@ -84,6 +85,12 @@ type Config struct {
 	// (default 10000; negative disables the cap) so one giant design
 	// cannot monopolize the pool.
 	MaxSegments int
+	// MaxChipNodes caps the grid node count of one synchronous
+	// /v1/chipcheck request (default 4096; negative disables the cap).
+	// Bigger grids belong on the bulk job lane ("chipcheck" job type),
+	// where the coupled solve does not hold an HTTP connection or a
+	// pool slot for seconds.
+	MaxChipNodes int
 
 	// AdmitConcurrent bounds how many solver-bearing requests
 	// (/v1/rules, /v1/sweep, /v1/netcheck) may be in flight at once
@@ -172,6 +179,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxSegments == 0 {
 		c.MaxSegments = 10000
+	}
+	if c.MaxChipNodes == 0 {
+		c.MaxChipNodes = 4096
 	}
 	if c.AdmitConcurrent <= 0 {
 		c.AdmitConcurrent = 2 * c.Workers
@@ -277,10 +287,17 @@ func New(cfg Config) *Server {
 	s.pool.panics = &s.metrics.Panics
 	s.flights.panics = &s.metrics.Panics
 	s.mux = http.NewServeMux()
-	s.route("POST /v1/rules", s.handleRules, gated)
+	// /v1/rules is the latency-sensitive scalar fast path; the fast-lane
+	// bracket makes chip-scale kernels (bulk jobs, big sync solves) back
+	// off at their scheduling points while one of these is in flight, so
+	// its tail latency holds even when a multi-second solve saturates
+	// the host. Only scalar routes may take the bracket — a route that
+	// runs the kernels itself would park against its own mark.
+	s.route("POST /v1/rules", fastLane(s.handleRules), gated)
 	s.route("POST /v1/sweep", s.handleSweep, gated)
 	s.route("POST /v1/batch", s.handleBatch, gated)
 	s.route("POST /v1/netcheck", s.handleNetcheck, gated)
+	s.route("POST /v1/chipcheck", s.handleChipcheck, gated)
 	s.route("GET /v1/tech", s.handleTech, ungated)
 	// Job routes stay off the admission gate: submission is cheap
 	// validate-and-journal with its own lane-depth backpressure, and the
@@ -309,6 +326,16 @@ const (
 	ungated = false
 	gated   = true
 )
+
+// fastLane brackets a scalar handler with the mathx fast-lane mark so
+// long-running kernels yield to it (see mathx yield.go).
+func fastLane(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mathx.BeginFast()
+		defer mathx.EndFast()
+		h(w, r)
+	}
+}
 
 func (s *Server) route(pattern string, h http.HandlerFunc, admit bool) {
 	routeName := pattern[strings.IndexByte(pattern, ' ')+1:]
