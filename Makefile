@@ -19,12 +19,17 @@ race:
 	$(GO) test -race ./...
 
 # The resilience suite under the race detector: panic containment,
-# poison-key quarantine, breaker degradation, crash-safe restart, and
-# job crash-resume / lane isolation.
+# poison-key quarantine, breaker degradation, crash-safe restart, job
+# crash-resume / lane isolation, and the PR 8 self-healing suite — the
+# jobs package run covers chunk retry/quarantine, journal degradation
+# and torn-frame recovery under injected faults; the final line drives
+# the numeric fallback ladder and the CG health guards.
 chaos:
 	$(GO) test -race -count=1 ./internal/server \
 		-run 'TestChaos|TestPoolTaskPanic|TestFlightLeaderPanic|TestHandlerPanic|TestQuarantine|TestBreaker|TestFailureClass|TestSnapshot|TestQueueWaitClamp|TestAdmissionWaitClamped|TestReadyz|TestJobs'
 	$(GO) test -race -count=1 ./internal/jobs/...
+	$(GO) test -race -count=1 ./internal/fdm ./internal/powergrid ./internal/mathx \
+		-run 'TestSolverLadder|TestSheetLadder|TestIRDropFallback|TestLadderExhaustion|TestCG'
 
 # Short fuzz smokes: enough to catch a freshly introduced panic or
 # key-encoder collision without turning CI into a fuzz farm.
@@ -34,6 +39,7 @@ fuzz-smoke:
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDeckKeyEncoder -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzSnapshotCodec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/jobs -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/jobs -run '^$$' -fuzz FuzzManifestDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/chipcheck -run '^$$' -fuzz FuzzCompileParams -fuzztime $(FUZZTIME)
 
 # Coverage gate for the signoff engine: the coupled-loop/verdict/report
@@ -59,7 +65,7 @@ bench-smoke:
 # (cmd/benchjson -next auto-increments past the highest existing index).
 bench-json:
 	$(GO) test ./internal/mathx ./internal/fdm ./internal/rules ./internal/jobs ./internal/chipcheck -run '^$$' \
-		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel|JobThroughput|Chipcheck' \
+		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel|JobThroughput|JobRetryOverhead|Chipcheck' \
 		-benchtime 10x -count=1 | $(GO) run ./cmd/benchjson -next .
 
 verify: build vet test race chaos fuzz-smoke bench-smoke cover-chipcheck

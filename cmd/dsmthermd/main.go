@@ -10,14 +10,23 @@
 //	          -route-timeout /v1/netcheck=2m -route-timeout /v1/rules=5s \
 //	          -snapshot-path /var/lib/dsmthermd/cache.snap -snapshot-interval 5m \
 //	          -quarantine-threshold 3 -breaker-threshold 5 \
-//	          -jobs -jobs-dir /var/lib/dsmthermd/jobs -jobs-workers 1
+//	          -jobs -jobs-dir /var/lib/dsmthermd/jobs -jobs-workers 1 \
+//	          -chunk-retries 3 -chunk-deadline 2m -jobs-degraded-ok
 //
 // With -jobs, chip-scale work (large Monte Carlo runs, sweep grids,
 // FDM coupling maps, full-chip chipchecks) is accepted asynchronously
 // on /v1/jobs and runs on
 // a dedicated low-priority worker lane; with -jobs-dir set, progress is
 // checkpointed so a crashed or restarted daemon resumes jobs exactly
-// where they stopped, bit-identical to an uninterrupted run.
+// where they stopped, bit-identical to an uninterrupted run. Job chunks
+// run under a supervisor: -chunk-retries bounds per-chunk retries of
+// transient failures (backed off exponentially), -chunk-deadline is the
+// stuck-chunk watchdog, and chunks that fail past their retries — or
+// fail with a poison/numeric error — are quarantined into a per-chunk
+// failure manifest (job status "completed_partial") instead of failing
+// the whole job. -jobs-degraded-ok keeps accepting jobs when the
+// journal disk fails; checkpointing degrades to in-memory and re-probes
+// the disk periodically.
 //
 // The daemon drains in-flight requests on SIGINT/SIGTERM before exiting;
 // requests arriving during the drain get a structured 503 and /readyz
@@ -71,6 +80,9 @@ func main() {
 	jobsWorkers := flag.Int("jobs-workers", 0, "dedicated job-lane worker count (0 = 1); kept small so chip-scale jobs never crowd interactive traffic")
 	jobsQueue := flag.Int("jobs-queue", 0, "per-lane job backlog before 429 (0 = 16)")
 	jobsDeadline := flag.Duration("jobs-deadline", 0, "default per-job compute budget (0 = 15m)")
+	chunkRetries := flag.Int("chunk-retries", 0, "retries per transiently failing job chunk before quarantine (0 = 3, negative disables retries)")
+	chunkDeadline := flag.Duration("chunk-deadline", 0, "stuck-chunk watchdog: max duration of one chunk attempt (0 disables)")
+	jobsDegradedOK := flag.Bool("jobs-degraded-ok", false, "accept job submits even when the journal write fails (ENOSPC); such jobs run in-memory until the disk recovers")
 	routeTimeouts := make(map[string]time.Duration)
 	flag.Func("route-timeout", "per-route timeout override as route=duration, e.g. /v1/netcheck=2m (repeatable)", func(v string) error {
 		route, durStr, ok := strings.Cut(v, "=")
@@ -114,6 +126,14 @@ func main() {
 		BreakerCooldown:     *breakerCooldown,
 		BreakerStaleAfter:   *breakerStaleAfter,
 	}
+	if *chunkDeadline < 0 {
+		fmt.Fprintln(os.Stderr, "dsmthermd: -chunk-deadline must be >= 0")
+		os.Exit(2)
+	}
+	if *jobsDeadline > 0 && *chunkDeadline > *jobsDeadline {
+		fmt.Fprintln(os.Stderr, "dsmthermd: -chunk-deadline exceeds -jobs-deadline; the watchdog would never fire")
+		os.Exit(2)
+	}
 	var jcfg *jobs.Config
 	if *jobsOn || *jobsDir != "" {
 		jcfg = &jobs.Config{
@@ -121,7 +141,13 @@ func main() {
 			Workers:         *jobsWorkers,
 			QueueDepth:      *jobsQueue,
 			DefaultDeadline: *jobsDeadline,
+			ChunkRetries:    *chunkRetries,
+			ChunkDeadline:   *chunkDeadline,
+			DegradedOK:      *jobsDegradedOK,
 		}
+	} else if *chunkRetries != 0 || *chunkDeadline != 0 || *jobsDegradedOK {
+		fmt.Fprintln(os.Stderr, "dsmthermd: -chunk-retries/-chunk-deadline/-jobs-degraded-ok require -jobs")
+		os.Exit(2)
 	}
 	if err := run(*addr, cfg, jcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmthermd:", err)

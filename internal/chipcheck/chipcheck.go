@@ -354,9 +354,33 @@ type Field struct {
 	Iterations int
 }
 
+// NonConvergence is the structured error Solve returns when the
+// electrothermal fixed point fails to contract to TolK within MaxIter
+// passes (thermal runaway, or a tolerance the grid cannot meet). It
+// wraps mathx.ErrNumeric — the serving layer classifies it as a
+// numeric failure (HTTP 422) and the job supervisor quarantines chunks
+// that carry it — and ships the fully assembled non-converged field
+// (final consistency solve included) for diagnostics and reporting.
+type NonConvergence struct {
+	Field  *Field
+	Resid  float64 // final fixed-point residual, K
+	Tol    float64 // the TolK target it missed
+	Passes int     // coupled passes run (the MaxIter cap)
+}
+
+func (e *NonConvergence) Error() string {
+	return fmt.Sprintf("chipcheck: %s: fixed point did not converge within %d passes: residual %g K > tol %g K",
+		mathx.ErrNumeric, e.Passes, e.Resid, e.Tol)
+}
+
+// Unwrap ties NonConvergence into the errors.Is chain as ErrNumeric.
+func (e *NonConvergence) Unwrap() error { return mathx.ErrNumeric }
+
 // Solve runs the coupled IR-drop ↔ thermal-map fixed point. It is
 // deterministic at any mathx worker count; ctx is checked before every
-// linear solve.
+// linear solve. A fixed point that hits the MaxIter cap without
+// reaching TolK returns a *NonConvergence error (errors.As recovers
+// the partially converged field).
 func (c *Check) Solve(ctx context.Context) (*Field, error) {
 	nodal, err := c.Grid.NewNodal(c.Loads)
 	if err != nil {
@@ -450,6 +474,23 @@ func (c *Check) Solve(ctx context.Context) (*Field, error) {
 		if t > f.Sol.HottestTm {
 			f.Sol.HottestTm = t
 		}
+	}
+	if err := mathx.CheckFinite("tile temperature field", dt); err != nil {
+		mathx.RecordNumericFailure()
+		return nil, fmt.Errorf("chipcheck: %w", err)
+	}
+	if !f.Converged {
+		// The fixed point hit the iteration cap without contracting to
+		// TolK — thermal runaway or a tolerance the grid cannot meet.
+		// Surfaced as a structured error (wrapping mathx.ErrNumeric)
+		// rather than a silently non-converged field; the solved field
+		// rides along for diagnostics and reporting.
+		mathx.RecordNumericFailure()
+		resid := 0.0
+		if len(f.Residuals) > 0 {
+			resid = f.Residuals[len(f.Residuals)-1]
+		}
+		return nil, &NonConvergence{Field: f, Resid: resid, Tol: c.tol, Passes: f.Iterations}
 	}
 	return f, nil
 }

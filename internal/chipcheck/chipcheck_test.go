@@ -260,22 +260,34 @@ func TestReportValidation(t *testing.T) {
 }
 
 // TestRunawayGridReportsNonConvergence: a grid driven into thermal
-// runaway must terminate at the iteration cap with Converged=false
-// instead of spinning or blowing up.
+// runaway must terminate at the iteration cap with a structured
+// NonConvergence error (wrapping mathx.ErrNumeric) instead of spinning,
+// blowing up, or returning a silently non-converged field.
 func TestRunawayGridReportsNonConvergence(t *testing.T) {
 	p := smallFixture()
 	p.UniformLoadA = fp(30)
 	p.MaxIter = ip(8)
 	c := mustCompile(t, p)
-	f, err := c.Solve(context.Background())
-	if err != nil {
-		t.Fatal(err)
+	_, err := c.Solve(context.Background())
+	if !errors.Is(err, mathx.ErrNumeric) {
+		t.Fatalf("err = %v, want mathx.ErrNumeric", err)
+	}
+	var nc *NonConvergence
+	if !errors.As(err, &nc) {
+		t.Fatalf("err = %T, want *NonConvergence", err)
+	}
+	f := nc.Field
+	if f == nil {
+		t.Fatal("NonConvergence carries no field")
 	}
 	if f.Converged {
 		t.Fatal("runaway grid reported convergence")
 	}
 	if f.Iterations != 8 {
 		t.Fatalf("iterations = %d, want the cap 8", f.Iterations)
+	}
+	if nc.Passes != 8 || nc.Resid <= nc.Tol {
+		t.Fatalf("NonConvergence{Passes: %d, Resid: %g, Tol: %g} inconsistent", nc.Passes, nc.Resid, nc.Tol)
 	}
 	v, err := c.Verdicts(f, 0, c.NumBranches())
 	if err != nil {

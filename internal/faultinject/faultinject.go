@@ -63,6 +63,22 @@ const (
 	// state so crash-resume tests can kill it with an exact
 	// completed-chunk bitmap on disk.
 	SiteJobsCheckpoint = "jobs.checkpoint"
+	// SiteJobsChunkRetry fires when the chunk supervisor schedules a
+	// retry of a transiently failed chunk, before the backoff wait, with
+	// "id:chunk" metadata. An error hook aborts the retry — the chunk is
+	// quarantined immediately, as if its retries were exhausted.
+	SiteJobsChunkRetry = "jobs.chunk.retry"
+	// SiteJobsJournalWrite fires inside every journal write, before the
+	// bytes reach disk, with the job id as metadata. An error hook
+	// simulates a write failure (ENOSPC, dead disk): the manager
+	// degrades checkpointing to in-memory and re-probes periodically.
+	SiteJobsJournalWrite = "jobs.journal.write"
+	// SiteMathxSolve fires at the top of a numeric solve's primary path
+	// (the banded-Cholesky direct solve in fdm, the IC(0) CG in
+	// powergrid). An error hook makes the primary path report failure so
+	// tests can walk the fallback ladder (direct → IC(0) CG → Jacobi CG)
+	// on systems that would otherwise solve cleanly.
+	SiteMathxSolve = "mathx.solve.numeric"
 )
 
 // Hook is the injected behavior at a site. A hook may block (a stall),

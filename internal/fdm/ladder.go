@@ -1,0 +1,102 @@
+package fdm
+
+import (
+	"context"
+	"fmt"
+
+	"dsmtherm/internal/faultinject"
+	"dsmtherm/internal/mathx"
+)
+
+// The solver fallback ladder. Both fdm solvers (cross-section Solver,
+// plan-view SheetSolver) prefer a banded-Cholesky direct path and fall
+// back to preconditioned CG; this file makes that degradation explicit,
+// verified, and observable:
+//
+//	direct (residual-verified) → configured-preconditioner CG → Jacobi CG → ErrNumeric
+//
+// Every step down is counted (mathx.RecordFallback et al. feed
+// /metrics.resilience.numeric), a direct solve whose residual check
+// fails never reaches a caller, and a solve that exhausts the ladder
+// surfaces a structured mathx.ErrNumeric instead of a bare "stalled"
+// string. faultinject.SiteMathxSolve fires at the top of the direct
+// path so chaos tests can force the ladder on healthy systems.
+
+// directSolveRtol is the residual-verification gate on the direct path:
+// a banded Cholesky on these SPD conduction matrices lands near machine
+// precision (~1e-15 relative), so a residual above 1e-8 — two orders
+// tighter than the CG target — means the factorization went bad for
+// this RHS (overflow, NaN contamination) and the CG rungs take over.
+const directSolveRtol = 1e-8
+
+// solveLadder solves a·x = b down the fallback ladder, overwriting x
+// (used as the warm start on the first CG rung). chol may be nil (no
+// direct path), prec may be nil (build CG preconditioners on demand —
+// the direct-path constructors skip them). what names the system in
+// errors and counters.
+func solveLadder(what string, a *mathx.CSR, chol *mathx.BandCholesky, prec mathx.Preconditioner, b, x []float64, rtol float64, maxIter int) error {
+	if len(b) > 0 && len(x) > 0 && &b[0] == &x[0] {
+		// Residual verification and the CG rungs both need the original
+		// RHS after x is overwritten, so aliased calls get a private copy.
+		b = append([]float64(nil), b...)
+	}
+	direct := chol != nil
+	if direct && faultinject.Inject(context.Background(), faultinject.SiteMathxSolve) != nil {
+		// An injected primary-path failure: walk the ladder as if the
+		// direct solve had been rejected.
+		mathx.RecordFallback()
+		direct = false
+	}
+	if direct {
+		chol.Solve(b, x)
+		// A NaN residual compares false here, so contaminated solutions
+		// fall through with the genuinely inaccurate ones.
+		if rr := mathx.RelResidual(a, x, b, nil); rr <= directSolveRtol {
+			return nil
+		}
+		mathx.RecordDirectReject()
+		mathx.RecordFallback()
+		for i := range x {
+			x[i] = 0
+		}
+	}
+	// CG rungs: the configured preconditioner first (IC(0), or whatever
+	// the constructor degraded to), plain Jacobi as the final rung.
+	var rungs []mathx.Preconditioner
+	if prec != nil {
+		rungs = append(rungs, prec)
+	} else {
+		for _, try := range []mathx.Precond{mathx.PrecondIC0, mathx.PrecondSSOR} {
+			if p, err := mathx.NewPreconditioner(a, try); err == nil {
+				rungs = append(rungs, p)
+				break
+			}
+		}
+	}
+	if jac, err := mathx.NewPreconditioner(a, mathx.PrecondJacobi); err == nil {
+		rungs = append(rungs, jac)
+	}
+	var last mathx.CGResult
+	for i, p := range rungs {
+		if i > 0 {
+			// A lower rung restarts cold: the failed rung may have left
+			// NaN in x, which would poison the next warm start.
+			mathx.RecordFallback()
+			for j := range x {
+				x[j] = 0
+			}
+		}
+		res := mathx.SolveCGPrec(a, b, x, rtol, maxIter, p)
+		if res.Converged {
+			if err := mathx.CheckFinite(what+" solution", x); err != nil {
+				mathx.RecordNumericFailure()
+				return err
+			}
+			return nil
+		}
+		last = res
+	}
+	mathx.RecordNumericFailure()
+	return fmt.Errorf("%w: %s solve exhausted the fallback ladder (residual %g after %d iterations, diverged=%v stagnated=%v)",
+		mathx.ErrNumeric, what, last.Residual, last.Iterations, last.Diverged, last.Stagnated)
+}

@@ -109,18 +109,13 @@ func (s *SheetSolver) Direct() bool { return s.chol != nil }
 
 // Solve computes the tile temperature rises (K) for the given per-tile
 // powers (W), row-major with stride nx, writing into out (power and out
-// may alias on the direct path). Deterministic at any worker count.
+// may alias). Deterministic at any worker count.
 func (s *SheetSolver) Solve(power, out []float64) error {
 	if len(power) != s.n || len(out) != s.n {
 		return fmt.Errorf("%w: got %d powers and %d outputs for %d cells", ErrInvalid, len(power), len(out), s.n)
 	}
-	if s.chol != nil {
-		s.chol.Solve(power, out)
-		return nil
-	}
-	res := mathx.SolveCGPrec(s.a, power, out, 1e-12, 0, s.prec)
-	if !res.Converged {
-		return fmt.Errorf("fdm: sheet CG stalled (residual %g)", res.Residual)
+	if err := solveLadder("sheet conduction", s.a, s.chol, s.prec, power, out, 1e-12, 0); err != nil {
+		return fmt.Errorf("fdm: %w", err)
 	}
 	return nil
 }

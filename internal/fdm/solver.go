@@ -166,21 +166,13 @@ func (s *Solver) rhs(powers map[LineRef]float64) ([]float64, error) {
 	return b, nil
 }
 
-// solveOne computes one field into x. On the direct path x is simply
-// overwritten by two triangular sweeps; on the CG path x is the
-// warm-start guess and is overwritten with the solution.
+// solveOne computes one field into x down the fallback ladder: a
+// residual-verified direct solve when the banded factor exists, then
+// preconditioned CG (x as the warm-start guess), then Jacobi CG, then
+// a structured mathx.ErrNumeric.
 func (s *Solver) solveOne(b, x []float64, powers map[LineRef]float64) (*Field, error) {
-	if s.chol != nil {
-		s.chol.Solve(b, x)
-		pp := make(map[LineRef]float64, len(powers))
-		for k, v := range powers {
-			pp[k] = v
-		}
-		return &Field{s: s, dt: x, PowerPerLength: pp}, nil
-	}
-	res := mathx.SolveCGPrec(s.a, b, x, s.rtol, 40*s.n, s.prec)
-	if !res.Converged {
-		return nil, fmt.Errorf("fdm: CG stalled at residual %g after %d iterations", res.Residual, res.Iterations)
+	if err := solveLadder("fdm conduction", s.a, s.chol, s.prec, b, x, s.rtol, 40*s.n); err != nil {
+		return nil, fmt.Errorf("fdm: %w", err)
 	}
 	pp := make(map[LineRef]float64, len(powers))
 	for k, v := range powers {

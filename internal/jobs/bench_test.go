@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"testing"
+	"time"
 )
 
 // benchSweep is the chip-scale-ish workload the lane throughput numbers
@@ -45,4 +46,43 @@ func BenchmarkJobThroughput(b *testing.B) {
 	}
 	b.Run("inmem", func(b *testing.B) { run(b, Config{}) })
 	b.Run("journaled", func(b *testing.B) { run(b, Config{Dir: b.TempDir()}) })
+}
+
+// BenchmarkJobRetryOverhead pins the happy-path cost of the chunk
+// supervisor: with retries disabled versus fully armed (retry ladder,
+// retry budget, stuck-chunk watchdog), no chunk ever fails, so any
+// difference is pure supervision overhead — budget accounting, the
+// per-attempt watchdog context, and classification plumbing.
+func BenchmarkJobRetryOverhead(b *testing.B) {
+	run := func(b *testing.B, cfg Config) {
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := m.Submit(benchSweep())
+			if err != nil {
+				b.Fatal(err)
+			}
+			done, err := m.Done(v.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-done
+			if _, err := m.Result(v.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := m.Stats()
+		if st.ChunkRetries != 0 || st.ChunksQuarantined != 0 {
+			b.Fatalf("happy path retried/quarantined: %+v", st)
+		}
+	}
+	b.Run("unsupervised", func(b *testing.B) { run(b, Config{ChunkRetries: -1}) })
+	b.Run("supervised", func(b *testing.B) {
+		run(b, Config{ChunkRetries: 3, ChunkDeadline: time.Minute})
+	})
 }

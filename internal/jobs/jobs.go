@@ -48,10 +48,24 @@
 //     per-job deadline, and a graceful manager stop suspends running
 //     jobs behind a final checkpoint.
 //
-// Fault injection: faultinject.SiteJobsStep fires before every chunk and
-// faultinject.SiteJobsCheckpoint before every journal write, with
-// "id:chunk" metadata, so chaos tests can fail, stall, or crash a job at
-// an exact persisted state.
+//   - Self-healing execution. Each chunk runs under a supervisor:
+//     per-attempt deadlines (the stuck-chunk watchdog), bounded retries
+//     with deterministic exponential backoff for transient failures
+//     (classified via internal/resilience), and quarantine for
+//     poison/numeric ones — the chunk is recorded in a per-chunk failure
+//     manifest and the job finishes completed_partial instead of
+//     failing wholesale. Quarantine decisions are journaled the moment
+//     they are made, so a crash-resume reproduces the same manifest
+//     bit-identically. A failing journal (ENOSPC, dead disk) degrades
+//     checkpointing to in-memory — counted, flagged in /metrics, and
+//     periodically re-probed — instead of failing the job.
+//
+// Fault injection: faultinject.SiteJobsStep fires before every chunk
+// attempt, faultinject.SiteJobsCheckpoint before every checkpoint,
+// faultinject.SiteJobsChunkRetry when the supervisor grants a retry,
+// and faultinject.SiteJobsJournalWrite inside every journal write —
+// with "id:chunk" (or job-id) metadata, so chaos tests can fail, stall,
+// or crash a job at an exact persisted state.
 package jobs
 
 import (
@@ -76,7 +90,7 @@ const (
 
 // Status is a job's lifecycle state. Transitions:
 //
-//	queued → running → {done, failed, cancelled}
+//	queued → running → {done, completed_partial, failed, cancelled}
 //	running → queued          (graceful stop or crash; resumes from journal)
 //	queued → cancelled        (cancel before any worker picked it up)
 type Status string
@@ -87,11 +101,17 @@ const (
 	StatusDone      Status = "done"
 	StatusFailed    Status = "failed"
 	StatusCancelled Status = "cancelled"
+	// StatusCompletedPartial is the terminal state of a job that ran
+	// every chunk but had at least one quarantined by the chunk
+	// supervisor (retries exhausted, or a poison/numeric failure). The
+	// job's View and result carry the per-chunk failure manifest; the
+	// completed chunks' work is preserved, not discarded.
+	StatusCompletedPartial Status = "completed_partial"
 )
 
 // Terminal reports whether s is a final state.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled || s == StatusCompletedPartial
 }
 
 // Package sentinels. The serving layer classifies these with errors.Is
@@ -140,6 +160,11 @@ type View struct {
 	Resumed bool `json:"resumed,omitempty"`
 	// Error carries the failure message for StatusFailed jobs.
 	Error string `json:"error,omitempty"`
+	// Quarantined counts chunks the supervisor gave up on; Manifest
+	// lists them (ascending chunk order). Non-empty only for
+	// completed_partial jobs and jobs on their way there.
+	Quarantined int            `json:"quarantined,omitempty"`
+	Manifest    []ChunkFailure `json:"manifest,omitempty"`
 	// DeadlineSec is the per-job compute budget in seconds.
 	DeadlineSec float64   `json:"deadlineSec"`
 	Submitted   time.Time `json:"submittedAt"`

@@ -64,6 +64,12 @@ type journalFile struct {
 	Chunks    int
 	Bitmap    []uint64
 	ChunkData [][]byte
+	// Manifest is the encoded per-chunk failure manifest (see
+	// manifest.go) — the quarantine decisions made so far, journaled the
+	// moment they happen so a crash-resume reproduces them bit-identically
+	// instead of re-running poisoned chunks. Empty when nothing is
+	// quarantined.
+	Manifest []byte
 	// Result / ErrMsg are set in terminal states.
 	Result json.RawMessage
 	ErrMsg string
@@ -146,9 +152,23 @@ func (jf *journalFile) check() error {
 		return fmt.Errorf("%w: params hash mismatch", ErrJournalCorrupt)
 	}
 	switch jf.Status {
-	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled, StatusCompletedPartial:
 	default:
 		return fmt.Errorf("%w: status %q", ErrJournalCorrupt, jf.Status)
+	}
+	if len(jf.Manifest) > 0 {
+		fails, err := DecodeManifest(jf.Manifest, jf.Chunks)
+		if err != nil {
+			return err
+		}
+		for _, f := range fails {
+			// A chunk cannot be both completed and quarantined.
+			if bitGet(jf.Bitmap, f.Chunk) {
+				return fmt.Errorf("%w: chunk %d both completed and quarantined", ErrJournalCorrupt, f.Chunk)
+			}
+		}
+	} else if jf.Status == StatusCompletedPartial {
+		return fmt.Errorf("%w: completed_partial without a manifest", ErrJournalCorrupt)
 	}
 	return nil
 }
@@ -163,19 +183,32 @@ func snapUnframe(data []byte) ([]byte, error) {
 	return snapcodec.Unframe(journalMagic, journalVersion, journalMaxPayload, data)
 }
 
-// journalPath is the on-disk location of one job's journal.
+// journalPath is the on-disk location of one job's journal;
+// prevJournalPath is the previous checkpoint's rotation copy (see
+// Manager.writeJournal), the fallback a torn current journal resumes
+// from.
 func journalPath(dir, id string) string { return filepath.Join(dir, id+".job") }
+
+func prevJournalPath(dir, id string) string { return journalPath(dir, id) + ".prev" }
 
 // scanResult is what a boot-time directory scan yields.
 type scanResult struct {
 	files     []journalFile
 	corrupted int
+	// tornRecovered counts journals whose current file failed to decode
+	// (torn final frame, bitflip) but whose previous-checkpoint rotation
+	// copy was intact: the job resumes from the previous checkpoint
+	// instead of being quarantined wholesale.
+	tornRecovered int
 }
 
-// scanJournals loads every *.job file in dir, quarantining (renaming to
-// *.corrupt) any that fail to decode. Files are returned in Submitted
-// order (ties broken by ID) so re-enqueued jobs keep their original
-// queue order. A missing dir is a normal first boot.
+// scanJournals loads every *.job file in dir. A file that fails to
+// decode falls back to its *.job.prev rotation copy — a torn final
+// frame costs one checkpoint of progress, not the whole journal — and
+// only when both fail is the journal quarantined (renamed *.corrupt)
+// and counted. Files are returned in Submitted order (ties broken by
+// ID) so re-enqueued jobs keep their original queue order. A missing
+// dir is a normal first boot.
 func scanJournals(dir string) (scanResult, error) {
 	var res scanResult
 	entries, err := os.ReadDir(dir)
@@ -199,6 +232,19 @@ func scanJournals(dir string) (scanResult, error) {
 			err = fmt.Errorf("%w: journal %s claims id %q", ErrJournalCorrupt, e.Name(), jf.ID)
 		}
 		if err != nil {
+			// The current journal is unreadable; try the previous
+			// checkpoint's rotation copy before giving up on the job.
+			if prev, perr := os.ReadFile(path + ".prev"); perr == nil {
+				if pjf, perr := decodeJournal(prev); perr == nil && journalPath(dir, pjf.ID) == path {
+					// Keep the torn bytes for a post-mortem, then resume
+					// from the previous checkpoint (the determinism
+					// contract makes the replayed chunks invisible).
+					_ = os.Rename(path, path+".corrupt")
+					res.tornRecovered++
+					res.files = append(res.files, pjf)
+					continue
+				}
+			}
 			// Quarantine, never delete: the bytes stay on disk for a
 			// post-mortem, but nothing will try to resume them again.
 			res.corrupted++

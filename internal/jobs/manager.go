@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"os"
 	"sync"
@@ -14,6 +15,8 @@ import (
 	"time"
 
 	"dsmtherm/internal/faultinject"
+	"dsmtherm/internal/mathx"
+	"dsmtherm/internal/resilience"
 	"dsmtherm/internal/snapcodec"
 )
 
@@ -47,6 +50,33 @@ type Config struct {
 	// past it evicts the oldest terminal job (and its journal); with
 	// nothing evictable the submit is ErrQueueFull.
 	MaxJobs int
+
+	// ChunkRetries is the per-chunk retry cap for transiently failing
+	// chunks (default 3; negative disables retries). A chunk that fails
+	// past its retries — or fails with a poison/numeric error — is
+	// quarantined into the failure manifest instead of failing the job.
+	ChunkRetries int
+	// ChunkDeadline bounds one chunk *attempt* (0 disables). It is the
+	// stuck-chunk watchdog: an attempt that exceeds it is treated as a
+	// transient failure (retried with backoff, then quarantined), while
+	// the job-level deadline keeps bounding the whole run.
+	ChunkDeadline time.Duration
+	// RetryBudget caps total retries across all of one job's chunks
+	// (default 64; negative means none), so a systematic fault cannot
+	// multiply into chunks×retries wasted compute.
+	RetryBudget int
+	// RetryBackoffBase / RetryBackoffCap shape the exponential backoff
+	// between chunk retries (defaults 10ms / 2s).
+	RetryBackoffBase time.Duration
+	RetryBackoffCap  time.Duration
+	// JournalReprobe is how often a degraded manager re-probes the
+	// journal with a real write (default 10s). Between probes,
+	// checkpoints are in-memory only.
+	JournalReprobe time.Duration
+	// DegradedOK accepts submits whose initial journal write fails
+	// (ENOSPC, dead disk): the job runs in-memory — not crash-durable
+	// until a later probe succeeds — instead of being rejected.
+	DegradedOK bool
 }
 
 // Defaults returns cfg with every unset knob resolved.
@@ -72,8 +102,28 @@ func (cfg Config) Defaults() Config {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
 	}
+	if cfg.ChunkRetries == 0 {
+		cfg.ChunkRetries = 3
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 64
+	}
+	if cfg.RetryBackoffBase <= 0 {
+		cfg.RetryBackoffBase = 10 * time.Millisecond
+	}
+	if cfg.RetryBackoffCap <= 0 {
+		cfg.RetryBackoffCap = 2 * time.Second
+	}
+	if cfg.JournalReprobe <= 0 {
+		cfg.JournalReprobe = 10 * time.Second
+	}
 	return cfg
 }
+
+// chunkRetries / retryBudget resolve the negative-disables convention.
+func (cfg Config) chunkRetries() int { return max(0, cfg.ChunkRetries) }
+
+func (cfg Config) retryBudget() int { return max(0, cfg.RetryBudget) }
 
 // Stop/crash/cancel causes. Classification happens via context.Cause:
 // the same context.Canceled surfaces from a chunk whether the job was
@@ -85,6 +135,11 @@ var (
 	errStopping  = errors.New("jobs: manager stopping")
 	errCrashing  = errors.New("jobs: crash (no checkpoint)")
 	errDeadline  = errors.New("jobs: deadline exceeded")
+	// errChunkStuck is the stuck-chunk watchdog's cause: one attempt
+	// exceeded ChunkDeadline. Unlike the job-level causes above it is a
+	// per-attempt event — the supervisor classifies it transient and
+	// retries rather than unwinding the job.
+	errChunkStuck = errors.New("jobs: chunk attempt deadline (stuck-chunk watchdog)")
 )
 
 // job is the in-memory state of one job. The mutex guarding it is the
@@ -105,6 +160,15 @@ type job struct {
 	result  json.RawMessage
 	errMsg  string
 	resumed bool
+	// failed is the quarantine manifest: chunks the supervisor gave up
+	// on, ascending chunk order (the chunk loop runs in index order).
+	// Journaled the moment each entry is appended, so resume reproduces
+	// quarantine decisions bit-identically.
+	failed []ChunkFailure
+	// retry is the per-job retry budget, refreshed at the start of every
+	// run attempt (a resume gets a fresh budget — the journal records
+	// outcomes, not spent retries).
+	retry *resilience.Budget
 	// cancel is non-nil while the job runs; Cancel uses it to stop the
 	// in-flight chunk. cancelRequested covers the window between the
 	// dequeue (status → running) and runJob installing cancel.
@@ -123,6 +187,10 @@ func (j *job) view() View {
 		Error:       j.errMsg,
 		DeadlineSec: j.deadline.Seconds(),
 		Submitted:   j.submitted,
+		Quarantined: len(j.failed),
+	}
+	if len(j.failed) > 0 {
+		v.Manifest = append([]ChunkFailure(nil), j.failed...)
 	}
 	if j.chunks > 0 {
 		v.Progress = float64(done) / float64(j.chunks)
@@ -138,6 +206,9 @@ type Stats struct {
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	// CompletedPartial counts retained jobs that finished with
+	// quarantined chunks.
+	CompletedPartial int `json:"completedPartial"`
 
 	Submitted        uint64 `json:"submitted"`
 	ChunksRun        uint64 `json:"chunksRun"`
@@ -147,9 +218,29 @@ type Stats struct {
 	Evicted          uint64 `json:"evicted"`
 	// ResumedBoot / CorruptBoot count what the boot-time journal scan
 	// found: jobs re-enqueued with prior progress, and journals
-	// quarantined as *.corrupt.
-	ResumedBoot uint64 `json:"resumedBoot"`
-	CorruptBoot uint64 `json:"corruptBoot"`
+	// quarantined as *.corrupt. TornRecoveredBoot counts journals whose
+	// current file was torn but whose .prev rotation copy resumed the
+	// job from the previous checkpoint.
+	ResumedBoot       uint64 `json:"resumedBoot"`
+	CorruptBoot       uint64 `json:"corruptBoot"`
+	TornRecoveredBoot uint64 `json:"tornRecoveredBoot"`
+
+	// Chunk supervision: retries granted, chunks quarantined into
+	// failure manifests, and jobs that went completed_partial.
+	ChunkRetries      uint64 `json:"chunkRetries"`
+	ChunksQuarantined uint64 `json:"chunksQuarantined"`
+	PartialJobs       uint64 `json:"partialJobs"`
+
+	// Journal degradation: JournalDegraded is the live flag (true while
+	// checkpointing is in-memory only); DegradedEvents counts healthy →
+	// degraded transitions, DegradedSkips checkpoints absorbed in-memory
+	// while degraded, JournalReprobes write probes attempted while
+	// degraded, JournalRecoveries degraded → healthy transitions.
+	JournalDegraded   bool   `json:"journalDegraded"`
+	DegradedEvents    uint64 `json:"degradedEvents"`
+	DegradedSkips     uint64 `json:"degradedSkips"`
+	JournalReprobes   uint64 `json:"journalReprobes"`
+	JournalRecoveries uint64 `json:"journalRecoveries"`
 }
 
 // Manager owns the job table, the two lane queues, and the worker set.
@@ -175,6 +266,21 @@ type Manager struct {
 	evicted          atomic.Uint64
 	resumedBoot      uint64
 	corruptBoot      uint64
+	tornRecovered    uint64
+
+	chunkRetries      atomic.Uint64
+	chunksQuarantined atomic.Uint64
+	partialJobs       atomic.Uint64
+
+	// Journal degradation state: degraded flips on at the first failed
+	// journal write and off at the first successful re-probe; lastProbe
+	// (unix nanos) rate-limits probing to cfg.JournalReprobe.
+	degraded          atomic.Bool
+	degradedEvents    atomic.Uint64
+	degradedSkips     atomic.Uint64
+	journalReprobes   atomic.Uint64
+	journalRecoveries atomic.Uint64
+	lastProbe         atomic.Int64
 }
 
 // New builds a Manager, replays the journal directory, re-enqueues
@@ -205,6 +311,7 @@ func New(cfg Config) (*Manager, error) {
 			return nil, err
 		}
 		m.corruptBoot = uint64(scan.corrupted)
+		m.tornRecovered = uint64(scan.tornRecovered)
 		for i := range scan.files {
 			m.restore(&scan.files[i])
 		}
@@ -237,14 +344,21 @@ func (m *Manager) restore(jf *journalFile) {
 		data: jf.ChunkData, result: jf.Result, errMsg: jf.ErrMsg,
 		done: make(chan struct{}),
 	}
+	if len(jf.Manifest) > 0 {
+		// decodeJournal already validated the manifest against the
+		// bitmap; re-decoding cannot fail here.
+		j.failed, _ = DecodeManifest(jf.Manifest, jf.Chunks)
+	}
 	if want := task.Chunks(); want != jf.Chunks {
 		// The chunk-grid constant changed between binaries. Progress is
 		// sliced on the old boundaries, so it cannot be reused — but the
 		// params still validate, so restart the job from zero rather
-		// than losing it.
+		// than losing it. Quarantine decisions are sliced on the same
+		// boundaries, so they reset too.
 		j.chunks = want
 		j.bitmap = make([]uint64, bitmapWords(want))
 		j.data = make([][]byte, want)
+		j.failed = nil
 		j.status = StatusQueued
 	}
 	switch {
@@ -252,9 +366,10 @@ func (m *Manager) restore(jf *journalFile) {
 		close(j.done)
 	default:
 		// queued or running at the time of the crash/stop: both resume
-		// as queued. Completed chunks ride along — that is the resume.
+		// as queued. Completed chunks — and quarantine decisions — ride
+		// along; that is the resume.
 		j.status = StatusQueued
-		j.resumed = bitCount(j.bitmap, j.chunks) > 0
+		j.resumed = bitCount(j.bitmap, j.chunks) > 0 || len(j.failed) > 0
 		if j.resumed {
 			m.resumedBoot++
 		}
@@ -306,9 +421,14 @@ func (m *Manager) Submit(req SubmitRequest) (View, error) {
 		done:   make(chan struct{}),
 	}
 	// Journal before the job becomes visible: once a client holds the
-	// id, the job must survive a crash.
-	if err := m.writeJournal(j); err != nil {
-		return View{}, err
+	// id, the job must survive a crash. With DegradedOK the job is
+	// accepted anyway — it runs in-memory, durable again once a later
+	// re-probe succeeds.
+	if err := m.writeDurable(j); err != nil {
+		if !m.cfg.DegradedOK {
+			return View{}, fmt.Errorf("jobs: journal submit: %w", err)
+		}
+		log.Printf("jobs: submit %s: journal degraded, accepting in-memory: %v", j.id, err)
 	}
 	m.mu.Lock()
 	if m.stopping {
@@ -413,6 +533,11 @@ func (m *Manager) Result(id string) (json.RawMessage, error) {
 	switch j.status {
 	case StatusDone:
 		return j.result, nil
+	case StatusCompletedPartial:
+		// The partial result document: counts plus the failure manifest
+		// (built in finalize; chunk merge needs every chunk, so partial
+		// jobs report what completed and what was quarantined).
+		return j.result, nil
 	case StatusFailed:
 		return nil, fmt.Errorf("%w: %s", ErrFailed, j.errMsg)
 	case StatusCancelled:
@@ -481,6 +606,8 @@ func (m *Manager) Stats() Stats {
 			st.Failed++
 		case StatusCancelled:
 			st.Cancelled++
+		case StatusCompletedPartial:
+			st.CompletedPartial++
 		}
 	}
 	m.mu.Unlock()
@@ -492,6 +619,15 @@ func (m *Manager) Stats() Stats {
 	st.Evicted = m.evicted.Load()
 	st.ResumedBoot = m.resumedBoot
 	st.CorruptBoot = m.corruptBoot
+	st.TornRecoveredBoot = m.tornRecovered
+	st.ChunkRetries = m.chunkRetries.Load()
+	st.ChunksQuarantined = m.chunksQuarantined.Load()
+	st.PartialJobs = m.partialJobs.Load()
+	st.JournalDegraded = m.degraded.Load()
+	st.DegradedEvents = m.degradedEvents.Load()
+	st.DegradedSkips = m.degradedSkips.Load()
+	st.JournalReprobes = m.journalReprobes.Load()
+	st.JournalRecoveries = m.journalRecoveries.Load()
 	return st
 }
 
@@ -581,6 +717,7 @@ func (m *Manager) runJob(j *job) {
 		cancel(errCancelled)
 	}
 	ctx, cancelDl := context.WithDeadlineCause(runCtx, time.Now().Add(j.deadline), errDeadline)
+	j.retry = resilience.NewBudget(m.cfg.retryBudget())
 	err := m.runChunks(ctx, j)
 	cancelDl()
 	m.mu.Lock()
@@ -611,46 +748,178 @@ func (m *Manager) runJob(j *job) {
 	}
 }
 
-// runChunks executes every incomplete chunk in index order,
-// checkpointing on the configured cadence. Chunk results are pure
-// functions of (params, index), so "in index order" is an
-// implementation convenience, not a correctness requirement — the
-// journal would be just as valid with holes.
+// runChunks executes every incomplete chunk in index order under the
+// chunk supervisor, checkpointing on the configured cadence. Chunk
+// results are pure functions of (params, index), so "in index order" is
+// an implementation convenience, not a correctness requirement — the
+// journal would be just as valid with holes. Chunks quarantined by the
+// supervisor (this run or a resumed one) are skipped, their quarantine
+// journaled the moment it is decided.
 func (m *Manager) runChunks(ctx context.Context, j *job) error {
 	since := 0
+	quarantined := make(map[int]bool, len(j.failed))
+	m.mu.Lock()
+	for i := range j.failed {
+		quarantined[j.failed[i].Chunk] = true
+	}
+	m.mu.Unlock()
 	for c := 0; c < j.chunks; c++ {
-		if bitGet(j.bitmap, c) { // resumed: already journaled
+		if bitGet(j.bitmap, c) || quarantined[c] { // resumed: already journaled
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ictx := ctx
-		if faultinject.Active() {
-			ictx = faultinject.WithMeta(ctx, fmt.Sprintf("%s:%d", j.id, c))
-		}
-		if err := faultinject.Inject(ictx, faultinject.SiteJobsStep); err != nil {
-			return fmt.Errorf("chunk %d: %w", c, err)
-		}
-		blob, err := j.task.Run(ictx, c)
-		if err != nil {
-			return fmt.Errorf("chunk %d: %w", c, err)
-		}
-		m.mu.Lock()
-		bitSet(j.bitmap, c)
-		j.data[c] = blob
-		m.mu.Unlock()
-		m.chunksRun.Add(1)
-		if since++; since >= m.cfg.CheckpointEvery {
-			m.checkpoint(ictx, j)
+		blob, fail, err := m.superviseChunk(ctx, j, c)
+		switch {
+		case err != nil:
+			return err
+		case fail != nil:
+			// Quarantine: record the decision and journal it before any
+			// further chunk runs, so a crash-resume replays the same
+			// manifest instead of re-running the poisoned chunk.
+			m.mu.Lock()
+			j.failed = append(j.failed, *fail)
+			m.mu.Unlock()
+			m.chunksQuarantined.Add(1)
+			log.Printf("jobs: %s chunk %d quarantined after %d attempts: %s", j.id, c, fail.Attempts, fail.Error)
+			m.checkpoint(m.metaCtx(ctx, j.id, c), j)
 			since = 0
+		default:
+			m.mu.Lock()
+			bitSet(j.bitmap, c)
+			j.data[c] = blob
+			m.mu.Unlock()
+			m.chunksRun.Add(1)
+			if since++; since >= m.cfg.CheckpointEvery {
+				m.checkpoint(m.metaCtx(ctx, j.id, c), j)
+				since = 0
+			}
 		}
 	}
 	return nil
 }
 
-// finalize merges the chunks and goes terminal.
+// metaCtx attaches "id:chunk" fault-injection metadata when hooks are
+// registered (the no-hooks fast path stays allocation-free).
+func (m *Manager) metaCtx(ctx context.Context, id string, c int) context.Context {
+	if faultinject.Active() {
+		return faultinject.WithMeta(ctx, fmt.Sprintf("%s:%d", id, c))
+	}
+	return ctx
+}
+
+// backoffSeed derives the deterministic jitter stream for one chunk's
+// retries: stable across resumes (id and chunk only), distinct across
+// chunks and jobs.
+func backoffSeed(id string, c int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(c >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// superviseChunk runs one chunk under the supervisor: per-attempt
+// deadline (the stuck-chunk watchdog), bounded retries with backoff for
+// transient failures, quarantine for poison/numeric ones. Exactly one
+// of (blob, fail, err) is meaningful: blob on success, fail when the
+// chunk is quarantined (the job continues), err when the whole job must
+// unwind (lifecycle causes and unclassified failures — preserving the
+// fail-fast contract for errors the taxonomy does not know).
+func (m *Manager) superviseChunk(ctx context.Context, j *job, c int) (blob []byte, fail *ChunkFailure, err error) {
+	retries := m.cfg.chunkRetries()
+	bo := resilience.Backoff{
+		Base: m.cfg.RetryBackoffBase,
+		Cap:  m.cfg.RetryBackoffCap,
+		Seed: backoffSeed(j.id, c),
+	}
+	for attempt := 1; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if m.cfg.ChunkDeadline > 0 {
+			actx, cancel = context.WithDeadlineCause(ctx, time.Now().Add(m.cfg.ChunkDeadline), errChunkStuck)
+		}
+		actx = m.metaCtx(actx, j.id, c)
+		err := faultinject.Inject(actx, faultinject.SiteJobsStep)
+		if err == nil {
+			blob, err = j.task.Run(actx, c)
+		}
+		stuck := errors.Is(context.Cause(actx), errChunkStuck)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return blob, nil, nil
+		}
+		if ctx.Err() != nil {
+			// The job-level context ended (cancel, stop, crash, job
+			// deadline): unwind; runJob classifies via context.Cause.
+			return nil, nil, fmt.Errorf("chunk %d: %w", c, err)
+		}
+		class := resilience.ClassOf(err)
+		if stuck {
+			// The watchdog tripped this attempt: a stuck chunk is a
+			// transient fault whatever error it surfaced as.
+			class = resilience.ClassTransient
+			err = fmt.Errorf("%w (attempt %d exceeded %s)", errChunkStuck, attempt, m.cfg.ChunkDeadline)
+		} else if class == resilience.ClassUnknown && errors.Is(err, mathx.ErrNumeric) {
+			class = resilience.ClassNumeric
+		}
+		switch class {
+		case resilience.ClassTransient:
+			if attempt <= retries && j.retry.Take() {
+				m.chunkRetries.Add(1)
+				if rerr := faultinject.Inject(m.metaCtx(ctx, j.id, c), faultinject.SiteJobsChunkRetry); rerr != nil {
+					// An injected retry abort: quarantine now, as if the
+					// retries were exhausted.
+					break
+				}
+				if werr := bo.Wait(ctx, attempt-1); werr != nil {
+					return nil, nil, fmt.Errorf("chunk %d: %w", c, werr)
+				}
+				continue
+			}
+		case resilience.ClassPoison, resilience.ClassNumeric:
+			// Deterministic for this chunk: retrying recomputes the same
+			// pathology, so quarantine immediately.
+		default:
+			// Permanent or unclassified: fail the whole job.
+			return nil, nil, fmt.Errorf("chunk %d: %w", c, err)
+		}
+		return nil, &ChunkFailure{Chunk: c, Attempts: attempt, Error: err.Error()}, nil
+	}
+}
+
+// finalize merges the chunks and goes terminal. A job with quarantined
+// chunks cannot merge (Finalize needs every chunk), so it terminates
+// completed_partial with a result document carrying the counts and the
+// failure manifest.
 func (m *Manager) finalize(j *job) {
+	m.mu.Lock()
+	failed := append([]ChunkFailure(nil), j.failed...)
+	completed := bitCount(j.bitmap, j.chunks)
+	m.mu.Unlock()
+	if len(failed) > 0 {
+		doc, err := json.Marshal(struct {
+			Status    string         `json:"status"`
+			Chunks    int            `json:"chunks"`
+			Completed int            `json:"completedChunks"`
+			Manifest  []ChunkFailure `json:"manifest"`
+		}{string(StatusCompletedPartial), j.chunks, completed, failed})
+		if err != nil {
+			m.terminal(j, StatusFailed, fmt.Sprintf("partial result: %v", err))
+			return
+		}
+		m.mu.Lock()
+		j.result = doc
+		m.mu.Unlock()
+		m.partialJobs.Add(1)
+		m.terminal(j, StatusCompletedPartial, fmt.Sprintf("%d/%d chunks quarantined", len(failed), j.chunks))
+		return
+	}
 	res, err := j.task.Finalize(context.Background(), j.data)
 	if err != nil {
 		m.terminal(j, StatusFailed, fmt.Sprintf("finalize: %v", err))
@@ -676,7 +945,10 @@ func (m *Manager) terminal(j *job, st Status, errMsg string) {
 // failure (or an injected one at SiteJobsCheckpoint) skips this write
 // and counts it: the job keeps computing — at worst a crash replays the
 // chunks since the last durable write, which the determinism contract
-// makes invisible.
+// makes invisible. While the journal is degraded (a previous write
+// failed — ENOSPC, dead disk), checkpoints are absorbed in-memory and
+// only one real write per JournalReprobe interval probes whether the
+// disk recovered.
 func (m *Manager) checkpoint(ctx context.Context, j *job) {
 	if m.cfg.Dir == "" {
 		return
@@ -685,9 +957,16 @@ func (m *Manager) checkpoint(ctx context.Context, j *job) {
 		m.checkpointSkips.Add(1)
 		return
 	}
-	if err := m.writeJournal(j); err != nil {
+	if m.degraded.Load() {
+		if time.Now().UnixNano()-m.lastProbe.Load() < int64(m.cfg.JournalReprobe) {
+			m.degradedSkips.Add(1)
+			return
+		}
+		m.journalReprobes.Add(1)
+	}
+	if err := m.writeDurable(j); err != nil {
 		m.checkpointErrors.Add(1)
-		log.Printf("jobs: checkpoint %s: %v", j.id, err)
+		log.Printf("jobs: checkpoint %s: %v (journal degraded, continuing in-memory)", j.id, err)
 		return
 	}
 	m.checkpoints.Add(1)
@@ -699,12 +978,31 @@ func (m *Manager) persistTerminal(j *job) {
 	if m.cfg.Dir == "" {
 		return
 	}
-	if err := m.writeJournal(j); err != nil {
+	if err := m.writeDurable(j); err != nil {
 		m.checkpointErrors.Add(1)
 		log.Printf("jobs: persist %s: %v", j.id, err)
 		return
 	}
 	m.checkpoints.Add(1)
+}
+
+// writeDurable is writeJournal plus the degradation state machine: a
+// failed write flips the manager degraded (counted on the transition)
+// and stamps the probe clock; a successful write while degraded is the
+// recovery.
+func (m *Manager) writeDurable(j *job) error {
+	err := m.writeJournal(j)
+	if err != nil {
+		if !m.degraded.Swap(true) {
+			m.degradedEvents.Add(1)
+		}
+		m.lastProbe.Store(time.Now().UnixNano())
+		return err
+	}
+	if m.degraded.Swap(false) {
+		m.journalRecoveries.Add(1)
+	}
+	return nil
 }
 
 // writeJournal snapshots j under the lock and writes it atomically
@@ -724,6 +1022,9 @@ func (m *Manager) writeJournal(j *job) error {
 		ChunkData: append([][]byte(nil), j.data...),
 		Result:    j.result, ErrMsg: j.errMsg,
 	}
+	if len(j.failed) > 0 {
+		jf.Manifest = EncodeManifest(j.failed)
+	}
 	if jf.Status == StatusRunning {
 		// A journal never claims "running": the process writing it may
 		// die the next instant, and on disk that state means "queued
@@ -735,7 +1036,24 @@ func (m *Manager) writeJournal(j *job) error {
 	if err != nil {
 		return err
 	}
-	return snapcodec.WriteFileAtomic(journalPath(m.cfg.Dir, j.id), data)
+	if faultinject.Active() {
+		// SiteJobsJournalWrite simulates a failing disk (ENOSPC, IO error)
+		// at the exact point the bytes would hit it.
+		ictx := faultinject.WithMeta(context.Background(), j.id)
+		if err := faultinject.Inject(ictx, faultinject.SiteJobsJournalWrite); err != nil {
+			return fmt.Errorf("jobs: journal write %s: %w", j.id, err)
+		}
+	}
+	path := journalPath(m.cfg.Dir, j.id)
+	// Rotate the current journal to .prev before replacing it: if this
+	// write (or a later one) leaves a torn frame, boot falls back to the
+	// previous checkpoint instead of quarantining the whole journal. A
+	// hard link is a metadata-only snapshot of the old bytes; best-effort
+	// because the fallback is an optimization, not a correctness need.
+	prev := prevJournalPath(m.cfg.Dir, j.id)
+	_ = os.Remove(prev)
+	_ = os.Link(path, prev)
+	return snapcodec.WriteFileAtomic(path, data)
 }
 
 func (m *Manager) removeJournal(id string) {
@@ -743,4 +1061,5 @@ func (m *Manager) removeJournal(id string) {
 		return
 	}
 	_ = os.Remove(journalPath(m.cfg.Dir, id))
+	_ = os.Remove(prevJournalPath(m.cfg.Dir, id))
 }

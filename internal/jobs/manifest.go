@@ -1,0 +1,110 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The per-chunk failure manifest: the durable record of every chunk the
+// supervisor quarantined, carried by completed_partial jobs. It gets
+// its own deterministic binary codec (rather than riding gob) because
+// the acceptance contract is bit-level: the manifest a client reads
+// after a kill-mid-run resume must be byte-identical to the one from an
+// uninterrupted run, so the encoding must be canonical — fixed field
+// order, fixed widths, no map iteration, no encoder state.
+//
+// Layout (all integers little-endian uint32):
+//
+//	count | { chunk | attempts | len(error) | error bytes }*
+//
+// DecodeManifest validates what the manager relies on: strictly
+// ascending chunk indices within [0, chunks), at least one attempt per
+// entry, and an exact byte length — arbitrary input errors, never
+// panics (the fuzz target leans on this).
+
+// ChunkFailure is one quarantined chunk's manifest entry.
+type ChunkFailure struct {
+	// Chunk is the quarantined chunk's index.
+	Chunk int `json:"chunk"`
+	// Attempts is how many times the chunk was run before quarantine
+	// (1 + retries spent on it).
+	Attempts int `json:"attempts"`
+	// Error is the final attempt's failure message.
+	Error string `json:"error"`
+}
+
+// manifestMaxError caps one entry's error string: longer messages are
+// a corrupt length field, not a plausible failure.
+const manifestMaxError = 1 << 16
+
+// EncodeManifest renders the manifest canonically. Entries must already
+// satisfy the invariants DecodeManifest checks (the supervisor appends
+// in ascending chunk order); Encode itself only truncates oversized
+// error strings to keep the frame decodable.
+func EncodeManifest(fails []ChunkFailure) []byte {
+	size := 4
+	for i := range fails {
+		size += 12 + min(len(fails[i].Error), manifestMaxError)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(fails)))
+	for i := range fails {
+		f := &fails[i]
+		msg := f.Error
+		if len(msg) > manifestMaxError {
+			msg = msg[:manifestMaxError]
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(f.Chunk))
+		out = binary.LittleEndian.AppendUint32(out, uint32(f.Attempts))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(msg)))
+		out = append(out, msg...)
+	}
+	return out
+}
+
+// DecodeManifest parses and validates a manifest against a job's chunk
+// count. Every failure wraps ErrJournalCorrupt.
+func DecodeManifest(data []byte, chunks int) ([]ChunkFailure, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: manifest short header (%d bytes)", ErrJournalCorrupt, len(data))
+	}
+	count := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	if int64(count) > int64(chunks) {
+		return nil, fmt.Errorf("%w: manifest claims %d failures for %d chunks", ErrJournalCorrupt, count, chunks)
+	}
+	fails := make([]ChunkFailure, 0, count)
+	prev := -1
+	for e := uint32(0); e < count; e++ {
+		if len(data) < 12 {
+			return nil, fmt.Errorf("%w: manifest entry %d truncated", ErrJournalCorrupt, e)
+		}
+		chunk := binary.LittleEndian.Uint32(data)
+		attempts := binary.LittleEndian.Uint32(data[4:])
+		msgLen := binary.LittleEndian.Uint32(data[8:])
+		data = data[12:]
+		if int64(chunk) >= int64(chunks) {
+			return nil, fmt.Errorf("%w: manifest entry %d: chunk %d of %d", ErrJournalCorrupt, e, chunk, chunks)
+		}
+		if int(chunk) <= prev {
+			return nil, fmt.Errorf("%w: manifest entry %d: chunk %d out of order", ErrJournalCorrupt, e, chunk)
+		}
+		if attempts == 0 {
+			return nil, fmt.Errorf("%w: manifest entry %d: zero attempts", ErrJournalCorrupt, e)
+		}
+		if msgLen > manifestMaxError || uint64(msgLen) > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: manifest entry %d: message length %d", ErrJournalCorrupt, e, msgLen)
+		}
+		fails = append(fails, ChunkFailure{
+			Chunk:    int(chunk),
+			Attempts: int(attempts),
+			Error:    string(data[:msgLen]),
+		})
+		data = data[msgLen:]
+		prev = int(chunk)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: manifest has %d trailing bytes", ErrJournalCorrupt, len(data))
+	}
+	return fails, nil
+}

@@ -1,0 +1,131 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		fails []ChunkFailure
+	}{
+		{"empty", nil},
+		{"one", []ChunkFailure{{Chunk: 3, Attempts: 1, Error: "injected poison"}}},
+		{"several", []ChunkFailure{
+			{Chunk: 0, Attempts: 3, Error: "never cleared"},
+			{Chunk: 2, Attempts: 1, Error: ""},
+			{Chunk: 7, Attempts: 4, Error: "solve blew up: mathx: numeric failure"},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data := EncodeManifest(tc.fails)
+			got, err := DecodeManifest(data, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.fails) {
+				t.Fatalf("got %d entries, want %d", len(got), len(tc.fails))
+			}
+			for i := range got {
+				if got[i] != tc.fails[i] {
+					t.Fatalf("entry %d = %+v, want %+v", i, got[i], tc.fails[i])
+				}
+			}
+			// Canonical: re-encoding the decode reproduces the bytes.
+			if !bytes.Equal(EncodeManifest(got), data) {
+				t.Fatal("re-encode differs: codec is not canonical")
+			}
+		})
+	}
+}
+
+func TestManifestEncodeTruncatesOversizedError(t *testing.T) {
+	long := strings.Repeat("x", manifestMaxError+100)
+	data := EncodeManifest([]ChunkFailure{{Chunk: 0, Attempts: 1, Error: long}})
+	got, err := DecodeManifest(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0].Error) != manifestMaxError {
+		t.Fatalf("error length %d, want truncated to %d", len(got[0].Error), manifestMaxError)
+	}
+}
+
+func TestManifestDecodeRejects(t *testing.T) {
+	valid := EncodeManifest([]ChunkFailure{
+		{Chunk: 1, Attempts: 2, Error: "a"},
+		{Chunk: 4, Attempts: 1, Error: "bb"},
+	})
+	for _, tc := range []struct {
+		name   string
+		data   []byte
+		chunks int
+	}{
+		{"short header", []byte{1, 0}, 8},
+		{"count exceeds chunks", valid, 1},
+		{"chunk out of range", EncodeManifest([]ChunkFailure{{Chunk: 9, Attempts: 1}}), 8},
+		{"out of order", EncodeManifest([]ChunkFailure{
+			{Chunk: 4, Attempts: 1}, {Chunk: 1, Attempts: 1},
+		}), 8},
+		{"duplicate chunk", EncodeManifest([]ChunkFailure{
+			{Chunk: 2, Attempts: 1}, {Chunk: 2, Attempts: 1},
+		}), 8},
+		{"zero attempts", EncodeManifest([]ChunkFailure{{Chunk: 0, Attempts: 0}}), 8},
+		{"truncated entry", valid[:len(valid)-1], 8},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0xFF), 8},
+		{"message overruns", func() []byte {
+			d := append([]byte(nil), EncodeManifest([]ChunkFailure{{Chunk: 0, Attempts: 1, Error: "abc"}})...)
+			d[12] = 200 // inflate the length field past the payload
+			return d
+		}(), 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeManifest(tc.data, tc.chunks); !errors.Is(err, ErrJournalCorrupt) {
+				t.Fatalf("err = %v, want ErrJournalCorrupt", err)
+			}
+		})
+	}
+}
+
+// FuzzManifestDecode drives DecodeManifest with arbitrary bytes: it
+// must return ErrJournalCorrupt-class errors or a manifest satisfying
+// every invariant — never panic, never hang, never over-allocate from a
+// hostile count field.
+func FuzzManifestDecode(f *testing.F) {
+	f.Add([]byte{}, 8)
+	f.Add([]byte{0, 0, 0, 0}, 8)
+	f.Add(bytes.Repeat([]byte{0xFF}, 32), 1<<20)
+	valid := EncodeManifest([]ChunkFailure{
+		{Chunk: 0, Attempts: 3, Error: "never cleared"},
+		{Chunk: 5, Attempts: 1, Error: "injected poison"},
+	})
+	f.Add(valid, 8)
+	f.Add(valid[:len(valid)-1], 8)
+	f.Add(valid[:len(valid)/2], 8)
+	flipped := append([]byte(nil), valid...)
+	flipped[4] ^= 0x80
+	f.Add(flipped, 8)
+
+	f.Fuzz(func(t *testing.T, data []byte, chunks int) {
+		fails, err := DecodeManifest(data, chunks)
+		if err != nil {
+			if !errors.Is(err, ErrJournalCorrupt) {
+				t.Fatalf("non-corrupt error class: %v", err)
+			}
+			return
+		}
+		prev := -1
+		for _, fl := range fails {
+			if fl.Chunk <= prev || fl.Chunk >= chunks || fl.Attempts < 1 || len(fl.Error) > manifestMaxError {
+				t.Fatalf("accepted invariant-violating entry %+v (chunks=%d)", fl, chunks)
+			}
+			prev = fl.Chunk
+		}
+		if !bytes.Equal(EncodeManifest(fails), data) {
+			t.Fatal("accepted non-canonical encoding")
+		}
+	})
+}

@@ -125,6 +125,17 @@ type CGResult struct {
 	Iterations int
 	Residual   float64 // final ‖b − A·x‖₂ / ‖b‖₂
 	Converged  bool
+	// Diverged marks a solve the divergence detector cut short: the
+	// residual went NaN/Inf, exploded past cgDivergeLimit, or the
+	// iteration broke down (p·Ap ≤ 0 on a supposedly SPD system). The
+	// solution vector is garbage; callers fall down their ladder or
+	// surface ErrNumeric.
+	Diverged bool
+	// Stagnated marks a solve cut short by the stagnation detector: no
+	// new best residual for cgStagnationWindow iterations. Unlike plain
+	// non-convergence at MaxIter, stagnation means more iterations
+	// cannot help.
+	Stagnated bool
 }
 
 // CGOptions configures SolveCGOpts. The zero value reproduces the classic
@@ -211,6 +222,7 @@ func SolveCGScratch(a *CSR, b, x []float64, rtol float64, maxIter int, m Precond
 	copy(p, z)
 	rz := Dot(r, z)
 	res := CGResult{}
+	bestRn, bestK := math.Inf(1), 0
 	for k := 0; k < maxIter; k++ {
 		// One iteration is a millisecond-scale unit of work on chip-scale
 		// systems; this scheduling point keeps a long bulk solve from
@@ -224,9 +236,33 @@ func SolveCGScratch(a *CSR, b, x []float64, rtol float64, maxIter int, m Precond
 			res.Converged = true
 			return res
 		}
+		// Divergence detector: a NaN/Inf residual (NaN input, broken
+		// preconditioner) or one exploding past cgDivergeLimit cannot
+		// recover — bail out immediately rather than spinning to maxIter
+		// on garbage.
+		if math.IsNaN(rn) || math.IsInf(rn, 0) || rn > cgDivergeLimit {
+			res.Diverged = true
+			cgDivergences.Add(1)
+			return res
+		}
+		// Stagnation detector: no new best residual in a long window
+		// means the Krylov process has broken down (effectively singular
+		// or non-SPD A) and further iterations are wasted.
+		if rn < bestRn {
+			bestRn, bestK = rn, k
+		} else if k-bestK >= cgStagnationWindow {
+			res.Stagnated = true
+			cgStagnations.Add(1)
+			return res
+		}
 		a.MulVec(p, ap)
 		pap := Dot(p, ap)
 		if pap == 0 || math.IsNaN(pap) {
+			// Breakdown: a zero or NaN curvature on a live residual. The
+			// residual check above already returned for converged solves,
+			// so this is always a genuine failure.
+			res.Diverged = true
+			cgDivergences.Add(1)
 			return res
 		}
 		alpha := rz / pap

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"dsmtherm/internal/core"
+	"dsmtherm/internal/faultinject"
 	"dsmtherm/internal/mathx"
 	"dsmtherm/internal/ntrs"
 	"dsmtherm/internal/phys"
@@ -485,23 +486,52 @@ func (nd *Nodal) SolveInto(ctx context.Context, temps []float64, reuse *Solution
 	for _, k := range nd.padSlots {
 		a.Val[k] = 1
 	}
-	var prec mathx.Preconditioner
-	if nd.ic0 == nil {
-		if f, err := mathx.NewIC0(a); err == nil {
-			nd.ic0 = f
-		}
-	} else if nd.ic0.Refactor(a) != nil {
-		nd.ic0 = nil
+	// Preconditioner ladder: IC(0) (refactored in place each pass) is
+	// the primary path; a fault hook at SiteMathxSolve skips it so tests
+	// can walk the ladder on healthy grids.
+	useIC0 := true
+	if faultinject.Inject(ctx, faultinject.SiteMathxSolve) != nil {
+		mathx.RecordFallback()
+		useIC0 = false
 	}
-	if nd.ic0 != nil {
-		prec = nd.ic0
-	} else {
+	var prec mathx.Preconditioner
+	if useIC0 {
+		if nd.ic0 == nil {
+			if f, err := mathx.NewIC0(a); err == nil {
+				nd.ic0 = f
+			}
+		} else if nd.ic0.Refactor(a) != nil {
+			nd.ic0 = nil
+		}
+		if nd.ic0 != nil {
+			prec = nd.ic0
+		}
+	}
+	onIC0 := prec != nil
+	if prec == nil {
 		prec, _ = mathx.NewPreconditioner(a, mathx.PrecondJacobi)
 	}
 	copy(nd.rhs, nd.rhsBase)
 	res := mathx.SolveCGScratch(a, nd.rhs, nd.x, 1e-12, 0, prec, &nd.cg)
+	if !res.Converged && onIC0 {
+		// The IC(0) rung failed (divergence, stagnation, or the
+		// iteration cap): restart cold on Jacobi — the failed rung may
+		// have left NaN in the warm-start vector.
+		mathx.RecordFallback()
+		for i := range nd.x {
+			nd.x[i] = 0
+		}
+		prec, _ = mathx.NewPreconditioner(a, mathx.PrecondJacobi)
+		res = mathx.SolveCGScratch(a, nd.rhs, nd.x, 1e-12, 0, prec, &nd.cg)
+	}
 	if !res.Converged {
-		return nil, fmt.Errorf("powergrid: CG stalled (residual %g)", res.Residual)
+		mathx.RecordNumericFailure()
+		return nil, fmt.Errorf("powergrid: %w: CG exhausted the fallback ladder (residual %g after %d iterations, diverged=%v stagnated=%v)",
+			mathx.ErrNumeric, res.Residual, res.Iterations, res.Diverged, res.Stagnated)
+	}
+	if err := mathx.CheckFinite("IR-drop solution", nd.x); err != nil {
+		mathx.RecordNumericFailure()
+		return nil, fmt.Errorf("powergrid: %w", err)
 	}
 	x := nd.x
 

@@ -13,6 +13,7 @@ import (
 	"dsmtherm/internal/em"
 	"dsmtherm/internal/fdm"
 	"dsmtherm/internal/jobs"
+	"dsmtherm/internal/mathx"
 	"dsmtherm/internal/netcheck"
 	"dsmtherm/internal/powergrid"
 	"dsmtherm/internal/rules"
@@ -115,6 +116,12 @@ func classify(err error) (int, string) {
 		// A well-formed problem with no self-consistent operating point:
 		// semantically unprocessable, not malformed.
 		return http.StatusUnprocessableEntity, "no_solution"
+	case errors.Is(err, mathx.ErrNumeric):
+		// A numeric health guard tripped (non-finite field, CG divergence
+		// past the fallback ladder, chipcheck fixed point that never
+		// settled): the request is well-formed but this problem's numerics
+		// are unprocessable. Never cached, never retried server-side.
+		return http.StatusUnprocessableEntity, "numeric_failure"
 	case errors.Is(err, ErrQuarantined):
 		// Well-formed, but the key's compute keeps blowing up; retry
 		// once the embargo lifts.

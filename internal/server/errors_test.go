@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dsmtherm/internal/core"
+	"dsmtherm/internal/jobs"
+	"dsmtherm/internal/mathx"
+)
+
+// TestRetryAfterOnEveryRejectionPath is the satellite audit: every
+// sentinel that classifies to 429 or 503 — and the embargo 422s — must
+// carry a Retry-After header when rendered, and every other class must
+// not (a Retry-After on a 400 teaches clients to hammer bad requests).
+func TestRetryAfterOnEveryRejectionPath(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		err        error
+		wantStatus int
+		wantCode   string
+		wantRetry  bool
+	}{
+		{"admission queue full", ErrQueueFull, http.StatusTooManyRequests, "queue_full", true},
+		{"admission queue wait", ErrQueueWait, http.StatusServiceUnavailable, "overloaded", true},
+		{"draining", ErrDraining, http.StatusServiceUnavailable, "draining", true},
+		{"breaker open", ErrBreakerOpen, http.StatusServiceUnavailable, "breaker_open", true},
+		{"quarantined", ErrQuarantined, http.StatusUnprocessableEntity, "quarantined", true},
+		{"quarantined with hint", withRetryHint(ErrQuarantined, 7*time.Second), http.StatusUnprocessableEntity, "quarantined", true},
+		{"jobs lane full", jobs.ErrQueueFull, http.StatusTooManyRequests, "queue_full", true},
+		{"jobs manager stopped", jobs.ErrStopped, http.StatusServiceUnavailable, "draining", true},
+		{"client canceled", context.Canceled, http.StatusServiceUnavailable, "canceled", true},
+
+		{"bad request", ErrBadRequest, http.StatusBadRequest, "invalid_request", false},
+		{"jobs invalid", jobs.ErrInvalid, http.StatusBadRequest, "invalid_request", false},
+		{"job not found", jobs.ErrNotFound, http.StatusNotFound, "not_found", false},
+		{"job not done", jobs.ErrNotDone, http.StatusConflict, "not_done", false},
+		{"job terminal", jobs.ErrTerminal, http.StatusConflict, "terminal", false},
+		{"job failed", jobs.ErrFailed, http.StatusUnprocessableEntity, "job_failed", false},
+		{"no solution", core.ErrNoSolution, http.StatusUnprocessableEntity, "no_solution", false},
+		{"numeric failure", mathx.ErrNumeric, http.StatusUnprocessableEntity, "numeric_failure", false},
+		{"wrapped numeric failure", fmt.Errorf("chipcheck: %w: runaway", mathx.ErrNumeric), http.StatusUnprocessableEntity, "numeric_failure", false},
+		{"timeout", context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout", false},
+		{"internal", errors.New("boom"), http.StatusInternalServerError, "internal", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			status, code := classify(tc.err)
+			if status != tc.wantStatus || code != tc.wantCode {
+				t.Fatalf("classify = (%d, %q), want (%d, %q)", status, code, tc.wantStatus, tc.wantCode)
+			}
+			rec := httptest.NewRecorder()
+			writeError(rec, tc.err)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("writeError status = %d, want %d", rec.Code, tc.wantStatus)
+			}
+			retry := rec.Header().Get("Retry-After")
+			if tc.wantRetry && retry == "" {
+				t.Fatalf("%d %q response missing Retry-After", rec.Code, code)
+			}
+			if !tc.wantRetry && retry != "" {
+				t.Fatalf("%d %q response has spurious Retry-After %q", rec.Code, code, retry)
+			}
+		})
+	}
+}
+
+// TestRetryHintValue: a concrete hint rounds up to whole seconds; the
+// default is one second.
+func TestRetryHintValue(t *testing.T) {
+	if got := retryAfterValue(ErrQueueFull); got != "1" {
+		t.Fatalf("default Retry-After = %q, want 1", got)
+	}
+	if got := retryAfterValue(withRetryHint(ErrQuarantined, 2500*time.Millisecond)); got != "3" {
+		t.Fatalf("hinted Retry-After = %q, want 3", got)
+	}
+	if got := retryAfterValue(withRetryHint(ErrBreakerOpen, time.Millisecond)); got != "1" {
+		t.Fatalf("sub-second hint = %q, want floor of 1", got)
+	}
+}

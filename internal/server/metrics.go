@@ -11,6 +11,7 @@ import (
 
 	"dsmtherm/internal/core"
 	"dsmtherm/internal/jobs"
+	"dsmtherm/internal/mathx"
 )
 
 // Metrics is the daemon's observability surface: expvar-style atomic
@@ -150,13 +151,17 @@ type jobsSnapshot struct {
 
 // resilienceSnapshot reports the failure-containment layer: recovered
 // panics, degraded-mode serving, the poison-key quarantine, the circuit
-// breaker, and warm-restart snapshots.
+// breaker, warm-restart snapshots, and the numeric health guards
+// (process-wide mathx counters: CG divergence/stagnation trips, direct
+// solves rejected by residual verification, fallback-ladder steps, and
+// solves that exhausted the ladder).
 type resilienceSnapshot struct {
-	Panics      uint64             `json:"panics"`
-	StaleServed uint64             `json:"staleServed"`
-	Quarantine  quarantineSnapshot `json:"quarantine"`
-	Breaker     breakerSnapshot    `json:"breaker"`
-	Snapshots   snapshotSnapshot   `json:"snapshot"`
+	Panics      uint64                     `json:"panics"`
+	StaleServed uint64                     `json:"staleServed"`
+	Quarantine  quarantineSnapshot         `json:"quarantine"`
+	Breaker     breakerSnapshot            `json:"breaker"`
+	Snapshots   snapshotSnapshot           `json:"snapshot"`
+	Numeric     mathx.NumericStatsSnapshot `json:"numeric"`
 }
 
 type quarantineSnapshot struct {
@@ -311,6 +316,7 @@ func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights 
 			LoadFailures:  m.SnapshotLoadFailures.Load(),
 			Skipped:       m.SnapshotSkipped.Load(),
 		},
+		Numeric: mathx.NumericStats(),
 	}
 	if jm != nil {
 		s.Jobs = &jobsSnapshot{
