@@ -41,6 +41,7 @@ fuzz-smoke:
 	$(GO) test ./internal/jobs -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/jobs -run '^$$' -fuzz FuzzManifestDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/chipcheck -run '^$$' -fuzz FuzzCompileParams -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mathx -run '^$$' -fuzz FuzzSketchDecode -fuzztime $(FUZZTIME)
 
 # Coverage gate for the signoff engine: the coupled-loop/verdict/report
 # paths are the correctness core of /v1/chipcheck, so regressions in test
@@ -65,7 +66,7 @@ bench-smoke:
 # (cmd/benchjson -next auto-increments past the highest existing index).
 bench-json:
 	$(GO) test ./internal/mathx ./internal/fdm ./internal/rules ./internal/jobs ./internal/chipcheck -run '^$$' \
-		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel|JobThroughput|JobRetryOverhead|Chipcheck' \
+		-bench 'SpMVParallel|DotParallel|SolveCGPrecond|FDMSolveBatch|FDMCouplingFactor|MonteCarloParallel|JobThroughput|JobRetryOverhead|Chipcheck|LifetimeSketch' \
 		-benchtime 10x -count=1 | $(GO) run ./cmd/benchjson -next .
 
 verify: build vet test race chaos fuzz-smoke bench-smoke cover-chipcheck

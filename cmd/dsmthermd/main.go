@@ -7,6 +7,7 @@
 //	dsmthermd -addr :8080 -workers 8 -cache 4096 -timeout 30s \
 //	          -admit 16 -queue-depth 64 -queue-wait 2s \
 //	          -batch-max 256 -max-segments 10000 -chip-max-nodes 4096 \
+//	          -lifetime-max-samples 200000 -pprof localhost:6060 \
 //	          -route-timeout /v1/netcheck=2m -route-timeout /v1/rules=5s \
 //	          -snapshot-path /var/lib/dsmthermd/cache.snap -snapshot-interval 5m \
 //	          -quarantine-threshold 3 -breaker-threshold 5 \
@@ -33,6 +34,9 @@
 // reports 503 "draining" so load balancers shift traffic first. With
 // -snapshot-path set, the solve cache's working set is persisted
 // (atomically, checksummed) across restarts.
+//
+// With -pprof set, net/http/pprof is served on a separate ops listener
+// (bind it to localhost); the service address never exposes profiling.
 package main
 
 import (
@@ -41,6 +45,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +69,7 @@ func main() {
 	batchMax := flag.Int("batch-max", 0, "max entries in one /v1/batch request (0 = 256)")
 	maxSegments := flag.Int("max-segments", 0, "max segments in one /v1/netcheck design (0 = 10000, negative disables)")
 	chipMaxNodes := flag.Int("chip-max-nodes", 0, "max grid nodes in one synchronous /v1/chipcheck (0 = 4096, negative disables; bigger grids go through -jobs)")
+	lifetimeMaxSamples := flag.Int("lifetime-max-samples", 0, "max Monte Carlo samples in one synchronous /v1/lifetime (0 = 200000, negative disables; bigger studies go through -jobs)")
 	queueDepth := flag.Int("queue-depth", 0, "admission wait-queue depth before 429 (0 = 4x admit, negative = no queue)")
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request waits for admission before 503")
 	snapshotPath := flag.String("snapshot-path", "", "cache snapshot file for warm restarts (empty disables)")
@@ -83,6 +90,7 @@ func main() {
 	chunkRetries := flag.Int("chunk-retries", 0, "retries per transiently failing job chunk before quarantine (0 = 3, negative disables retries)")
 	chunkDeadline := flag.Duration("chunk-deadline", 0, "stuck-chunk watchdog: max duration of one chunk attempt (0 disables)")
 	jobsDegradedOK := flag.Bool("jobs-degraded-ok", false, "accept job submits even when the journal write fails (ENOSPC); such jobs run in-memory until the disk recovers")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate ops address (e.g. localhost:6060; empty disables)")
 	routeTimeouts := make(map[string]time.Duration)
 	flag.Func("route-timeout", "per-route timeout override as route=duration, e.g. /v1/netcheck=2m (repeatable)", func(v string) error {
 		route, durStr, ok := strings.Cut(v, "=")
@@ -114,6 +122,8 @@ func main() {
 		MaxBatch:         *batchMax,
 		MaxSegments:      *maxSegments,
 		MaxChipNodes:     *chipMaxNodes,
+
+		MaxLifetimeSamples: *lifetimeMaxSamples,
 
 		SnapshotPath:        *snapshotPath,
 		SnapshotInterval:    *snapshotInterval,
@@ -149,15 +159,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsmthermd: -chunk-retries/-chunk-deadline/-jobs-degraded-ok require -jobs")
 		os.Exit(2)
 	}
-	if err := run(*addr, cfg, jcfg); err != nil {
+	if err := run(*addr, *pprofAddr, cfg, jcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmthermd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config, jcfg *jobs.Config) error {
+func run(addr, pprofAddr string, cfg server.Config, jcfg *jobs.Config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// The profiling endpoints live on their own ops listener, never on
+	// the service address: -pprof is opt-in, typically bound to
+	// localhost, so heap/CPU profiles are reachable by operators without
+	// exposing them to API clients. A manual mux keeps the handlers off
+	// http.DefaultServeMux.
+	if pprofAddr != "" {
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: mux}
+		defer psrv.Close()
+		go func() {
+			if err := psrv.Serve(pln); err != nil && err != http.ErrServerClosed {
+				log.Printf("dsmthermd: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("dsmthermd: pprof on http://%s/debug/pprof/", pln.Addr())
+	}
 
 	// The daemon owns the job manager's lifecycle: created before the
 	// server (restoring any journaled jobs from a previous process), and

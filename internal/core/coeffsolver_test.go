@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dsmtherm/internal/material"
+	"dsmtherm/internal/phys"
+)
+
+func solverProblem(coeffScale float64) CoeffProblem {
+	cu := material.Cu
+	return CoeffProblem{
+		Metal: &cu,
+		Coeff: 2e-9 * coeffScale,
+		R:     0.1,
+		J0:    phys.MAPerCm2(1.8),
+		Tref:  phys.CToK(100),
+	}
+}
+
+// TestCoeffSolverUnhintedMatchesSolveCoeff: with no usable hint the
+// reusable solver runs the exact same bracket and residual sequence as
+// SolveCoeff, so the results are bit-identical.
+func TestCoeffSolverUnhintedMatchesSolveCoeff(t *testing.T) {
+	s := NewCoeffSolver()
+	for _, scale := range []float64{0.05, 0.3, 1, 3, 20} {
+		p := solverProblem(scale)
+		want, err := SolveCoeff(p)
+		if err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		s.P = p
+		got, err := s.Solve(0)
+		if err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		if got != want {
+			t.Errorf("scale %g: Solve(0) = %+v, want %+v", scale, got, want)
+		}
+	}
+}
+
+// TestCoeffSolverWarmStart: a hinted solve converges to the same root
+// (within the Brent tolerance) whether the hint is tight, loose, or
+// absurd — the widening ladder always recovers the full bracket.
+func TestCoeffSolverWarmStart(t *testing.T) {
+	s := NewCoeffSolver()
+	p := solverProblem(1)
+	ref, err := SolveCoeff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hint := range []float64{
+		ref.Tm,            // exact
+		ref.Tm + 5,        // near
+		ref.Tm + 400,      // far: needs widening
+		p.Tref + 1e-6,     // at the bottom edge
+		p.Tref + 1999.999, // at the ceiling edge
+		math.NaN(),        // unusable → full bracket
+	} {
+		s.P = p
+		got, err := s.Solve(hint)
+		if err != nil {
+			t.Fatalf("hint %g: %v", hint, err)
+		}
+		if math.Abs(got.Tm-ref.Tm) > 1e-6 {
+			t.Errorf("hint %g: Tm = %.12g, want %.12g", hint, got.Tm, ref.Tm)
+		}
+	}
+}
+
+// TestCoeffSolverDeterministicAcrossCalls: restamping P and re-solving
+// with the same hint gives bit-identical results regardless of what the
+// solver computed in between — no state leaks across calls.
+func TestCoeffSolverDeterministicAcrossCalls(t *testing.T) {
+	s := NewCoeffSolver()
+	p := solverProblem(1)
+	ref, err := SolveCoeff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.P = p
+	first, err := s.Solve(ref.Tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pollute with a very different problem, then repeat the first.
+	s.P = solverProblem(30)
+	if _, err := s.Solve(0); err != nil {
+		t.Fatal(err)
+	}
+	s.P = p
+	again, err := s.Solve(ref.Tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Errorf("solve after interleaved work differs: %+v vs %+v", again, first)
+	}
+}
+
+// TestCoeffSolverNoSolution: an unsolvable problem reports
+// ErrNoSolution through the hinted path too.
+func TestCoeffSolverNoSolution(t *testing.T) {
+	s := NewCoeffSolver()
+	p := solverProblem(1)
+	p.J0 = phys.MAPerCm2(1e9) // EM budget can never be exhausted
+	s.P = p
+	if _, err := s.Solve(p.Tref + 50); err == nil {
+		t.Fatal("want ErrNoSolution")
+	}
+	s.P.Coeff = -1
+	if _, err := s.Solve(0); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+// TestCoeffSolverAllocationFree pins the property the Monte Carlo
+// batch kernel depends on: restamp + hinted solve touches the heap
+// zero times steady-state.
+func TestCoeffSolverAllocationFree(t *testing.T) {
+	s := NewCoeffSolver()
+	p := solverProblem(1)
+	ref, err := SolveCoeff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.P = p
+		if _, err := s.Solve(ref.Tm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("hinted solve allocates %.2f/op, want 0", allocs)
+	}
+}

@@ -207,17 +207,7 @@ func SolveCoeffCtx(ctx context.Context, p CoeffProblem) (Solution, error) {
 		}
 		return Solution{}, fmt.Errorf("%w: root search: %w", ErrNoSolution, err)
 	}
-	jrms := math.Sqrt(p.heatLimitedJrmsSq(tm))
-	sol := Solution{
-		Tm:          tm,
-		DeltaT:      tm - tref,
-		Jrms:        jrms,
-		Jpeak:       jrms / math.Sqrt(p.R),
-		Javg:        math.Sqrt(p.R) * jrms,
-		EMOnlyJpeak: p.J0 / p.R,
-	}
-	sol.DeratingVsNaive = sol.Jpeak / sol.EMOnlyJpeak
-	return sol, nil
+	return p.solutionAt(tm), nil
 }
 
 // Coeff folds the problem's geometry and thermal model into the

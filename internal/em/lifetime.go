@@ -1,0 +1,96 @@
+package em
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dsmtherm/internal/mathx"
+)
+
+// Chip-level statistical lifetime: a chip is a weakest-link series system
+// of many interconnect segments, grouped into classes that share one
+// operating point (and hence one Black-equation median TTF). Segment
+// failures are lognormal but not independent — process batch effects
+// correlate every segment's strength — so the model splits each
+// segment's ln TTF into a chip-wide component and an independent one:
+//
+//	ln TTF = ln median + σ·(√ρ·Zc + √(1−ρ)·Zi)
+//
+// with Zc drawn once per chip and Zi per segment. Conditional on Zc the
+// segments of a class are i.i.d., which lets one draw sample the minimum
+// of Count segments in closed form instead of looping: the conditional
+// cumulative level of the weakest of n i.i.d. draws is
+// p = 1 − (1−u)^(1/n) for u uniform, so
+//
+//	min ln TTF = ln median + σ·(√ρ·Zc + √(1−ρ)·Φ⁻¹(p)).
+//
+// A chip sample is therefore O(classes), not O(segments) — the property
+// that makes million-sample chip Monte Carlo affordable.
+
+// SegmentClass aggregates Count segments sharing one lognormal TTF.
+type SegmentClass struct {
+	// Count is the number of segments in the class.
+	Count int
+	// Median is the per-segment median time to fail t50, seconds.
+	Median float64
+	// Sigma is the lognormal shape (std dev of ln TTF).
+	Sigma float64
+}
+
+// ChipModel is the weakest-link chip: it fails when its first segment
+// fails.
+type ChipModel struct {
+	Classes []SegmentClass
+	// Rho ∈ [0, 1) is the chip-wide lognormal correlation: 0 makes all
+	// segments independent, values near 1 make the chip fail as one.
+	Rho float64
+}
+
+// Validate checks the model.
+func (m *ChipModel) Validate() error {
+	if len(m.Classes) == 0 {
+		return fmt.Errorf("%w: chip model with no segment classes", ErrInvalid)
+	}
+	if !(m.Rho >= 0 && m.Rho < 1) {
+		return fmt.Errorf("%w: correlation rho %g outside [0, 1)", ErrInvalid, m.Rho)
+	}
+	for i, c := range m.Classes {
+		if c.Count < 1 {
+			return fmt.Errorf("%w: class %d count %d", ErrInvalid, i, c.Count)
+		}
+		if !(c.Median > 0) || math.IsInf(c.Median, 0) {
+			return fmt.Errorf("%w: class %d median TTF %g", ErrInvalid, i, c.Median)
+		}
+		if !(c.Sigma > 0) {
+			return fmt.Errorf("%w: class %d sigma %g", ErrInvalid, i, c.Sigma)
+		}
+	}
+	return nil
+}
+
+// SampleTTF draws one chip time-to-fail (seconds). The draw order is
+// fixed — one chip-wide normal, then one uniform per class in slice
+// order — so a given RNG stream always yields the same sample; callers
+// that key substreams on the sample index get order-independent Monte
+// Carlo for free. Validate first: SampleTTF assumes a valid model.
+func (m *ChipModel) SampleTTF(rng *rand.Rand) float64 {
+	zc := rng.NormFloat64()
+	sc := math.Sqrt(m.Rho)
+	si := math.Sqrt(1 - m.Rho)
+	ttf := math.Inf(1)
+	for _, c := range m.Classes {
+		u := rng.Float64()
+		// Weakest-of-n conditional cumulative level, computed via
+		// expm1/log1p so n in the millions doesn't round p to 0 or 1.
+		p := -math.Expm1(math.Log1p(-u) / float64(c.Count))
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		t := c.Median * math.Exp(c.Sigma*(sc*zc+si*mathx.InvNormCDF(p)))
+		if t < ttf {
+			ttf = t
+		}
+	}
+	return ttf
+}

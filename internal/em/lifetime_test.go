@@ -1,0 +1,109 @@
+package em
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestChipModelValidate(t *testing.T) {
+	good := ChipModel{Classes: []SegmentClass{{Count: 100, Median: 3e8, Sigma: 0.5}}, Rho: 0.3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]ChipModel{
+		"no classes": {Rho: 0.3},
+		"rho -0.1":   {Classes: good.Classes, Rho: -0.1},
+		"rho 1":      {Classes: good.Classes, Rho: 1},
+		"rho NaN":    {Classes: good.Classes, Rho: math.NaN()},
+		"zero count": {Classes: []SegmentClass{{Count: 0, Median: 3e8, Sigma: 0.5}}},
+		"bad median": {Classes: []SegmentClass{{Count: 1, Median: 0, Sigma: 0.5}}},
+		"inf median": {Classes: []SegmentClass{{Count: 1, Median: math.Inf(1), Sigma: 0.5}}},
+		"NaN sigma":  {Classes: []SegmentClass{{Count: 1, Median: 3e8, Sigma: math.NaN()}}},
+		"zero sigma": {Classes: []SegmentClass{{Count: 1, Median: 3e8, Sigma: 0}}},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+// TestChipSampleMatchesSeriesQuantile cross-checks the closed-form
+// weakest-of-n draw against the analytic series quantile at rho = 0:
+// empirical quantiles of SampleTTF must converge on SeriesQuantile.
+func TestChipSampleMatchesSeriesQuantile(t *testing.T) {
+	l := Lognormal{Median: 3e8, Sigma: 0.5}
+	const n = 5000
+	m := ChipModel{Classes: []SegmentClass{{Count: n, Median: l.Median, Sigma: l.Sigma}}}
+	rng := rand.New(rand.NewSource(17))
+	const samples = 20000
+	ttfs := make([]float64, samples)
+	for i := range ttfs {
+		ttfs[i] = m.SampleTTF(rng)
+	}
+	sort.Float64s(ttfs)
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9} {
+		want, err := SeriesQuantile(l, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ttfs[int(p*float64(samples-1))]
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("quantile %g: empirical %g vs analytic %g (rel %g)", p, got, want, rel)
+		}
+	}
+}
+
+// TestChipSampleCorrelationWidensSpread: with rho near 1 every segment
+// shares its fate, so the weakest-link penalty shrinks (the median chip
+// TTF rises toward the single-segment percentile) while the chip-to-chip
+// spread widens.
+func TestChipSampleCorrelationWidensSpread(t *testing.T) {
+	cls := []SegmentClass{{Count: 10000, Median: 3e8, Sigma: 0.5}}
+	quantiles := func(rho float64) (p10, p50, p90 float64) {
+		m := ChipModel{Classes: cls, Rho: rho}
+		rng := rand.New(rand.NewSource(4))
+		ttfs := make([]float64, 8000)
+		for i := range ttfs {
+			ttfs[i] = m.SampleTTF(rng)
+		}
+		sort.Float64s(ttfs)
+		return ttfs[800], ttfs[4000], ttfs[7200]
+	}
+	p10i, p50i, p90i := quantiles(0)
+	p10c, p50c, p90c := quantiles(0.9)
+	if p50c <= p50i {
+		t.Errorf("correlated median %g should exceed independent %g", p50c, p50i)
+	}
+	if (p90c-p10c)/p50c <= (p90i-p10i)/p50i {
+		t.Error("correlation must widen the relative chip-to-chip spread")
+	}
+}
+
+// TestChipSampleMinOverClasses: the chip TTF is the minimum over
+// classes, so adding a much weaker class must dominate.
+func TestChipSampleMinOverClasses(t *testing.T) {
+	strong := SegmentClass{Count: 100, Median: 3e9, Sigma: 0.4}
+	weak := SegmentClass{Count: 100, Median: 3e5, Sigma: 0.4}
+	rng := rand.New(rand.NewSource(9))
+	m := ChipModel{Classes: []SegmentClass{strong, weak}}
+	for i := 0; i < 200; i++ {
+		if ttf := m.SampleTTF(rng); ttf > 3e7 {
+			t.Fatalf("sample %d: TTF %g not dominated by the weak class", i, ttf)
+		}
+	}
+}
+
+// TestChipSampleDeterministic: the same RNG stream reproduces the same
+// samples — the substream property the lifetime job runner keys on.
+func TestChipSampleDeterministic(t *testing.T) {
+	m := ChipModel{Classes: []SegmentClass{{Count: 50, Median: 3e8, Sigma: 0.5}, {Count: 7, Median: 9e8, Sigma: 0.3}}, Rho: 0.25}
+	a := rand.New(rand.NewSource(3))
+	b := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if x, y := m.SampleTTF(a), m.SampleTTF(b); x != y {
+			t.Fatalf("draw %d: %g != %g", i, x, y)
+		}
+	}
+}

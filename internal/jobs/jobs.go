@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"dsmtherm/internal/chipcheck"
+	"dsmtherm/internal/lifetime"
 )
 
 // Lane identifies a scheduling lane.
@@ -173,8 +174,8 @@ type View struct {
 // SubmitRequest is the POST /v1/jobs body. Exactly one of the per-type
 // params fields must match Type.
 type SubmitRequest struct {
-	// Type selects the runner: "montecarlo", "sweep", "coupling" or
-	// "chipcheck".
+	// Type selects the runner: "montecarlo", "sweep", "coupling",
+	// "chipcheck" or "lifetime".
 	Type string `json:"type"`
 	// Lane selects the scheduling lane (default bulk).
 	Lane Lane `json:"lane,omitempty"`
@@ -187,6 +188,7 @@ type SubmitRequest struct {
 	Sweep      *SweepParams      `json:"sweep,omitempty"`
 	Coupling   *CouplingParams   `json:"coupling,omitempty"`
 	Chipcheck  *chipcheck.Params `json:"chipcheck,omitempty"`
+	Lifetime   *lifetime.Params  `json:"lifetime,omitempty"`
 }
 
 // lane validates and defaults the requested lane.

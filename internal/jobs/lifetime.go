@@ -1,0 +1,86 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"dsmtherm/internal/lifetime"
+	"dsmtherm/internal/mathx"
+)
+
+// TypeLifetime is the chip-level statistical lifetime job type.
+const TypeLifetime = "lifetime"
+
+// lifetimeChunkSamples is the lifetime chunk granularity. A chip sample
+// is O(segment classes) closed-form arithmetic — orders of magnitude
+// cheaper than a Monte Carlo rule solve — so chunks carry far more
+// samples than mcChunkSamples while still finishing in well under a
+// second. Like every chunk constant, retuning it only invalidates
+// in-flight journals (chunk-count mismatch → progress reset), never
+// results.
+const lifetimeChunkSamples = 8192
+
+// lifetimeTask streams chip-TTF samples into mergeable quantile
+// sketches. Its chunk blobs are not gob: each is the canonical
+// mathx.QuantileSketch encoding of the chunk's sample range, so
+// Finalize is pure sketch merging — and because sketch merge is counter
+// addition, the merged state (and thus the result document) is
+// byte-identical whether the chunks ran serially, in parallel, or
+// across a crash-resume boundary.
+type lifetimeTask struct {
+	model *lifetime.Model
+}
+
+func newLifetimeTask(params json.RawMessage) (Task, error) {
+	var p lifetime.Params
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	// Compile validates everything eagerly so submit rejects a bad
+	// census with a 400 instead of failing the job at its first chunk.
+	m, err := lifetime.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return &lifetimeTask{model: m}, nil
+}
+
+func (t *lifetimeTask) Chunks() int {
+	return (t.model.Samples + lifetimeChunkSamples - 1) / lifetimeChunkSamples
+}
+
+// Run aggregates samples [c·8192, min((c+1)·8192, Samples)) into a
+// fresh sketch. Each sample's RNG substream is keyed on its absolute
+// index (lifetime.Model.SampleRange), so the blob depends only on
+// (params, c).
+func (t *lifetimeTask) Run(ctx context.Context, chunk int) ([]byte, error) {
+	lo := chunk * lifetimeChunkSamples
+	hi := min(lo+lifetimeChunkSamples, t.model.Samples)
+	sk := lifetime.NewSketch()
+	if err := t.model.SampleRange(sk, lo, hi); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sk.MarshalBinary()
+}
+
+func (t *lifetimeTask) Finalize(ctx context.Context, chunks [][]byte) (json.RawMessage, error) {
+	total := lifetime.NewSketch()
+	for c, blob := range chunks {
+		sk, err := mathx.DecodeQuantileSketch(blob)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", c, err)
+		}
+		if err := total.Merge(sk); err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", c, err)
+		}
+	}
+	rep, err := t.model.BuildReport(total)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(rep)
+}

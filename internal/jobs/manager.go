@@ -470,6 +470,7 @@ func canonicalParams(req SubmitRequest) ([]byte, error) {
 		{TypeSweep, req.Sweep, req.Sweep == nil},
 		{TypeCoupling, req.Coupling, req.Coupling == nil},
 		{TypeChipcheck, req.Chipcheck, req.Chipcheck == nil},
+		{TypeLifetime, req.Lifetime, req.Lifetime == nil},
 	} {
 		if f.nil {
 			continue

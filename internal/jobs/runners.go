@@ -47,9 +47,11 @@ func newTask(typ string, params json.RawMessage) (Task, error) {
 		return newCouplingTask(params)
 	case TypeChipcheck:
 		return newChipcheckTask(params)
+	case TypeLifetime:
+		return newLifetimeTask(params)
 	default:
-		return nil, fmt.Errorf("%w: %q (want %q, %q, %q or %q)",
-			ErrUnknownType, typ, TypeMonteCarlo, TypeSweep, TypeCoupling, TypeChipcheck)
+		return nil, fmt.Errorf("%w: %q (want %q, %q, %q, %q or %q)",
+			ErrUnknownType, typ, TypeMonteCarlo, TypeSweep, TypeCoupling, TypeChipcheck, TypeLifetime)
 	}
 }
 

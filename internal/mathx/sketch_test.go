@@ -1,0 +1,280 @@
+package mathx
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSplitMix64SeedIsO1State pins the property the Monte Carlo kernel
+// depends on: reseeding is just a state assignment, so the same seed
+// always reproduces the same stream, and interleaved reseeds cannot
+// leak state between substreams.
+func TestSplitMix64Substreams(t *testing.T) {
+	var a, b SplitMix64
+	a.Seed(42)
+	want := []uint64{a.Uint64(), a.Uint64(), a.Uint64()}
+	// Pollute b with another stream, then reseed: must match exactly.
+	b.Seed(7)
+	b.Uint64()
+	b.Seed(42)
+	for i, w := range want {
+		if got := b.Uint64(); got != w {
+			t.Fatalf("draw %d after reseed = %#x, want %#x", i, got, w)
+		}
+	}
+	if SeedMix(1, 3) == SeedMix(1, 4) || SeedMix(1, 3) == SeedMix(2, 3) {
+		t.Fatal("SeedMix collisions across adjacent indices/seeds")
+	}
+}
+
+// TestSplitMix64ViaRand checks the Source64 contract through math/rand:
+// NormFloat64 streams from the same seed are identical.
+func TestSplitMix64ViaRand(t *testing.T) {
+	src1, src2 := &SplitMix64{}, &SplitMix64{}
+	r1, r2 := rand.New(src1), rand.New(src2)
+	src1.Seed(99)
+	src2.Seed(99)
+	for i := 0; i < 100; i++ {
+		if a, b := r1.NormFloat64(), r2.NormFloat64(); a != b {
+			t.Fatalf("draw %d: %g != %g", i, a, b)
+		}
+	}
+}
+
+// exactRank returns the sketch's rank convention applied to exact
+// sorted data: the value of rank ⌊p·(n−1)⌋+1.
+func exactRank(sorted []float64, p float64) float64 {
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// TestSketchVsExactSort: sketch quantiles agree with the exact order
+// statistic under the same rank convention within the documented
+// relative error bound alpha, across sign-mixed lognormal-ish data.
+func TestSketchVsExactSort(t *testing.T) {
+	const alpha = 0.01
+	rng := rand.New(rand.NewSource(1))
+	s := NewQuantileSketch(alpha)
+	data := make([]float64, 20000)
+	for i := range data {
+		v := math.Exp(2 * rng.NormFloat64())
+		if i%3 == 0 {
+			v = -v
+		}
+		if i%1000 == 0 {
+			v = 0
+		}
+		data[i] = v
+		s.Add(v)
+	}
+	sort.Float64s(data)
+	for _, p := range []float64{0, 0.001, 0.01, 0.25, 0.5, 0.75, 0.99, 0.999, 1} {
+		want := exactRank(data, p)
+		got := s.Quantile(p)
+		if math.Abs(got-want) > alpha*math.Abs(want)+1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g ± %g%%", p, got, want, 100*alpha)
+		}
+	}
+	if s.Min() != data[0] || s.Max() != data[len(data)-1] {
+		t.Errorf("min/max = %g/%g, want exact %g/%g", s.Min(), s.Max(), data[0], data[len(data)-1])
+	}
+}
+
+// TestSketchEdgeCases: empty, single sample, and NaN/Inf rejection.
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewQuantileSketch(0.01)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty sketch must yield NaN quantiles")
+	}
+	if s.Count() != 0 {
+		t.Errorf("empty count = %d", s.Count())
+	}
+
+	s.Add(math.NaN())
+	s.Add(math.Inf(1))
+	s.Add(math.Inf(-1))
+	if s.Count() != 0 || s.Rejected() != 3 {
+		t.Errorf("after NaN/Inf: count=%d rejected=%d, want 0/3", s.Count(), s.Rejected())
+	}
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("rejected inputs must not produce quantiles")
+	}
+
+	s.Add(3.5)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(p); got != 3.5 {
+			t.Errorf("single-sample Quantile(%g) = %g, want exactly 3.5 (min/max clamp)", p, got)
+		}
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Errorf("single-sample summary: min=%g max=%g", s.Min(), s.Max())
+	}
+	if !math.IsNaN(s.Quantile(math.NaN())) || !math.IsNaN(s.Quantile(1.5)) {
+		t.Error("out-of-range p must yield NaN")
+	}
+}
+
+// TestSketchMergeOrderInvariant is the determinism rule: any split of
+// the stream, merged in any order and any grouping, yields
+// bit-identical encoded state (and hence bit-identical quantiles).
+func TestSketchMergeOrderInvariant(t *testing.T) {
+	const alpha = 0.001
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 9001)
+	for i := range vals {
+		vals[i] = math.Exp(rng.NormFloat64()) - 0.5
+	}
+
+	serial := NewQuantileSketch(alpha)
+	for _, v := range vals {
+		serial.Add(v)
+	}
+	want, err := serial.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three uneven parts merged in every order, plus a nested grouping.
+	bounds := [][2]int{{0, 17}, {17, 4000}, {4000, len(vals)}}
+	part := func(i int) *QuantileSketch {
+		s := NewQuantileSketch(alpha)
+		for _, v := range vals[bounds[i][0]:bounds[i][1]] {
+			s.Add(v)
+		}
+		return s
+	}
+	for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}} {
+		m := NewQuantileSketch(alpha)
+		for _, i := range order {
+			if err := m.Merge(part(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("merge order %v: state differs from serial", order)
+		}
+	}
+	// Nested: (2 ⊕ 1) ⊕ 0.
+	inner := part(2)
+	if err := inner.Merge(part(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Merge(part(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inner.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("nested merge grouping: state differs from serial")
+	}
+
+	if err := serial.Merge(NewQuantileSketch(0.01)); err == nil {
+		t.Fatal("merging mismatched alphas must fail")
+	}
+}
+
+// TestSketchCodecRoundTrip: encode→decode→encode is the identity, on
+// empty and populated sketches, and decode rejects corruption.
+func TestSketchCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, fill := range map[string]int{"empty": 0, "small": 3, "large": 5000} {
+		s := NewQuantileSketch(0.001)
+		for i := 0; i < fill; i++ {
+			s.Add(rng.NormFloat64() * 1e5)
+		}
+		s.Add(math.NaN()) // rejected counter must round-trip too
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeQuantileSketch(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		enc2, err := dec.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s: round trip not identity", name)
+		}
+		if dec.Count() != s.Count() || dec.Rejected() != s.Rejected() {
+			t.Fatalf("%s: decoded state differs", name)
+		}
+		if q, dq := s.Quantile(0.5), dec.Quantile(0.5); math.Float64bits(q) != math.Float64bits(dq) {
+			t.Fatalf("%s: decoded median %g != %g", name, dq, q)
+		}
+	}
+
+	s := NewQuantileSketch(0.01)
+	s.Add(1)
+	s.Add(2)
+	enc, _ := s.MarshalBinary()
+	for name, mut := range map[string]func([]byte) []byte{
+		"truncated":   func(b []byte) []byte { return b[:len(b)-3] },
+		"bad magic":   func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad count":   func(b []byte) []byte { b[19] ^= 0x01; return b }, // count field
+		"extra bytes": func(b []byte) []byte { return append(b, 0) },
+	} {
+		if _, err := DecodeQuantileSketch(mut(append([]byte(nil), enc...))); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+// FuzzSketchDecode: the journaled sketch-state decoder must never
+// panic, and every blob it accepts must re-encode canonically (decode∘
+// encode is the identity on accepted input — the property crash-resume
+// byte-identity rests on).
+func FuzzSketchDecode(f *testing.F) {
+	seed := func(build func(s *QuantileSketch)) {
+		s := NewQuantileSketch(0.001)
+		build(s)
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	seed(func(s *QuantileSketch) {})
+	seed(func(s *QuantileSketch) { s.Add(1); s.Add(-2); s.Add(0); s.Add(math.NaN()) })
+	seed(func(s *QuantileSketch) {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 300; i++ {
+			s.Add(math.Exp(4 * rng.NormFloat64()))
+		}
+	})
+	f.Add([]byte(sketchMagic))
+	f.Add(bytes.Repeat([]byte{0xff}, 80))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeQuantileSketch(data)
+		if err != nil {
+			return
+		}
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted blob failed to re-encode: %v", err)
+		}
+		s2, err := DecodeQuantileSketch(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v", err)
+		}
+		enc2, err := s2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("re-encoding is not canonical")
+		}
+		_ = s.Quantile(0.5) // must not panic on any accepted state
+	})
+}

@@ -5,8 +5,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"dsmtherm/internal/core"
+	"dsmtherm/internal/geometry"
 	"dsmtherm/internal/mathx"
 	"dsmtherm/internal/ntrs"
 )
@@ -16,6 +18,14 @@ import (
 // conductivity all vary. Sampling the self-consistent rule over those
 // variations yields the percentile limit a robust deck should publish —
 // the statistical companion to the paper's deterministic Tables 2–4.
+//
+// The sampling engine is built around per-worker batch kernels (mcKernel):
+// each worker owns one technology clone restamped in place per sample, one
+// RNG reseeded per sample from the absolute sample index, and one reusable
+// warm-started solver — so steady-state evaluation allocates nothing. The
+// aggregation side switches from exact sorting to mergeable quantile
+// sketches above MCSketchThreshold, keeping memory O(bins) per level
+// however many samples stream through.
 
 // Variation describes relative (1-σ, lognormal) process spreads.
 type Variation struct {
@@ -66,6 +76,18 @@ type MCLevelResult struct {
 	GuardBand float64
 }
 
+// Percentile aggregation strategy of MonteCarloFromRows. Below the
+// threshold the per-level column is sorted and interpolated exactly —
+// byte-identical to the historical behavior. At or above it, values
+// stream through a mathx.QuantileSketch with relative accuracy
+// MCSketchAlpha (0.1%, far inside Monte Carlo noise at that sample
+// count), so aggregation memory stays O(occupied bins) per level instead
+// of O(Samples).
+const (
+	MCSketchThreshold = 4096
+	MCSketchAlpha     = 0.001
+)
+
 // MonteCarlo samples the signal-line rule across process variation for
 // every DesignRuleLevels level of the technology. Samples evaluate
 // concurrently across a bounded worker pool (Variation.Workers); each
@@ -86,6 +108,133 @@ func MonteCarlo(tech *ntrs.Technology, spec Spec, v Variation) ([]MCLevelResult,
 	return MonteCarloFromRows(tech, spec, v, jp)
 }
 
+// mcKernel is the per-worker Monte Carlo batch kernel. It owns one
+// deep-copied technology whose layers and dielectrics are restamped in
+// place from the immutable base for every sample, prebuilt per-level
+// lines whose stacks alias the clone's dielectrics, one RNG reseeded per
+// sample, and one reusable warm-started solver — so sample() touches the
+// heap zero times in steady state (TestMCKernelAllocationFree pins it).
+//
+// Determinism: sample s's row is a pure function of (base, spec,
+// v.Seed, s). The RNG substream is keyed on the absolute sample index,
+// the restamp always starts from the base values, and the solver hints
+// are the per-level nominal temperatures (identical for every sample) —
+// no state flows between samples, so any partition of the sample range
+// over any number of kernels reproduces the serial stream bit for bit
+// (TestMCKernelMatchesRebuild).
+type mcKernel struct {
+	base   *ntrs.Technology
+	spec   Spec
+	v      Variation
+	levels []int
+	// hints[k] is the nominal self-consistent Tm of levels[k]: the warm
+	// start for every sample's solve. Hints must stay sample-independent
+	// to preserve the determinism contract.
+	hints []float64
+
+	tech   *ntrs.Technology
+	lines  []*geometry.Line
+	src    *mathx.SplitMix64
+	rng    *rand.Rand
+	solver *core.CoeffSolver
+}
+
+// newMCKernel builds a kernel for one worker. All inputs must already be
+// validated/defaulted; hints come from nominalSolutions.
+func newMCKernel(base *ntrs.Technology, spec Spec, v Variation, levels []int, hints []float64) (*mcKernel, error) {
+	k := &mcKernel{
+		base:   base,
+		spec:   spec,
+		v:      v,
+		levels: levels,
+		hints:  hints,
+		tech:   base.WithGapFill(base.Gap), // deep copy, restamped per sample
+		lines:  make([]*geometry.Line, len(levels)),
+		src:    &mathx.SplitMix64{},
+		solver: core.NewCoeffSolver(),
+	}
+	k.rng = rand.New(k.src)
+	for j, lvl := range levels {
+		line, err := k.tech.Line(lvl, spec.ReferenceLength)
+		if err != nil {
+			return nil, err
+		}
+		// The line's Below stack references k.tech's ILD/Gap materials, so
+		// restamping their conductivities propagates without rebuilding.
+		k.lines[j] = line
+	}
+	return k, nil
+}
+
+// lognormal draws exp(σ·N(0,1)), consuming no randomness when σ = 0 so
+// zero-spread axes do not perturb the substream of the others.
+func (k *mcKernel) lognormal(sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma * k.rng.NormFloat64())
+}
+
+// sample evaluates Monte Carlo sample s into row (len(levels) jpeaks).
+func (k *mcKernel) sample(s int, row []float64) error {
+	k.src.Seed(sampleSeed(k.v.Seed, s))
+	// Restamp the clone from the base: per layer width (clamped to 98% of
+	// pitch), thickness, ILD; then the two dielectric conductivities.
+	for i := range k.tech.Layers {
+		b, l := &k.base.Layers[i], &k.tech.Layers[i]
+		l.Width = b.Width * k.lognormal(k.v.Width)
+		if l.Width > 0.98*b.Pitch {
+			l.Width = 0.98 * b.Pitch
+		}
+		l.Thick = b.Thick * k.lognormal(k.v.Thick)
+		l.ILD = b.ILD * k.lognormal(k.v.ILD)
+	}
+	k.tech.Gap.ThermalCond = k.base.Gap.ThermalCond * k.lognormal(k.v.Kd)
+	k.tech.ILD.ThermalCond = k.base.ILD.ThermalCond * k.lognormal(k.v.Kd)
+	for j, lvl := range k.levels {
+		line := k.lines[j]
+		layer := &k.tech.Layers[lvl-1]
+		line.Width = layer.Width
+		line.Thick = layer.Thick
+		// Below mirrors ntrs.StackBelow: pairs of (lower ILD, lower metal
+		// thickness as gap fill), capped by this level's own ILD.
+		below := line.Below
+		for i := 0; i < lvl-1; i++ {
+			below[2*i].Thickness = k.tech.Layers[i].ILD
+			below[2*i+1].Thickness = k.tech.Layers[i].Thick
+		}
+		below[len(below)-1].Thickness = layer.ILD
+		k.solver.P = core.CoeffProblem{
+			Metal: k.tech.Metal,
+			Coeff: k.spec.Model.SelfHeatingCoeff(line),
+			R:     k.spec.SignalDutyCycle,
+			J0:    k.spec.J0,
+			Tref:  k.spec.Tref,
+		}
+		sol, err := k.solver.Solve(k.hints[j])
+		if err != nil {
+			return fmt.Errorf("rules: MC sample %d level %d: %w", s, lvl, err)
+		}
+		row[j] = sol.Jpeak
+	}
+	return nil
+}
+
+// nominalSolutions solves the unperturbed rule once per design level —
+// the shared source of both the reported Nominal limits and the kernels'
+// warm-start hints.
+func nominalSolutions(tech *ntrs.Technology, spec Spec, levels []int) ([]core.Solution, error) {
+	noms := make([]core.Solution, len(levels))
+	for k, lvl := range levels {
+		sol, err := solveSignal(tech, lvl, spec)
+		if err != nil {
+			return nil, err
+		}
+		noms[k] = sol
+	}
+	return noms, nil
+}
+
 // MonteCarloRows evaluates Monte Carlo samples [lo, hi) and returns one
 // jpeak row per sample (jp[s-lo][k] is sample s's jpeak for
 // DesignRuleLevels[k]). Row s is a pure function of (tech, spec,
@@ -95,6 +244,10 @@ func MonteCarlo(tech *ntrs.Technology, spec Spec, v Variation) ([]MCLevelResult,
 // number of process restarts, reassembles into the exact matrix a
 // single uninterrupted call produces. This is the chunk kernel of the
 // resumable Monte Carlo job runner.
+//
+// Each worker runs one mcKernel over a static contiguous sub-range; all
+// rows share one backing arena, so the fan-out performs two allocations
+// regardless of sample count and the kernels none at all.
 func MonteCarloRows(tech *ntrs.Technology, spec Spec, v Variation, lo, hi int) ([][]float64, error) {
 	if err := v.defaults(); err != nil {
 		return nil, err
@@ -109,34 +262,66 @@ func MonteCarloRows(tech *ntrs.Technology, spec Spec, v Variation, lo, hi int) (
 		return nil, fmt.Errorf("%w: sample range [%d, %d) outside [0, %d)", ErrInvalid, lo, hi, v.Samples)
 	}
 	levels := designRuleLevels(tech)
-	// jp[i][k] is sample (lo+i)'s jpeak for levels[k]; each sample owns
-	// its row, so the fan-out below writes without coordination and the
-	// assembled matrix is identical at any worker count.
-	jp := make([][]float64, hi-lo)
-	errs := make([]error, hi-lo)
+	noms, err := nominalSolutions(tech, spec, levels)
+	if err != nil {
+		return nil, err
+	}
+	n := hi - lo
+	jp := make([][]float64, n)
+	if n == 0 {
+		return jp, nil
+	}
+	arena := make([]float64, n*len(levels))
+	for i := range jp {
+		jp[i] = arena[i*len(levels) : (i+1)*len(levels) : (i+1)*len(levels)]
+	}
+	hints := make([]float64, len(levels))
+	for k := range noms {
+		hints[k] = noms[k].Tm
+	}
 	workers := v.Workers
 	if workers <= 0 {
 		workers = mathx.Workers()
 	}
-	mathx.ParForN(hi-lo, workers, func(i int) {
-		s := lo + i
-		rng := rand.New(rand.NewSource(sampleSeed(v.Seed, s)))
-		pert := perturb(tech, v, rng)
-		row := make([]float64, len(levels))
-		for k, lvl := range levels {
-			sol, err := solveSignal(pert, lvl, spec)
+	if workers > n {
+		workers = n
+	}
+	// Each worker records its first failure and the sample it failed at;
+	// the lowest failing sample's error is surfaced, which is exactly the
+	// error a serial scan would hit first — independent of worker count.
+	errs := make([]error, workers)
+	at := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wlo, whi := lo+w*n/workers, lo+(w+1)*n/workers
+		if wlo == whi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, wlo, whi int) {
+			defer wg.Done()
+			k, err := newMCKernel(tech, spec, v, levels, hints)
 			if err != nil {
-				errs[i] = fmt.Errorf("rules: MC sample %d level %d: %w", s, lvl, err)
+				errs[w], at[w] = err, wlo
 				return
 			}
-			row[k] = sol.Jpeak
+			for s := wlo; s < whi; s++ {
+				if err := k.sample(s, jp[s-lo]); err != nil {
+					errs[w], at[w] = err, s
+					return
+				}
+			}
+		}(w, wlo, whi)
+	}
+	wg.Wait()
+	fail := -1
+	for w := range errs {
+		if errs[w] != nil && (fail < 0 || at[w] < at[fail]) {
+			fail = w
 		}
-		jp[i] = row
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	}
+	if fail >= 0 {
+		return nil, errs[fail]
 	}
 	return jp, nil
 }
@@ -144,8 +329,10 @@ func MonteCarloRows(tech *ntrs.Technology, spec Spec, v Variation, lo, hi int) (
 // MonteCarloFromRows assembles the per-level percentile summary from a
 // complete sample matrix (jp[s][k] as produced by MonteCarloRows over
 // the full [0, Samples) range, ranges concatenated in index order). The
-// nominal solves and the sort-then-interpolate percentiles are
-// deterministic, so the result depends only on (tech, spec, v, jp).
+// result depends only on (tech, spec, v, jp): below MCSketchThreshold
+// samples each level's column is sorted and interpolated exactly; at or
+// above it the column streams through a quantile sketch with relative
+// accuracy MCSketchAlpha.
 func MonteCarloFromRows(tech *ntrs.Technology, spec Spec, v Variation, jp [][]float64) ([]MCLevelResult, error) {
 	if err := v.defaults(); err != nil {
 		return nil, err
@@ -165,24 +352,31 @@ func MonteCarloFromRows(tech *ntrs.Technology, spec Spec, v Variation, jp [][]fl
 			return nil, fmt.Errorf("%w: row %d has %d levels, want %d", ErrInvalid, s, len(row), len(levels))
 		}
 	}
+	noms, err := nominalSolutions(tech, spec, levels)
+	if err != nil {
+		return nil, err
+	}
 
-	var out []MCLevelResult
+	useSketch := v.Samples >= MCSketchThreshold
+	var js []float64 // one column buffer reused across levels
+	if !useSketch {
+		js = make([]float64, v.Samples)
+	}
+	out := make([]MCLevelResult, 0, len(levels))
 	for k, lvl := range levels {
-		nom, err := solveSignal(tech, lvl, spec)
-		if err != nil {
-			return nil, err
-		}
-		js := make([]float64, v.Samples)
-		for s := range jp {
-			js[s] = jp[s][k]
-		}
-		sort.Float64s(js)
-		r := MCLevelResult{
-			Level:   lvl,
-			P1:      percentile(js, 0.01),
-			P50:     percentile(js, 0.50),
-			P99:     percentile(js, 0.99),
-			Nominal: nom.Jpeak,
+		r := MCLevelResult{Level: lvl, Nominal: noms[k].Jpeak}
+		if useSketch {
+			sk := mathx.NewQuantileSketch(MCSketchAlpha)
+			for s := range jp {
+				sk.Add(jp[s][k])
+			}
+			r.P1, r.P50, r.P99 = sk.Quantile(0.01), sk.Quantile(0.50), sk.Quantile(0.99)
+		} else {
+			for s := range jp {
+				js[s] = jp[s][k]
+			}
+			sort.Float64s(js)
+			r.P1, r.P50, r.P99 = percentile(js, 0.01), percentile(js, 0.50), percentile(js, 0.99)
 		}
 		r.GuardBand = r.Nominal / r.P1
 		out = append(out, r)
@@ -216,38 +410,12 @@ func solveSignal(tech *ntrs.Technology, level int, spec Spec) (core.Solution, er
 }
 
 // sampleSeed derives the RNG substream seed for one Monte Carlo sample by
-// splitmix64-mixing the user seed with the sample index. Each sample's
-// draws are a pure function of (Seed, s), which is what makes the fan-out
-// order-independent: serial and parallel evaluation consume identical
-// streams.
+// splitmix64-mixing the user seed with the sample index (mathx.SeedMix).
+// Each sample's draws are a pure function of (Seed, s), which is what
+// makes the fan-out order-independent: serial and parallel evaluation
+// consume identical streams.
 func sampleSeed(seed int64, s int) int64 {
-	z := uint64(seed) + (uint64(s)+1)*0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return int64(z ^ (z >> 31))
-}
-
-// perturb deep-copies the technology with lognormal variations applied.
-func perturb(tech *ntrs.Technology, v Variation, rng *rand.Rand) *ntrs.Technology {
-	p := tech.WithGapFill(tech.Gap) // deep copy
-	ln := func(sigma float64) float64 {
-		if sigma == 0 {
-			return 1
-		}
-		return math.Exp(sigma * rng.NormFloat64())
-	}
-	for i := range p.Layers {
-		l := &p.Layers[i]
-		l.Width *= ln(v.Width)
-		if l.Width > 0.98*l.Pitch {
-			l.Width = 0.98 * l.Pitch
-		}
-		l.Thick *= ln(v.Thick)
-		l.ILD *= ln(v.ILD)
-	}
-	p.Gap.ThermalCond *= ln(v.Kd)
-	p.ILD.ThermalCond *= ln(v.Kd)
-	return p
+	return mathx.SeedMix(seed, s)
 }
 
 // percentile returns the pth quantile (0..1) of sorted data by linear

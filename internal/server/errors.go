@@ -13,6 +13,7 @@ import (
 	"dsmtherm/internal/em"
 	"dsmtherm/internal/fdm"
 	"dsmtherm/internal/jobs"
+	"dsmtherm/internal/lifetime"
 	"dsmtherm/internal/mathx"
 	"dsmtherm/internal/netcheck"
 	"dsmtherm/internal/powergrid"
@@ -90,6 +91,7 @@ func classify(err error) (int, string) {
 		errors.Is(err, chipcheck.ErrInvalid),
 		errors.Is(err, powergrid.ErrInvalid),
 		errors.Is(err, em.ErrInvalid),
+		errors.Is(err, lifetime.ErrInvalid),
 		errors.Is(err, fdm.ErrInvalid),
 		errors.Is(err, jobs.ErrInvalid),
 		errors.Is(err, jobs.ErrUnknownType):

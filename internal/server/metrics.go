@@ -39,9 +39,14 @@ type Metrics struct {
 	SegsChecked  atomic.Uint64
 	Chipchecks   atomic.Uint64
 	ChipSegments atomic.Uint64
-	SweepPoints  atomic.Uint64
-	DecksBuilt   atomic.Uint64
-	DeckCacheHit atomic.Uint64
+
+	// Synchronous /v1/lifetime traffic: requests served and Monte
+	// Carlo samples drawn (job runs are accounted in the jobs section).
+	Lifetimes       atomic.Uint64
+	LifetimeSamples atomic.Uint64
+	SweepPoints     atomic.Uint64
+	DecksBuilt      atomic.Uint64
+	DeckCacheHit    atomic.Uint64
 
 	// Backpressure counters: requests rejected by admission control
 	// (queue at depth → 429; queue wait exceeded → 503) and during the
@@ -134,6 +139,7 @@ type Snapshot struct {
 	Solver     solverSnapshot              `json:"solver"`
 	Netcheck   netcheckSnapshot            `json:"netcheck"`
 	Chipcheck  chipcheckSnapshot           `json:"chipcheck"`
+	Lifetime   lifetimeSnapshot            `json:"lifetime"`
 	Pool       poolSnapshot                `json:"pool"`
 	Admission  admissionSnapshot           `json:"admission"`
 	Resilience resilienceSnapshot          `json:"resilience"`
@@ -229,6 +235,13 @@ type chipcheckSnapshot struct {
 	Segments uint64 `json:"segments"`
 }
 
+// lifetimeSnapshot reports the synchronous /v1/lifetime traffic (job
+// runs are accounted in the jobs section).
+type lifetimeSnapshot struct {
+	Requests uint64 `json:"requests"`
+	Samples  uint64 `json:"samples"`
+}
+
 // SnapshotNow collects the current counter values. cache, pool, adm,
 // flights, quarantine, breaker and jm may each be nil (their sections
 // read zero; the jobs section is omitted).
@@ -277,6 +290,7 @@ func (m *Metrics) SnapshotNow(cache *Cache, pool *Pool, adm *Admission, flights 
 	}
 	s.Netcheck = netcheckSnapshot{SegmentsChecked: m.SegsChecked.Load()}
 	s.Chipcheck = chipcheckSnapshot{Checks: m.Chipchecks.Load(), Segments: m.ChipSegments.Load()}
+	s.Lifetime = lifetimeSnapshot{Requests: m.Lifetimes.Load(), Samples: m.LifetimeSamples.Load()}
 	if pool != nil {
 		s.Pool = poolSnapshot{Size: pool.Size(), InUse: pool.InUse()}
 	}

@@ -91,6 +91,11 @@ type Config struct {
 	// where the coupled solve does not hold an HTTP connection or a
 	// pool slot for seconds.
 	MaxChipNodes int
+	// MaxLifetimeSamples caps the Monte Carlo size of one synchronous
+	// /v1/lifetime request (default 200000; negative disables the
+	// cap). Bigger studies belong on the bulk job lane ("lifetime" job
+	// type), which checkpoints progress as mergeable sketch states.
+	MaxLifetimeSamples int
 
 	// AdmitConcurrent bounds how many solver-bearing requests
 	// (/v1/rules, /v1/sweep, /v1/netcheck) may be in flight at once
@@ -182,6 +187,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxChipNodes == 0 {
 		c.MaxChipNodes = 4096
+	}
+	if c.MaxLifetimeSamples == 0 {
+		c.MaxLifetimeSamples = 200000
 	}
 	if c.AdmitConcurrent <= 0 {
 		c.AdmitConcurrent = 2 * c.Workers
@@ -298,6 +306,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/batch", s.handleBatch, gated)
 	s.route("POST /v1/netcheck", s.handleNetcheck, gated)
 	s.route("POST /v1/chipcheck", s.handleChipcheck, gated)
+	s.route("POST /v1/lifetime", s.handleLifetime, gated)
 	s.route("GET /v1/tech", s.handleTech, ungated)
 	// Job routes stay off the admission gate: submission is cheap
 	// validate-and-journal with its own lane-depth backpressure, and the
